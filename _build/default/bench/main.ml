@@ -1,0 +1,233 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper's evaluation
+   section (the rows/series the paper reports, with the paper's values
+   quoted inline).
+
+   Part 2 runs one Bechamel microbenchmark per experiment so the
+   extraction-vs-simulation cost split of the paper's section-6
+   runtime note can be compared on this machine. *)
+
+module E = Snoise.Experiments
+module R = Snoise.Report
+module Flow = Snoise.Flow
+
+let fmt = Format.std_formatter
+
+let banner title =
+  Format.fprintf fmt "@.%s@.%s@.%s@." (String.make 72 '=') title
+    (String.make 72 '=')
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: reproduce the evaluation section *)
+
+let reproduce_all () =
+  banner "Part 1 - paper evaluation reproduced";
+  R.fig3 fmt (E.fig3 ());
+  R.sec3 fmt (E.sec3_numbers ());
+  R.fig7 fmt (E.fig7 ());
+  R.fig8 fmt (E.fig8 ());
+  R.fig9 fmt (E.fig9 ());
+  R.fig10 fmt (E.fig10 ());
+  R.vco_card fmt (E.vco_card ());
+  R.aggressor fmt (E.aggressor_comb ());
+  R.runtime fmt (E.runtime ());
+  Format.pp_print_flush fmt ()
+
+(* grid-resolution ablation: the DESIGN.md convergence study *)
+let ablation_grid () =
+  banner "Ablation - substrate grid resolution";
+  Format.fprintf fmt "%10s %14s %16s@." "grid" "cells" "divider 1/x";
+  List.iter
+    (fun (nx, z) ->
+      let options =
+        { Flow.default_options with
+          Flow.grid = { Sn_substrate.Grid.nx; ny = nx; z_per_layer = Some z } }
+      in
+      let flow = Flow.build_nmos ~options Sn_testchip.Nmos_structure.default in
+      let cells =
+        match Sn_substrate.Extractor.last_stats () with
+        | Some s -> s.Sn_substrate.Extractor.grid_cells
+        | None -> 0
+      in
+      Format.fprintf fmt "%10s %14d %16.0f@."
+        (Printf.sprintf "%dx%d" nx nx)
+        cells
+        (1.0 /. Flow.nmos_divider flow))
+    [ (32, [ 1; 3; 2; 1 ]); (48, [ 1; 4; 3; 2 ]); (64, [ 1; 5; 3; 2 ]);
+      (80, [ 1; 5; 3; 2 ]) ];
+  Format.fprintf fmt
+    "(the default 48x48 baseline, with edge snapping, is converged to within a few percent)@.";
+  Format.pp_print_flush fmt ()
+
+(* interconnect-resistance ablation: the headline claim *)
+let ablation_interconnect () =
+  banner "Ablation - classical flow (interconnect R ignored)";
+  let with_r = E.fig3 () in
+  Format.fprintf fmt
+    "divider with extracted wire R : 1/%.0f@." (1.0 /. with_r.E.divider);
+  Format.fprintf fmt
+    "divider with ideal wires      : 1/%.0f@." (1.0 /. with_r.E.divider_no_r);
+  Format.fprintf fmt
+    "-> ignoring the interconnect underestimates coupling by %.1f dB@."
+    (20.0 *. log10 (with_r.E.divider /. with_r.E.divider_no_r));
+  Format.pp_print_flush fmt ()
+
+(* backside metallization ablation: the strongest countermeasure the
+   substrate extractor can evaluate *)
+let ablation_backplane () =
+  banner "Ablation - backside metallization";
+  let module G = Sn_geometry in
+  let module Port = Sn_substrate.Port in
+  let module Mac = Sn_substrate.Macromodel in
+  let die = G.Rect.make 0.0 0.0 100.0 100.0 in
+  let ports =
+    [ Port.v ~name:"inj" ~kind:Port.Resistive
+        [ G.Rect.make 5.0 45.0 15.0 55.0 ];
+      Port.v ~name:"vic" ~kind:Port.Probe
+        [ G.Rect.make 80.0 45.0 90.0 55.0 ];
+      Port.v ~name:"tap" ~kind:Port.Resistive
+        [ G.Rect.make 45.0 5.0 55.0 15.0 ] ]
+  in
+  let cfg =
+    { Sn_substrate.Grid.nx = 32; ny = 32; z_per_layer = Some [ 1; 3; 2; 2 ] }
+  in
+  let run ~backplane ~grounded =
+    let m =
+      Sn_substrate.Extractor.extract ~config:cfg
+        ~grounded_backplane:backplane ~tech:Sn_tech.Tech.imec018 ~die ports
+    in
+    20.0 *. log10 (Mac.divider m ~inject:"inj" ~sense:"vic" ~grounded)
+  in
+  let open_back = run ~backplane:false ~grounded:[ "tap" ] in
+  let plated = run ~backplane:true ~grounded:[ "tap"; "backplane" ] in
+  Format.fprintf fmt "victim coupling, open backside    : %6.1f dB@." open_back;
+  Format.fprintf fmt "victim coupling, grounded backside: %6.1f dB@." plated;
+  Format.fprintf fmt "-> backside metallization buys %.1f dB here@."
+    (open_back -. plated);
+  Format.pp_print_flush fmt ()
+
+(* process corners: the sign-off spread *)
+let ablation_corners () =
+  banner "Ablation - process corners (VCO spur at fc + 10 MHz)";
+  let results = Snoise.Corners.vco_spread () in
+  List.iter
+    (fun (r : Snoise.Corners.vco_corner_result) ->
+      Format.fprintf fmt "%-12s %8.1f dBm@."
+        r.Snoise.Corners.corner.Snoise.Corners.name
+        r.Snoise.Corners.spur_at_10mhz_dbm)
+    results;
+  Format.fprintf fmt "-> spread %.1f dB across corners@."
+    (Snoise.Corners.spread_db results);
+  Format.pp_print_flush fmt ()
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel microbenchmarks, one per table / figure *)
+
+open Bechamel
+open Toolkit
+
+let bench_tests () =
+  (* shared fixtures built once *)
+  let nmos_flow = Flow.build_nmos Sn_testchip.Nmos_structure.default in
+  let vco_flow = Flow.build_vco Sn_testchip.Vco_chip.default ~vtune:0.0 in
+  let f_noise = E.default_f_noise in
+  let h = Flow.vco_transfers vco_flow ~f_noise in
+  let osc = Flow.vco_oscillator vco_flow in
+  let small_grid =
+    { Sn_substrate.Grid.nx = 24; ny = 24; z_per_layer = Some [ 1; 2; 2; 1 ] }
+  in
+  let layout = Sn_testchip.Nmos_structure.layout Sn_testchip.Nmos_structure.default in
+  let merged = Flow.vco_merged vco_flow in
+  let vco_dc = Sn_engine.Dc.solve merged in
+  [
+    Test.make ~name:"fig3_nmos_transfer"
+      (Staged.stage (fun () ->
+           ignore (Flow.nmos_transfer nmos_flow ~vgs:0.8 ~vds:0.8 ~freq:5.0e6)));
+    Test.make ~name:"sec3_division_crossover"
+      (Staged.stage (fun () -> ignore (Flow.nmos_divider nmos_flow)));
+    Test.make ~name:"fig7_output_spectrum"
+      (Staged.stage (fun () ->
+           let beta, m_am =
+             Sn_rf.Impact.total_modulation osc ~h:(h 10.0e6) ~a_noise:0.178
+               ~f_noise:10.0e6
+           in
+           let samples =
+             Sn_rf.Behavioral.synthesize ~carrier_freq:64.0e6
+               ~amplitude:osc.Sn_rf.Impact.amplitude
+               ~tones:[ { Sn_rf.Behavioral.f_noise = 10.0e6; beta; m_am } ]
+               ~fs:320.0e6 ~n:16384
+           in
+           ignore
+             (Sn_rf.Behavioral.measured_sideband_dbm samples ~fs:320.0e6
+                ~carrier_freq:64.0e6 ~f_noise:10.0e6 `Upper)));
+    Test.make ~name:"fig8_spur_vs_fnoise"
+      (Staged.stage (fun () ->
+           Array.iter
+             (fun fn ->
+               ignore
+                 (Flow.vco_spur vco_flow ~h ~p_noise_dbm:(-5.0) ~f_noise:fn))
+             f_noise));
+    Test.make ~name:"fig9_contributions"
+      (Staged.stage (fun () ->
+           ignore (Flow.vco_spur vco_flow ~h ~p_noise_dbm:(-5.0) ~f_noise:10.0e6)));
+    Test.make ~name:"fig10_ground_sizing"
+      (Staged.stage (fun () ->
+           ignore (Flow.vco_ground_wire_resistance vco_flow)));
+    Test.make ~name:"vco_design_card"
+      (Staged.stage (fun () ->
+           let tank = Sn_rf.Tank.default_3ghz in
+           let bias = Sn_rf.Tank.quiet_bias ~v_tune:0.45 in
+           List.iter
+             (fun e -> ignore (Sn_rf.Tank.sensitivity tank bias e))
+             Sn_rf.Tank.
+               [ Ground; Backgate; Pmos_well; Varactor_well; Inductor_node ]));
+    Test.make ~name:"runtime_extraction_small_grid"
+      (Staged.stage (fun () ->
+           ignore
+             (Sn_substrate.Extractor.extract_from_layout ~config:small_grid
+                ~tech:Sn_tech.Tech.imec018 layout)));
+    Test.make ~name:"runtime_simulation_ac_solve"
+      (Staged.stage (fun () ->
+           ignore (Sn_engine.Ac.solve ~dc:vco_dc merged ~freq:10.0e6)));
+  ]
+
+let run_benchmarks () =
+  banner "Part 2 - Bechamel microbenchmarks (one per table / figure)";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~stabilize:false ()
+  in
+  let grouped =
+    Test.make_grouped ~name:"snoise" ~fmt:"%s %s" (bench_tests ())
+  in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Format.fprintf fmt "%-34s %16s@." "benchmark" "time/run";
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] ->
+        let human =
+          if est >= 1.0e9 then Printf.sprintf "%8.2f s " (est /. 1.0e9)
+          else if est >= 1.0e6 then Printf.sprintf "%8.2f ms" (est /. 1.0e6)
+          else if est >= 1.0e3 then Printf.sprintf "%8.2f us" (est /. 1.0e3)
+          else Printf.sprintf "%8.0f ns" est
+        in
+        Format.fprintf fmt "%-34s %16s@." name human
+      | _ -> Format.fprintf fmt "%-34s %16s@." name "n/a")
+    results;
+  Format.pp_print_flush fmt ()
+
+let () =
+  reproduce_all ();
+  ablation_grid ();
+  ablation_interconnect ();
+  ablation_backplane ();
+  ablation_corners ();
+  run_benchmarks ();
+  Format.fprintf fmt "@.bench: done@.";
+  Format.pp_print_flush fmt ()

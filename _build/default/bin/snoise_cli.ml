@@ -1,0 +1,234 @@
+(* Command-line driver for the substrate-noise impact flow.
+
+   snoise fig3 | fig7 | fig8 | fig9 | fig10 | card | runtime | all
+   snoise extract <layout.txt>     substrate macromodel of a layout file
+   snoise netlist [--vtune V]      dump the merged VCO impact model *)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Info else Some Logs.Warning)
+
+let verbose =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log extraction progress.")
+
+let fmt = Format.std_formatter
+
+let finish () = Format.pp_print_flush fmt ()
+
+let run_fig3 verbose =
+  setup_logs verbose;
+  Snoise.Report.fig3 fmt (Snoise.Experiments.fig3 ());
+  Snoise.Report.sec3 fmt (Snoise.Experiments.sec3_numbers ());
+  finish ()
+
+let run_fig7 verbose f_noise =
+  setup_logs verbose;
+  Snoise.Report.fig7 fmt (Snoise.Experiments.fig7 ~f_noise ());
+  finish ()
+
+let run_fig8 verbose =
+  setup_logs verbose;
+  Snoise.Report.fig8 fmt (Snoise.Experiments.fig8 ());
+  finish ()
+
+let run_fig9 verbose =
+  setup_logs verbose;
+  Snoise.Report.fig9 fmt (Snoise.Experiments.fig9 ());
+  finish ()
+
+let run_fig10 verbose =
+  setup_logs verbose;
+  Snoise.Report.fig10 fmt (Snoise.Experiments.fig10 ());
+  finish ()
+
+let run_card verbose =
+  setup_logs verbose;
+  Snoise.Report.vco_card fmt (Snoise.Experiments.vco_card ());
+  finish ()
+
+let run_runtime verbose =
+  setup_logs verbose;
+  Snoise.Report.runtime fmt (Snoise.Experiments.runtime ());
+  finish ()
+
+let run_aggressor verbose =
+  setup_logs verbose;
+  Snoise.Report.aggressor fmt (Snoise.Experiments.aggressor_comb ());
+  finish ()
+
+let run_all verbose =
+  run_fig3 verbose;
+  run_fig7 verbose 10.0e6;
+  run_fig8 verbose;
+  run_fig9 verbose;
+  run_fig10 verbose;
+  run_card verbose;
+  run_runtime verbose
+
+let run_extract verbose path =
+  setup_logs verbose;
+  let layout = Sn_layout.Layout_io.load path in
+  let macro =
+    Sn_substrate.Extractor.extract_from_layout ~tech:Sn_tech.Tech.imec018
+      layout
+  in
+  Sn_substrate.Macromodel.pp fmt macro;
+  Format.fprintf fmt "@.";
+  List.iter
+    (fun (a, b, r) ->
+      Format.fprintf fmt "R %s %s %s@." a b
+        (Sn_numerics.Units.eng ~unit:"Ohm" r))
+    (Sn_substrate.Macromodel.to_resistors macro);
+  finish ()
+
+let run_netlist verbose vtune =
+  setup_logs verbose;
+  let flow = Snoise.Flow.build_vco Sn_testchip.Vco_chip.default ~vtune in
+  print_string (Sn_circuit.Spice.to_string (Snoise.Flow.vco_merged flow))
+
+let run_op verbose vtune =
+  setup_logs verbose;
+  let flow = Snoise.Flow.build_vco Sn_testchip.Vco_chip.default ~vtune in
+  let dc = Sn_engine.Dc.solve (Snoise.Flow.vco_merged flow) in
+  Format.fprintf fmt "%a@." Sn_engine.Dc.pp dc;
+  finish ()
+
+let run_lint verbose file =
+  setup_logs verbose;
+  let netlist =
+    match file with
+    | Some path -> Sn_circuit.Spice.load path
+    | None ->
+      Snoise.Flow.vco_merged
+        (Snoise.Flow.build_vco Sn_testchip.Vco_chip.default ~vtune:0.45)
+  in
+  let ds = Sn_circuit.Lint.check netlist in
+  if ds = [] then Format.fprintf fmt "netlist is clean@."
+  else
+    List.iter (fun d -> Format.fprintf fmt "%a@." Sn_circuit.Lint.pp d) ds;
+  finish ();
+  if Sn_circuit.Lint.errors ds <> [] then exit 1
+
+let run_drc verbose file =
+  setup_logs verbose;
+  let layout =
+    match file with
+    | Some path -> Sn_layout.Layout_io.load path
+    | None -> Sn_testchip.Vco_chip.layout Sn_testchip.Vco_chip.default
+  in
+  let vs = Sn_layout.Drc.check ~tech:Sn_tech.Tech.imec018 layout in
+  if vs = [] then Format.fprintf fmt "layout is DRC clean@."
+  else List.iter (fun v -> Format.fprintf fmt "%a@." Sn_layout.Drc.pp v) vs;
+  finish ();
+  if vs <> [] then exit 1
+
+let run_isolation verbose path port1 port2 =
+  setup_logs verbose;
+  let layout = Sn_layout.Layout_io.load path in
+  let macro =
+    Sn_substrate.Extractor.extract_from_layout ~tech:Sn_tech.Tech.imec018
+      layout
+  in
+  let nl =
+    Sn_circuit.Netlist.create
+      (Snoise.Merge.of_macromodel macro
+      @ [ Sn_circuit.Element.Resistor
+            { name = "rref"; n1 = port1; n2 = "0"; ohms = 1.0e12 } ])
+  in
+  let freqs = Sn_numerics.Sweep.logspace 1.0e6 1.0e9 10 in
+  let points = Sn_engine.Twoport.analyze nl ~port1 ~port2 ~freqs in
+  Format.fprintf fmt "%14s %14s@." "freq" "isolation";
+  List.iter
+    (fun (s : Sn_engine.Twoport.sparams) ->
+      Format.fprintf fmt "%14s %11.1f dB@."
+        (Sn_numerics.Units.eng ~unit:"Hz" s.Sn_engine.Twoport.freq)
+        (Sn_engine.Twoport.isolation_db s))
+    points;
+  finish ()
+
+let f_noise_arg =
+  Arg.(
+    value
+    & opt float 10.0e6
+    & info [ "f-noise" ] ~docv:"HZ" ~doc:"Substrate tone frequency in Hz.")
+
+let vtune_arg =
+  Arg.(
+    value
+    & opt float 0.45
+    & info [ "vtune" ] ~docv:"V" ~doc:"VCO tuning voltage.")
+
+let layout_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"LAYOUT" ~doc:"Layout file (text format).")
+
+let cmd name doc term =
+  Cmd.v (Cmd.info name ~doc) term
+
+let cmds =
+  [
+    cmd "fig3" "NMOS measurement structure transfer (paper Figure 3 / section 3)"
+      Term.(const run_fig3 $ verbose);
+    cmd "fig7" "VCO output spectrum with a substrate tone (paper Figure 7)"
+      Term.(const run_fig7 $ verbose $ f_noise_arg);
+    cmd "fig8" "spur power vs noise frequency and Vtune (paper Figure 8)"
+      Term.(const run_fig8 $ verbose);
+    cmd "fig9" "per-device contribution analysis (paper Figure 9)"
+      Term.(const run_fig9 $ verbose);
+    cmd "fig10" "ground interconnect sizing experiment (paper Figure 10)"
+      Term.(const run_fig10 $ verbose);
+    cmd "card" "VCO design card check (paper section 4)"
+      Term.(const run_card $ verbose);
+    cmd "runtime" "extraction / simulation wall-clock (paper section 6 note)"
+      Term.(const run_runtime $ verbose);
+    cmd "aggressor"
+      "digital switching-noise spur comb (the paper's sign-off outlook)"
+      Term.(const run_aggressor $ verbose);
+    cmd "all" "run every experiment" Term.(const run_all $ verbose);
+    cmd "extract" "extract the substrate macromodel of a layout file"
+      Term.(const run_extract $ verbose $ layout_arg);
+    cmd "netlist" "print the merged VCO impact model as a SPICE deck"
+      Term.(const run_netlist $ verbose $ vtune_arg);
+    cmd "drc" "design-rule check a layout file (default: the VCO layout)"
+      Term.(
+        const run_drc $ verbose
+        $ Arg.(
+            value
+            & pos 0 (some file) None
+            & info [] ~docv:"LAYOUT" ~doc:"Layout file to check."));
+    cmd "isolation"
+      "S21 substrate isolation between two ports of a layout file"
+      Term.(
+        const run_isolation $ verbose $ layout_arg
+        $ Arg.(
+            required
+            & pos 1 (some string) None
+            & info [] ~docv:"PORT1" ~doc:"Aggressor port name.")
+        $ Arg.(
+            required
+            & pos 2 (some string) None
+            & info [] ~docv:"PORT2" ~doc:"Victim port name."));
+    cmd "op" "print the merged VCO model's DC operating point"
+      Term.(const run_op $ verbose $ vtune_arg);
+    cmd "lint" "sanity-check a SPICE deck (default: the merged VCO model)"
+      Term.(
+        const run_lint $ verbose
+        $ Arg.(
+            value
+            & pos 0 (some file) None
+            & info [] ~docv:"DECK" ~doc:"SPICE netlist file to lint."));
+  ]
+
+let () =
+  let info =
+    Cmd.info "snoise" ~version:"1.0.0"
+      ~doc:
+        "Substrate noise impact simulation for analog/RF circuits \
+         including interconnect resistance (Soens et al., DATE 2005)"
+  in
+  exit (Cmd.eval (Cmd.group info cmds))

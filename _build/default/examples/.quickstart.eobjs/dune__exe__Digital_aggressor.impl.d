@@ -1,0 +1,1 @@
+examples/digital_aggressor.ml: Array Format List Sn_numerics Sn_rf Sn_testchip Snoise

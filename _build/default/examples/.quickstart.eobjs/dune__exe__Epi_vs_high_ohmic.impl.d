@@ -1,0 +1,1 @@
+examples/epi_vs_high_ohmic.ml: Format List Sn_geometry Sn_substrate Sn_tech

@@ -1,0 +1,1 @@
+examples/epi_vs_high_ohmic.mli:

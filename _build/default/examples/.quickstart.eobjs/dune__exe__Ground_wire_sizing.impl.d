@@ -1,0 +1,1 @@
+examples/ground_wire_sizing.ml: Format List Sn_rf Sn_testchip Snoise

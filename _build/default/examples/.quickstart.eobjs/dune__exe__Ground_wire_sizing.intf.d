@@ -1,0 +1,1 @@
+examples/ground_wire_sizing.mli:

@@ -1,0 +1,1 @@
+examples/guard_ring_study.ml: Format List Printf Sn_geometry Sn_layout Sn_substrate Sn_tech Sn_testchip

@@ -1,0 +1,1 @@
+examples/guard_ring_study.mli:

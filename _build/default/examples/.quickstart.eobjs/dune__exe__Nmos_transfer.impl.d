@@ -1,0 +1,1 @@
+examples/nmos_transfer.ml: Format List Sn_testchip Snoise

@@ -1,0 +1,1 @@
+examples/nmos_transfer.mli:

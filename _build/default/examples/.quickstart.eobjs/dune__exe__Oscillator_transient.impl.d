@@ -1,0 +1,1 @@
+examples/oscillator_transient.ml: Float Format List Sn_numerics Sn_testchip

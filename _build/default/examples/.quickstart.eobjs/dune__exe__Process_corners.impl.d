@@ -1,0 +1,1 @@
+examples/process_corners.ml: Format List Snoise

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Printf Sn_geometry Sn_layout Sn_numerics Sn_substrate Sn_tech

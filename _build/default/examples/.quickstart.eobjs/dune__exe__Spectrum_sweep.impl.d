@@ -1,0 +1,1 @@
+examples/spectrum_sweep.ml: Format List Snoise

@@ -1,0 +1,1 @@
+examples/vco_impact.mli:

@@ -1,0 +1,45 @@
+(* Extension experiment (the paper's closing remark): combine the
+   impact methodology with a digital switching-noise generation model
+   to predict the full spur comb a synchronous digital block imprints
+   on the VCO — "mixed-signal chip verification and sign-off".
+
+   Run with:  dune exec examples/digital_aggressor.exe *)
+
+module Flow = Snoise.Flow
+module Aggressor = Sn_rf.Aggressor
+module U = Sn_numerics.Units
+
+let () =
+  Format.printf "== Digital aggressor -> VCO spur comb ==@.@.";
+  let aggressor = Aggressor.default in
+  Format.printf
+    "Aggressor: %s clock, %.0f mA peak switching current, %.1f ns spikes@.@."
+    (U.eng ~unit:"Hz" aggressor.Aggressor.clock_freq)
+    (1.0e3 *. aggressor.Aggressor.peak_current)
+    (1.0e9 *. aggressor.Aggressor.pulse_width);
+
+  let flow = Flow.build_vco Sn_testchip.Vco_chip.default ~vtune:0.0 in
+  let freqs =
+    Array.init aggressor.Aggressor.harmonics (fun i ->
+        float_of_int (i + 1) *. aggressor.Aggressor.clock_freq)
+  in
+  let h = Flow.vco_transfers flow ~f_noise:freqs in
+  let osc = Flow.vco_oscillator flow in
+  let comb = Aggressor.spur_comb aggressor ~osc ~h in
+
+  Format.printf "  %3s %12s %14s %12s %12s@." "k" "k*fclk" "injected[dBm]"
+    "upper[dBm]" "lower[dBm]";
+  List.iter
+    (fun (l : Aggressor.comb_line) ->
+      Format.printf "  %3d %12s %14.1f %12.1f %12.1f@." l.Aggressor.harmonic
+        (U.eng ~unit:"Hz" l.Aggressor.f_noise)
+        l.Aggressor.injected_dbm l.Aggressor.upper_dbm l.Aggressor.lower_dbm)
+    comb;
+  Format.printf "@.total comb power: %.1f dBm@."
+    (Aggressor.total_spur_power_dbm comb);
+  Format.printf
+    "@.The fundamental dominates.  Note how slowly the comb decays:@.\
+     the resistive-FM ground path falls as 1/f, but above a few tens@.\
+     of MHz the capacitive entries (wells, inductor), whose transfer@.\
+     rises with f, take over - the crossover the paper predicts when@.\
+     discussing coupling mechanisms in section 5.@."

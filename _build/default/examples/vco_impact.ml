@@ -1,0 +1,58 @@
+(* Full VCO impact analysis: run the complete methodology on the 3 GHz
+   LC-tank VCO and break the spur at fc +- fn down into the
+   contributions of the separate devices (paper Figs. 8 and 9).
+
+   Run with:  dune exec examples/vco_impact.exe *)
+
+module Flow = Snoise.Flow
+module Impact = Sn_rf.Impact
+module U = Sn_numerics.Units
+
+let () =
+  Format.printf "== VCO substrate-noise impact (paper Figs. 8 / 9) ==@.@.";
+  Format.printf "Extracting substrate + interconnect, solving the VCO...@.";
+  let flow = Flow.build_vco Sn_testchip.Vco_chip.default ~vtune:0.0 in
+  Format.printf "  carrier: %s, output amplitude %.2f V@."
+    (U.eng ~unit:"Hz" (Flow.vco_carrier_freq flow))
+    (Flow.vco_amplitude flow);
+  Format.printf "  analog ground wire: %.1f ohm@.@."
+    (Flow.vco_ground_wire_resistance flow);
+
+  let osc = Flow.vco_oscillator flow in
+  Format.printf "Oscillator sensitivities K_i = dfc/dv_i:@.";
+  List.iter
+    (fun (e : Impact.entry) ->
+      Format.printf "  %-22s %10.1f MHz/V@." e.Impact.label
+        (e.Impact.k_hz_per_v /. 1.0e6))
+    osc.Impact.entries;
+
+  let freqs = Sn_numerics.Sweep.logspace 1.0e6 15.0e6 5 in
+  let h = Flow.vco_transfers flow ~f_noise:freqs in
+  Format.printf "@.Spur at fc +- fn for a -5 dBm substrate tone:@.";
+  Format.printf "  %10s %12s | per-device contributions [dBm]@." "f_noise"
+    "total[dBm]";
+  Array.iter
+    (fun fn ->
+      let s = Flow.vco_spur flow ~h ~p_noise_dbm:(-5.0) ~f_noise:fn in
+      Format.printf "  %10s %12.1f |" (U.eng ~unit:"Hz" fn) s.Impact.upper_dbm;
+      List.iter
+        (fun (c : Impact.contribution) ->
+          Format.printf " %.1f" c.Impact.spur_dbm)
+        s.Impact.contributions;
+      Format.printf "@.")
+    freqs;
+  (match osc.Impact.entries with
+   | first :: _ ->
+     Format.printf "  (columns:";
+     List.iter
+       (fun (e : Impact.entry) -> Format.printf " %s;" e.Impact.label)
+       osc.Impact.entries;
+     Format.printf ")@.";
+     ignore first
+   | [] -> ());
+
+  Format.printf
+    "@.The ground interconnect dominates and falls at -20 dB/decade@.\
+     (resistive coupling followed by FM); the inductor contribution@.\
+     is flat (capacitive coupling followed by FM) - exactly the@.\
+     signatures of paper section 5.@."

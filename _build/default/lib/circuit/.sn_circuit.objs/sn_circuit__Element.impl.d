@@ -1,0 +1,1 @@
+lib/circuit/element.ml: Float Format Mos_model Result String Varactor_model Waveform

@@ -1,0 +1,1 @@
+lib/circuit/lint.ml: Element Format Hashtbl List Netlist Option Printf

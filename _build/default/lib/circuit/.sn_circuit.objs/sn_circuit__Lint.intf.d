@@ -1,0 +1,1 @@
+lib/circuit/lint.mli: Format Netlist

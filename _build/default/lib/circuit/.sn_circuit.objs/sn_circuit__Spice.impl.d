@@ -1,0 +1,1 @@
+lib/circuit/spice.ml: Buffer Char Element Fun Hashtbl In_channel List Mos_model Netlist Option Printf String Varactor_model Waveform

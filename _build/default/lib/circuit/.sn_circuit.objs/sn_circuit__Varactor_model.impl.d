@@ -1,0 +1,1 @@
+lib/circuit/varactor_model.ml: Float

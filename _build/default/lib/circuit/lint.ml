@@ -1,0 +1,174 @@
+type severity = Warning | Error
+
+type diagnostic = { severity : severity; code : string; message : string }
+
+let diag severity code fmt = Printf.ksprintf (fun message -> { severity; code; message }) fmt
+
+(* ------------------------------------------------------------------ *)
+(* dangling nodes *)
+
+let dangling_nodes nl =
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      List.iter
+        (fun n ->
+          if not (Element.is_ground n) then
+            Hashtbl.replace counts n
+              (1 + Option.value ~default:0 (Hashtbl.find_opt counts n)))
+        (Element.nodes e))
+    (Netlist.elements nl);
+  Hashtbl.fold
+    (fun node count acc ->
+      if count = 1 then
+        diag Warning "dangling-node"
+          "node %s is connected to a single terminal" node
+        :: acc
+      else acc)
+    counts []
+
+(* ------------------------------------------------------------------ *)
+(* DC path to ground: union-find over DC-conducting elements *)
+
+let dc_path_diagnostics nl =
+  let parent = Hashtbl.create 64 in
+  let rec find n =
+    match Hashtbl.find_opt parent n with
+    | None | Some "" -> n
+    | Some p ->
+      let root = find p in
+      Hashtbl.replace parent n root;
+      root
+  in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then Hashtbl.replace parent ra rb
+  in
+  let ground = "0" in
+  let canonical n = if Element.is_ground n then ground else n in
+  (* register all nodes *)
+  List.iter
+    (fun e ->
+      List.iter
+        (fun n ->
+          let n = canonical n in
+          if not (Hashtbl.mem parent n) then Hashtbl.replace parent n "")
+        (Element.nodes e))
+    (Netlist.elements nl);
+  (* DC-conducting: R, L, V sources, VCVS outputs, MOS channels
+     (source-drain), current sources conduct DC current but have
+     infinite impedance, so they do not define a node's potential *)
+  List.iter
+    (fun e ->
+      match e with
+      | Element.Resistor { n1; n2; _ } | Element.Inductor { n1; n2; _ } ->
+        union (canonical n1) (canonical n2)
+      | Element.Vsource { np; nn; _ } | Element.Vcvs { np; nn; _ } ->
+        union (canonical np) (canonical nn)
+      | Element.Mosfet { drain; source; _ } ->
+        union (canonical drain) (canonical source)
+      | Element.Capacitor _ | Element.Isource _ | Element.Vccs _
+      | Element.Varactor _ ->
+        ())
+    (Netlist.elements nl);
+  let ground_root = find ground in
+  let reported = Hashtbl.create 8 in
+  Hashtbl.fold
+    (fun node _ acc ->
+      if node = "" then acc
+      else begin
+        let root = find node in
+        if root <> ground_root && not (Hashtbl.mem reported root) then begin
+          Hashtbl.replace reported root ();
+          diag Error "no-ground-path"
+            "the subcircuit containing node %s has no DC path to ground"
+            node
+          :: acc
+        end
+        else acc
+      end)
+    parent []
+
+(* ------------------------------------------------------------------ *)
+(* voltage-source / inductor loops: a cycle in the graph whose edges
+   are ideal voltage-defined branches is singular *)
+
+let vsource_loops nl =
+  let edges =
+    List.filter_map
+      (fun e ->
+        match e with
+        | Element.Vsource { name; np; nn; _ } -> Some (name, np, nn)
+        | Element.Inductor { name; n1; n2; _ } -> Some (name, n1, n2)
+        | Element.Vcvs _ | Element.Resistor _ | Element.Capacitor _
+        | Element.Isource _ | Element.Vccs _ | Element.Mosfet _
+        | Element.Varactor _ ->
+          None)
+      (Netlist.elements nl)
+  in
+  (* union-find: adding an edge whose endpoints are already connected
+     closes a loop *)
+  let parent = Hashtbl.create 16 in
+  let rec find n =
+    match Hashtbl.find_opt parent n with
+    | None -> n
+    | Some p ->
+      let root = find p in
+      Hashtbl.replace parent n root;
+      root
+  in
+  let canonical n = if Element.is_ground n then "0" else n in
+  List.filter_map
+    (fun (name, a, b) ->
+      let ra = find (canonical a) and rb = find (canonical b) in
+      if ra = rb then
+        Some
+          (diag Error "vsource-loop"
+             "element %s closes a loop of ideal voltage sources / inductors"
+             name)
+      else begin
+        Hashtbl.replace parent ra rb;
+        None
+      end)
+    edges
+
+(* ------------------------------------------------------------------ *)
+(* suspicious values *)
+
+let extreme_values nl =
+  List.filter_map
+    (fun e ->
+      let out name kind v lo hi unit =
+        if v < lo || v > hi then
+          Some
+            (diag Warning "extreme-value" "%s: %s %g %s is outside [%g, %g]"
+               name kind v unit lo hi)
+        else None
+      in
+      match e with
+      | Element.Resistor { name; ohms; _ } ->
+        out name "resistance" ohms 1e-6 1e11 "ohm"
+      | Element.Capacitor { name; farads; _ } ->
+        out name "capacitance" farads 1e-18 1.0 "F"
+      | Element.Inductor { name; henries; _ } ->
+        out name "inductance" henries 1e-12 1e3 "H"
+      | Element.Vsource _ | Element.Isource _ | Element.Vccs _
+      | Element.Vcvs _ | Element.Mosfet _ | Element.Varactor _ ->
+        None)
+    (Netlist.elements nl)
+
+let check nl =
+  let all =
+    dc_path_diagnostics nl @ vsource_loops nl @ dangling_nodes nl
+    @ extreme_values nl
+  in
+  let sev_order = function Error -> 0 | Warning -> 1 in
+  List.stable_sort (fun a b -> compare (sev_order a.severity) (sev_order b.severity)) all
+
+let errors = List.filter (fun d -> d.severity = Error)
+let warnings = List.filter (fun d -> d.severity = Warning)
+
+let pp fmt d =
+  Format.fprintf fmt "%s [%s]: %s"
+    (match d.severity with Error -> "error" | Warning -> "warning")
+    d.code d.message

@@ -1,0 +1,30 @@
+(** Netlist sanity checks run before handing a merged impact model to
+    the engine.  These catch the classic merge mistakes: a port name
+    that did not line up with its circuit node (floating island), a
+    dangling terminal, a loop of ideal voltage sources, or a value
+    that was probably entered in the wrong unit. *)
+
+type severity = Warning | Error
+
+type diagnostic = {
+  severity : severity;
+  code : string;  (** stable identifier, e.g. "floating-node" *)
+  message : string;
+}
+
+val check : Netlist.t -> diagnostic list
+(** All diagnostics, errors first.  Checks:
+    - ["dangling-node"] (warning): a node touched by exactly one
+      element terminal;
+    - ["no-ground-path"] (error): a connected component of the circuit
+      graph with no DC path (R, L, V source) to ground;
+    - ["vsource-loop"] (error): a cycle of ideal voltage sources /
+      inductors (singular at DC);
+    - ["extreme-value"] (warning): resistance outside [1 uohm, 100
+      Gohm], capacitance outside [1 aF, 1 F], inductance outside
+      [1 pH, 1 kH] — usually a unit-suffix slip. *)
+
+val errors : diagnostic list -> diagnostic list
+val warnings : diagnostic list -> diagnostic list
+
+val pp : Format.formatter -> diagnostic -> unit

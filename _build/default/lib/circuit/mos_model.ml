@@ -1,0 +1,91 @@
+type polarity = Nmos | Pmos
+
+type t = {
+  name : string;
+  polarity : polarity;
+  vt0 : float;
+  kp : float;
+  gamma : float;
+  phi : float;
+  lambda : float;
+  cdb : float;
+  csb : float;
+  cgs : float;
+  cgd : float;
+}
+
+(* Generic 0.18 um-flavoured cards; junction capacitances default to the
+   paper's measured NMOS values. *)
+let default_nmos =
+  {
+    name = "nch";
+    polarity = Nmos;
+    vt0 = 0.45;
+    kp = 300.0e-6;
+    gamma = 0.45;
+    phi = 0.85;
+    lambda = 0.06;
+    cdb = 120.0e-15;
+    csb = 200.0e-15;
+    cgs = 150.0e-15;
+    cgd = 40.0e-15;
+  }
+
+let default_pmos =
+  {
+    name = "pch";
+    polarity = Pmos;
+    vt0 = 0.45;
+    kp = 80.0e-6;
+    gamma = 0.4;
+    phi = 0.85;
+    lambda = 0.08;
+    cdb = 150.0e-15;
+    csb = 250.0e-15;
+    cgs = 180.0e-15;
+    cgd = 50.0e-15;
+  }
+
+type operating_point = {
+  id : float;
+  gm : float;
+  gds : float;
+  gmb : float;
+  vth : float;
+  region : [ `Cutoff | `Triode | `Saturation ];
+}
+
+(* Shichman-Hodges equations.  The body term is clamped so the square
+   roots stay real when Newton wanders into forward body bias. *)
+let evaluate m ~w ~l ~vgs ~vds ~vbs =
+  if w <= 0.0 || l <= 0.0 then invalid_arg "Mos_model.evaluate: w, l must be > 0";
+  let vsb = -.vbs in
+  let phi_eff = Float.max (m.phi +. vsb) (0.05 *. m.phi) in
+  let vth = m.vt0 +. (m.gamma *. (sqrt phi_eff -. sqrt m.phi)) in
+  let beta = m.kp *. w /. l in
+  let vov = vgs -. vth in
+  if vov <= 0.0 then
+    { id = 0.0; gm = 0.0; gds = 0.0; gmb = 0.0; vth; region = `Cutoff }
+  else begin
+    let clm = 1.0 +. (m.lambda *. vds) in
+    let dvth_dvbs = -.(m.gamma /. (2.0 *. sqrt phi_eff)) in
+    if vds < vov then begin
+      (* triode *)
+      let id = beta *. ((vov *. vds) -. (0.5 *. vds *. vds)) *. clm in
+      let gm = beta *. vds *. clm in
+      let gds =
+        (beta *. (vov -. vds) *. clm)
+        +. (beta *. ((vov *. vds) -. (0.5 *. vds *. vds)) *. m.lambda)
+      in
+      let gmb = -.(gm *. dvth_dvbs) in
+      { id; gm; gds; gmb; vth; region = `Triode }
+    end
+    else begin
+      (* saturation *)
+      let id = 0.5 *. beta *. vov *. vov *. clm in
+      let gm = beta *. vov *. clm in
+      let gds = 0.5 *. beta *. vov *. vov *. m.lambda in
+      let gmb = -.(gm *. dvth_dvbs) in
+      { id; gm; gds; gmb; vth; region = `Saturation }
+    end
+  end

@@ -1,0 +1,42 @@
+(** Level-1 (Shichman-Hodges) MOSFET model with body effect.
+
+    The body effect is the essential ingredient of this paper: the
+    back-gate transconductance [gmb = gm * gamma / (2 sqrt (phi + vsb))]
+    is the gain with which substrate noise at the bulk modulates the
+    drain current. *)
+
+type polarity = Nmos | Pmos
+
+type t = {
+  name : string;
+  polarity : polarity;
+  vt0 : float;  (** zero-bias threshold, V (positive for both types) *)
+  kp : float;  (** transconductance parameter, A/V^2 *)
+  gamma : float;  (** body-effect coefficient, sqrt(V) *)
+  phi : float;  (** surface potential, V *)
+  lambda : float;  (** channel-length modulation, 1/V *)
+  cdb : float;  (** drain-bulk junction capacitance, F (per device) *)
+  csb : float;  (** source-bulk junction capacitance, F (per device) *)
+  cgs : float;  (** gate-source capacitance, F (per device) *)
+  cgd : float;  (** gate-drain capacitance, F (per device) *)
+}
+
+val default_nmos : t
+val default_pmos : t
+
+type operating_point = {
+  id : float;  (** drain current, A (flowing drain -> source for NMOS) *)
+  gm : float;  (** dId/dVgs, S *)
+  gds : float;  (** dId/dVds, S *)
+  gmb : float;  (** dId/dVbs, S *)
+  vth : float;  (** effective threshold with body bias, V *)
+  region : [ `Cutoff | `Triode | `Saturation ];
+}
+
+val evaluate : t -> w:float -> l:float -> vgs:float -> vds:float -> vbs:float ->
+  operating_point
+(** [evaluate m ~w ~l ~vgs ~vds ~vbs] computes the DC operating point.
+    Voltages are given in the device's own polarity convention (for a
+    PMOS pass source-referred values as negative quantities, i.e. the
+    caller flips signs; {!Netlist} handles this).  [w], [l] in meters.
+    Raises [Invalid_argument] when [w <= 0] or [l <= 0]. *)

@@ -1,0 +1,60 @@
+type t = { title : string; elements : Element.t list }
+
+exception Invalid of string list
+
+let create ?(title = "untitled") elements =
+  let errors = ref [] in
+  let err m = errors := m :: !errors in
+  (* duplicate names *)
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      let n = Element.name e in
+      if Hashtbl.mem seen n then err ("duplicate element name: " ^ n)
+      else Hashtbl.add seen n ())
+    elements;
+  (* per-element checks *)
+  List.iter
+    (fun e ->
+      match Element.validate e with Ok () -> () | Error m -> err m)
+    elements;
+  (* ground reference *)
+  if elements <> []
+     && not
+          (List.exists
+             (fun e -> List.exists Element.is_ground (Element.nodes e))
+             elements)
+  then err "netlist has no ground reference (node 0 or gnd)";
+  (match !errors with [] -> () | es -> raise (Invalid (List.rev es)));
+  { title; elements }
+
+let title nl = nl.title
+let elements nl = nl.elements
+let element_count nl = List.length nl.elements
+
+let nodes nl =
+  List.concat_map Element.nodes nl.elements
+  |> List.filter (fun n -> not (Element.is_ground n))
+  |> List.sort_uniq String.compare
+
+let find nl name =
+  match
+    List.find_opt (fun e -> String.equal (Element.name e) name) nl.elements
+  with
+  | Some e -> e
+  | None -> raise Not_found
+
+let mem_node nl n =
+  Element.is_ground n
+  || List.exists (fun e -> List.mem n (Element.nodes e)) nl.elements
+
+let merge ?(title = "merged") parts =
+  create ~title (List.concat_map elements parts)
+
+let map f nl = create ~title:nl.title (List.map f nl.elements)
+let filter f nl = create ~title:nl.title (List.filter f nl.elements)
+
+let pp fmt nl =
+  Format.fprintf fmt "@[<v>* %s@," nl.title;
+  List.iter (fun e -> Format.fprintf fmt "%a@," Element.pp e) nl.elements;
+  Format.fprintf fmt "@]"

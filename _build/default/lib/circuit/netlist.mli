@@ -1,0 +1,38 @@
+(** A circuit netlist: a titled collection of elements with validation
+    and by-name merging (how the substrate macromodel, the interconnect
+    parasitics and the device-level circuit are combined into one
+    impact model). *)
+
+type t
+
+exception Invalid of string list
+(** Raised by {!create} with all validation messages. *)
+
+val create : ?title:string -> Element.t list -> t
+(** [create ?title elements] validates and builds a netlist.
+    Raises {!Invalid} on duplicate element names, per-element
+    validation failures, or a netlist with no ground reference. *)
+
+val title : t -> string
+val elements : t -> Element.t list
+val element_count : t -> int
+
+val nodes : t -> string list
+(** Sorted distinct non-ground node names. *)
+
+val find : t -> string -> Element.t
+(** Find an element by name.  Raises [Not_found]. *)
+
+val mem_node : t -> string -> bool
+
+val merge : ?title:string -> t list -> t
+(** [merge parts] concatenates element lists (re-validating); node
+    names shared across parts become electrical connections. *)
+
+val map : (Element.t -> Element.t) -> t -> t
+(** Rewrite elements (revalidates). *)
+
+val filter : (Element.t -> bool) -> t -> t
+(** Drop elements (revalidates; useful for ablations). *)
+
+val pp : Format.formatter -> t -> unit

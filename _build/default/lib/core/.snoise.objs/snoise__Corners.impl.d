@@ -1,0 +1,1 @@
+lib/core/corners.ml: Experiments Float Flow List Sn_rf Sn_tech Sn_testchip

@@ -1,0 +1,1 @@
+lib/core/corners.mli: Flow Sn_tech

@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Array Float Flow List Sn_circuit Sn_numerics Sn_rf Sn_substrate Sn_testchip String Unix

@@ -1,0 +1,1 @@
+lib/core/flow.ml: Array Complex Float Hashtbl List Logs Merge Sn_circuit Sn_engine Sn_geometry Sn_interconnect Sn_numerics Sn_rf Sn_substrate Sn_tech Sn_testchip String

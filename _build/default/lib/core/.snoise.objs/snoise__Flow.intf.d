@@ -1,0 +1,1 @@
+lib/core/flow.mli: Complex Sn_circuit Sn_rf Sn_substrate Sn_tech Sn_testchip

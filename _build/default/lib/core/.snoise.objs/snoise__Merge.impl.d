@@ -1,0 +1,1 @@
+lib/core/merge.ml: List Printf Sn_circuit Sn_interconnect Sn_substrate String

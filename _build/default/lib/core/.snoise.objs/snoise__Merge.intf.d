@@ -1,0 +1,1 @@
+lib/core/merge.mli: Sn_circuit Sn_interconnect Sn_substrate

@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Experiments Float Flow Format List Printf Sn_numerics Sn_rf String

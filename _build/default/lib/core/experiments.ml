@@ -1,0 +1,406 @@
+module N = Sn_numerics
+module U = N.Units
+module Tc = Sn_testchip
+module Impact = Sn_rf.Impact
+module Tank = Sn_rf.Tank
+module Behavioral = Sn_rf.Behavioral
+
+let default_f_noise = N.Sweep.logspace 1.0e6 15.0e6 7
+
+let paper_noise_dbm = -5.0
+
+(* Behavioral "measurement" leg: the oscillator of eq. (1) is
+   synthesized at a scaled-down carrier (the spur amplitudes depend
+   only on the modulation indices, not on the absolute carrier), then
+   the spur is read back with a windowed single-bin DFT — the role the
+   spectrum analyzer plays in the paper. *)
+let scaled_carrier = 64.0e6
+let behavioral_fs = 320.0e6
+let behavioral_n = 65536
+
+let behavioral_sidebands osc ~h ~f_noise =
+  let a_noise = U.vpeak_of_dbm paper_noise_dbm in
+  let beta, m_am = Impact.total_modulation osc ~h ~a_noise ~f_noise in
+  let samples =
+    Behavioral.synthesize ~carrier_freq:scaled_carrier
+      ~amplitude:osc.Impact.amplitude
+      ~tones:[ { Behavioral.f_noise; beta; m_am } ]
+      ~fs:behavioral_fs ~n:behavioral_n
+  in
+  let measure side =
+    Behavioral.measured_sideband_dbm samples ~fs:behavioral_fs
+      ~carrier_freq:scaled_carrier ~f_noise side
+  in
+  (measure `Lower, measure `Upper, samples)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3 / section 3 *)
+
+type fig3 = {
+  divider : float;
+  divider_no_r : float;
+  ground_wire_ohms : float;
+  points : Flow.nmos_point list;
+  max_hand_error_db : float;
+}
+
+let fig3 ?(options = Flow.default_options) () =
+  let params = Tc.Nmos_structure.default in
+  let flow = Flow.build_nmos ~options params in
+  let flow_no_r =
+    Flow.build_nmos
+      ~options:{ options with Flow.interconnect_resistance = false }
+      params
+  in
+  let points =
+    List.map
+      (fun (vgs, vds) -> Flow.nmos_transfer flow ~vgs ~vds ~freq:5.0e6)
+      (Tc.Nmos_structure.bias_sweep params)
+  in
+  let max_err =
+    List.fold_left
+      (fun acc (p : Flow.nmos_point) ->
+        Float.max acc
+          (Float.abs (p.Flow.transfer_sim_db -. p.Flow.transfer_hand_db)))
+      0.0 points
+  in
+  {
+    divider = Flow.nmos_divider flow;
+    divider_no_r = Flow.nmos_divider flow_no_r;
+    ground_wire_ohms = Flow.nmos_ground_wire_resistance flow;
+    points;
+    max_hand_error_db = max_err;
+  }
+
+type sec3_numbers = {
+  division_ratio : float;
+  r_factor : float;
+  f3db_min_ghz : float;
+  f3db_max_ghz : float;
+  gmb_range_ms : float * float;
+  gds_range_ms : float * float;
+}
+
+let sec3_numbers ?options () =
+  let f3 = fig3 ?options () in
+  let params = Tc.Nmos_structure.default in
+  let mos = params.Tc.Nmos_structure.mos in
+  let mult = float_of_int params.Tc.Nmos_structure.parallel_devices in
+  let cj_total =
+    mult *. (mos.Sn_circuit.Mos_model.cdb +. mos.Sn_circuit.Mos_model.csb)
+  in
+  let gmbs = List.map (fun p -> p.Flow.gmb_total) f3.points in
+  let gdss = List.map (fun p -> p.Flow.gds_total) f3.points in
+  let min_l = List.fold_left Float.min Float.infinity in
+  let max_l = List.fold_left Float.max Float.neg_infinity in
+  let f3db g = g /. (U.two_pi *. cj_total) in
+  {
+    division_ratio = 1.0 /. f3.divider;
+    r_factor = f3.divider /. f3.divider_no_r;
+    f3db_min_ghz = f3db (min_l gmbs) /. 1.0e9;
+    f3db_max_ghz = f3db (max_l gmbs) /. 1.0e9;
+    gmb_range_ms = (1.0e3 *. min_l gmbs, 1.0e3 *. max_l gmbs);
+    gds_range_ms = (1.0e3 *. min_l gdss, 1.0e3 *. max_l gdss);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7 *)
+
+type fig7 = {
+  carrier_freq : float;
+  carrier_dbm : float;
+  f_noise : float;
+  model_upper_dbm : float;
+  model_lower_dbm : float;
+  measured_upper_dbm : float;
+  measured_lower_dbm : float;
+  spectrum : (float * float) list;
+}
+
+let fig7 ?(options = Flow.default_options) ?(f_noise = 10.0e6) () =
+  let flow = Flow.build_vco ~options Tc.Vco_chip.default ~vtune:0.0 in
+  let h = Flow.vco_transfers flow ~f_noise:[| f_noise |] in
+  let spur = Flow.vco_spur flow ~h ~p_noise_dbm:paper_noise_dbm ~f_noise in
+  let osc = Flow.vco_oscillator flow in
+  let lower, upper, samples =
+    behavioral_sidebands osc ~h:(h f_noise) ~f_noise
+  in
+  let spec = N.Fft.amplitude_spectrum ~fs:behavioral_fs samples in
+  let spectrum =
+    let pts = ref [] in
+    Array.iteri
+      (fun k fk ->
+        let off = fk -. scaled_carrier in
+        if Float.abs off <= 2.2 *. f_noise then begin
+          let a = spec.N.Fft.amplitudes.(k) in
+          let dbm = if a > 1e-12 then U.dbm_of_vpeak a else -140.0 in
+          pts := (off, dbm) :: !pts
+        end)
+      spec.N.Fft.frequencies;
+    List.rev !pts
+  in
+  {
+    carrier_freq = Flow.vco_carrier_freq flow;
+    carrier_dbm =
+      Behavioral.carrier_dbm samples ~fs:behavioral_fs
+        ~carrier_freq:scaled_carrier;
+    f_noise;
+    model_upper_dbm = spur.Impact.upper_dbm;
+    model_lower_dbm = spur.Impact.lower_dbm;
+    measured_upper_dbm = upper;
+    measured_lower_dbm = lower;
+    spectrum;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8 *)
+
+type fig8_point = {
+  f_noise : float;
+  upper_dbm : float;
+  lower_dbm : float;
+  behavioral_dbm : float;
+}
+
+type fig8_family = {
+  vtune : float;
+  carrier_ghz : float;
+  points : fig8_point list;
+  slope_db_per_decade : float;
+  max_model_vs_behavioral_db : float;
+}
+
+let fig8 ?(options = Flow.default_options) ?(vtunes = [ 0.0; 0.45; 0.9 ])
+    ?(f_noise = default_f_noise) () =
+  let family vtune =
+    let flow = Flow.build_vco ~options Tc.Vco_chip.default ~vtune in
+    let h = Flow.vco_transfers flow ~f_noise in
+    let osc = Flow.vco_oscillator flow in
+    let points =
+      Array.to_list f_noise
+      |> List.map (fun fn ->
+             let spur =
+               Flow.vco_spur flow ~h ~p_noise_dbm:paper_noise_dbm ~f_noise:fn
+             in
+             let _, upper_meas, _ = behavioral_sidebands osc ~h:(h fn) ~f_noise:fn in
+             {
+               f_noise = fn;
+               upper_dbm = spur.Impact.upper_dbm;
+               lower_dbm = spur.Impact.lower_dbm;
+               behavioral_dbm = upper_meas;
+             })
+    in
+    let slope =
+      N.Stats.slope_db_per_decade
+        (Array.of_list (List.map (fun p -> p.f_noise) points))
+        (Array.of_list (List.map (fun p -> p.upper_dbm) points))
+    in
+    let max_err =
+      List.fold_left
+        (fun acc p ->
+          Float.max acc (Float.abs (p.upper_dbm -. p.behavioral_dbm)))
+        0.0 points
+    in
+    {
+      vtune;
+      carrier_ghz = Flow.vco_carrier_freq flow /. 1.0e9;
+      points;
+      slope_db_per_decade = slope;
+      max_model_vs_behavioral_db = max_err;
+    }
+  in
+  List.map family vtunes
+
+(* ------------------------------------------------------------------ *)
+(* Figure 9 *)
+
+type fig9_entry = {
+  label : string;
+  spur_dbm_by_freq : (float * float) list;
+  slope_db_per_decade : float;
+}
+
+type fig9 = {
+  entries : fig9_entry list;
+  ground_minus_backgate_db : float;
+  inductor_flatness_db : float;
+}
+
+let fig9 ?(options = Flow.default_options) ?(f_noise = default_f_noise) () =
+  let flow = Flow.build_vco ~options Tc.Vco_chip.default ~vtune:0.0 in
+  let h = Flow.vco_transfers flow ~f_noise in
+  let spurs =
+    Array.to_list f_noise
+    |> List.map (fun fn ->
+           (fn, Flow.vco_spur flow ~h ~p_noise_dbm:paper_noise_dbm ~f_noise:fn))
+  in
+  let labels =
+    match spurs with
+    | (_, first) :: _ ->
+      List.map (fun c -> c.Impact.entry_label) first.Impact.contributions
+    | [] -> []
+  in
+  let entry_curve label =
+    List.map
+      (fun (fn, spur) ->
+        let c =
+          List.find
+            (fun c -> String.equal c.Impact.entry_label label)
+            spur.Impact.contributions
+        in
+        (fn, c.Impact.spur_dbm))
+      spurs
+  in
+  let entries =
+    List.map
+      (fun label ->
+        let curve = entry_curve label in
+        let slope =
+          N.Stats.slope_db_per_decade
+            (Array.of_list (List.map fst curve))
+            (Array.of_list (List.map snd curve))
+        in
+        { label; spur_dbm_by_freq = curve; slope_db_per_decade = slope })
+      labels
+  in
+  let at_10mhz label =
+    let curve = entry_curve label in
+    N.Sweep.interp1
+      (Array.of_list (List.map fst curve))
+      (Array.of_list (List.map snd curve))
+      10.0e6
+  in
+  let inductor_curve = entry_curve "inductor" in
+  let ind_values = List.map snd inductor_curve in
+  let flatness =
+    List.fold_left Float.max Float.neg_infinity ind_values
+    -. List.fold_left Float.min Float.infinity ind_values
+  in
+  {
+    entries;
+    ground_minus_backgate_db =
+      at_10mhz "ground interconnect" -. at_10mhz "nmos back-gate";
+    inductor_flatness_db = flatness;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Figure 10 *)
+
+type fig10 = {
+  wire_ohms_normal : float;
+  wire_ohms_widened : float;
+  points : (float * float * float) list;
+  mean_improvement_db : float;
+}
+
+let fig10 ?(options = Flow.default_options) ?(f_noise = default_f_noise) () =
+  let normal = Flow.build_vco ~options Tc.Vco_chip.default ~vtune:0.0 in
+  let widened =
+    Flow.build_vco
+      ~options:{ options with Flow.widen_ground = Some 2.0 }
+      Tc.Vco_chip.default ~vtune:0.0
+  in
+  let h_n = Flow.vco_transfers normal ~f_noise in
+  let h_w = Flow.vco_transfers widened ~f_noise in
+  let points =
+    Array.to_list f_noise
+    |> List.map (fun fn ->
+           let s_n =
+             Flow.vco_spur normal ~h:h_n ~p_noise_dbm:paper_noise_dbm
+               ~f_noise:fn
+           in
+           let s_w =
+             Flow.vco_spur widened ~h:h_w ~p_noise_dbm:paper_noise_dbm
+               ~f_noise:fn
+           in
+           (fn, s_n.Impact.upper_dbm, s_w.Impact.upper_dbm))
+  in
+  let deltas = List.map (fun (_, n, w) -> n -. w) points in
+  {
+    wire_ohms_normal = Flow.vco_ground_wire_resistance normal;
+    wire_ohms_widened = Flow.vco_ground_wire_resistance widened;
+    points;
+    mean_improvement_db = N.Stats.mean (Array.of_list deltas);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* VCO design card *)
+
+type vco_card = {
+  carrier_ghz : float;
+  kvco_mhz_per_v : float;
+  tuning_range_ghz : float * float;
+  phase_noise_100k_dbc : float;
+  core_current_ma : float;
+  supply_v : float;
+}
+
+let vco_card ?(options = Flow.default_options) () =
+  let params = Tc.Vco_chip.default in
+  let flow = Flow.build_vco ~options params ~vtune:0.45 in
+  let tank = params.Tc.Vco_chip.tank in
+  let fc_at vt = Tank.frequency tank (Tank.quiet_bias ~v_tune:vt) in
+  let pn =
+    { Sn_rf.Phase_noise.default_vco with
+      Sn_rf.Phase_noise.carrier_freq = Flow.vco_carrier_freq flow }
+  in
+  {
+    carrier_ghz = Flow.vco_carrier_freq flow /. 1.0e9;
+    kvco_mhz_per_v = Tank.kvco tank ~v_tune:0.45 /. 1.0e6;
+    tuning_range_ghz = (fc_at 0.0 /. 1.0e9, fc_at 1.8 /. 1.0e9);
+    phase_noise_100k_dbc = Sn_rf.Phase_noise.dbc_per_hz pn 100.0e3;
+    core_current_ma = 1.0e3 *. params.Tc.Vco_chip.tail_current;
+    supply_v = 1.8;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Digital aggressor extension *)
+
+type aggressor_comb = {
+  aggressor : Sn_rf.Aggressor.t;
+  lines : Sn_rf.Aggressor.comb_line list;
+  total_dbm : float;
+}
+
+let aggressor_comb ?(options = Flow.default_options)
+    ?(aggressor = Sn_rf.Aggressor.default) () =
+  let flow = Flow.build_vco ~options Tc.Vco_chip.default ~vtune:0.0 in
+  let freqs =
+    Array.init aggressor.Sn_rf.Aggressor.harmonics (fun i ->
+        float_of_int (i + 1) *. aggressor.Sn_rf.Aggressor.clock_freq)
+  in
+  let h = Flow.vco_transfers flow ~f_noise:freqs in
+  let osc = Flow.vco_oscillator flow in
+  let lines = Sn_rf.Aggressor.spur_comb aggressor ~osc ~h in
+  { aggressor; lines;
+    total_dbm = Sn_rf.Aggressor.total_spur_power_dbm lines }
+
+(* ------------------------------------------------------------------ *)
+(* Runtime *)
+
+type runtime = {
+  extraction_seconds : float;
+  simulation_seconds : float;
+  grid_cells : int;
+}
+
+let runtime ?(options = Flow.default_options) () =
+  let t0 = Unix.gettimeofday () in
+  let flow = Flow.build_vco ~options Tc.Vco_chip.default ~vtune:0.0 in
+  let t1 = Unix.gettimeofday () in
+  let h = Flow.vco_transfers flow ~f_noise:default_f_noise in
+  Array.iter
+    (fun fn ->
+      ignore (Flow.vco_spur flow ~h ~p_noise_dbm:paper_noise_dbm ~f_noise:fn))
+    default_f_noise;
+  let t2 = Unix.gettimeofday () in
+  let cells =
+    match Sn_substrate.Extractor.last_stats () with
+    | Some s -> s.Sn_substrate.Extractor.grid_cells
+    | None -> 0
+  in
+  {
+    extraction_seconds = t1 -. t0;
+    simulation_seconds = t2 -. t1;
+    grid_cells = cells;
+  }

@@ -1,0 +1,141 @@
+(** Drivers that regenerate every table and figure of the paper's
+    evaluation.  Each function returns a structured result record; the
+    benchmark harness and the CLI print them, and the test suite
+    asserts the acceptance bands recorded in EXPERIMENTS.md. *)
+
+val paper_noise_dbm : float
+(** The paper's injected tone power: -5 dBm. *)
+
+val default_f_noise : float array
+(** The default noise-frequency sweep (1 to 15 MHz, log-spaced). *)
+
+(** {1 Figure 3 / section 3: NMOS measurement structure} *)
+
+type fig3 = {
+  divider : float;  (** SUB -> back-gate division (paper: ~1/652) *)
+  divider_no_r : float;  (** same with wire resistance zeroed *)
+  ground_wire_ohms : float;
+  points : Flow.nmos_point list;  (** bias sweep at 5 MHz *)
+  max_hand_error_db : float;  (** worst |sim - hand| (paper: <= 1 dB) *)
+}
+
+val fig3 : ?options:Flow.options -> unit -> fig3
+
+type sec3_numbers = {
+  division_ratio : float;  (** 1 / divider *)
+  r_factor : float;  (** divider with R / divider without R (paper: ~2) *)
+  f3db_min_ghz : float;  (** junction-cap crossover band (paper: 5-19 GHz) *)
+  f3db_max_ghz : float;
+  gmb_range_ms : float * float;  (** paper: 10-38 mS *)
+  gds_range_ms : float * float;  (** paper: 2.8-22 mS *)
+}
+
+val sec3_numbers : ?options:Flow.options -> unit -> sec3_numbers
+
+(** {1 Figure 7: VCO output spectrum} *)
+
+type fig7 = {
+  carrier_freq : float;
+  carrier_dbm : float;
+  f_noise : float;
+  model_upper_dbm : float;  (** closed-form eq. (2)/(3) prediction *)
+  model_lower_dbm : float;
+  measured_upper_dbm : float;  (** DFT on the synthesized waveform *)
+  measured_lower_dbm : float;
+  spectrum : (float * float) list;
+      (** (offset from f_c in Hz, dBm) points around the carrier for
+          rendering the Figure 7 spectrum *)
+}
+
+val fig7 : ?options:Flow.options -> ?f_noise:float -> unit -> fig7
+(** Default tone: the paper's -5 dBm at 10 MHz, Vtune = 0. *)
+
+(** {1 Figure 8: total spur power vs noise frequency and Vtune} *)
+
+type fig8_point = {
+  f_noise : float;
+  upper_dbm : float;
+  lower_dbm : float;
+  behavioral_dbm : float;
+      (** cross-check: spur measured by DFT on the synthesized
+          oscillator waveform (the "measurement" leg) *)
+}
+
+type fig8_family = {
+  vtune : float;
+  carrier_ghz : float;
+  points : fig8_point list;
+  slope_db_per_decade : float;  (** paper: -20 (resistive coupling + FM) *)
+  max_model_vs_behavioral_db : float;  (** paper: <= 2 dB *)
+}
+
+val fig8 :
+  ?options:Flow.options -> ?vtunes:float list -> ?f_noise:float array ->
+  unit -> fig8_family list
+
+(** {1 Figure 9: per-device contributions} *)
+
+type fig9_entry = {
+  label : string;
+  spur_dbm_by_freq : (float * float) list;
+  slope_db_per_decade : float;
+}
+
+type fig9 = {
+  entries : fig9_entry list;
+  ground_minus_backgate_db : float;
+      (** gap at 10 MHz (paper: ~20 dB) *)
+  inductor_flatness_db : float;
+      (** max-min of the inductor curve (paper: ~0, capacitive + FM) *)
+}
+
+val fig9 : ?options:Flow.options -> ?f_noise:float array -> unit -> fig9
+
+(** {1 Figure 10: ground interconnect sizing} *)
+
+type fig10 = {
+  wire_ohms_normal : float;
+  wire_ohms_widened : float;
+  points : (float * float * float) list;
+      (** (f_noise, spur normal dBm, spur widened dBm) *)
+  mean_improvement_db : float;  (** paper: ~4.5 dB (6 dB ideal) *)
+}
+
+val fig10 : ?options:Flow.options -> ?f_noise:float array -> unit -> fig10
+
+(** {1 Section 4 design card} *)
+
+type vco_card = {
+  carrier_ghz : float;  (** paper: ~3 GHz *)
+  kvco_mhz_per_v : float;
+  tuning_range_ghz : float * float;
+  phase_noise_100k_dbc : float;  (** paper: -100 dBc/Hz @ 100 kHz *)
+  core_current_ma : float;  (** paper: 5 mA *)
+  supply_v : float;  (** paper: 1.8 V *)
+}
+
+val vco_card : ?options:Flow.options -> unit -> vco_card
+
+(** {1 Extension: digital aggressor (conclusion / ref. [10])} *)
+
+type aggressor_comb = {
+  aggressor : Sn_rf.Aggressor.t;
+  lines : Sn_rf.Aggressor.comb_line list;
+  total_dbm : float;
+}
+
+val aggressor_comb :
+  ?options:Flow.options -> ?aggressor:Sn_rf.Aggressor.t -> unit ->
+  aggressor_comb
+(** Predict the spur comb a synchronous digital block imprints on the
+    VCO through the extracted substrate and interconnect models. *)
+
+(** {1 Runtime (section 6 note)} *)
+
+type runtime = {
+  extraction_seconds : float;
+  simulation_seconds : float;
+  grid_cells : int;
+}
+
+val runtime : ?options:Flow.options -> unit -> runtime

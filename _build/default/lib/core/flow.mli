@@ -1,0 +1,86 @@
+(** The paper's simulation methodology (Figure 2) end to end:
+
+    layout + technology
+    -> substrate macromodel (sn_substrate)
+    -> interconnect RC model (sn_interconnect)
+    -> circuit model (sn_circuit)
+    -> merged impact model (Merge)
+    -> impact simulation (sn_engine AC) and spur prediction (sn_rf). *)
+
+type options = {
+  grid : Sn_substrate.Grid.config;
+  interconnect_resistance : bool;
+      (** [false] reproduces the "classical flow" that ignores wire R *)
+  widen_ground : float option;
+      (** Fig. 10: scale factor applied to the ground-net wire widths
+          before extraction *)
+  tech : Sn_tech.Tech.t;
+      (** process card; default {!Sn_tech.Tech.imec018} — corner
+          analysis swaps in scaled variants *)
+}
+
+val default_options : options
+
+(* ------------------------------------------------------------------ *)
+(** {1 NMOS measurement structure (paper section 3)} *)
+
+type nmos_flow
+
+val build_nmos :
+  ?options:options -> Sn_testchip.Nmos_structure.params -> nmos_flow
+(** Extracts the substrate macromodel and the ground interconnect of
+    the measurement structure once; bias-dependent analyses reuse
+    them. *)
+
+val nmos_macromodel : nmos_flow -> Sn_substrate.Macromodel.t
+val nmos_ground_wire_resistance : nmos_flow -> float
+(** Extracted metal resistance from the MOS guard ring to the pad. *)
+
+val nmos_divider : nmos_flow -> float
+(** SUB -> back-gate voltage division with the rings grounded through
+    their extracted interconnect (the paper's 1/652 figure), evaluated
+    at 1 MHz where the structure is purely resistive. *)
+
+val nmos_merged : nmos_flow -> vgs:float -> vds:float -> Sn_circuit.Netlist.t
+
+type nmos_point = {
+  vgs : float;
+  vds : float;
+  gmb_total : float;  (** S, all four devices *)
+  gds_total : float;
+  transfer_sim_db : float;  (** AC |v(d)| / |v(sub_inject)| *)
+  transfer_hand_db : float;  (** divider * gmb / gds, the paper's check *)
+}
+
+val nmos_transfer : nmos_flow -> vgs:float -> vds:float -> freq:float -> nmos_point
+
+(* ------------------------------------------------------------------ *)
+(** {1 VCO (paper sections 4-6)} *)
+
+type vco_flow
+
+val build_vco :
+  ?options:options -> Sn_testchip.Vco_chip.params -> vtune:float -> vco_flow
+
+val vco_merged : vco_flow -> Sn_circuit.Netlist.t
+val vco_oscillator : vco_flow -> Sn_rf.Impact.oscillator
+val vco_ground_wire_resistance : vco_flow -> float
+
+val vco_carrier_freq : vco_flow -> float
+val vco_amplitude : vco_flow -> float
+
+val vco_transfers :
+  vco_flow -> f_noise:float array ->
+  (float -> string -> Complex.t)
+(** [vco_transfers flow ~f_noise] runs the AC impact simulation of the
+    merged model over the noise frequencies (unit drive at the noise
+    source) and returns the interpolating transfer accessor [h f node]
+    used by the spur model.  The inductor entry's capacitive transfer
+    is formed from the bulk potential under the coil and the tank's
+    common-mode impedance. *)
+
+val vco_spur :
+  vco_flow -> h:(float -> string -> Complex.t) -> p_noise_dbm:float ->
+  f_noise:float -> Sn_rf.Impact.spur
+(** Spur prediction for a substrate tone of the given power (dBm into
+    the 50 ohm injection chain). *)

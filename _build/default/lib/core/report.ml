@@ -1,0 +1,230 @@
+module E = Experiments
+module U = Sn_numerics.Units
+
+let hr fmt = Format.fprintf fmt "%s@," (String.make 72 '-')
+
+let fig3 fmt (r : E.fig3) =
+  Format.fprintf fmt "@[<v>";
+  hr fmt;
+  Format.fprintf fmt
+    "Figure 3 - substrate to NMOS output transfer (measured leg = AC sim)@,";
+  hr fmt;
+  Format.fprintf fmt
+    "SUB -> back-gate division: 1/%.0f (%.1f dB)   [paper: 1/652]@,"
+    (1.0 /. r.E.divider)
+    (U.db_of_ratio r.E.divider);
+  Format.fprintf fmt
+    "same with ideal (R = 0) interconnect: 1/%.0f  -> R factor %.2fx   [paper: ~2x]@,"
+    (1.0 /. r.E.divider_no_r)
+    (r.E.divider /. r.E.divider_no_r);
+  Format.fprintf fmt "extracted MOS-GR ground wire: %.2f ohm@,"
+    r.E.ground_wire_ohms;
+  Format.fprintf fmt "%6s %10s %10s %12s %12s %8s@," "vgs" "gmb[mS]"
+    "gds[mS]" "sim[dB]" "hand[dB]" "err[dB]";
+  List.iter
+    (fun (p : Flow.nmos_point) ->
+      Format.fprintf fmt "%6.2f %10.1f %10.1f %12.1f %12.1f %8.2f@,"
+        p.Flow.vgs
+        (1.0e3 *. p.Flow.gmb_total)
+        (1.0e3 *. p.Flow.gds_total)
+        p.Flow.transfer_sim_db p.Flow.transfer_hand_db
+        (Float.abs (p.Flow.transfer_sim_db -. p.Flow.transfer_hand_db)))
+    r.E.points;
+  Format.fprintf fmt
+    "worst sim-vs-hand-calculation error: %.2f dB   [paper: <= 1 dB]@,"
+    r.E.max_hand_error_db;
+  Format.fprintf fmt "@]"
+
+let sec3 fmt (r : E.sec3_numbers) =
+  Format.fprintf fmt "@[<v>";
+  hr fmt;
+  Format.fprintf fmt "Section 3 numbers@,";
+  hr fmt;
+  Format.fprintf fmt "voltage division SUB -> back-gate: 1/%.0f   [paper: 1/652]@,"
+    r.E.division_ratio;
+  Format.fprintf fmt "interconnect-R factor on v_bs: %.2f   [paper: ~2]@,"
+    r.E.r_factor;
+  let lo_gmb, hi_gmb = r.E.gmb_range_ms in
+  let lo_gds, hi_gds = r.E.gds_range_ms in
+  Format.fprintf fmt "gmb range: %.1f - %.1f mS   [paper: 10 - 38 mS]@," lo_gmb
+    hi_gmb;
+  Format.fprintf fmt "gds range: %.1f - %.1f mS   [paper: 2.8 - 22 mS]@,"
+    lo_gds hi_gds;
+  Format.fprintf fmt
+    "junction-cap crossover f3dB: %.1f - %.1f GHz   [paper: 5 - 19 GHz]@,"
+    r.E.f3db_min_ghz r.E.f3db_max_ghz;
+  Format.fprintf fmt "@]"
+
+let spectrum_ascii ?(width = 64) ?(height = 16) fmt points =
+  match points with
+  | [] -> Format.fprintf fmt "(empty spectrum)@,"
+  | _ ->
+    let dbm_values = List.map snd points in
+    let max_dbm = List.fold_left Float.max (-300.0) dbm_values in
+    let floor_dbm = max_dbm -. 80.0 in
+    let offsets = List.map fst points in
+    let min_off = List.fold_left Float.min Float.infinity offsets in
+    let max_off = List.fold_left Float.max Float.neg_infinity offsets in
+    let cols = Array.make width floor_dbm in
+    List.iter
+      (fun (off, dbm) ->
+        let k =
+          int_of_float
+            (Float.round
+               ((off -. min_off) /. (max_off -. min_off)
+               *. float_of_int (width - 1)))
+        in
+        if k >= 0 && k < width then cols.(k) <- Float.max cols.(k) dbm)
+      points;
+    Format.fprintf fmt "@[<v>";
+    for row = 0 to height - 1 do
+      let level =
+        max_dbm -. (float_of_int row /. float_of_int (height - 1) *. 80.0)
+      in
+      Format.fprintf fmt "%8.0f |" level;
+      Array.iter
+        (fun c -> Format.fprintf fmt "%c" (if c >= level then '#' else ' '))
+        cols;
+      Format.fprintf fmt "@,"
+    done;
+    Format.fprintf fmt "%8s +%s@," "dBm" (String.make width '-');
+    Format.fprintf fmt "%8s  %-10s%*s@," ""
+      (Printf.sprintf "%+.0f MHz" (min_off /. 1.0e6))
+      (width - 10)
+      (Printf.sprintf "%+.0f MHz" (max_off /. 1.0e6));
+    Format.fprintf fmt "@]"
+
+let fig7 fmt (r : E.fig7) =
+  Format.fprintf fmt "@[<v>";
+  hr fmt;
+  Format.fprintf fmt
+    "Figure 7 - VCO output spectrum, %s tone at %s (offsets from carrier)@,"
+    (Printf.sprintf "%.0f dBm" E.paper_noise_dbm)
+    (U.eng ~unit:"Hz" r.E.f_noise);
+  hr fmt;
+  Format.fprintf fmt "carrier: %s at %.1f dBm@,"
+    (U.eng ~unit:"Hz" r.E.carrier_freq)
+    r.E.carrier_dbm;
+  spectrum_ascii fmt r.E.spectrum;
+  Format.fprintf fmt
+    "spurs at fc+-fn: model %.1f / %.1f dBm, DFT-measured %.1f / %.1f dBm@,"
+    r.E.model_lower_dbm r.E.model_upper_dbm r.E.measured_lower_dbm
+    r.E.measured_upper_dbm;
+  Format.fprintf fmt "@]"
+
+let fig8 fmt (families : E.fig8_family list) =
+  Format.fprintf fmt "@[<v>";
+  hr fmt;
+  Format.fprintf fmt
+    "Figure 8 - total spur power at fc+-fn vs noise frequency@,";
+  hr fmt;
+  List.iter
+    (fun (f : E.fig8_family) ->
+      Format.fprintf fmt "Vtune = %.2f V (fc = %.2f GHz):@," f.E.vtune
+        f.E.carrier_ghz;
+      Format.fprintf fmt "  %12s %12s %12s %14s@," "f_noise" "upper[dBm]"
+        "lower[dBm]" "DFT-check[dBm]";
+      List.iter
+        (fun (p : E.fig8_point) ->
+          Format.fprintf fmt "  %12s %12.1f %12.1f %14.1f@,"
+            (U.eng ~unit:"Hz" p.E.f_noise)
+            p.E.upper_dbm p.E.lower_dbm p.E.behavioral_dbm)
+        f.E.points;
+      Format.fprintf fmt
+        "  slope %.1f dB/dec [paper: -20, resistive coupling + FM]; \
+         model-vs-DFT <= %.2f dB [paper: <= 2 dB]@,"
+        f.E.slope_db_per_decade f.E.max_model_vs_behavioral_db)
+    families;
+  Format.fprintf fmt "@]"
+
+let fig9 fmt (r : E.fig9) =
+  Format.fprintf fmt "@[<v>";
+  hr fmt;
+  Format.fprintf fmt "Figure 9 - per-device contributions (Vtune = 0 V)@,";
+  hr fmt;
+  List.iter
+    (fun (e : E.fig9_entry) ->
+      Format.fprintf fmt "%-22s slope %6.1f dB/dec :" e.E.label
+        e.E.slope_db_per_decade;
+      List.iter
+        (fun (fn, dbm) ->
+          Format.fprintf fmt " %s:%.1f" (U.eng ~unit:"Hz" fn) dbm)
+        e.E.spur_dbm_by_freq;
+      Format.fprintf fmt "@,")
+    r.E.entries;
+  Format.fprintf fmt
+    "ground-vs-backgate gap at 10 MHz: %.1f dB   [paper: ~20 dB]@,"
+    r.E.ground_minus_backgate_db;
+  Format.fprintf fmt
+    "inductor curve flatness: %.2f dB   [paper: constant with frequency]@,"
+    r.E.inductor_flatness_db;
+  Format.fprintf fmt "@]"
+
+let fig10 fmt (r : E.fig10) =
+  Format.fprintf fmt "@[<v>";
+  hr fmt;
+  Format.fprintf fmt "Figure 10 - ground interconnect widened 2x@,";
+  hr fmt;
+  Format.fprintf fmt "extracted ground wire: %.2f ohm -> %.2f ohm@,"
+    r.E.wire_ohms_normal r.E.wire_ohms_widened;
+  Format.fprintf fmt "  %12s %14s %14s %10s@," "f_noise" "normal[dBm]"
+    "widened[dBm]" "delta[dB]";
+  List.iter
+    (fun (fn, n, w) ->
+      Format.fprintf fmt "  %12s %14.1f %14.1f %10.2f@,"
+        (U.eng ~unit:"Hz" fn) n w (n -. w))
+    r.E.points;
+  Format.fprintf fmt
+    "mean improvement: %.2f dB   [paper: 4.5 dB predicted, 6 dB ideal]@,"
+    r.E.mean_improvement_db;
+  Format.fprintf fmt "@]"
+
+let vco_card fmt (r : E.vco_card) =
+  Format.fprintf fmt "@[<v>";
+  hr fmt;
+  Format.fprintf fmt "Section 4 - VCO design card@,";
+  hr fmt;
+  Format.fprintf fmt "carrier: %.2f GHz   [paper: ~3 GHz]@," r.E.carrier_ghz;
+  Format.fprintf fmt "tuning gain: %.0f MHz/V@," r.E.kvco_mhz_per_v;
+  let lo, hi = r.E.tuning_range_ghz in
+  Format.fprintf fmt "tuning range: %.2f - %.2f GHz@," lo hi;
+  Format.fprintf fmt
+    "phase noise at 100 kHz: %.1f dBc/Hz   [paper: -100 dBc/Hz]@,"
+    r.E.phase_noise_100k_dbc;
+  Format.fprintf fmt "core current: %.1f mA at %.1f V   [paper: 5 mA, 1.8 V]@,"
+    r.E.core_current_ma r.E.supply_v;
+  Format.fprintf fmt "@]"
+
+let runtime fmt (r : E.runtime) =
+  Format.fprintf fmt "@[<v>";
+  hr fmt;
+  Format.fprintf fmt "Section 6 runtime note@,";
+  hr fmt;
+  Format.fprintf fmt
+    "extraction %.2f s, impact simulation %.3f s (%d grid cells)@,"
+    r.E.extraction_seconds r.E.simulation_seconds r.E.grid_cells;
+  Format.fprintf fmt
+    "[paper: 20 min extraction + 15 min simulation on an HP-UX L2000]@,";
+  Format.fprintf fmt "@]"
+
+let aggressor fmt (r : E.aggressor_comb) =
+  let a = r.E.aggressor in
+  Format.fprintf fmt "@[<v>";
+  hr fmt;
+  Format.fprintf fmt
+    "Extension - digital aggressor spur comb (%s clock, %.0f mA spikes)@,"
+    (U.eng ~unit:"Hz" a.Sn_rf.Aggressor.clock_freq)
+    (1.0e3 *. a.Sn_rf.Aggressor.peak_current);
+  hr fmt;
+  Format.fprintf fmt "  %3s %12s %14s %12s %12s@," "k" "k*fclk"
+    "injected[dBm]" "upper[dBm]" "lower[dBm]";
+  List.iter
+    (fun (l : Sn_rf.Aggressor.comb_line) ->
+      Format.fprintf fmt "  %3d %12s %14.1f %12.1f %12.1f@,"
+        l.Sn_rf.Aggressor.harmonic
+        (U.eng ~unit:"Hz" l.Sn_rf.Aggressor.f_noise)
+        l.Sn_rf.Aggressor.injected_dbm l.Sn_rf.Aggressor.upper_dbm
+        l.Sn_rf.Aggressor.lower_dbm)
+    r.E.lines;
+  Format.fprintf fmt "total comb power: %.1f dBm@," r.E.total_dbm;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,17 @@
+(** Textual rendering of the experiment results — the rows and series
+    the paper's tables and figures show. *)
+
+val fig3 : Format.formatter -> Experiments.fig3 -> unit
+val sec3 : Format.formatter -> Experiments.sec3_numbers -> unit
+val fig7 : Format.formatter -> Experiments.fig7 -> unit
+val fig8 : Format.formatter -> Experiments.fig8_family list -> unit
+val fig9 : Format.formatter -> Experiments.fig9 -> unit
+val fig10 : Format.formatter -> Experiments.fig10 -> unit
+val vco_card : Format.formatter -> Experiments.vco_card -> unit
+val runtime : Format.formatter -> Experiments.runtime -> unit
+val aggressor : Format.formatter -> Experiments.aggressor_comb -> unit
+
+val spectrum_ascii :
+  ?width:int -> ?height:int -> Format.formatter -> (float * float) list -> unit
+(** [spectrum_ascii fmt points] renders (frequency-offset, dBm) points
+    as an ASCII spectrum plot — the Figure 7 panel. *)

@@ -1,0 +1,1 @@
+lib/engine/ac.ml: Array Complex Dc Device_eval List Mna Sn_circuit Sn_numerics

@@ -1,0 +1,1 @@
+lib/engine/ac.mli: Complex Dc Mna Sn_circuit

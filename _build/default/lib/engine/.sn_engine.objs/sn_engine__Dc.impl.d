@@ -1,0 +1,1 @@
+lib/engine/dc.ml: Array Device_eval Float Format List Logs Mna Sn_circuit Sn_numerics

@@ -1,0 +1,1 @@
+lib/engine/dc.mli: Format Mna Sn_circuit

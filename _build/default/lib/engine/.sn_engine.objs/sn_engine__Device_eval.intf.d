@@ -1,0 +1,1 @@
+lib/engine/device_eval.mli: Sn_circuit

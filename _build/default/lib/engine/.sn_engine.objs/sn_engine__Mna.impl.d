@@ -1,0 +1,1 @@
+lib/engine/mna.ml: Array Hashtbl List Sn_circuit

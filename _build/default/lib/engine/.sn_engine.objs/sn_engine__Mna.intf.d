@@ -1,0 +1,1 @@
+lib/engine/mna.mli: Sn_circuit

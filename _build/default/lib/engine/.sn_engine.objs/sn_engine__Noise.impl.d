@@ -1,0 +1,1 @@
+lib/engine/noise.ml: Ac Array Complex Dc List Mna Sn_circuit Sn_numerics

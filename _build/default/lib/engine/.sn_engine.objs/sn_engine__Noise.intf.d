@@ -1,0 +1,1 @@
+lib/engine/noise.mli: Dc Sn_circuit

@@ -1,0 +1,1 @@
+lib/engine/tran.ml: Array Buffer Dc Device_eval Float Hashtbl List Mna Printf Sn_circuit Sn_numerics String

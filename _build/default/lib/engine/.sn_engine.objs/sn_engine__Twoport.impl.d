@@ -1,0 +1,1 @@
+lib/engine/twoport.ml: Ac Array Complex Dc List Sn_circuit Sn_numerics

@@ -1,0 +1,1 @@
+lib/engine/twoport.mli: Complex Sn_circuit

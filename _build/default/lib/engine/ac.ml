@@ -1,0 +1,153 @@
+module C = Sn_circuit
+module N = Sn_numerics
+
+type solution = {
+  mna : Mna.t;
+  freq : float;
+  x : Complex.t array;
+}
+
+let cx re im = { Complex.re; im }
+let czero = Complex.zero
+
+let volt_of_dc dc node = Dc.voltage dc node
+
+(* Assemble the complex admittance system at angular frequency w. *)
+let assemble mna dc ~omega =
+  let dim = Mna.dim mna in
+  let a = Array.make_matrix dim dim czero in
+  let rhs = Array.make dim czero in
+  let stamp i j (y : Complex.t) =
+    if i >= 0 && j >= 0 then a.(i).(j) <- Complex.add a.(i).(j) y
+  in
+  let inject i (v : Complex.t) =
+    if i >= 0 then rhs.(i) <- Complex.add rhs.(i) v
+  in
+  let stamp_admittance i j y =
+    stamp i i y;
+    stamp j j y;
+    stamp i j (Complex.neg y);
+    stamp j i (Complex.neg y)
+  in
+  let stamp_vccs i j k l gm =
+    let y = cx gm 0.0 in
+    stamp i k y;
+    stamp i l (Complex.neg y);
+    stamp j k (Complex.neg y);
+    stamp j l y
+  in
+  let slot = Mna.node_slot mna in
+  let one = cx 1.0 0.0 in
+  List.iter
+    (fun e ->
+      match e with
+      | C.Element.Resistor { n1; n2; ohms; _ } ->
+        stamp_admittance (slot n1) (slot n2) (cx (1.0 /. ohms) 0.0)
+      | C.Element.Capacitor { n1; n2; farads; _ } ->
+        stamp_admittance (slot n1) (slot n2) (cx 0.0 (omega *. farads))
+      | C.Element.Inductor { name; n1; n2; henries } ->
+        let b = Mna.branch_slot mna name in
+        let i = slot n1 and j = slot n2 in
+        stamp b i one;
+        stamp b j (Complex.neg one);
+        stamp i b one;
+        stamp j b (Complex.neg one);
+        stamp b b (cx 0.0 (-.(omega *. henries)))
+      | C.Element.Vsource { name; np; nn; ac_mag; _ } ->
+        let b = Mna.branch_slot mna name in
+        let i = slot np and j = slot nn in
+        stamp b i one;
+        stamp b j (Complex.neg one);
+        stamp i b one;
+        stamp j b (Complex.neg one);
+        rhs.(b) <- Complex.add rhs.(b) (cx ac_mag 0.0)
+      | C.Element.Isource { np; nn; ac_mag; _ } ->
+        inject (slot np) (cx (-.ac_mag) 0.0);
+        inject (slot nn) (cx ac_mag 0.0)
+      | C.Element.Vccs { np; nn; cp; cn; gm; _ } ->
+        stamp_vccs (slot np) (slot nn) (slot cp) (slot cn) gm
+      | C.Element.Vcvs { name; np; nn; cp; cn; gain } ->
+        let b = Mna.branch_slot mna name in
+        let i = slot np and j = slot nn and k = slot cp and l = slot cn in
+        stamp b i one;
+        stamp b j (Complex.neg one);
+        stamp b k (cx (-.gain) 0.0);
+        stamp b l (cx gain 0.0);
+        stamp i b one;
+        stamp j b (Complex.neg one)
+      | C.Element.Mosfet { drain; gate; source; bulk; model; w; l; mult; _ } ->
+        let d = slot drain and g = slot gate and s = slot source
+        and b = slot bulk in
+        let lin =
+          Device_eval.mos ~model ~w ~l ~mult ~vd:(volt_of_dc dc drain)
+            ~vg:(volt_of_dc dc gate) ~vs:(volt_of_dc dc source)
+            ~vb:(volt_of_dc dc bulk)
+        in
+        (* transconductances: id = g_dg vg + g_dd vd + g_ds vs + g_db vb;
+           the current leaves the drain node and enters the source node *)
+        List.iter
+          (fun (coeff, node) ->
+            stamp d node (cx coeff 0.0);
+            stamp s node (cx (-.coeff) 0.0))
+          [ (lin.Device_eval.g_dd, d); (lin.Device_eval.g_dg, g);
+            (lin.Device_eval.g_ds, s); (lin.Device_eval.g_db, b) ];
+        (* device capacitances, scaled by multiplicity *)
+        let fm = float_of_int mult in
+        let cap n1 n2 c =
+          stamp_admittance n1 n2 (cx 0.0 (omega *. c *. fm))
+        in
+        cap g s model.C.Mos_model.cgs;
+        cap g d model.C.Mos_model.cgd;
+        cap d b model.C.Mos_model.cdb;
+        cap s b model.C.Mos_model.csb
+      | C.Element.Varactor { n1; n2; model; mult; _ } ->
+        let v1 = volt_of_dc dc n1 and v2 = volt_of_dc dc n2 in
+        let c =
+          C.Varactor_model.capacitance model (v1 -. v2) *. float_of_int mult
+        in
+        stamp_admittance (slot n1) (slot n2) (cx 0.0 (omega *. c)))
+    (C.Netlist.elements (Mna.netlist mna));
+  (* a touch of gmin keeps isolated nodes from making the system singular *)
+  for i = 0 to Mna.n_nodes mna - 1 do
+    a.(i).(i) <- Complex.add a.(i).(i) (cx 1e-15 0.0)
+  done;
+  (a, rhs)
+
+let system mna dc ~omega = assemble mna dc ~omega
+
+let solve_at mna dc ~freq =
+  if freq < 0.0 then invalid_arg "Ac.solve: freq must be >= 0";
+  let omega = N.Units.two_pi *. freq in
+  let a, rhs = assemble mna dc ~omega in
+  let x = N.Lu.Cplx.solve_matrix a rhs in
+  { mna; freq; x }
+
+let solve ?dc netlist ~freq =
+  let mna = Mna.build netlist in
+  let dc = match dc with Some d -> d | None -> Dc.solve_mna mna in
+  solve_at mna dc ~freq
+
+let frequency s = s.freq
+
+let voltage s node =
+  let slot = Mna.node_slot s.mna node in
+  if slot < 0 then czero else s.x.(slot)
+
+let magnitude_db s node =
+  N.Units.db_of_ratio (Complex.norm (voltage s node))
+
+type sweep_point = { freq : float; values : (string * Complex.t) list }
+
+let sweep ?dc netlist ~freqs ~nodes =
+  let mna = Mna.build netlist in
+  let dc = match dc with Some d -> d | None -> Dc.solve_mna mna in
+  Array.to_list freqs
+  |> List.map (fun freq ->
+         let s = solve_at mna dc ~freq in
+         { freq; values = List.map (fun n -> (n, voltage s n)) nodes })
+
+let transfer_db points node =
+  Array.of_list
+    (List.map
+       (fun p -> N.Units.db_of_ratio (Complex.norm (List.assoc node p.values)))
+       points)

@@ -1,0 +1,41 @@
+(** AC small-signal analysis: the netlist is linearized around a DC
+    operating point and solved in the complex domain per frequency.
+
+    Stimuli are the sources' [ac_mag] fields; everything else is
+    linearized (MOSFETs become gm / gds / gmb controlled sources plus
+    their capacitances, varactors become C(V_dc)). *)
+
+type solution
+
+val solve : ?dc:Dc.solution -> Sn_circuit.Netlist.t -> freq:float -> solution
+(** [solve ?dc nl ~freq] computes the phasor solution at [freq] (Hz).
+    The operating point is computed with {!Dc.solve} when not
+    supplied.  Raises [Invalid_argument] when [freq < 0]. *)
+
+val frequency : solution -> float
+
+val voltage : solution -> string -> Complex.t
+(** Node phasor (0 for ground).  Raises [Not_found]. *)
+
+val magnitude_db : solution -> string -> float
+(** [20 log10 |v(node)|].  Raises [Invalid_argument] when the
+    magnitude is zero. *)
+
+val system :
+  Mna.t -> Dc.solution -> omega:float ->
+  Complex.t array array * Complex.t array
+(** [system mna dc ~omega] is the assembled complex MNA matrix and
+    stimulus vector at angular frequency [omega] — exposed for the
+    adjoint-based noise analysis ({!Noise}). *)
+
+type sweep_point = { freq : float; values : (string * Complex.t) list }
+
+val sweep :
+  ?dc:Dc.solution -> Sn_circuit.Netlist.t -> freqs:float array ->
+  nodes:string list -> sweep_point list
+(** [sweep nl ~freqs ~nodes] reuses one operating point across the
+    whole frequency sweep. *)
+
+val transfer_db : sweep_point list -> string -> float array
+(** [transfer_db points node] extracts [20 log10 |v(node)|] per sweep
+    point. *)

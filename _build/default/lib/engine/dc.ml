@@ -1,0 +1,226 @@
+module C = Sn_circuit
+module N = Sn_numerics
+
+let log_src = Logs.Src.create "sn.engine.dc" ~doc:"DC analysis"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type options = {
+  max_iterations : int;
+  tolerance : float;
+  gmin : float;
+  damping : float;
+  gmin_steps : int;
+}
+
+let default_options =
+  { max_iterations = 200; tolerance = 1e-9; gmin = 1e-12; damping = 0.6;
+    gmin_steps = 6 }
+
+exception No_convergence of { iterations : int; residual : float }
+
+type solution = { mna : Mna.t; x : float array }
+
+let volt_of x slot = if slot < 0 then 0.0 else x.(slot)
+
+(* One Newton iteration: assemble the linearized MNA system at
+   candidate [x] and solve for the next iterate. *)
+let assemble mna ~gmin x =
+  let dim = Mna.dim mna in
+  let a = N.Mat.make dim dim in
+  let rhs = Array.make dim 0.0 in
+  let stamp i j g =
+    if i >= 0 && j >= 0 then N.Mat.add_to a i j g
+  in
+  let inject i v = if i >= 0 then rhs.(i) <- rhs.(i) +. v in
+  let slot = Mna.node_slot mna in
+  List.iter
+    (fun e ->
+      match e with
+      | C.Element.Resistor { n1; n2; ohms; _ } ->
+        let i = slot n1 and j = slot n2 in
+        let g = 1.0 /. ohms in
+        stamp i i g;
+        stamp j j g;
+        stamp i j (-.g);
+        stamp j i (-.g)
+      | C.Element.Capacitor _ | C.Element.Varactor _ -> ()
+      | C.Element.Inductor { name; n1; n2; _ } ->
+        (* DC short with explicit branch current *)
+        let b = Mna.branch_slot mna name in
+        let i = slot n1 and j = slot n2 in
+        stamp b i 1.0;
+        stamp b j (-1.0);
+        stamp i b 1.0;
+        stamp j b (-1.0)
+      | C.Element.Vsource { name; np; nn; wave; _ } ->
+        let b = Mna.branch_slot mna name in
+        let i = slot np and j = slot nn in
+        stamp b i 1.0;
+        stamp b j (-1.0);
+        stamp i b 1.0;
+        stamp j b (-1.0);
+        rhs.(b) <- rhs.(b) +. C.Waveform.dc_value wave
+      | C.Element.Isource { np; nn; wave; _ } ->
+        let v = C.Waveform.dc_value wave in
+        inject (slot np) (-.v);
+        inject (slot nn) v
+      | C.Element.Vccs { np; nn; cp; cn; gm; _ } ->
+        let i = slot np and j = slot nn and k = slot cp and l = slot cn in
+        stamp i k gm;
+        stamp i l (-.gm);
+        stamp j k (-.gm);
+        stamp j l gm
+      | C.Element.Vcvs { name; np; nn; cp; cn; gain } ->
+        let b = Mna.branch_slot mna name in
+        let i = slot np and j = slot nn and k = slot cp and l = slot cn in
+        stamp b i 1.0;
+        stamp b j (-1.0);
+        stamp b k (-.gain);
+        stamp b l gain;
+        stamp i b 1.0;
+        stamp j b (-1.0)
+      | C.Element.Mosfet { drain; gate; source; bulk; model; w; l; mult; _ } ->
+        let d = slot drain and g = slot gate and s = slot source
+        and b = slot bulk in
+        let lin =
+          Device_eval.mos ~model ~w ~l ~mult ~vd:(volt_of x d)
+            ~vg:(volt_of x g) ~vs:(volt_of x s) ~vb:(volt_of x b)
+        in
+        (* i_d(v) ~ id0 + sum g_t (v_t - v_t0); current leaves drain,
+           enters source *)
+        let linear_part =
+          (lin.Device_eval.g_dd *. volt_of x d)
+          +. (lin.Device_eval.g_dg *. volt_of x g)
+          +. (lin.Device_eval.g_ds *. volt_of x s)
+          +. (lin.Device_eval.g_db *. volt_of x b)
+        in
+        let ieq = lin.Device_eval.id -. linear_part in
+        stamp d d lin.Device_eval.g_dd;
+        stamp d g lin.Device_eval.g_dg;
+        stamp d s lin.Device_eval.g_ds;
+        stamp d b lin.Device_eval.g_db;
+        stamp s d (-.lin.Device_eval.g_dd);
+        stamp s g (-.lin.Device_eval.g_dg);
+        stamp s s (-.lin.Device_eval.g_ds);
+        stamp s b (-.lin.Device_eval.g_db);
+        inject d (-.ieq);
+        inject s ieq)
+    (C.Netlist.elements (Mna.netlist mna));
+  (* gmin on every node row keeps floating subnets solvable *)
+  for i = 0 to Mna.n_nodes mna - 1 do
+    N.Mat.add_to a i i gmin
+  done;
+  (a, rhs)
+
+let newton_loop mna options ~gmin x0 =
+  let dim = Mna.dim mna in
+  let x = Array.copy x0 in
+  let rec iterate k =
+    if k >= options.max_iterations then
+      raise (No_convergence { iterations = k; residual = Float.infinity })
+    else begin
+      let a, rhs = assemble mna ~gmin x in
+      let x_new =
+        try N.Lu.solve_mat a rhs
+        with N.Lu.Singular _ ->
+          raise (No_convergence { iterations = k; residual = Float.nan })
+      in
+      let max_delta = ref 0.0 in
+      for i = 0 to dim - 1 do
+        let delta = x_new.(i) -. x.(i) in
+        let clamped =
+          if i < Mna.n_nodes mna then
+            Float.max (-.options.damping) (Float.min options.damping delta)
+          else delta
+        in
+        max_delta := Float.max !max_delta (Float.abs delta);
+        x.(i) <- x.(i) +. clamped
+      done;
+      if !max_delta < options.tolerance then x else iterate (k + 1)
+    end
+  in
+  iterate 0
+
+let solve_mna ?(options = default_options) mna =
+  let dim = Mna.dim mna in
+  let x0 = Array.make dim 0.0 in
+  match newton_loop mna options ~gmin:options.gmin x0 with
+  | x -> { mna; x }
+  | exception No_convergence _ ->
+    (* gmin continuation: solve with a heavy gmin, then relax *)
+    Log.info (fun m -> m "direct Newton failed; starting gmin stepping");
+    let rec continuation x = function
+      | [] -> x
+      | g :: rest ->
+        let x = newton_loop mna options ~gmin:g x in
+        continuation x rest
+    in
+    let steps =
+      List.init options.gmin_steps (fun k ->
+          1e-3 *. (10.0 ** (-.float_of_int k *. 9.0 /. float_of_int (options.gmin_steps - 1))))
+      @ [ options.gmin ]
+    in
+    let x = continuation x0 steps in
+    { mna; x }
+
+let solve ?options netlist = solve_mna ?options (Mna.build netlist)
+
+let mna s = s.mna
+
+let voltage s node =
+  let slot = Mna.node_slot s.mna node in
+  volt_of s.x slot
+
+let branch_current s name = s.x.(Mna.branch_slot s.mna name)
+
+let mos_operating_point s name =
+  match C.Netlist.find (Mna.netlist s.mna) name with
+  | C.Element.Mosfet { drain; gate; source; bulk; model; w; l; mult; _ } ->
+    let v n = voltage s n in
+    let lin =
+      Device_eval.mos ~model ~w ~l ~mult ~vd:(v drain) ~vg:(v gate)
+        ~vs:(v source) ~vb:(v bulk)
+    in
+    lin.Device_eval.op
+  | C.Element.Resistor _ | C.Element.Capacitor _ | C.Element.Inductor _
+  | C.Element.Vsource _ | C.Element.Isource _ | C.Element.Vccs _
+  | C.Element.Vcvs _ | C.Element.Varactor _ ->
+    raise Not_found
+
+let unknowns s = Array.copy s.x
+
+let pp fmt s =
+  let m = s.mna in
+  Format.fprintf fmt "@[<v>operating point (%d nodes, %d branches)@,"
+    (Mna.n_nodes m) (Mna.n_branches m);
+  Array.iter
+    (fun name ->
+      Format.fprintf fmt "  v(%-20s) = %12.6g V@," name (voltage s name))
+    (Mna.node_names m);
+  List.iter
+    (fun e ->
+      match e with
+      | C.Element.Vsource { name; _ } | C.Element.Vcvs { name; _ }
+      | C.Element.Inductor { name; _ } ->
+        Format.fprintf fmt "  i(%-20s) = %12.6g A@," name
+          (branch_current s name)
+      | C.Element.Mosfet { name; mult; _ } ->
+        let op = mos_operating_point s name in
+        let fm = float_of_int mult in
+        Format.fprintf fmt
+          "  %-8s %-11s id=%9.4g A gm=%9.4g S gds=%9.4g S gmb=%9.4g S@,"
+          name
+          (match op.C.Mos_model.region with
+           | `Cutoff -> "cutoff"
+           | `Triode -> "triode"
+           | `Saturation -> "saturation")
+          (fm *. op.C.Mos_model.id)
+          (fm *. op.C.Mos_model.gm)
+          (fm *. op.C.Mos_model.gds)
+          (fm *. op.C.Mos_model.gmb)
+      | C.Element.Resistor _ | C.Element.Capacitor _ | C.Element.Isource _
+      | C.Element.Vccs _ | C.Element.Varactor _ ->
+        ())
+    (C.Netlist.elements (Mna.netlist m));
+  Format.fprintf fmt "@]"

@@ -1,0 +1,46 @@
+(** DC operating-point analysis: Newton-Raphson on the MNA equations
+    with gmin stepping as a convergence fallback. *)
+
+type options = {
+  max_iterations : int;  (** Newton cap per gmin step (default 200) *)
+  tolerance : float;  (** max |delta x| convergence target (default 1e-9) *)
+  gmin : float;  (** conductance to ground on every node (default 1e-12) *)
+  damping : float;  (** per-iteration update clamp, V (default 0.6) *)
+  gmin_steps : int;  (** gmin continuation steps on failure (default 6) *)
+}
+
+val default_options : options
+
+exception No_convergence of { iterations : int; residual : float }
+
+type solution
+
+val solve : ?options:options -> Sn_circuit.Netlist.t -> solution
+(** Raises {!No_convergence} when even gmin stepping fails, and
+    [Not_found]-free: all node references are checked at build time. *)
+
+val solve_mna : ?options:options -> Mna.t -> solution
+
+val mna : solution -> Mna.t
+
+val voltage : solution -> string -> float
+(** [voltage s node] — 0 for ground.  Raises [Not_found]. *)
+
+val branch_current : solution -> string -> float
+(** Current through a voltage-defined element (V source, VCVS,
+    inductor).  Raises [Not_found]. *)
+
+val mos_operating_point :
+  solution -> string -> Sn_circuit.Mos_model.operating_point
+(** Single-device operating point of MOSFET [name] at the solution
+    (multiply small-signal parameters by the device [mult] for the
+    total).  Raises [Not_found]. *)
+
+val unknowns : solution -> float array
+(** Raw unknown vector (nodes then branches) — used by the transient
+    engine to warm-start. *)
+
+val pp : Format.formatter -> solution -> unit
+(** Operating-point report: every node voltage, every branch current,
+    and the region / small-signal parameters of every MOSFET — the
+    ".op" printout of a conventional simulator. *)

@@ -1,0 +1,54 @@
+module M = Sn_circuit.Mos_model
+
+type mos_linear = {
+  id : float;
+  g_dd : float;
+  g_dg : float;
+  g_ds : float;
+  g_db : float;
+  op : M.operating_point;
+}
+
+(* Polarity transform: a PMOS behaves as an NMOS on negated node
+   voltages; the current into the drain picks up the sign while the
+   conductances (second derivatives of the sign flip) do not.
+   Reverse operation (vds < 0 in the device frame) is handled by
+   evaluating with drain and source exchanged. *)
+let mos ~model ~w ~l ~mult ~vd ~vg ~vs ~vb =
+  let sigma = match model.M.polarity with M.Nmos -> 1.0 | M.Pmos -> -1.0 in
+  let td = sigma *. vd
+  and tg = sigma *. vg
+  and ts = sigma *. vs
+  and tb = sigma *. vb in
+  let m = float_of_int mult in
+  if td >= ts then begin
+    let op =
+      M.evaluate model ~w ~l ~vgs:(tg -. ts) ~vds:(td -. ts) ~vbs:(tb -. ts)
+    in
+    let gm = m *. op.M.gm and gds = m *. op.M.gds and gmb = m *. op.M.gmb in
+    {
+      id = sigma *. m *. op.M.id;
+      g_dd = gds;
+      g_dg = gm;
+      g_ds = -.(gm +. gds +. gmb);
+      g_db = gmb;
+      op;
+    }
+  end
+  else begin
+    (* swapped: the physical source acts as the channel drain *)
+    let op =
+      M.evaluate model ~w ~l ~vgs:(tg -. td) ~vds:(ts -. td) ~vbs:(tb -. td)
+    in
+    let gm = m *. op.M.gm and gds = m *. op.M.gds and gmb = m *. op.M.gmb in
+    (* current into the physical drain is minus the channel current;
+       derivatives follow from i_D = -I(vg - vd, vs - vd, vb - vd) *)
+    {
+      id = -.(sigma *. m *. op.M.id);
+      g_dd = gm +. gds +. gmb;
+      g_dg = -.gm;
+      g_ds = -.gds;
+      g_db = -.gmb;
+      op;
+    }
+  end

@@ -1,0 +1,22 @@
+(** Linearization of nonlinear devices at a candidate solution — the
+    companion models shared by the DC, AC and transient engines. *)
+
+type mos_linear = {
+  id : float;
+      (** current flowing into the drain terminal and out of the
+          source terminal, A (sign already reflects device polarity) *)
+  g_dd : float;  (** d id / d v_drain *)
+  g_dg : float;  (** d id / d v_gate *)
+  g_ds : float;  (** d id / d v_source *)
+  g_db : float;  (** d id / d v_bulk *)
+  op : Sn_circuit.Mos_model.operating_point;
+      (** single-device operating point in the device's own frame
+          (before the [mult] scaling applied to the entries above) *)
+}
+
+val mos :
+  model:Sn_circuit.Mos_model.t -> w:float -> l:float -> mult:int ->
+  vd:float -> vg:float -> vs:float -> vb:float -> mos_linear
+(** [mos ~model ~w ~l ~mult ~vd ~vg ~vs ~vb] evaluates the MOSFET at
+    the given absolute node voltages.  Handles PMOS polarity and
+    drain/source swapping for reverse operation. *)

@@ -1,0 +1,58 @@
+module C = Sn_circuit
+
+type t = {
+  netlist : C.Netlist.t;
+  node_table : (string, int) Hashtbl.t;
+  branch_table : (string, int) Hashtbl.t;
+  node_names : string array;
+  n_nodes : int;
+  n_branches : int;
+}
+
+let needs_branch = function
+  | C.Element.Vsource _ | C.Element.Vcvs _ | C.Element.Inductor _ -> true
+  | C.Element.Resistor _ | C.Element.Capacitor _ | C.Element.Isource _
+  | C.Element.Vccs _ | C.Element.Mosfet _ | C.Element.Varactor _ ->
+    false
+
+let build netlist =
+  let nodes = C.Netlist.nodes netlist in
+  let node_table = Hashtbl.create 64 in
+  List.iteri (fun i n -> Hashtbl.replace node_table n i) nodes;
+  let n_nodes = List.length nodes in
+  let branch_table = Hashtbl.create 16 in
+  let n_branches = ref 0 in
+  List.iter
+    (fun e ->
+      if needs_branch e then begin
+        Hashtbl.replace branch_table (C.Element.name e) (n_nodes + !n_branches);
+        incr n_branches
+      end)
+    (C.Netlist.elements netlist);
+  {
+    netlist;
+    node_table;
+    branch_table;
+    node_names = Array.of_list nodes;
+    n_nodes;
+    n_branches = !n_branches;
+  }
+
+let netlist m = m.netlist
+let n_nodes m = m.n_nodes
+let n_branches m = m.n_branches
+let dim m = m.n_nodes + m.n_branches
+
+let node_slot m name =
+  if C.Element.is_ground name then -1
+  else
+    match Hashtbl.find_opt m.node_table name with
+    | Some i -> i
+    | None -> raise Not_found
+
+let branch_slot m name =
+  match Hashtbl.find_opt m.branch_table name with
+  | Some i -> i
+  | None -> raise Not_found
+
+let node_names m = m.node_names

@@ -1,0 +1,29 @@
+(** Modified nodal analysis bookkeeping shared by the DC, AC and
+    transient engines: node and branch-current variable numbering.
+
+    Unknown vector layout: node voltages first (non-ground nodes in
+    sorted order), then one branch current per voltage-defined element
+    (independent voltage sources, VCVS, inductors). *)
+
+type t
+
+val build : Sn_circuit.Netlist.t -> t
+
+val netlist : t -> Sn_circuit.Netlist.t
+
+val n_nodes : t -> int
+val n_branches : t -> int
+
+val dim : t -> int
+(** [dim m = n_nodes m + n_branches m]. *)
+
+val node_slot : t -> string -> int
+(** [node_slot m name] is the unknown index of node [name], or [-1]
+    for ground.  Raises [Not_found] for unknown nodes. *)
+
+val branch_slot : t -> string -> int
+(** [branch_slot m element_name] is the unknown index of the branch
+    current of a voltage-defined element.  Raises [Not_found]. *)
+
+val node_names : t -> string array
+(** Index [i] holds the name of unknown [i], for [i < n_nodes]. *)

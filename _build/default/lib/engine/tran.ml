@@ -1,0 +1,459 @@
+module C = Sn_circuit
+module N = Sn_numerics
+
+type method_ = Backward_euler | Trapezoidal
+
+type initial_condition = Operating_point | Uic of (string * float) list
+
+type options = {
+  method_ : method_;
+  max_newton : int;
+  tolerance : float;
+  ic : initial_condition;
+  record : string list option;
+}
+
+let default_options =
+  { method_ = Trapezoidal; max_newton = 50; tolerance = 1e-9;
+    ic = Operating_point; record = None }
+
+exception Step_failed of { time : float; iterations : int }
+
+type dataset = {
+  times : float array;
+  names : string array;
+  data : float array array;
+}
+
+(* Dynamic-element state carried between time points. *)
+type cap_state = { mutable v_prev : float; mutable i_prev : float }
+type charge_state = {
+  mutable q_prev : float;
+  mutable vq_prev : float;
+  mutable iq_prev : float;
+}
+type ind_state = { mutable il_prev : float; mutable vl_prev : float }
+
+type state = {
+  caps : (string, cap_state) Hashtbl.t;
+  charges : (string, charge_state) Hashtbl.t;
+  inds : (string, ind_state) Hashtbl.t;
+}
+
+let volt_of x slot = if slot < 0 then 0.0 else x.(slot)
+
+(* Each MOSFET contributes four linear capacitances; key them by a
+   suffixed element name. *)
+let mos_caps (e : C.Element.t) =
+  match e with
+  | C.Element.Mosfet { name; drain; gate; source; bulk; model; mult; _ } ->
+    let fm = float_of_int mult in
+    [
+      (name ^ ".cgs", gate, source, model.C.Mos_model.cgs *. fm);
+      (name ^ ".cgd", gate, drain, model.C.Mos_model.cgd *. fm);
+      (name ^ ".cdb", drain, bulk, model.C.Mos_model.cdb *. fm);
+      (name ^ ".csb", source, bulk, model.C.Mos_model.csb *. fm);
+    ]
+  | C.Element.Resistor _ | C.Element.Capacitor _ | C.Element.Inductor _
+  | C.Element.Vsource _ | C.Element.Isource _ | C.Element.Vccs _
+  | C.Element.Vcvs _ | C.Element.Varactor _ ->
+    []
+
+let init_state mna x0 =
+  let state =
+    { caps = Hashtbl.create 32; charges = Hashtbl.create 8;
+      inds = Hashtbl.create 8 }
+  in
+  let slot = Mna.node_slot mna in
+  List.iter
+    (fun e ->
+      (match e with
+       | C.Element.Capacitor { name; n1; n2; _ } ->
+         Hashtbl.replace state.caps name
+           { v_prev = volt_of x0 (slot n1) -. volt_of x0 (slot n2);
+             i_prev = 0.0 }
+       | C.Element.Varactor { name; n1; n2; model; mult; _ } ->
+         let v = volt_of x0 (slot n1) -. volt_of x0 (slot n2) in
+         Hashtbl.replace state.charges name
+           { q_prev = C.Varactor_model.charge model v *. float_of_int mult;
+             vq_prev = v; iq_prev = 0.0 }
+       | C.Element.Inductor { name; n1; n2; _ } ->
+         let b = Mna.branch_slot mna name in
+         Hashtbl.replace state.inds name
+           { il_prev = x0.(b);
+             vl_prev = volt_of x0 (slot n1) -. volt_of x0 (slot n2) }
+       | C.Element.Resistor _ | C.Element.Vsource _ | C.Element.Isource _
+       | C.Element.Vccs _ | C.Element.Vcvs _ | C.Element.Mosfet _ ->
+         ());
+      List.iter
+        (fun (key, na, nb, _c) ->
+          Hashtbl.replace state.caps key
+            { v_prev = volt_of x0 (slot na) -. volt_of x0 (slot nb);
+              i_prev = 0.0 })
+        (mos_caps e))
+    (C.Netlist.elements (Mna.netlist mna));
+  state
+
+(* Companion coefficients for a linear capacitance. *)
+let cap_companion options ~h (st : cap_state) c =
+  match options.method_ with
+  | Backward_euler ->
+    let geq = c /. h in
+    (geq, -.(geq *. st.v_prev))
+  | Trapezoidal ->
+    let geq = 2.0 *. c /. h in
+    (geq, -.(geq *. st.v_prev) -. st.i_prev)
+
+(* Assemble and Newton-solve one time point at time [t]. *)
+let solve_point mna options state ~h ~t x_guess =
+  let dim = Mna.dim mna in
+  let slot = Mna.node_slot mna in
+  let x = Array.copy x_guess in
+  let gmin = 1e-12 in
+  let rec newton k =
+    if k >= options.max_newton then
+      raise (Step_failed { time = t; iterations = k });
+    let a = N.Mat.make dim dim in
+    let rhs = Array.make dim 0.0 in
+    let stamp i j g = if i >= 0 && j >= 0 then N.Mat.add_to a i j g in
+    let inject i v = if i >= 0 then rhs.(i) <- rhs.(i) +. v in
+    let stamp_conductance i j g =
+      stamp i i g;
+      stamp j j g;
+      stamp i j (-.g);
+      stamp j i (-.g)
+    in
+    let stamp_cap key n1 n2 c =
+      let st = Hashtbl.find state.caps key in
+      let geq, ieq = cap_companion options ~h st c in
+      let i = slot n1 and j = slot n2 in
+      stamp_conductance i j geq;
+      inject i (-.ieq);
+      inject j ieq
+    in
+    List.iter
+      (fun e ->
+        (match e with
+         | C.Element.Resistor { n1; n2; ohms; _ } ->
+           stamp_conductance (slot n1) (slot n2) (1.0 /. ohms)
+         | C.Element.Capacitor { name; n1; n2; farads } ->
+           stamp_cap name n1 n2 farads
+         | C.Element.Varactor { name; n1; n2; model; mult; _ } ->
+           let st = Hashtbl.find state.charges name in
+           let fm = float_of_int mult in
+           let i = slot n1 and j = slot n2 in
+           let v = volt_of x i -. volt_of x j in
+           let cv = C.Varactor_model.capacitance model v *. fm in
+           let qv = C.Varactor_model.charge model v *. fm in
+           let geq, ieq =
+             match options.method_ with
+             | Backward_euler ->
+               let geq = cv /. h in
+               (geq, ((qv -. st.q_prev) /. h) -. (geq *. v))
+             | Trapezoidal ->
+               let geq = 2.0 *. cv /. h in
+               ( geq,
+                 (2.0 *. (qv -. st.q_prev) /. h) -. st.iq_prev -. (geq *. v) )
+           in
+           stamp_conductance i j geq;
+           inject i (-.ieq);
+           inject j ieq
+         | C.Element.Inductor { name; n1; n2; henries } ->
+           let b = Mna.branch_slot mna name in
+           let st = Hashtbl.find state.inds name in
+           let i = slot n1 and j = slot n2 in
+           stamp b i 1.0;
+           stamp b j (-1.0);
+           stamp i b 1.0;
+           stamp j b (-1.0);
+           (match options.method_ with
+            | Backward_euler ->
+              let z = henries /. h in
+              N.Mat.add_to a b b (-.z);
+              rhs.(b) <- rhs.(b) -. (z *. st.il_prev)
+            | Trapezoidal ->
+              let z = 2.0 *. henries /. h in
+              N.Mat.add_to a b b (-.z);
+              rhs.(b) <- rhs.(b) -. (z *. st.il_prev) -. st.vl_prev)
+         | C.Element.Vsource { name; np; nn; wave; _ } ->
+           let b = Mna.branch_slot mna name in
+           let i = slot np and j = slot nn in
+           stamp b i 1.0;
+           stamp b j (-1.0);
+           stamp i b 1.0;
+           stamp j b (-1.0);
+           rhs.(b) <- rhs.(b) +. C.Waveform.value wave t
+         | C.Element.Isource { np; nn; wave; _ } ->
+           let v = C.Waveform.value wave t in
+           inject (slot np) (-.v);
+           inject (slot nn) v
+         | C.Element.Vccs { np; nn; cp; cn; gm; _ } ->
+           let i = slot np and j = slot nn and k = slot cp and l = slot cn in
+           stamp i k gm;
+           stamp i l (-.gm);
+           stamp j k (-.gm);
+           stamp j l gm
+         | C.Element.Vcvs { name; np; nn; cp; cn; gain } ->
+           let b = Mna.branch_slot mna name in
+           let i = slot np and j = slot nn and k = slot cp and l = slot cn in
+           stamp b i 1.0;
+           stamp b j (-1.0);
+           stamp b k (-.gain);
+           stamp b l gain;
+           stamp i b 1.0;
+           stamp j b (-1.0)
+         | C.Element.Mosfet { drain; gate; source; bulk; model; w; l; mult; _ }
+           ->
+           let d = slot drain and g = slot gate and s = slot source
+           and b = slot bulk in
+           let lin =
+             Device_eval.mos ~model ~w ~l ~mult ~vd:(volt_of x d)
+               ~vg:(volt_of x g) ~vs:(volt_of x s) ~vb:(volt_of x b)
+           in
+           let linear_part =
+             (lin.Device_eval.g_dd *. volt_of x d)
+             +. (lin.Device_eval.g_dg *. volt_of x g)
+             +. (lin.Device_eval.g_ds *. volt_of x s)
+             +. (lin.Device_eval.g_db *. volt_of x b)
+           in
+           let ieq = lin.Device_eval.id -. linear_part in
+           stamp d d lin.Device_eval.g_dd;
+           stamp d g lin.Device_eval.g_dg;
+           stamp d s lin.Device_eval.g_ds;
+           stamp d b lin.Device_eval.g_db;
+           stamp s d (-.lin.Device_eval.g_dd);
+           stamp s g (-.lin.Device_eval.g_dg);
+           stamp s s (-.lin.Device_eval.g_ds);
+           stamp s b (-.lin.Device_eval.g_db);
+           inject d (-.ieq);
+           inject s ieq);
+        List.iter
+          (fun (key, na, nb, c) -> stamp_cap key na nb c)
+          (mos_caps e))
+      (C.Netlist.elements (Mna.netlist mna));
+    for i = 0 to Mna.n_nodes mna - 1 do
+      N.Mat.add_to a i i gmin
+    done;
+    let x_new =
+      try N.Lu.solve_mat a rhs
+      with N.Lu.Singular _ -> raise (Step_failed { time = t; iterations = k })
+    in
+    let max_delta = ref 0.0 in
+    for i = 0 to dim - 1 do
+      max_delta := Float.max !max_delta (Float.abs (x_new.(i) -. x.(i)));
+      x.(i) <- x_new.(i)
+    done;
+    if !max_delta < options.tolerance then x else newton (k + 1)
+  in
+  newton 0
+
+(* After accepting a step, refresh the dynamic-element states. *)
+let update_state mna options state ~h x =
+  let slot = Mna.node_slot mna in
+  let update_cap key n1 n2 c =
+    let st = Hashtbl.find state.caps key in
+    let v = volt_of x (slot n1) -. volt_of x (slot n2) in
+    let geq, ieq = cap_companion options ~h st c in
+    st.i_prev <- (geq *. v) +. ieq;
+    st.v_prev <- v
+  in
+  List.iter
+    (fun e ->
+      (match e with
+       | C.Element.Capacitor { name; n1; n2; farads } ->
+         update_cap name n1 n2 farads
+       | C.Element.Varactor { name; n1; n2; model; mult; _ } ->
+         let st = Hashtbl.find state.charges name in
+         let fm = float_of_int mult in
+         let v = volt_of x (slot n1) -. volt_of x (slot n2) in
+         let q = C.Varactor_model.charge model v *. fm in
+         let i =
+           match options.method_ with
+           | Backward_euler -> (q -. st.q_prev) /. h
+           | Trapezoidal -> (2.0 *. (q -. st.q_prev) /. h) -. st.iq_prev
+         in
+         st.q_prev <- q;
+         st.vq_prev <- v;
+         st.iq_prev <- i
+       | C.Element.Inductor { name; n1; n2; _ } ->
+         let st = Hashtbl.find state.inds name in
+         let b = Mna.branch_slot mna name in
+         st.il_prev <- x.(b);
+         st.vl_prev <- volt_of x (slot n1) -. volt_of x (slot n2)
+       | C.Element.Resistor _ | C.Element.Vsource _ | C.Element.Isource _
+       | C.Element.Vccs _ | C.Element.Vcvs _ | C.Element.Mosfet _ ->
+         ());
+      List.iter
+        (fun (key, na, nb, c) -> update_cap key na nb c)
+        (mos_caps e))
+    (C.Netlist.elements (Mna.netlist mna))
+
+let simulate ?(options = default_options) ~tstop ~dt netlist =
+  if tstop <= 0.0 || dt <= 0.0 then
+    invalid_arg "Tran.simulate: tstop and dt must be > 0";
+  let mna = Mna.build netlist in
+  let x0 =
+    match options.ic with
+    | Operating_point -> Dc.unknowns (Dc.solve_mna mna)
+    | Uic pairs ->
+      let x = Array.make (Mna.dim mna) 0.0 in
+      List.iter
+        (fun (node, v) ->
+          let s = Mna.node_slot mna node in
+          if s >= 0 then x.(s) <- v)
+        pairs;
+      x
+  in
+  let recorded =
+    match options.record with
+    | Some nodes -> Array.of_list nodes
+    | None -> Mna.node_names mna
+  in
+  let n_steps = int_of_float (Float.round (tstop /. dt)) in
+  let times = Array.init (n_steps + 1) (fun k -> float_of_int k *. dt) in
+  let data = Array.map (fun _ -> Array.make (n_steps + 1) 0.0) recorded in
+  let record k x =
+    Array.iteri
+      (fun r node ->
+        let s = Mna.node_slot mna node in
+        data.(r).(k) <- volt_of x s)
+      recorded
+  in
+  let state = init_state mna x0 in
+  record 0 x0;
+  let x = ref x0 in
+  for k = 1 to n_steps do
+    let t = times.(k) in
+    let x_next = solve_point mna options state ~h:dt ~t !x in
+    update_state mna options state ~h:dt x_next;
+    record k x_next;
+    x := x_next
+  done;
+  { times; names = recorded; data }
+
+let node d name =
+  let rec find k =
+    if k >= Array.length d.names then raise Not_found
+    else if String.equal d.names.(k) name then d.data.(k)
+    else find (k + 1)
+  in
+  find 0
+
+let samples_after d ~t0 name =
+  let w = node d name in
+  let start = ref 0 in
+  Array.iteri (fun k t -> if t < t0 then start := k + 1) d.times;
+  Array.sub w !start (Array.length w - !start)
+
+(* ------------------------------------------------------------------ *)
+(* adaptive stepping: step-doubling local truncation error control *)
+
+let clone_state st =
+  let caps = Hashtbl.copy st.caps in
+  Hashtbl.iter
+    (fun k (v : cap_state) ->
+      Hashtbl.replace caps k { v_prev = v.v_prev; i_prev = v.i_prev })
+    st.caps;
+  let charges = Hashtbl.copy st.charges in
+  Hashtbl.iter
+    (fun k (v : charge_state) ->
+      Hashtbl.replace charges k
+        { q_prev = v.q_prev; vq_prev = v.vq_prev; iq_prev = v.iq_prev })
+    st.charges;
+  let inds = Hashtbl.copy st.inds in
+  Hashtbl.iter
+    (fun k (v : ind_state) ->
+      Hashtbl.replace inds k { il_prev = v.il_prev; vl_prev = v.vl_prev })
+    st.inds;
+  { caps; charges; inds }
+
+let simulate_adaptive ?(options = default_options) ?dt_min ?dt_max
+    ?(lte_tol = 1e-6) ~tstop ~dt netlist =
+  if tstop <= 0.0 || dt <= 0.0 then
+    invalid_arg "Tran.simulate_adaptive: tstop and dt must be > 0";
+  let dt_min = match dt_min with Some v -> v | None -> dt /. 1024.0 in
+  let dt_max = match dt_max with Some v -> v | None -> 16.0 *. dt in
+  let mna = Mna.build netlist in
+  let x0 =
+    match options.ic with
+    | Operating_point -> Dc.unknowns (Dc.solve_mna mna)
+    | Uic pairs ->
+      let x = Array.make (Mna.dim mna) 0.0 in
+      List.iter
+        (fun (node, v) ->
+          let s = Mna.node_slot mna node in
+          if s >= 0 then x.(s) <- v)
+        pairs;
+      x
+  in
+  let recorded =
+    match options.record with
+    | Some nodes -> Array.of_list nodes
+    | None -> Mna.node_names mna
+  in
+  let times = ref [ 0.0 ] in
+  let data = Array.map (fun _ -> ref []) recorded in
+  let record x =
+    Array.iteri
+      (fun r node ->
+        let s = Mna.node_slot mna node in
+        data.(r) := volt_of x s :: !(data.(r)))
+      recorded
+  in
+  record x0;
+  let state = ref (init_state mna x0) in
+  let x = ref x0 in
+  let t = ref 0.0 and h = ref dt in
+  while !t < tstop -. 1e-18 do
+    let h_eff = Float.min !h (tstop -. !t) in
+    (* one full step *)
+    let st_full = clone_state !state in
+    let x_full = solve_point mna options st_full ~h:h_eff ~t:(!t +. h_eff) !x in
+    (* two half steps *)
+    let st_half = clone_state !state in
+    let h2 = h_eff /. 2.0 in
+    let x_mid = solve_point mna options st_half ~h:h2 ~t:(!t +. h2) !x in
+    update_state mna options st_half ~h:h2 x_mid;
+    let x_end = solve_point mna options st_half ~h:h2 ~t:(!t +. h_eff) x_mid in
+    let err = ref 0.0 in
+    for i = 0 to Mna.n_nodes mna - 1 do
+      err := Float.max !err (Float.abs (x_full.(i) -. x_end.(i)))
+    done;
+    if !err <= lte_tol then begin
+      (* accept the more accurate half-step solution *)
+      update_state mna options st_half ~h:h2 x_end;
+      state := st_half;
+      x := x_end;
+      t := !t +. h_eff;
+      times := !t :: !times;
+      record x_end;
+      if !err < lte_tol /. 4.0 then h := Float.min (2.0 *. h_eff) dt_max
+    end
+    else if h_eff <= dt_min *. 1.000001 then
+      raise (Step_failed { time = !t; iterations = 0 })
+    else h := Float.max (h_eff /. 2.0) dt_min
+  done;
+  {
+    times = Array.of_list (List.rev !times);
+    names = recorded;
+    data = Array.map (fun cell -> Array.of_list (List.rev !cell)) data;
+  }
+
+let to_csv d =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "time";
+  Array.iter
+    (fun n ->
+      Buffer.add_char b ',';
+      Buffer.add_string b n)
+    d.names;
+  Buffer.add_char b '\n';
+  Array.iteri
+    (fun k t ->
+      Buffer.add_string b (Printf.sprintf "%.12g" t);
+      Array.iter
+        (fun w -> Buffer.add_string b (Printf.sprintf ",%.9g" w.(k)))
+        d.data;
+      Buffer.add_char b '\n')
+    d.times;
+  Buffer.contents b

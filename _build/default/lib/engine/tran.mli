@@ -1,0 +1,63 @@
+(** Transient analysis: fixed-step backward-Euler or trapezoidal
+    integration with a Newton solve per time point.
+
+    Capacitors and inductors get the standard companion models; the
+    varactor integrates its exact charge equation (charge-conserving),
+    which matters when it frequency-modulates the tank. *)
+
+type method_ = Backward_euler | Trapezoidal
+
+type initial_condition =
+  | Operating_point  (** start from the DC solution *)
+  | Uic of (string * float) list
+      (** skip the DC solve; start from 0 V except the listed nodes *)
+
+type options = {
+  method_ : method_;
+  max_newton : int;
+  tolerance : float;
+  ic : initial_condition;
+  record : string list option;  (** nodes to record; [None] = all *)
+}
+
+val default_options : options
+(** Trapezoidal, 50 Newton iterations, 1e-9 tolerance, operating-point
+    start, record all nodes. *)
+
+exception Step_failed of { time : float; iterations : int }
+
+type dataset = {
+  times : float array;
+  names : string array;
+  data : float array array;  (** [data.(k)] is the waveform of [names.(k)] *)
+}
+
+val simulate :
+  ?options:options -> tstop:float -> dt:float -> Sn_circuit.Netlist.t ->
+  dataset
+(** [simulate ?options ~tstop ~dt nl] integrates from 0 to [tstop].
+    Raises [Invalid_argument] for non-positive [tstop] / [dt] and
+    {!Step_failed} when Newton stalls. *)
+
+val simulate_adaptive :
+  ?options:options -> ?dt_min:float -> ?dt_max:float -> ?lte_tol:float ->
+  tstop:float -> dt:float -> Sn_circuit.Netlist.t -> dataset
+(** [simulate_adaptive ?options ?dt_min ?dt_max ?lte_tol ~tstop ~dt nl]
+    integrates with step-doubling local-truncation-error control: each
+    accepted step compares one [h] step against two [h/2] steps and
+    grows or shrinks [h] to keep the estimated error under [lte_tol]
+    (default 1e-6, absolute on node voltages).  [dt] is the initial
+    step; [dt_min] defaults to [dt / 1024], [dt_max] to [16 * dt].
+    Time points are non-uniform.  Raises like {!simulate}, plus
+    {!Step_failed} when the error cannot be met at [dt_min]. *)
+
+val node : dataset -> string -> float array
+(** Waveform of one recorded node.  Raises [Not_found]. *)
+
+val samples_after : dataset -> t0:float -> string -> float array
+(** [samples_after d ~t0 node] drops the start-up transient before
+    [t0] — the window handed to the spectral estimator. *)
+
+val to_csv : dataset -> string
+(** [to_csv d] renders the dataset as CSV (header ["time,node,..."]),
+    for external plotting. *)

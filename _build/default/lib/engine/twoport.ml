@@ -1,0 +1,48 @@
+module C = Sn_circuit
+module E = C.Element
+module N = Sn_numerics
+
+type sparams = {
+  freq : float;
+  s11 : Complex.t;
+  s21 : Complex.t;
+  s12 : Complex.t;
+  s22 : Complex.t;
+}
+
+(* Voltage-wave convention with equal reference impedances: drive one
+   side with an EMF of 2 V behind z0 (incident wave a = 1 at the port
+   plane), terminate the other side in z0.  Then
+   S_driven,driven = v_driven - 1 and S_other,driven = v_other. *)
+let analyze ?(z0 = 50.0) nl ~port1 ~port2 ~freqs =
+  if E.is_ground port1 || E.is_ground port2 then
+    invalid_arg "Twoport.analyze: port cannot be ground";
+  if not (C.Netlist.mem_node nl port1 && C.Netlist.mem_node nl port2) then
+    invalid_arg "Twoport.analyze: unknown port node";
+  let harness ~drive =
+    let src name node mag =
+      [ E.Vsource { name = name ^ "_src"; np = name ^ "_emf"; nn = "0";
+                    wave = C.Waveform.dc 0.0; ac_mag = mag };
+        E.Resistor { name = name ^ "_term"; n1 = name ^ "_emf"; n2 = node;
+                     ohms = z0 } ]
+    in
+    C.Netlist.create
+      (C.Netlist.elements nl
+      @ src "p1" port1 (if drive = `One then 2.0 else 0.0)
+      @ src "p2" port2 (if drive = `Two then 2.0 else 0.0))
+  in
+  let forward = harness ~drive:`One and reverse = harness ~drive:`Two in
+  let dc_f = Dc.solve forward and dc_r = Dc.solve reverse in
+  Array.to_list freqs
+  |> List.map (fun freq ->
+         let sf = Ac.solve ~dc:dc_f forward ~freq in
+         let sr = Ac.solve ~dc:dc_r reverse ~freq in
+         {
+           freq;
+           s11 = Complex.sub (Ac.voltage sf port1) Complex.one;
+           s21 = Ac.voltage sf port2;
+           s22 = Complex.sub (Ac.voltage sr port2) Complex.one;
+           s12 = Ac.voltage sr port1;
+         })
+
+let isolation_db s = -.N.Units.db_of_ratio (Complex.norm s.s21)

@@ -1,0 +1,1 @@
+lib/geometry/path.ml: Format List Point Rect

@@ -1,0 +1,1 @@
+lib/geometry/path.mli: Format Point Rect

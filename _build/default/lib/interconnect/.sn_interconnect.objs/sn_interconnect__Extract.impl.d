@@ -1,0 +1,1 @@
+lib/interconnect/extract.ml: Float List Logs Printf Rc_netlist Sn_geometry Sn_layout Sn_tech String

@@ -1,0 +1,1 @@
+lib/interconnect/extract.mli: Rc_netlist Sn_layout Sn_tech

@@ -1,0 +1,1 @@
+lib/interconnect/rc_netlist.ml: Array Float Format Hashtbl List Option Sn_numerics String

@@ -1,0 +1,1 @@
+lib/layout/cell.ml: List Shape Sn_geometry

@@ -1,0 +1,1 @@
+lib/layout/drc.ml: Array Format Hashtbl Layer Layout List Shape Sn_geometry Sn_tech String

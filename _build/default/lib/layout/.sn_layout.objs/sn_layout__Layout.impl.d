@@ -1,0 +1,1 @@
+lib/layout/layout.ml: Cell Layer List Map Shape Sn_geometry String

@@ -1,0 +1,1 @@
+lib/layout/layout.mli: Cell Layer Shape Sn_geometry

@@ -1,0 +1,1 @@
+lib/layout/layout_io.ml: Buffer Cell Fun In_channel Layer Layout List Printf Shape Sn_geometry String

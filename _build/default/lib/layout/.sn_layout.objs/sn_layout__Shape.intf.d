@@ -1,0 +1,1 @@
+lib/layout/shape.mli: Format Layer Sn_geometry

@@ -1,0 +1,75 @@
+module G = Sn_geometry
+module T = Sn_tech.Tech
+
+type violation =
+  | Min_width of {
+      net : string;
+      layer : Layer.t;
+      width : float;
+      minimum : float;
+    }
+  | Net_short of { layer : Layer.t; net_a : string; net_b : string }
+
+let min_width_checks ~tech shapes =
+  List.filter_map
+    (fun (s : Shape.t) ->
+      match (s.Shape.geometry, Layer.metal_index s.Shape.layer) with
+      | Shape.Path { path; _ }, Some level ->
+        (match T.metal tech level with
+         | metal ->
+           let minimum = metal.T.min_width /. T.micron in
+           let width = G.Path.width path in
+           if width < minimum then
+             Some
+               (Min_width { net = s.Shape.net; layer = s.Shape.layer; width;
+                            minimum })
+           else None
+         | exception Not_found -> None)
+      | (Shape.Path _ | Shape.Rect _), _ -> None)
+    shapes
+
+(* Same-layer different-net overlap with positive area. *)
+let short_checks shapes =
+  let indexed = Array.of_list shapes in
+  let n = Array.length indexed in
+  let acc = ref [] in
+  let seen = Hashtbl.create 16 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a = indexed.(i) and b = indexed.(j) in
+      if
+        Layer.equal a.Shape.layer b.Shape.layer
+        && not (String.equal a.Shape.net b.Shape.net)
+      then begin
+        match G.Rect.intersection (Shape.bbox a) (Shape.bbox b) with
+        | Some o when G.Rect.area o > 1e-9 ->
+          let key =
+            (Layer.name a.Shape.layer, min a.Shape.net b.Shape.net,
+             max a.Shape.net b.Shape.net)
+          in
+          if not (Hashtbl.mem seen key) then begin
+            Hashtbl.replace seen key ();
+            acc :=
+              Net_short
+                { layer = a.Shape.layer; net_a = a.Shape.net;
+                  net_b = b.Shape.net }
+              :: !acc
+          end
+        | Some _ | None -> ()
+      end
+    done
+  done;
+  List.rev !acc
+
+let check ~tech layout =
+  let shapes = Layout.flatten layout in
+  min_width_checks ~tech shapes @ short_checks shapes
+
+let pp fmt = function
+  | Min_width { net; layer; width; minimum } ->
+    Format.fprintf fmt
+      "min-width: net %s on %a is %.3f um wide (minimum %.3f um)" net
+      Layer.pp layer width minimum
+  | Net_short { layer; net_a; net_b } ->
+    Format.fprintf fmt "short: nets %s and %s overlap on %a" net_a net_b
+      Layer.pp layer

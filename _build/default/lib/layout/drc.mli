@@ -1,0 +1,24 @@
+(** Design-rule checks on a flattened layout — the lightweight checks
+    that catch generator bugs before they reach extraction:
+    sub-minimum metal widths and same-layer shorts between different
+    nets. *)
+
+type violation =
+  | Min_width of {
+      net : string;
+      layer : Layer.t;
+      width : float;  (** um *)
+      minimum : float;  (** um *)
+    }
+  | Net_short of {
+      layer : Layer.t;
+      net_a : string;
+      net_b : string;
+    }
+
+val check : tech:Sn_tech.Tech.t -> Layout.t -> violation list
+(** [check ~tech layout] runs all checks on the flattened layout.
+    Overlap detection uses exact rectangles and path bounding boxes
+    (conservative for bent paths). *)
+
+val pp : Format.formatter -> violation -> unit

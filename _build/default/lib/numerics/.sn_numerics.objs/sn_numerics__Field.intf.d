@@ -1,0 +1,1 @@
+lib/numerics/field.mli: Complex Format

@@ -1,0 +1,1 @@
+lib/numerics/goertzel.ml: Array Complex Fft Printf Units

@@ -1,0 +1,1 @@
+lib/numerics/sparse.ml: Array Float List Mat Printf Vec

@@ -1,0 +1,1 @@
+lib/numerics/zero_crossing.ml: Array List Stats

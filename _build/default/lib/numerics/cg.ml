@@ -1,0 +1,60 @@
+type result = {
+  solution : Vec.t;
+  iterations : int;
+  residual_norm : float;
+  converged : bool;
+}
+
+exception Not_converged of result
+
+let solve ?(tol = 1e-10) ?max_iter ?x0 a b =
+  let n = Sparse.rows a in
+  if Sparse.cols a <> n then invalid_arg "Cg.solve: matrix not square";
+  if Array.length b <> n then invalid_arg "Cg.solve: dimension mismatch";
+  let max_iter = match max_iter with Some m -> m | None -> 4 * n in
+  let x = match x0 with Some v -> Vec.copy v | None -> Vec.zeros n in
+  (* Jacobi preconditioner: M^-1 = 1/diag(A) (guard zero diagonals). *)
+  let inv_diag =
+    Array.map (fun d -> if Float.abs d > 0.0 then 1.0 /. d else 1.0)
+      (Sparse.diagonal a)
+  in
+  let apply_precond r = Vec.init n (fun i -> inv_diag.(i) *. r.(i)) in
+  let b_norm = Vec.norm2 b in
+  if b_norm = 0.0 then
+    { solution = Vec.zeros n; iterations = 0; residual_norm = 0.0; converged = true }
+  else begin
+    let r = Vec.sub b (Sparse.mul_vec a x) in
+    let z = apply_precond r in
+    let p = ref (Vec.copy z) in
+    let rz = ref (Vec.dot r z) in
+    let rec loop k =
+      let res_norm = Vec.norm2 r /. b_norm in
+      if res_norm <= tol then
+        { solution = x; iterations = k; residual_norm = res_norm; converged = true }
+      else if k >= max_iter then
+        { solution = x; iterations = k; residual_norm = res_norm; converged = false }
+      else begin
+        let ap = Sparse.mul_vec a !p in
+        let p_ap = Vec.dot !p ap in
+        if p_ap <= 0.0 then
+          (* loss of positive-definiteness: stop with current iterate *)
+          { solution = x; iterations = k; residual_norm = res_norm; converged = false }
+        else begin
+          let alpha = !rz /. p_ap in
+          Vec.axpy alpha !p x;
+          Vec.axpy (-.alpha) ap r;
+          let z = apply_precond r in
+          let rz' = Vec.dot r z in
+          let beta = rz' /. !rz in
+          rz := rz';
+          p := Vec.add z (Vec.scale beta !p);
+          loop (k + 1)
+        end
+      end
+    in
+    loop 0
+  end
+
+let solve_exn ?tol ?max_iter ?x0 a b =
+  let r = solve ?tol ?max_iter ?x0 a b in
+  if r.converged then r.solution else raise (Not_converged r)

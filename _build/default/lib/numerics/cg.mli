@@ -1,0 +1,27 @@
+(** Preconditioned conjugate-gradient solver for symmetric
+    positive-definite sparse systems — the grounded substrate
+    conductance Laplacian is SPD, so CG is the workhorse of the
+    macromodel reduction. *)
+
+type result = {
+  solution : Vec.t;
+  iterations : int;
+  residual_norm : float; (** final [||b - A x|| / ||b||] *)
+  converged : bool;
+}
+
+exception Not_converged of result
+(** Raised by {!solve_exn} when the iteration cap is reached before the
+    tolerance. *)
+
+val solve :
+  ?tol:float -> ?max_iter:int -> ?x0:Vec.t -> Sparse.t -> Vec.t -> result
+(** [solve ?tol ?max_iter ?x0 a b] runs Jacobi-preconditioned CG on
+    [A x = b].  [tol] is the relative residual target (default [1e-10]);
+    [max_iter] defaults to [4 * dim].  Raises [Invalid_argument] when
+    [a] is not square or dimensions mismatch. *)
+
+val solve_exn :
+  ?tol:float -> ?max_iter:int -> ?x0:Vec.t -> Sparse.t -> Vec.t -> Vec.t
+(** Like {!solve} but returns the solution directly and raises
+    {!Not_converged} on failure. *)

@@ -1,0 +1,107 @@
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let next_power_of_two n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+(* Iterative in-place Cooley-Tukey with bit-reversal permutation. *)
+let transform ~inverse x =
+  let n = Array.length x in
+  if not (is_power_of_two n) then
+    invalid_arg "Fft: length must be a power of two";
+  let a = Array.copy x in
+  (* bit reversal *)
+  let j = ref 0 in
+  for i = 0 to n - 2 do
+    if i < !j then begin
+      let t = a.(i) in
+      a.(i) <- a.(!j);
+      a.(!j) <- t
+    end;
+    let m = ref (n lsr 1) in
+    while !m >= 1 && !j land !m <> 0 do
+      j := !j lxor !m;
+      m := !m lsr 1
+    done;
+    j := !j lor !m
+  done;
+  let sign = if inverse then 1.0 else -1.0 in
+  let len = ref 2 in
+  while !len <= n do
+    let ang = sign *. 2.0 *. Units.pi /. float_of_int !len in
+    let wlen = { Complex.re = cos ang; im = sin ang } in
+    let i = ref 0 in
+    while !i < n do
+      let w = ref Complex.one in
+      for k = 0 to (!len / 2) - 1 do
+        let u = a.(!i + k) in
+        let v = Complex.mul a.(!i + k + (!len / 2)) !w in
+        a.(!i + k) <- Complex.add u v;
+        a.(!i + k + (!len / 2)) <- Complex.sub u v;
+        w := Complex.mul !w wlen
+      done;
+      i := !i + !len
+    done;
+    len := !len * 2
+  done;
+  if inverse then begin
+    let inv_n = 1.0 /. float_of_int n in
+    Array.map (fun c -> { Complex.re = c.Complex.re *. inv_n; im = c.Complex.im *. inv_n }) a
+  end
+  else a
+
+let fft x = transform ~inverse:false x
+let ifft x = transform ~inverse:true x
+
+let hann n =
+  if n <= 1 then Array.make (max n 0) 1.0
+  else
+    Array.init n (fun i ->
+        0.5 *. (1.0 -. cos (2.0 *. Units.pi *. float_of_int i /. float_of_int (n - 1))))
+
+let coherent_gain w =
+  let n = Array.length w in
+  if n = 0 then 1.0
+  else Array.fold_left ( +. ) 0.0 w /. float_of_int n
+
+type spectrum = { frequencies : float array; amplitudes : float array }
+
+let amplitude_spectrum ?(window = `Hann) ~fs samples =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Fft.amplitude_spectrum: empty input";
+  if fs <= 0.0 then invalid_arg "Fft.amplitude_spectrum: fs must be > 0";
+  let w, gain =
+    match window with
+    | `Rect -> (Array.make n 1.0, 1.0)
+    | `Hann ->
+      let w = hann n in
+      (w, coherent_gain w)
+  in
+  let np = next_power_of_two n in
+  let padded =
+    Array.init np (fun i ->
+        if i < n then { Complex.re = samples.(i) *. w.(i); im = 0.0 }
+        else Complex.zero)
+  in
+  let spec = fft padded in
+  let half = (np / 2) + 1 in
+  let scale k =
+    (* single-sided: double all bins except DC and Nyquist *)
+    let base = 1.0 /. (float_of_int n *. gain) in
+    if k = 0 || k = np / 2 then base else 2.0 *. base
+  in
+  {
+    frequencies = Array.init half (fun k -> float_of_int k *. fs /. float_of_int np);
+    amplitudes = Array.init half (fun k -> Complex.norm spec.(k) *. scale k);
+  }
+
+let peak_near s ~f ~span =
+  let best = ref None in
+  Array.iteri
+    (fun k fk ->
+      if Float.abs (fk -. f) <= span then
+        match !best with
+        | Some (_, a) when a >= s.amplitudes.(k) -> ()
+        | _ -> best := Some (fk, s.amplitudes.(k)))
+    s.frequencies;
+  match !best with Some r -> r | None -> raise Not_found

@@ -1,0 +1,30 @@
+(** Scalar fields over which the dense linear algebra is functorized.
+
+    {!Lu.Make} takes an implementation of {!S} so that the same LU
+    factorization code serves the real-valued DC/transient solves and the
+    complex-valued AC solves of the circuit engine. *)
+
+module type S = sig
+  type t
+
+  val zero : t
+  val one : t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val div : t -> t -> t
+  val neg : t -> t
+
+  val magnitude : t -> float
+  (** [magnitude x] is a non-negative pivoting weight, zero iff [x] is
+      (numerically) zero. *)
+
+  val of_float : float -> t
+  val pp : Format.formatter -> t -> unit
+end
+
+module Real : S with type t = float
+(** Ordinary floating-point arithmetic. *)
+
+module Cplx : S with type t = Complex.t
+(** Complex arithmetic on the standard library's [Complex.t]. *)

@@ -1,0 +1,33 @@
+let check ~fs ~f samples =
+  if Array.length samples = 0 then invalid_arg "Goertzel: empty input";
+  if fs <= 0.0 then invalid_arg "Goertzel: fs must be > 0";
+  if f < 0.0 || f > fs /. 2.0 then
+    invalid_arg (Printf.sprintf "Goertzel: f = %g outside [0, fs/2]" f)
+
+(* Direct correlation form: robust at arbitrary (non bin-center)
+   frequencies, which the recurrence form handles poorly near 0. *)
+let bin_of ~fs ~f samples =
+  let n = Array.length samples in
+  let w = Units.two_pi *. f /. fs in
+  let re = ref 0.0 and im = ref 0.0 in
+  for i = 0 to n - 1 do
+    let ph = w *. float_of_int i in
+    re := !re +. (samples.(i) *. cos ph);
+    im := !im -. (samples.(i) *. sin ph)
+  done;
+  let scale = if f = 0.0 || f = fs /. 2.0 then 1.0 else 2.0 in
+  let k = scale /. float_of_int n in
+  { Complex.re = !re *. k; im = !im *. k }
+
+let bin ~fs ~f samples =
+  check ~fs ~f samples;
+  bin_of ~fs ~f samples
+
+let amplitude ~fs ~f samples = Complex.norm (bin ~fs ~f samples)
+
+let amplitude_windowed ~fs ~f samples =
+  check ~fs ~f samples;
+  let w = Fft.hann (Array.length samples) in
+  let gain = Fft.coherent_gain w in
+  let windowed = Array.mapi (fun i s -> s *. w.(i)) samples in
+  Complex.norm (bin_of ~fs ~f windowed) /. gain

@@ -1,0 +1,20 @@
+(** Single-bin DFT (Goertzel algorithm).
+
+    Measuring one spur at a known frequency [f_c +- f_noise] does not
+    need a full FFT; Goertzel evaluates that single bin in O(N), at an
+    arbitrary (non-bin-center) frequency. *)
+
+val bin : fs:float -> f:float -> float array -> Complex.t
+(** [bin ~fs ~f samples] is the complex DFT coefficient of [samples] at
+    frequency [f] (Hz), with the [2/N] normalization that makes a pure
+    input [a *. cos (2 pi f t + phi)] yield a coefficient of magnitude
+    [a].  Raises [Invalid_argument] on an empty input, [fs <= 0], or
+    [f] outside [0, fs/2]. *)
+
+val amplitude : fs:float -> f:float -> float array -> float
+(** [amplitude ~fs ~f samples] is [Complex.norm (bin ~fs ~f samples)]. *)
+
+val amplitude_windowed : fs:float -> f:float -> float array -> float
+(** Like {!amplitude} but applies a Hann window (compensated for
+    coherent gain) first — reduces leakage from nearby strong tones at
+    the cost of a wider main lobe. *)

@@ -1,0 +1,111 @@
+exception Singular of int
+
+module Make (F : Field.S) = struct
+  type matrix = F.t array array
+  type t = { lu : matrix; perm : int array; sign : int }
+
+  let matrix_of_fun n f = Array.init n (fun i -> Array.init n (fun j -> f i j))
+
+  let check_square a =
+    let n = Array.length a in
+    Array.iter
+      (fun r -> if Array.length r <> n then invalid_arg "Lu: matrix not square")
+      a;
+    n
+
+  (* Doolittle elimination with row partial pivoting; pivot weight is
+     F.magnitude so the same code pivots sensibly for complex entries. *)
+  let decompose a =
+    let n = check_square a in
+    let lu = Array.map Array.copy a in
+    let perm = Array.init n (fun i -> i) in
+    let sign = ref 1 in
+    for k = 0 to n - 1 do
+      let best = ref k and best_mag = ref (F.magnitude lu.(k).(k)) in
+      for i = k + 1 to n - 1 do
+        let m = F.magnitude lu.(i).(k) in
+        if m > !best_mag then begin
+          best := i;
+          best_mag := m
+        end
+      done;
+      if !best_mag = 0.0 || Float.is_nan !best_mag then raise (Singular k);
+      if !best <> k then begin
+        let tmp = lu.(k) in
+        lu.(k) <- lu.(!best);
+        lu.(!best) <- tmp;
+        let tp = perm.(k) in
+        perm.(k) <- perm.(!best);
+        perm.(!best) <- tp;
+        sign := - !sign
+      end;
+      let pivot = lu.(k).(k) in
+      for i = k + 1 to n - 1 do
+        let factor = F.div lu.(i).(k) pivot in
+        lu.(i).(k) <- factor;
+        if F.magnitude factor <> 0.0 then
+          for j = k + 1 to n - 1 do
+            lu.(i).(j) <- F.sub lu.(i).(j) (F.mul factor lu.(k).(j))
+          done
+      done
+    done;
+    { lu; perm; sign = !sign }
+
+  let solve { lu; perm; _ } b =
+    let n = Array.length lu in
+    if Array.length b <> n then invalid_arg "Lu.solve: dimension mismatch";
+    let x = Array.init n (fun i -> b.(perm.(i))) in
+    (* forward substitution: L has unit diagonal *)
+    for i = 1 to n - 1 do
+      let acc = ref x.(i) in
+      for j = 0 to i - 1 do
+        acc := F.sub !acc (F.mul lu.(i).(j) x.(j))
+      done;
+      x.(i) <- !acc
+    done;
+    (* back substitution *)
+    for i = n - 1 downto 0 do
+      let acc = ref x.(i) in
+      for j = i + 1 to n - 1 do
+        acc := F.sub !acc (F.mul lu.(i).(j) x.(j))
+      done;
+      x.(i) <- F.div !acc lu.(i).(i)
+    done;
+    x
+
+  let solve_matrix a b = solve (decompose a) b
+
+  let det { lu; sign; _ } =
+    let n = Array.length lu in
+    let d = ref (if sign >= 0 then F.one else F.neg F.one) in
+    for i = 0 to n - 1 do
+      d := F.mul !d lu.(i).(i)
+    done;
+    !d
+
+  let dim { lu; _ } = Array.length lu
+end
+
+module Real = Make (Field.Real)
+module Cplx = Make (Field.Cplx)
+
+let solve_mat a b =
+  let n = Mat.rows a in
+  if Mat.cols a <> n then invalid_arg "Lu.solve_mat: matrix not square";
+  let rows = Array.init n (fun i -> Array.init n (fun j -> Mat.get a i j)) in
+  Real.solve_matrix rows b
+
+let invert_mat a =
+  let n = Mat.rows a in
+  if Mat.cols a <> n then invalid_arg "Lu.invert_mat: matrix not square";
+  let rows = Array.init n (fun i -> Array.init n (fun j -> Mat.get a i j)) in
+  let f = Real.decompose rows in
+  let inv = Mat.make n n in
+  for j = 0 to n - 1 do
+    let e = Array.init n (fun i -> if i = j then 1.0 else 0.0) in
+    let x = Real.solve f e in
+    for i = 0 to n - 1 do
+      Mat.set inv i j x.(i)
+    done
+  done;
+  inv

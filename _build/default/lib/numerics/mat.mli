@@ -1,0 +1,55 @@
+(** Dense real matrices (row-major). *)
+
+type t
+
+val make : int -> int -> t
+(** [make rows cols] is the zero matrix of the given shape. *)
+
+val init : int -> int -> (int -> int -> float) -> t
+(** [init rows cols f] fills entry [(i, j)] with [f i j]. *)
+
+val identity : int -> t
+(** [identity n] is the [n]x[n] identity. *)
+
+val of_arrays : float array array -> t
+(** [of_arrays rows] builds a matrix from row arrays.
+    Raises [Invalid_argument] when rows have unequal lengths. *)
+
+val rows : t -> int
+val cols : t -> int
+
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+
+val add_to : t -> int -> int -> float -> unit
+(** [add_to m i j v] accumulates [v] into entry [(i, j)] — the MNA
+    "stamp" operation. *)
+
+val copy : t -> t
+val transpose : t -> t
+
+val mul : t -> t -> t
+(** [mul a b] is the matrix product.  Raises [Invalid_argument] on
+    dimension mismatch. *)
+
+val mul_vec : t -> Vec.t -> Vec.t
+(** [mul_vec m v] is [m * v]. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+
+val row : t -> int -> Vec.t
+(** [row m i] is a copy of row [i]. *)
+
+val col : t -> int -> Vec.t
+(** [col m j] is a copy of column [j]. *)
+
+val max_abs_diff : t -> t -> float
+(** [max_abs_diff a b] is the largest absolute entrywise difference. *)
+
+val is_symmetric : ?tol:float -> t -> bool
+(** [is_symmetric ?tol m] checks symmetry within absolute tolerance
+    [tol] (default [1e-9]). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,34 @@
+exception No_bracket
+
+let bisect ?(tol = 1e-12) ?(max_iter = 200) f a b =
+  let fa = f a and fb = f b in
+  if fa = 0.0 then a
+  else if fb = 0.0 then b
+  else if fa *. fb > 0.0 then raise No_bracket
+  else begin
+    let rec go a b fa k =
+      let mid = 0.5 *. (a +. b) in
+      if b -. a <= tol || k >= max_iter then mid
+      else begin
+        let fm = f mid in
+        if fm = 0.0 then mid
+        else if fa *. fm < 0.0 then go a mid fa (k + 1)
+        else go mid b fm (k + 1)
+      end
+    in
+    if a <= b then go a b fa 0 else go b a fb 0
+  end
+
+let newton ?(tol = 1e-12) ?(max_iter = 100) ~f ~df x0 =
+  let rec go x k =
+    if k >= max_iter then failwith "Rootfind.newton: iteration cap reached";
+    let fx = f x in
+    if Float.abs fx <= tol then x
+    else begin
+      let d = df x in
+      if d = 0.0 || Float.is_nan d then
+        failwith "Rootfind.newton: zero derivative";
+      go (x -. (fx /. d)) (k + 1)
+    end
+  in
+  go x0 0

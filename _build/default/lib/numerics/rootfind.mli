@@ -1,0 +1,20 @@
+(** One-dimensional root finding, used for bias-point and calibration
+    searches (e.g. finding the tuning voltage that centers the VCO on
+    3 GHz). *)
+
+exception No_bracket
+(** Raised when the supplied interval does not bracket a sign change. *)
+
+val bisect :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> float -> float -> float
+(** [bisect ?tol ?max_iter f a b] finds [x] in [[a, b]] with
+    [f x ~ 0] by bisection.  [tol] is the interval-width target
+    (default [1e-12]); [max_iter] defaults to 200.
+    Raises {!No_bracket} when [f a] and [f b] have the same sign. *)
+
+val newton :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> df:(float -> float) ->
+  float -> float
+(** [newton ?tol ?max_iter ~f ~df x0] runs Newton iteration from [x0];
+    falls back on raising [Failure] when the derivative vanishes or the
+    iteration cap is hit. *)

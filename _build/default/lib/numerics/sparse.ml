@@ -1,0 +1,125 @@
+type t = {
+  nr : int;
+  nc : int;
+  row_ptr : int array; (* length nr + 1 *)
+  col_idx : int array; (* length nnz, sorted within each row *)
+  values : float array; (* length nnz *)
+}
+
+type builder = {
+  bnr : int;
+  bnc : int;
+  mutable entries : (int * int * float) list;
+  mutable count : int;
+}
+
+let builder nr nc =
+  if nr < 0 || nc < 0 then invalid_arg "Sparse.builder: negative dimension";
+  { bnr = nr; bnc = nc; entries = []; count = 0 }
+
+let add b i j v =
+  if i < 0 || i >= b.bnr || j < 0 || j >= b.bnc then
+    invalid_arg
+      (Printf.sprintf "Sparse.add: (%d,%d) out of %dx%d" i j b.bnr b.bnc);
+  if v <> 0.0 then begin
+    b.entries <- (i, j, v) :: b.entries;
+    b.count <- b.count + 1
+  end
+
+let finalize b =
+  let arr = Array.of_list b.entries in
+  Array.sort
+    (fun (i1, j1, _) (i2, j2, _) ->
+      match compare i1 i2 with 0 -> compare j1 j2 | c -> c)
+    arr;
+  (* sum duplicates in place, keeping order *)
+  let n = Array.length arr in
+  let out = ref [] and out_n = ref 0 in
+  let k = ref 0 in
+  while !k < n do
+    let i, j, _ = arr.(!k) in
+    let acc = ref 0.0 in
+    while
+      !k < n
+      &&
+      let i', j', _ = arr.(!k) in
+      i' = i && j' = j
+    do
+      let _, _, v = arr.(!k) in
+      acc := !acc +. v;
+      incr k
+    done;
+    if !acc <> 0.0 then begin
+      out := (i, j, !acc) :: !out;
+      incr out_n
+    end
+  done;
+  let compressed = Array.of_list (List.rev !out) in
+  let nnz = Array.length compressed in
+  let row_ptr = Array.make (b.bnr + 1) 0 in
+  Array.iter (fun (i, _, _) -> row_ptr.(i + 1) <- row_ptr.(i + 1) + 1) compressed;
+  for i = 0 to b.bnr - 1 do
+    row_ptr.(i + 1) <- row_ptr.(i + 1) + row_ptr.(i)
+  done;
+  let col_idx = Array.make nnz 0 and values = Array.make nnz 0.0 in
+  Array.iteri
+    (fun k (_, j, v) ->
+      col_idx.(k) <- j;
+      values.(k) <- v)
+    compressed;
+  { nr = b.bnr; nc = b.bnc; row_ptr; col_idx; values }
+
+let rows m = m.nr
+let cols m = m.nc
+let nnz m = Array.length m.values
+
+let get m i j =
+  if i < 0 || i >= m.nr || j < 0 || j >= m.nc then
+    invalid_arg "Sparse.get: out of bounds";
+  let lo = m.row_ptr.(i) and hi = m.row_ptr.(i + 1) - 1 in
+  let rec search lo hi =
+    if lo > hi then 0.0
+    else begin
+      let mid = (lo + hi) / 2 in
+      let c = m.col_idx.(mid) in
+      if c = j then m.values.(mid)
+      else if c < j then search (mid + 1) hi
+      else search lo (mid - 1)
+    end
+  in
+  search lo hi
+
+let mul_vec m v =
+  if Array.length v <> m.nc then invalid_arg "Sparse.mul_vec: dimension mismatch";
+  Vec.init m.nr (fun i ->
+      let acc = ref 0.0 in
+      for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+        acc := !acc +. (m.values.(k) *. v.(m.col_idx.(k)))
+      done;
+      !acc)
+
+let diagonal m =
+  if m.nr <> m.nc then invalid_arg "Sparse.diagonal: matrix not square";
+  Vec.init m.nr (fun i -> get m i i)
+
+let iter_row m i f =
+  for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+    f m.col_idx.(k) m.values.(k)
+  done
+
+let is_symmetric ?(tol = 1e-9) m =
+  m.nr = m.nc
+  &&
+  let ok = ref true in
+  for i = 0 to m.nr - 1 do
+    iter_row m i (fun j v ->
+        if Float.abs (v -. get m j i) > tol then ok := false)
+  done;
+  !ok
+
+let to_dense m =
+  let d = Mat.make m.nr m.nc in
+  for i = 0 to m.nr - 1 do
+    iter_row m i (fun j v -> Mat.set d i j v)
+  done;
+  d

@@ -1,0 +1,47 @@
+(** Sparse matrices in compressed-sparse-row form, built from triplets.
+
+    Used for the substrate conductance grid, whose node count (tens of
+    thousands) rules out dense storage. *)
+
+type t
+(** An immutable CSR matrix. *)
+
+type builder
+(** A mutable triplet accumulator. *)
+
+val builder : int -> int -> builder
+(** [builder rows cols] is an empty accumulator of the given shape. *)
+
+val add : builder -> int -> int -> float -> unit
+(** [add b i j v] accumulates [v] into entry [(i, j)]; duplicate
+    coordinates are summed at {!finalize} time.
+    Raises [Invalid_argument] on out-of-range indices. *)
+
+val finalize : builder -> t
+(** [finalize b] compresses the triplets (summing duplicates, dropping
+    exact zeros) into CSR form. *)
+
+val rows : t -> int
+val cols : t -> int
+
+val nnz : t -> int
+(** [nnz m] is the number of stored entries. *)
+
+val get : t -> int -> int -> float
+(** [get m i j] is entry [(i, j)] (0 when not stored);
+    O(log nnz-per-row). *)
+
+val mul_vec : t -> Vec.t -> Vec.t
+(** [mul_vec m v] is [m * v]. *)
+
+val diagonal : t -> Vec.t
+(** [diagonal m] is the main diagonal (square matrices only). *)
+
+val iter_row : t -> int -> (int -> float -> unit) -> unit
+(** [iter_row m i f] applies [f j v] to every stored entry of row [i]. *)
+
+val is_symmetric : ?tol:float -> t -> bool
+(** [is_symmetric ?tol m] checks structural + numeric symmetry. *)
+
+val to_dense : t -> Mat.t
+(** [to_dense m] converts to a dense matrix (small matrices only). *)

@@ -1,0 +1,55 @@
+type t = float array
+
+let make n v = Array.make n v
+let zeros n = Array.make n 0.0
+let init = Array.init
+let copy = Array.copy
+
+let check_dims name a b =
+  if Array.length a <> Array.length b then
+    invalid_arg
+      (Printf.sprintf "Vec.%s: dimension mismatch (%d vs %d)" name
+         (Array.length a) (Array.length b))
+
+let dot a b =
+  check_dims "dot" a b;
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let add a b =
+  check_dims "add" a b;
+  Array.init (Array.length a) (fun i -> a.(i) +. b.(i))
+
+let sub a b =
+  check_dims "sub" a b;
+  Array.init (Array.length a) (fun i -> a.(i) -. b.(i))
+
+let scale k v = Array.map (fun x -> k *. x) v
+
+let axpy a x y =
+  check_dims "axpy" x y;
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- (a *. x.(i)) +. y.(i)
+  done
+
+let norm2 v = sqrt (dot v v)
+
+let norm_inf v = Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0.0 v
+
+let max_abs_diff a b =
+  check_dims "max_abs_diff" a b;
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    acc := Float.max !acc (Float.abs (a.(i) -. b.(i)))
+  done;
+  !acc
+
+let pp fmt v =
+  Format.fprintf fmt "[@[%a@]]"
+    (Format.pp_print_array
+       ~pp_sep:(fun fmt () -> Format.fprintf fmt ";@ ")
+       (fun fmt x -> Format.fprintf fmt "%g" x))
+    v

@@ -1,0 +1,32 @@
+let crossings samples =
+  let n = Array.length samples in
+  let acc = ref [] in
+  for i = 0 to n - 2 do
+    let a = samples.(i) and b = samples.(i + 1) in
+    if a < 0.0 && b >= 0.0 then begin
+      (* linear interpolation of the crossing instant *)
+      let frac = -.a /. (b -. a) in
+      acc := (float_of_int i +. frac) :: !acc
+    end
+  done;
+  List.rev !acc
+
+let estimate_frequency ~fs samples =
+  if fs <= 0.0 then invalid_arg "Zero_crossing.estimate_frequency: fs <= 0";
+  match crossings samples with
+  | first :: (_ :: _ as rest) ->
+    let last = List.nth rest (List.length rest - 1) in
+    let cycles = float_of_int (List.length rest) in
+    cycles /. ((last -. first) /. fs)
+  | _ ->
+    invalid_arg "Zero_crossing.estimate_frequency: fewer than 2 crossings"
+
+let period_jitter ~fs samples =
+  if fs <= 0.0 then invalid_arg "Zero_crossing.period_jitter: fs <= 0";
+  let cs = Array.of_list (crossings samples) in
+  if Array.length cs < 3 then
+    invalid_arg "Zero_crossing.period_jitter: fewer than 3 crossings";
+  let periods =
+    Array.init (Array.length cs - 1) (fun i -> (cs.(i + 1) -. cs.(i)) /. fs)
+  in
+  Stats.std periods

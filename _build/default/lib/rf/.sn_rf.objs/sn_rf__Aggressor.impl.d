@@ -1,0 +1,1 @@
+lib/rf/aggressor.ml: Float Impact List Sn_numerics

@@ -1,0 +1,1 @@
+lib/rf/aggressor.mli: Complex Impact

@@ -1,0 +1,1 @@
+lib/rf/behavioral.ml: Array Complex List Sn_numerics

@@ -1,0 +1,1 @@
+lib/rf/impact.ml: Array Complex List Sn_numerics

@@ -1,0 +1,1 @@
+lib/rf/phase_noise.ml:

@@ -1,0 +1,1 @@
+lib/rf/tank.ml: Float Sn_circuit Sn_numerics

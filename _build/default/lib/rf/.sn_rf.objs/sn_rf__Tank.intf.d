@@ -1,0 +1,1 @@
+lib/rf/tank.mli: Sn_circuit

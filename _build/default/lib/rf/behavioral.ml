@@ -1,0 +1,35 @@
+module U = Sn_numerics.Units
+module Goertzel = Sn_numerics.Goertzel
+
+type tone = { f_noise : float; beta : Complex.t; m_am : Complex.t }
+
+let synthesize ~carrier_freq ~amplitude ~tones ~fs ~n =
+  if n <= 0 then invalid_arg "Behavioral.synthesize: n must be > 0";
+  if fs <= 2.0 *. carrier_freq then
+    invalid_arg "Behavioral.synthesize: fs must exceed 2 fc";
+  let wc = U.two_pi *. carrier_freq in
+  Array.init n (fun k ->
+      let t = float_of_int k /. fs in
+      let am = ref 0.0 and pm = ref 0.0 in
+      List.iter
+        (fun { f_noise; beta; m_am } ->
+          let wm = U.two_pi *. f_noise *. t in
+          let cwm = cos wm and swm = sin wm in
+          (* Re (z e^{j wm t}) = re z cos - im z sin *)
+          am := !am +. ((m_am.Complex.re *. cwm) -. (m_am.Complex.im *. swm));
+          pm := !pm +. ((beta.Complex.re *. cwm) -. (beta.Complex.im *. swm)))
+        tones;
+      amplitude *. (1.0 +. !am) *. cos ((wc *. t) +. !pm))
+
+let measured_sideband_dbm samples ~fs ~carrier_freq ~f_noise side =
+  let f =
+    match side with
+    | `Lower -> carrier_freq -. f_noise
+    | `Upper -> carrier_freq +. f_noise
+  in
+  let a = Goertzel.amplitude_windowed ~fs ~f samples in
+  if a <= 0.0 then -300.0 else U.dbm_of_vpeak a
+
+let carrier_dbm samples ~fs ~carrier_freq =
+  let a = Goertzel.amplitude_windowed ~fs ~f:carrier_freq samples in
+  if a <= 0.0 then -300.0 else U.dbm_of_vpeak a

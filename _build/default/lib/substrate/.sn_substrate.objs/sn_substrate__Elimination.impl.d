@@ -1,0 +1,1 @@
+lib/substrate/elimination.ml: Array Grid Hashtbl List Macromodel Option Port Sn_geometry Sn_numerics Sn_tech

@@ -1,0 +1,1 @@
+lib/substrate/elimination.mli: Grid Macromodel Port Sn_geometry Sn_numerics Sn_tech

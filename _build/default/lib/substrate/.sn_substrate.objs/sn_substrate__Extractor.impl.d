@@ -1,0 +1,1 @@
+lib/substrate/extractor.ml: Array Float Grid List Logs Macromodel Port Printf Sn_geometry Sn_layout Sn_numerics Sn_tech Unix

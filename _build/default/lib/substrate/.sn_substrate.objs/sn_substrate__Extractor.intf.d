@@ -1,0 +1,1 @@
+lib/substrate/extractor.mli: Grid Macromodel Port Sn_geometry Sn_layout Sn_tech

@@ -1,0 +1,1 @@
+lib/substrate/grid.ml: Array List Printf Sn_geometry Sn_tech

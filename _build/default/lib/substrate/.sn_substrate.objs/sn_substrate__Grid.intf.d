@@ -1,0 +1,1 @@
+lib/substrate/grid.mli: Sn_geometry Sn_tech

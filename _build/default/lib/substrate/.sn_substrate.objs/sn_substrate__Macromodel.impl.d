@@ -1,0 +1,1 @@
+lib/substrate/macromodel.ml: Array Format List Port Printf Sn_numerics

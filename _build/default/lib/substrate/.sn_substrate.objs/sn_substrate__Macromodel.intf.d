@@ -1,0 +1,1 @@
+lib/substrate/macromodel.mli: Format Port Sn_numerics

@@ -1,0 +1,1 @@
+lib/substrate/port.ml: Format List Map Sn_geometry Sn_layout String

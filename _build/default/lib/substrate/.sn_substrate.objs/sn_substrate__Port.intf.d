@@ -1,0 +1,1 @@
+lib/substrate/port.mli: Format Sn_geometry Sn_layout

@@ -1,0 +1,207 @@
+module G = Sn_geometry
+module N = Sn_numerics
+module T = Sn_tech.Tech
+
+let log_src = Logs.Src.create "sn.substrate" ~doc:"substrate extraction"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type stats = {
+  grid_cells : int;
+  ports : int;
+  cg_iterations_total : int;
+  elapsed_seconds : float;
+}
+
+let stats_ref : stats option ref = ref None
+let last_stats () = !stats_ref
+
+(* Overlap area (um^2) of a port with one surface cell. *)
+let overlap_area (port : Port.t) cell_rect =
+  List.fold_left
+    (fun acc r ->
+      match G.Rect.intersection r cell_rect with
+      | Some o -> acc +. G.Rect.area o
+      | None -> acc)
+    0.0 port.Port.region
+
+let well_capacitance (profile : T.substrate_profile) (port : Port.t) =
+  let um2 = T.micron *. T.micron in
+  List.fold_left
+    (fun acc r ->
+      acc
+      +. (G.Rect.area r *. um2 *. profile.T.nwell_cap_area)
+      +. (G.Rect.perimeter r *. T.micron *. profile.T.nwell_cap_perimeter))
+    0.0 port.Port.region
+
+let extract ?(config = Grid.default_config) ?(grounded_backplane = false) ~tech ~die ports =
+  if ports = [] then invalid_arg "Extractor.extract: no ports";
+  List.iter
+    (fun (p : Port.t) ->
+      List.iter
+        (fun r ->
+          if not (G.Rect.intersects die r) then
+            invalid_arg
+              (Printf.sprintf "Extractor.extract: port %s outside die"
+                 p.Port.name))
+        p.Port.region)
+    ports;
+  let t0 = Unix.gettimeofday () in
+  let profile = tech.T.substrate in
+  let surface_ports = ports in
+  (* snap grid lines to every port rectangle edge so thin rings and
+     gaps are resolved exactly rather than aliased *)
+  let snap_x, snap_y =
+    List.fold_left
+      (fun (xs, ys) (p : Port.t) ->
+        List.fold_left
+          (fun (xs, ys) (r : G.Rect.t) ->
+            ( r.G.Rect.x0 :: r.G.Rect.x1 :: xs,
+              r.G.Rect.y0 :: r.G.Rect.y1 :: ys ))
+          (xs, ys) p.Port.region)
+      ([], []) surface_ports
+  in
+  let grid = Grid.build ~snap_x ~snap_y config ~die profile in
+  let n = Grid.cell_count grid in
+  let ports_arr =
+    if grounded_backplane then
+      Array.of_list
+        (ports @ [ Port.v ~name:"backplane" ~kind:Port.Resistive [ die ] ])
+    else Array.of_list ports
+  in
+  let np = Array.length ports_arr in
+  Log.info (fun m -> m "grid %dx%dx%d (%d cells), %d ports"
+               (Grid.nx grid) (Grid.ny grid) (Grid.nz grid) n np);
+  (* G_ii as sparse builder; G_pp dense; G_pi as per-port dense rows. *)
+  let gii = N.Sparse.builder n n in
+  let gpp = N.Mat.make np np in
+  let gpi = Array.init np (fun _ -> Array.make n 0.0) in
+  Grid.iter_conductances grid (fun a b g ->
+      N.Sparse.add gii a a g;
+      N.Sparse.add gii b b g;
+      N.Sparse.add gii a b (-.g);
+      N.Sparse.add gii b a (-.g));
+  (* Port-to-surface contact conductances. *)
+  let um2 = T.micron *. T.micron in
+  let coverage = Array.make np 0.0 in
+  for iy = 0 to Grid.ny grid - 1 do
+    for ix = 0 to Grid.nx grid - 1 do
+      let cell_rect = Grid.surface_cell_rect grid ix iy in
+      let cell = Grid.cell_index grid ix iy 0 in
+      Array.iteri
+        (fun p port ->
+          let a_um2 = overlap_area port cell_rect in
+          if a_um2 > 0.0 then begin
+            let g = a_um2 *. um2 /. profile.T.contact_resistance in
+            N.Mat.add_to gpp p p g;
+            N.Sparse.add gii cell cell g;
+            gpi.(p).(cell) <- gpi.(p).(cell) -. g;
+            coverage.(p) <- coverage.(p) +. a_um2
+          end)
+        ports_arr
+    done
+  done;
+  (* metallized backside: the last port couples to every bottom cell *)
+  if grounded_backplane then begin
+    let p = np - 1 in
+    let iz = Grid.nz grid - 1 in
+    for iy = 0 to Grid.ny grid - 1 do
+      for ix = 0 to Grid.nx grid - 1 do
+        let cell = Grid.cell_index grid ix iy iz in
+        let area = Grid.dx grid ix *. Grid.dy grid iy in
+        let g = area /. profile.T.contact_resistance in
+        N.Mat.add_to gpp p p g;
+        N.Sparse.add gii cell cell g;
+        gpi.(p).(cell) <- gpi.(p).(cell) -. g;
+        coverage.(p) <- coverage.(p) +. area
+      done
+    done
+  end;
+  Array.iteri
+    (fun p c ->
+      if c <= 0.0 then
+        invalid_arg
+          (Printf.sprintf
+             "Extractor.extract: port %s overlaps no surface cell"
+             ports_arr.(p).Port.name))
+    coverage;
+  let gii = N.Sparse.finalize gii in
+  (* Schur complement column by column. *)
+  let total_iters = ref 0 in
+  let columns =
+    Array.map
+      (fun row ->
+        let rhs = Array.map (fun x -> -.x) row in
+        (* G_ip column for port p is (G_pi row p)^T; sign folded here *)
+        let res = N.Cg.solve ~tol:1e-10 gii rhs in
+        total_iters := !total_iters + res.N.Cg.iterations;
+        if not res.N.Cg.converged then raise (N.Cg.Not_converged res);
+        res.N.Cg.solution)
+      gpi
+  in
+  (* columns.(q) solves G_ii x_q = -G_ip e_q; then
+     S_pq = Gpp_pq - G_pi x... keep signs explicit:
+     S = Gpp - Gpi Gii^-1 Gip.  Gip e_q = -rhs_q, x_q = Gii^-1 Gip e_q
+     = -(columns q).  So S_pq = Gpp_pq - dot (Gpi row p) (-(columns q)). *)
+  let s =
+    N.Mat.init np np (fun p q ->
+        let dot = ref 0.0 in
+        let xq = columns.(q) in
+        let gp = gpi.(p) in
+        for i = 0 to n - 1 do
+          dot := !dot +. (gp.(i) *. xq.(i))
+        done;
+        N.Mat.get gpp p q +. !dot)
+  in
+  (* enforce exact symmetry lost to iterative tolerance *)
+  let s =
+    N.Mat.init np np (fun p q ->
+        0.5 *. (N.Mat.get s p q +. N.Mat.get s q p))
+  in
+  let well_caps =
+    Array.to_list ports_arr
+    |> List.filter (fun (p : Port.t) -> p.Port.kind = Port.Well)
+    |> List.map (fun (p : Port.t) ->
+           (p.Port.name, well_capacitance profile p))
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  stats_ref :=
+    Some
+      {
+        grid_cells = n;
+        ports = np;
+        cg_iterations_total = !total_iters;
+        elapsed_seconds = elapsed;
+      };
+  Log.info (fun m ->
+      m "reduction done: %d CG iterations, %.2f s" !total_iters elapsed);
+  Macromodel.make ~ports:ports_arr ~conductance:s ~well_capacitance:well_caps
+
+(* The extraction window covers the substrate-relevant geometry
+   (contacts, wells, probes) — not the metal routing and pads, whose
+   bounding box would blow the grid cells up past the guard-ring
+   feature size. *)
+let substrate_bbox layout =
+  let relevant (s : Sn_layout.Shape.t) =
+    match s.Sn_layout.Shape.layer with
+    | Sn_layout.Layer.Substrate_contact | Sn_layout.Layer.Nwell
+    | Sn_layout.Layer.Diffusion | Sn_layout.Layer.Backgate_probe _ ->
+      true
+    | Sn_layout.Layer.Poly | Sn_layout.Layer.Metal _ | Sn_layout.Layer.Via _
+    | Sn_layout.Layer.Pad ->
+      false
+  in
+  match List.filter relevant (Sn_layout.Layout.flatten layout) with
+  | [] -> invalid_arg "Extractor: layout has no substrate geometry"
+  | s :: rest ->
+    List.fold_left
+      (fun acc sh -> G.Rect.union_bbox acc (Sn_layout.Shape.bbox sh))
+      (Sn_layout.Shape.bbox s) rest
+
+let extract_from_layout ?config ?(margin_fraction = 0.35) ~tech layout =
+  let bbox = substrate_bbox layout in
+  let margin =
+    margin_fraction *. Float.max (G.Rect.width bbox) (G.Rect.height bbox)
+  in
+  let die = G.Rect.expand margin bbox in
+  extract ?config ~tech ~die (Port.of_layout layout)

@@ -1,0 +1,51 @@
+(** Substrate macromodel extraction (the SubstrateStorm substitute).
+
+    Assembles the FDM conductance Laplacian of the discretized bulk,
+    couples each port to the surface cells it overlaps through the
+    technology's specific contact resistance, and eliminates every
+    grid node with a Schur complement computed column-by-column with
+    conjugate gradients:
+
+    {v S = G_pp - G_pi G_ii^-1 G_ip v} *)
+
+type stats = {
+  grid_cells : int;
+  ports : int;
+  cg_iterations_total : int;
+  elapsed_seconds : float;
+}
+
+val last_stats : unit -> stats option
+(** Statistics of the most recent {!extract} call (for the runtime
+    bench). *)
+
+val extract :
+  ?config:Grid.config ->
+  ?grounded_backplane:bool ->
+  tech:Sn_tech.Tech.t ->
+  die:Sn_geometry.Rect.t ->
+  Port.t list ->
+  Macromodel.t
+(** [extract ?config ?grounded_backplane ~tech ~die ports] computes
+    the macromodel.  With [grounded_backplane] (default [false]) the
+    die backside is metallized: an extra resistive port named
+    ["backplane"] couples to every bottom grid cell — ground it in the
+    merged model to study a conductively attached die.
+    [die] is in micrometers.
+    Raises [Invalid_argument] when [ports] is empty, when a port lies
+    outside the die, or on grid configuration errors; fails with
+    [Sn_numerics.Cg.Not_converged] if the elimination solves stall. *)
+
+val extract_from_layout :
+  ?config:Grid.config ->
+  ?margin_fraction:float ->
+  tech:Sn_tech.Tech.t ->
+  Sn_layout.Layout.t ->
+  Macromodel.t
+(** [extract_from_layout ?config ?margin_fraction ~tech layout]
+    derives the extraction window from the substrate-relevant shapes
+    (contacts, wells, probes — metal routing and pads are excluded so
+    they cannot blow up the cell size), padded on each side by
+    [margin_fraction] (default 0.35) of the larger extent so bulk
+    spreading has room, then extracts with ports from
+    {!Port.of_layout}. *)

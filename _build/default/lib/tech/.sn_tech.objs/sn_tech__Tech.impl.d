@@ -1,0 +1,1 @@
+lib/tech/tech.ml: Fun List Result Sn_numerics

@@ -1,0 +1,1 @@
+lib/testchip/nmos_structure.ml: List Ring Sn_circuit Sn_geometry Sn_layout

@@ -1,0 +1,1 @@
+lib/testchip/nmos_structure.mli: Sn_circuit Sn_layout

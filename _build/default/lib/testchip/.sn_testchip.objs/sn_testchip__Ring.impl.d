@@ -1,0 +1,1 @@
+lib/testchip/ring.ml: Sn_geometry

@@ -1,0 +1,1 @@
+lib/testchip/ring.mli: Sn_geometry

@@ -1,0 +1,1 @@
+lib/testchip/scaled_oscillator.ml: Array Sn_circuit Sn_engine Sn_numerics

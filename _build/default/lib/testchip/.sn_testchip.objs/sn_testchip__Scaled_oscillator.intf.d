@@ -1,0 +1,1 @@
+lib/testchip/scaled_oscillator.mli: Sn_circuit

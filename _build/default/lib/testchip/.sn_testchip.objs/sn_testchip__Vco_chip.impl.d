@@ -1,0 +1,1 @@
+lib/testchip/vco_chip.ml: List Ring Sn_circuit Sn_geometry Sn_layout Sn_rf

@@ -1,0 +1,1 @@
+lib/testchip/vco_chip.mli: Sn_circuit Sn_layout Sn_rf

@@ -1,0 +1,14 @@
+(** Guard-ring geometry: a hollow rectangular frame decomposed into
+    four strips (a guard ring must never be modeled as its filled
+    bounding box). *)
+
+val rects :
+  center:Sn_geometry.Point.t -> inner_width:float -> inner_height:float ->
+  strip:float -> Sn_geometry.Rect.t list
+(** [rects ~center ~inner_width ~inner_height ~strip] is the four
+    strips of a frame whose hole is [inner_width x inner_height] and
+    whose band is [strip] wide.  Raises [Invalid_argument] on
+    non-positive dimensions. *)
+
+val area : inner_width:float -> inner_height:float -> strip:float -> float
+(** Total metal/diffusion area of the frame. *)

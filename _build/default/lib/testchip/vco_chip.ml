@@ -1,0 +1,233 @@
+module G = Sn_geometry
+module L = Sn_layout
+module C = Sn_circuit
+module Tank = Sn_rf.Tank
+
+type params = {
+  core_half_pitch : float;
+  ring_inner : float;
+  ring_strip : float;
+  sub_offset : float;
+  sub_size : float;
+  vss_wire_length : float;
+  vss_wire_width : float;
+  vdd_wire_length : float;
+  vdd_wire_width : float;
+  vtune_wire_length : float;
+  vtune_wire_width : float;
+  probe_resistance : float;
+  tank : Tank.t;
+  inductor_series_r : float;
+  inductor_sub_cap : float;
+  tail_current : float;
+  nmos : C.Mos_model.t;
+  pmos : C.Mos_model.t;
+  pair_w : float;
+  pair_l : float;
+}
+
+let vco_nmos =
+  { C.Mos_model.default_nmos with
+    C.Mos_model.name = "vconmos";
+    cdb = 60.0e-15; csb = 90.0e-15; cgs = 80.0e-15; cgd = 25.0e-15 }
+
+let vco_pmos =
+  { C.Mos_model.default_pmos with
+    C.Mos_model.name = "vcopmos";
+    cdb = 75.0e-15; csb = 110.0e-15; cgs = 100.0e-15; cgd = 30.0e-15 }
+
+let default =
+  {
+    core_half_pitch = 20.0;
+    ring_inner = 45.0;
+    ring_strip = 14.0;
+    sub_offset = 160.0;
+    sub_size = 25.0;
+    vss_wire_length = 70.0;
+    vss_wire_width = 2.0;
+    vdd_wire_length = 360.0;
+    vdd_wire_width = 2.0;
+    vtune_wire_length = 300.0;
+    vtune_wire_width = 1.0;
+    probe_resistance = 0.2;
+    tank = Tank.default_3ghz;
+    inductor_series_r = 2.0;
+    inductor_sub_cap = 120.0e-15;
+    tail_current = 5.0e-3;
+    nmos = vco_nmos;
+    pmos = vco_pmos;
+    pair_w = 60.0e-6;
+    pair_l = 0.18e-6;
+  }
+
+let layout p =
+  let center = G.Point.zero in
+  let bg name x =
+    L.Shape.rect
+      ~layer:(L.Layer.Backgate_probe name)
+      ~net:"-"
+      (G.Rect.of_center (G.Point.v x 0.0) ~width:10.0 ~height:10.0)
+  in
+  let pmos_well =
+    L.Shape.rect ~layer:L.Layer.Nwell ~net:"vdd_local"
+      (G.Rect.make (-22.0) 24.0 22.0 44.0)
+  in
+  let varactor_well =
+    L.Shape.rect ~layer:L.Layer.Nwell ~net:"vtune_w"
+      (G.Rect.make (-12.0) (-40.0) 12.0 (-24.0))
+  in
+  let guard_ring =
+    Ring.rects ~center ~inner_width:(2.0 *. p.ring_inner)
+      ~inner_height:(2.0 *. p.ring_inner) ~strip:p.ring_strip
+    |> List.map (fun r ->
+           L.Shape.rect ~layer:L.Layer.Substrate_contact ~net:"vss_ring" r)
+  in
+  let sub =
+    L.Shape.rect ~layer:L.Layer.Substrate_contact ~net:"sub_inject"
+      (G.Rect.of_center
+         (G.Point.v p.sub_offset 0.0)
+         ~width:p.sub_size ~height:p.sub_size)
+  in
+  let inductor_probe =
+    L.Shape.rect
+      ~layer:(L.Layer.Backgate_probe "sub_ind")
+      ~net:"-"
+      (G.Rect.make (-30.0) 70.0 30.0 120.0)
+  in
+  let ring_edge = p.ring_inner +. p.ring_strip in
+  let wire net width length ~from_terminal ~to_terminal y =
+    L.Shape.path ~layer:(L.Layer.Metal 1) ~net ~from_terminal ~to_terminal
+      (G.Path.make ~width
+         [ G.Point.v (-.ring_edge) y; G.Point.v (-.ring_edge -. length) y ])
+  in
+  let vss_stub =
+    (* short wide strap from the circuit ground to the ring *)
+    L.Shape.path ~layer:(L.Layer.Metal 1) ~net:"vss"
+      ~from_terminal:"vss_local" ~to_terminal:"vss_ring"
+      (G.Path.make ~width:8.0
+         [ G.Point.v (-20.0) 0.0; G.Point.v (-.ring_edge) 0.0 ])
+  in
+  let vss_wire =
+    wire "vss" p.vss_wire_width p.vss_wire_length ~from_terminal:"vss_ring"
+      ~to_terminal:"vss_pad" 0.0
+  in
+  let vdd_wire =
+    wire "vdd" p.vdd_wire_width p.vdd_wire_length ~from_terminal:"vdd_local"
+      ~to_terminal:"vdd_pad" 30.0
+  in
+  let vtune_wire =
+    wire "vtune" p.vtune_wire_width p.vtune_wire_length
+      ~from_terminal:"vtune_w" ~to_terminal:"vtune_pad" (-30.0)
+  in
+  (* the spiral inductor: drawn (unterminated) for area realism; its
+     electrical macromodel (L, series R, substrate C) lives in the
+     circuit netlist, as spiral inductors are characterized by EM
+     solvers rather than wire extraction *)
+  let spiral =
+    L.Shape.path ~layer:(L.Layer.Metal 6) ~net:"tank"
+      (G.Path.make ~width:8.0
+         [ G.Point.v (-25.0) 75.0; G.Point.v 25.0 75.0; G.Point.v 25.0 115.0;
+           G.Point.v (-25.0) 115.0; G.Point.v (-25.0) 83.0;
+           G.Point.v 17.0 83.0; G.Point.v 17.0 107.0;
+           G.Point.v (-17.0) 107.0; G.Point.v (-17.0) 91.0;
+           G.Point.v 9.0 91.0 ])
+  in
+  let frame =
+    Ring.rects ~center
+      ~inner_width:(2.0 *. (p.sub_offset +. p.sub_size +. 30.0))
+      ~inner_height:(2.0 *. (p.sub_offset +. p.sub_size +. 30.0))
+      ~strip:15.0
+    |> List.map (fun r ->
+           L.Shape.rect ~layer:L.Layer.Substrate_contact ~net:"frame" r)
+  in
+  let pads =
+    List.map
+      (fun (net, y) ->
+        L.Shape.rect ~layer:L.Layer.Pad ~net
+          (G.Rect.of_center
+             (G.Point.v (-.ring_edge -. p.vss_wire_length -. 40.0) y)
+             ~width:60.0 ~height:60.0))
+      [ ("vss", 0.0); ("vdd", 80.0); ("vtune", -80.0) ]
+  in
+  let cell =
+    L.Cell.make ~name:"vco_chip"
+      ([ bg "mn1" (-12.0); bg "mn2" 12.0; pmos_well; varactor_well; sub;
+         inductor_probe; vss_stub; vss_wire; vdd_wire; vtune_wire; spiral ]
+       @ guard_ring @ frame @ pads)
+  in
+  L.Layout.create ~top:"vco_chip" [ cell ]
+
+let noise_source_name = "vnoise"
+
+let circuit p ~vtune =
+  let t = p.tank in
+  let c_fixed_half = t.Tank.c_fixed /. 2.0 in
+  C.Netlist.create ~title:"lc-tank vco"
+    [
+      (* supplies and references *)
+      C.Element.Vsource { name = "vdd"; np = "vdd_pad"; nn = "0";
+                          wave = C.Waveform.dc 1.8; ac_mag = 0.0 };
+      C.Element.Vsource { name = "vtune"; np = "vtune_pad"; nn = "0";
+                          wave = C.Waveform.dc vtune; ac_mag = 0.0 };
+      C.Element.Resistor { name = "rprobe_vss"; n1 = "vss_pad"; n2 = "0";
+                           ohms = p.probe_resistance };
+      (* substrate noise source behind its 50 ohm output impedance *)
+      C.Element.Vsource { name = noise_source_name; np = "sub_drive";
+                          nn = "0"; wave = C.Waveform.dc 0.0; ac_mag = 1.0 };
+      C.Element.Resistor { name = "rs_noise"; n1 = "sub_drive";
+                           n2 = "sub_inject"; ohms = 50.0 };
+      (* bias *)
+      C.Element.Isource { name = "itail"; np = "vdd_local"; nn = "vtop";
+                          wave = C.Waveform.dc p.tail_current; ac_mag = 0.0 };
+      C.Element.Capacitor { name = "cdec"; n1 = "vdd_local";
+                            n2 = "vss_local"; farads = 5.0e-12 };
+      (* cross-coupled pairs *)
+      C.Element.Mosfet { name = "mp1"; drain = "tank_p"; gate = "tank_n";
+                         source = "vtop"; bulk = "vdd_local"; model = p.pmos;
+                         w = p.pair_w; l = p.pair_l; mult = 2 };
+      C.Element.Mosfet { name = "mp2"; drain = "tank_n"; gate = "tank_p";
+                         source = "vtop"; bulk = "vdd_local"; model = p.pmos;
+                         w = p.pair_w; l = p.pair_l; mult = 2 };
+      C.Element.Mosfet { name = "mn1"; drain = "tank_p"; gate = "tank_n";
+                         source = "vss_local"; bulk = "backgate:mn1";
+                         model = p.nmos; w = p.pair_w; l = p.pair_l;
+                         mult = 1 };
+      C.Element.Mosfet { name = "mn2"; drain = "tank_n"; gate = "tank_p";
+                         source = "vss_local"; bulk = "backgate:mn2";
+                         model = p.nmos; w = p.pair_w; l = p.pair_l;
+                         mult = 1 };
+      (* the LC tank *)
+      C.Element.Inductor { name = "ltank"; n1 = "tank_p"; n2 = "ind_r";
+                           henries = t.Tank.inductance };
+      C.Element.Resistor { name = "rind"; n1 = "ind_r"; n2 = "tank_n";
+                           ohms = p.inductor_series_r };
+      C.Element.Capacitor { name = "cfix_p"; n1 = "tank_p"; n2 = "vss_local";
+                            farads = c_fixed_half };
+      C.Element.Capacitor { name = "cfix_n"; n1 = "tank_n"; n2 = "vss_local";
+                            farads = c_fixed_half };
+      C.Element.Varactor { name = "yvar_p"; n1 = "tank_p"; n2 = "vtune_w";
+                           model = t.Tank.varactor;
+                           mult = t.Tank.varactor_mult };
+      C.Element.Varactor { name = "yvar_n"; n1 = "tank_n"; n2 = "vtune_w";
+                           model = t.Tank.varactor;
+                           mult = t.Tank.varactor_mult };
+      (* inductor metal to substrate capacitance (EM-characterized) *)
+      C.Element.Capacitor { name = "cind_p"; n1 = "tank_p";
+                            n2 = "backgate:sub_ind";
+                            farads = p.inductor_sub_cap };
+      C.Element.Capacitor { name = "cind_n"; n1 = "tank_n";
+                            n2 = "backgate:sub_ind";
+                            farads = p.inductor_sub_cap };
+    ]
+
+(* The supply-interconnect entry shares the vdd_local node with the
+   PMOS n-well entry in this topology, so it is subsumed by Pmos_well
+   here (listing both would double-count the same coupling). *)
+let sensitive_nodes =
+  [
+    (Tank.Ground, "vss_local");
+    (Tank.Backgate, "backgate:mn1");
+    (Tank.Pmos_well, "vdd_local");
+    (Tank.Varactor_well, "vtune_w");
+    (Tank.Inductor_node, "backgate:sub_ind");
+  ]

@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Float Format List Printf QCheck QCheck_alcotest Sn_circuit Sn_testchip Snoise String

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Complex Float Format List Printf QCheck QCheck_alcotest Random Sn_circuit Sn_engine Sn_geometry Sn_numerics Sn_substrate Sn_tech Snoise String

@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Float Lazy List Printf Result Sn_circuit Sn_geometry Sn_numerics Sn_rf Sn_substrate Sn_tech Snoise

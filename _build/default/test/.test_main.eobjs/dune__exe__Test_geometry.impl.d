@@ -1,0 +1,1 @@
+test/test_geometry.ml: Alcotest List QCheck QCheck_alcotest Sn_geometry

@@ -1,0 +1,1 @@
+test/test_interconnect.ml: Alcotest Float List Printf QCheck QCheck_alcotest Sn_geometry Sn_interconnect Sn_layout Sn_tech String

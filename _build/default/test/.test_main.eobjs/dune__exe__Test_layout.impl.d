@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Filename Format Fun List Sn_geometry Sn_layout Sn_tech Sn_testchip Sys

@@ -1,0 +1,1 @@
+test/test_numerics.ml: Alcotest Array Complex Float Fun Printf QCheck QCheck_alcotest Random Sn_numerics

@@ -1,0 +1,1 @@
+test/test_oscillator.ml: Alcotest Float Lazy Printf Sn_numerics Sn_testchip

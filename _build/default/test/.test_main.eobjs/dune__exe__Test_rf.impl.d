@@ -1,0 +1,1 @@
+test/test_rf.ml: Alcotest Complex Float List Printf Sn_numerics Sn_rf String

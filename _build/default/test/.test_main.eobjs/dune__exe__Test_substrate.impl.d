@@ -1,0 +1,1 @@
+test/test_substrate.ml: Alcotest Cell Float Layer Layout List Printf Result Shape Sn_geometry Sn_layout Sn_numerics Sn_substrate Sn_tech

@@ -1,0 +1,1 @@
+test/test_testchip.ml: Alcotest Float Lazy List Sn_circuit Sn_engine Sn_geometry Sn_interconnect Sn_layout Sn_substrate Sn_tech Sn_testchip String

@@ -1,0 +1,720 @@
+(* Tests for sn_engine: DC, AC and transient analyses checked against
+   closed-form circuit theory. *)
+
+module C = Sn_circuit
+module E = C.Element
+module W = C.Waveform
+module M = C.Mos_model
+module U = Sn_numerics.Units
+module Dc = Sn_engine.Dc
+module Ac = Sn_engine.Ac
+module Tran = Sn_engine.Tran
+module Goertzel = Sn_numerics.Goertzel
+
+let check_close tol = Alcotest.(check (float tol))
+
+let r name n1 n2 ohms = E.Resistor { name; n1; n2; ohms }
+let c name n1 n2 farads = E.Capacitor { name; n1; n2; farads }
+let l name n1 n2 henries = E.Inductor { name; n1; n2; henries }
+
+let vdc name np nn v = E.Vsource { name; np; nn; wave = W.dc v; ac_mag = 0.0 }
+
+let vac name np nn ?(dc = 0.0) mag =
+  E.Vsource { name; np; nn; wave = W.dc dc; ac_mag = mag }
+
+let idc name np nn v = E.Isource { name; np; nn; wave = W.dc v; ac_mag = 0.0 }
+
+(* ------------------------------------------------------------------ *)
+(* DC *)
+
+let test_dc_divider () =
+  let nl =
+    C.Netlist.create
+      [ vdc "v1" "in" "0" 10.0; r "r1" "in" "mid" 1000.0;
+        r "r2" "mid" "0" 3000.0 ]
+  in
+  let s = Dc.solve nl in
+  check_close 1e-6 "divider" 7.5 (Dc.voltage s "mid");
+  check_close 1e-9 "source current" (-.(10.0 -. 7.5) /. 1000.0)
+    (Dc.branch_current s "v1")
+
+let test_dc_current_source () =
+  let nl = C.Netlist.create [ idc "i1" "0" "a" 1.0e-3; r "r1" "a" "0" 2000.0 ] in
+  let s = Dc.solve nl in
+  check_close 1e-6 "IR drop" 2.0 (Dc.voltage s "a")
+
+let test_dc_inductor_short () =
+  let nl =
+    C.Netlist.create
+      [ vdc "v1" "in" "0" 5.0; r "r1" "in" "a" 1000.0; l "l1" "a" "b" 1e-9;
+        r "r2" "b" "0" 1000.0 ]
+  in
+  let s = Dc.solve nl in
+  check_close 1e-6 "inductor shorts" 2.5 (Dc.voltage s "a");
+  check_close 1e-6 "same both sides" 2.5 (Dc.voltage s "b");
+  check_close 1e-9 "inductor current" 2.5e-3 (Dc.branch_current s "l1")
+
+let test_dc_capacitor_open () =
+  let nl =
+    C.Netlist.create
+      [ vdc "v1" "in" "0" 5.0; r "r1" "in" "a" 1000.0; c "c1" "a" "0" 1e-9 ]
+  in
+  let s = Dc.solve nl in
+  check_close 1e-5 "cap open: no drop" 5.0 (Dc.voltage s "a")
+
+let test_dc_vcvs () =
+  let nl =
+    C.Netlist.create
+      [ vdc "v1" "in" "0" 1.0;
+        E.Vcvs { name = "e1"; np = "out"; nn = "0"; cp = "in"; cn = "0";
+                 gain = 4.0 };
+        r "rl" "out" "0" 1000.0 ]
+  in
+  let s = Dc.solve nl in
+  check_close 1e-6 "gain 4" 4.0 (Dc.voltage s "out")
+
+let test_dc_vccs () =
+  let nl =
+    C.Netlist.create
+      [ vdc "v1" "in" "0" 2.0;
+        E.Vccs { name = "g1"; np = "out"; nn = "0"; cp = "in"; cn = "0";
+                 gm = 1.0e-3 };
+        r "rl" "out" "0" 500.0 ]
+  in
+  let s = Dc.solve nl in
+  (* i = gm * 2 V = 2 mA leaving node out -> v_out = -2mA * 500 = -1 V *)
+  check_close 1e-6 "vccs polarity" (-1.0) (Dc.voltage s "out")
+
+let diode_connected_bias =
+  [ vdc "vdd" "vdd" "0" 1.8;
+    r "rd" "vdd" "d" 1000.0;
+    E.Mosfet { name = "m1"; drain = "d"; gate = "d"; source = "0";
+               bulk = "0"; model = M.default_nmos; w = 10e-6; l = 1e-6;
+               mult = 1 } ]
+
+let test_dc_diode_connected_nmos () =
+  let nl = C.Netlist.create diode_connected_bias in
+  let s = Dc.solve nl in
+  let vd = Dc.voltage s "d" in
+  (* diode-connected: vgs = vds > vth, KCL: (1.8 - vd)/1k = id(vd) *)
+  Alcotest.(check bool) "above threshold" true (vd > M.default_nmos.M.vt0);
+  Alcotest.(check bool) "below supply" true (vd < 1.8);
+  let op = Dc.mos_operating_point s "m1" in
+  let kcl_err = ((1.8 -. vd) /. 1000.0) -. op.M.id in
+  Alcotest.(check bool) "KCL satisfied" true (Float.abs kcl_err < 1e-7)
+
+let test_dc_pmos_mirror_polarity () =
+  (* PMOS with source at vdd, gate grounded: strongly on; drain pulls
+     toward vdd through the device against a resistor to ground *)
+  let nl =
+    C.Netlist.create
+      [ vdc "vdd" "vdd" "0" 1.8;
+        E.Mosfet { name = "mp"; drain = "d"; gate = "0"; source = "vdd";
+                   bulk = "vdd"; model = M.default_pmos; w = 50e-6;
+                   l = 0.5e-6; mult = 1 };
+        r "rl" "d" "0" 10000.0 ]
+  in
+  let s = Dc.solve nl in
+  Alcotest.(check bool) "pmos pulls high" true (Dc.voltage s "d" > 1.2)
+
+let test_dc_mos_reverse_conduction () =
+  (* drain below source: the device conducts symmetrically *)
+  let nl =
+    C.Netlist.create
+      [ vdc "vg" "g" "0" 1.8; vdc "vs" "s" "0" 1.0;
+        E.Mosfet { name = "m1"; drain = "d"; gate = "g"; source = "s";
+                   bulk = "0"; model = M.default_nmos; w = 10e-6; l = 1e-6;
+                   mult = 1 };
+        r "rd" "d" "0" 100.0 ]
+  in
+  let s = Dc.solve nl in
+  (* source at 1 V drives current out of the drain into rd: vd between
+     0 and 1 V *)
+  let vd = Dc.voltage s "d" in
+  Alcotest.(check bool) (Printf.sprintf "vd = %g in (0, 1)" vd) true
+    (vd > 0.0 && vd < 1.0)
+
+let test_dc_bridge_with_gmin_path () =
+  (* a node connected only through capacitors still solves thanks to gmin *)
+  let nl =
+    C.Netlist.create
+      [ vdc "v1" "in" "0" 1.0; c "c1" "in" "float" 1e-12;
+        c "c2" "float" "0" 1e-12; r "r1" "in" "0" 1000.0 ]
+  in
+  let s = Dc.solve nl in
+  Alcotest.(check bool) "floating node finite" true
+    (Float.is_finite (Dc.voltage s "float"))
+
+(* ------------------------------------------------------------------ *)
+(* AC *)
+
+let test_ac_rc_lowpass () =
+  let rv = 1000.0 and cv = 1e-9 in
+  let f3db = 1.0 /. (U.two_pi *. rv *. cv) in
+  let nl =
+    C.Netlist.create
+      [ vac "v1" "in" "0" 1.0; r "r1" "in" "out" rv; c "c1" "out" "0" cv ]
+  in
+  let s = Ac.solve nl ~freq:f3db in
+  check_close 0.01 "-3 dB at corner" (-3.0103) (Ac.magnitude_db s "out");
+  let s10 = Ac.solve nl ~freq:(10.0 *. f3db) in
+  check_close 0.2 "-20 dB/dec" (-20.04) (Ac.magnitude_db s10 "out")
+
+let test_ac_lc_resonance () =
+  let lv = 2e-9 and cv = 1.4e-12 in
+  let f0 = 1.0 /. (U.two_pi *. sqrt (lv *. cv)) in
+  let nl =
+    C.Netlist.create
+      [ E.Isource { name = "i1"; np = "0"; nn = "tank"; wave = W.dc 0.0;
+                    ac_mag = 1.0e-3 };
+        l "l1" "tank" "0" lv; c "c1" "tank" "0" cv;
+        r "rp" "tank" "0" 500.0 ]
+  in
+  (* at resonance the tank is purely resistive: |v| = i * rp *)
+  let s = Ac.solve nl ~freq:f0 in
+  check_close 1e-3 "resonant magnitude" 0.5 (Complex.norm (Ac.voltage s "tank"));
+  (* off resonance the magnitude drops *)
+  let s_off = Ac.solve nl ~freq:(1.3 *. f0) in
+  Alcotest.(check bool) "off-resonance lower" true
+    (Complex.norm (Ac.voltage s_off "tank") < 0.3)
+
+let common_source_bias vg =
+  [ vdc "vdd" "vdd" "0" 1.8; vdc "vg" "g" "0" vg;
+    E.Vsource { name = "vsig"; np = "gac"; nn = "g"; wave = W.dc 0.0;
+                ac_mag = 1.0 };
+    r "rd" "vdd" "d" 2000.0;
+    E.Mosfet { name = "m1"; drain = "d"; gate = "gac"; source = "0";
+               bulk = "0"; model = M.default_nmos; w = 20e-6; l = 1e-6;
+               mult = 1 } ]
+
+let test_ac_common_source_gain () =
+  let nl = C.Netlist.create (common_source_bias 0.9) in
+  let dc = Dc.solve nl in
+  let op = Dc.mos_operating_point dc "m1" in
+  let expected_gain = op.M.gm *. (1.0 /. ((1.0 /. 2000.0) +. op.M.gds)) in
+  let s = Ac.solve ~dc nl ~freq:1.0e3 in
+  let gain = Complex.norm (Ac.voltage s "d") in
+  check_close (0.01 *. expected_gain) "gm * (RD || ro)" expected_gain gain;
+  (* inverting stage: phase ~ 180 deg at low frequency *)
+  Alcotest.(check bool) "inverting" true ((Ac.voltage s "d").Complex.re < 0.0)
+
+let test_ac_backgate_transfer () =
+  (* the paper's Figure 3 mechanism in miniature: drive the bulk, see
+     gmb * (RD || ro) at the drain *)
+  let nl =
+    C.Netlist.create
+      [ vdc "vdd" "vdd" "0" 1.8; vdc "vg" "g" "0" 0.9;
+        E.Vsource { name = "vbulk"; np = "b"; nn = "0"; wave = W.dc 0.0;
+                    ac_mag = 1.0 };
+        r "rd" "vdd" "d" 2000.0;
+        E.Mosfet { name = "m1"; drain = "d"; gate = "g"; source = "0";
+                   bulk = "b"; model = M.default_nmos; w = 20e-6; l = 1e-6;
+                   mult = 1 } ]
+  in
+  let dc = Dc.solve nl in
+  let op = Dc.mos_operating_point dc "m1" in
+  let expected = op.M.gmb *. (1.0 /. ((1.0 /. 2000.0) +. op.M.gds)) in
+  let s = Ac.solve ~dc nl ~freq:1.0e3 in
+  check_close (0.02 *. expected) "gmb * (RD || ro)" expected
+    (Complex.norm (Ac.voltage s "d"))
+
+let test_ac_sweep_shape () =
+  let nl =
+    C.Netlist.create
+      [ vac "v1" "in" "0" 1.0; r "r1" "in" "out" 1000.0; c "c1" "out" "0" 1e-9 ]
+  in
+  let freqs = Sn_numerics.Sweep.logspace 1e3 1e9 25 in
+  let points = Ac.sweep nl ~freqs ~nodes:[ "out" ] in
+  let dbs = Ac.transfer_db points "out" in
+  (* monotone decreasing magnitude for a first-order low-pass *)
+  let ok = ref true in
+  for i = 0 to Array.length dbs - 2 do
+    if dbs.(i + 1) > dbs.(i) +. 1e-9 then ok := false
+  done;
+  Alcotest.(check bool) "monotone rolloff" true !ok;
+  (* asymptotic slope -20 dB/dec *)
+  let tail_f = Array.sub freqs 15 10 and tail_db = Array.sub dbs 15 10 in
+  check_close 0.5 "tail slope"
+    (-20.0)
+    (Sn_numerics.Stats.slope_db_per_decade tail_f tail_db)
+
+(* ------------------------------------------------------------------ *)
+(* Transient *)
+
+let test_tran_rc_step () =
+  let rv = 1000.0 and cv = 1e-6 in
+  let tau = rv *. cv in
+  let nl =
+    C.Netlist.create
+      [ E.Vsource { name = "v1"; np = "in"; nn = "0";
+                    wave = W.pulse ~v1:0.0 ~v2:1.0 ~width:1.0 ~period:2.0 ();
+                    ac_mag = 0.0 };
+        r "r1" "in" "out" rv; c "c1" "out" "0" cv ]
+  in
+  let opts = { Tran.default_options with Tran.ic = Tran.Uic [] } in
+  let d = Tran.simulate ~options:opts ~tstop:(5.0 *. tau) ~dt:(tau /. 200.0) nl in
+  let out = Tran.node d "out" in
+  let analytic t = 1.0 -. exp (-.t /. tau) in
+  let max_err = ref 0.0 in
+  Array.iteri
+    (fun k t ->
+      max_err := Float.max !max_err (Float.abs (out.(k) -. analytic t)))
+    d.Tran.times;
+  Alcotest.(check bool)
+    (Printf.sprintf "max error %.4f < 1%%" !max_err)
+    true (!max_err < 0.01)
+
+let test_tran_sine_steady_state () =
+  let nl =
+    C.Netlist.create
+      [ E.Vsource { name = "v1"; np = "in"; nn = "0";
+                    wave = W.sin_wave ~amplitude:1.0 ~freq:1.0e3 ();
+                    ac_mag = 0.0 };
+        r "r1" "in" "out" 1000.0; r "r2" "out" "0" 1000.0 ]
+  in
+  let d = Tran.simulate ~tstop:4e-3 ~dt:1e-6 nl in
+  let out = Tran.samples_after d ~t0:1e-3 "out" in
+  let amp = Goertzel.amplitude ~fs:1e6 ~f:1e3 out in
+  check_close 1e-3 "resistive divider of sine" 0.5 amp
+
+let test_tran_lc_ringdown_frequency () =
+  (* start the tank charged (UIC) and measure the ring frequency *)
+  let lv = 1e-6 and cv = 1e-9 in
+  let f0 = 1.0 /. (U.two_pi *. sqrt (lv *. cv)) in
+  let nl =
+    C.Netlist.create
+      [ l "l1" "tank" "0" lv; c "c1" "tank" "0" cv;
+        r "rp" "tank" "0" 100e3 ]
+  in
+  let opts =
+    { Tran.default_options with Tran.ic = Tran.Uic [ ("tank", 1.0) ] }
+  in
+  let periods = 40.0 in
+  let dt = 1.0 /. (f0 *. 200.0) in
+  let d = Tran.simulate ~options:opts ~tstop:(periods /. f0) ~dt nl in
+  let w = Tran.node d "tank" in
+  let fs = 1.0 /. dt in
+  let spec = Sn_numerics.Fft.amplitude_spectrum ~fs w in
+  let fpk, _ = Sn_numerics.Fft.peak_near spec ~f:f0 ~span:(0.2 *. f0) in
+  check_close (0.02 *. f0) "ring frequency" f0 fpk
+
+let test_tran_trapezoidal_beats_be () =
+  (* integrate one sine period; trapezoidal should track the divider
+     more accurately than backward Euler on the RC corner *)
+  let rv = 1000.0 and cv = 1e-6 in
+  let f = 1.0 /. (U.two_pi *. rv *. cv) in
+  let nl =
+    C.Netlist.create
+      [ E.Vsource { name = "v1"; np = "in"; nn = "0";
+                    wave = W.sin_wave ~amplitude:1.0 ~freq:f ();
+                    ac_mag = 0.0 };
+        r "r1" "in" "out" rv; c "c1" "out" "0" cv ]
+  in
+  let run method_ =
+    let opts = { Tran.default_options with Tran.method_ } in
+    let d = Tran.simulate ~options:opts ~tstop:(4.0 /. f) ~dt:(0.02 /. f) nl in
+    let out = Tran.samples_after d ~t0:(2.0 /. f) "out" in
+    let fs = f /. 0.02 in
+    Goertzel.amplitude ~fs ~f out
+  in
+  let target = 1.0 /. sqrt 2.0 in
+  let err_be = Float.abs (run Tran.Backward_euler -. target) in
+  let err_trap = Float.abs (run Tran.Trapezoidal -. target) in
+  Alcotest.(check bool)
+    (Printf.sprintf "trap %.5f < be %.5f" err_trap err_be)
+    true (err_trap < err_be)
+
+let test_tran_varactor_modulates () =
+  (* a varactor driven through a resistor charges like an RC with
+     voltage-dependent C: final value still reaches the source *)
+  let nl =
+    C.Netlist.create
+      [ E.Vsource { name = "v1"; np = "in"; nn = "0";
+                    wave = W.pulse ~v1:0.0 ~v2:1.0 ~width:1.0 ~period:2.0 ();
+                    ac_mag = 0.0 };
+        r "r1" "in" "out" 10e3;
+        E.Varactor { name = "y1"; n1 = "out"; n2 = "0";
+                     model = C.Varactor_model.default; mult = 1 } ]
+  in
+  let opts = { Tran.default_options with Tran.ic = Tran.Uic [] } in
+  let d = Tran.simulate ~options:opts ~tstop:1e-6 ~dt:1e-9 nl in
+  let out = Tran.node d "out" in
+  let final = out.(Array.length out - 1) in
+  check_close 0.01 "settles to source" 1.0 final;
+  (* monotone rise *)
+  let ok = ref true in
+  for i = 0 to Array.length out - 2 do
+    if out.(i + 1) < out.(i) -. 1e-9 then ok := false
+  done;
+  Alcotest.(check bool) "monotone charge-up" true !ok
+
+let test_tran_adaptive_rc () =
+  (* adaptive stepping matches the analytic RC response and uses fewer
+     points than the equivalent fine fixed grid *)
+  let rv = 1000.0 and cv = 1e-6 in
+  let tau = rv *. cv in
+  let nl =
+    C.Netlist.create
+      [ E.Vsource { name = "v1"; np = "in"; nn = "0";
+                    wave = W.pulse ~v1:0.0 ~v2:1.0 ~width:1.0 ~period:2.0 ();
+                    ac_mag = 0.0 };
+        r "r1" "in" "out" rv; c "c1" "out" "0" cv ]
+  in
+  let opts = { Tran.default_options with Tran.ic = Tran.Uic [] } in
+  let d =
+    Tran.simulate_adaptive ~options:opts ~lte_tol:1e-5 ~tstop:(5.0 *. tau)
+      ~dt:(tau /. 50.0) nl
+  in
+  let out = Tran.node d "out" in
+  let analytic t = 1.0 -. exp (-.t /. tau) in
+  let max_err = ref 0.0 in
+  Array.iteri
+    (fun k t ->
+      max_err := Float.max !max_err (Float.abs (out.(k) -. analytic t)))
+    d.Tran.times;
+  Alcotest.(check bool)
+    (Printf.sprintf "adaptive error %.5f < 1%%" !max_err)
+    true (!max_err < 0.01);
+  (* monotone, non-uniform time axis *)
+  let dts =
+    Array.init (Array.length d.Tran.times - 1) (fun k ->
+        d.Tran.times.(k + 1) -. d.Tran.times.(k))
+  in
+  Alcotest.(check bool) "monotone time" true (Array.for_all (fun h -> h > 0.0) dts);
+  Alcotest.(check bool) "step actually adapts" true
+    (Sn_numerics.Stats.max_abs dts > 1.5 *. (tau /. 50.0))
+
+let test_tran_adaptive_grows_on_quiet () =
+  (* a pure resistive divider lets the step grow to dt_max *)
+  let nl =
+    C.Netlist.create
+      [ vdc "v1" "in" "0" 1.0; r "r1" "in" "out" 1.0e3; r "r2" "out" "0" 1.0e3 ]
+  in
+  let d = Tran.simulate_adaptive ~dt_max:8e-3 ~tstop:0.1 ~dt:1e-3 nl in
+  Alcotest.(check bool) "few points" true (Array.length d.Tran.times < 40)
+
+let test_tran_to_csv () =
+  let nl =
+    C.Netlist.create [ vdc "v1" "a" "0" 2.0; r "r1" "a" "0" 1.0e3 ]
+  in
+  let d = Tran.simulate ~tstop:1e-3 ~dt:5e-4 nl in
+  let csv = Tran.to_csv d in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check int) "header + 3 points" 4 (List.length lines);
+  (match lines with
+   | header :: _ -> Alcotest.(check string) "header" "time,a" header
+   | [] -> Alcotest.fail "empty csv");
+  Alcotest.(check bool) "value present" true
+    (List.exists (fun l ->
+         String.length l > 2 && String.sub l (String.length l - 1) 1 = "2")
+       (List.tl lines))
+
+(* ------------------------------------------------------------------ *)
+(* Noise *)
+
+module Noise = Sn_engine.Noise
+
+let test_noise_resistor_divider () =
+  (* two equal resistors to ground: output noise = 4kT (R/2) *)
+  let rv = 10.0e3 in
+  let nl =
+    C.Netlist.create
+      [ vdc "v1" "in" "0" 1.0; r "r1" "in" "out" rv; r "r2" "out" "0" rv ]
+  in
+  let pts = Noise.analyze nl ~output:"out" ~freqs:[| 1.0e3 |] in
+  let expected = 4.0 *. 1.380649e-23 *. 300.0 *. (rv /. 2.0) in
+  match pts with
+  | [ p ] ->
+    check_close (0.01 *. expected) "4kT(R||R)" expected p.Noise.total_psd;
+    (* both resistors contribute equally *)
+    (match p.Noise.contributions with
+     | [ a; b ] -> check_close (0.01 *. a.Noise.psd) "equal split" a.Noise.psd b.Noise.psd
+     | _ -> Alcotest.fail "expected 2 contributions")
+  | _ -> Alcotest.fail "expected 1 point"
+
+let test_noise_ktc () =
+  (* integrated noise of an RC filter is kT/C, independent of R *)
+  let check_ktc rv cv =
+    let f3db = 1.0 /. (U.two_pi *. rv *. cv) in
+    let nl =
+      C.Netlist.create
+        [ vdc "v1" "in" "0" 1.0; r "r1" "in" "out" rv; c "c1" "out" "0" cv ]
+    in
+    let freqs = Sn_numerics.Sweep.logspace (f3db /. 1000.0) (1000.0 *. f3db) 400 in
+    let pts = Noise.analyze nl ~output:"out" ~freqs in
+    let v_rms = Noise.total_rms pts in
+    let expected = sqrt (1.380649e-23 *. 300.0 /. cv) in
+    Alcotest.(check bool)
+      (Printf.sprintf "kT/C: %.3g vs %.3g" v_rms expected)
+      true
+      (Float.abs (v_rms -. expected) /. expected < 0.05)
+  in
+  check_ktc 1.0e3 1.0e-12;
+  check_ktc 1.0e6 1.0e-12
+
+let test_noise_mos_channel () =
+  (* a biased common-source stage adds 4kT gamma gm |RD||ro|^2 *)
+  let nl = C.Netlist.create (common_source_bias 0.9) in
+  let dc = Dc.solve nl in
+  let op = Dc.mos_operating_point dc "m1" in
+  let r_out = 1.0 /. ((1.0 /. 2000.0) +. op.M.gds) in
+  let expected_mos =
+    4.0 *. 1.380649e-23 *. 300.0 *. (2.0 /. 3.0) *. op.M.gm *. r_out *. r_out
+  in
+  let pts = Noise.analyze ~dc nl ~output:"d" ~freqs:[| 1.0e3 |] in
+  match pts with
+  | [ p ] ->
+    let mos_contrib =
+      List.find (fun c -> c.Noise.element = "m1") p.Noise.contributions
+    in
+    check_close (0.03 *. expected_mos) "channel noise" expected_mos
+      mos_contrib.Noise.psd
+  | _ -> Alcotest.fail "expected 1 point"
+
+let test_noise_filtered_rolloff () =
+  (* beyond the RC corner the PSD falls 20 dB/dec *)
+  let nl =
+    C.Netlist.create
+      [ vdc "v1" "in" "0" 1.0; r "r1" "in" "out" 1.0e3; c "c1" "out" "0" 1.0e-9 ]
+  in
+  let f3db = 1.0 /. (U.two_pi *. 1.0e3 *. 1.0e-9) in
+  let pts =
+    Noise.analyze nl ~output:"out" ~freqs:[| 10.0 *. f3db; 100.0 *. f3db |]
+  in
+  match pts with
+  | [ a; b ] ->
+    let drop = 10.0 *. log10 (a.Noise.total_psd /. b.Noise.total_psd) in
+    check_close 0.3 "20 dB/dec in power" 20.0 drop
+  | _ -> Alcotest.fail "expected 2 points"
+
+(* ------------------------------------------------------------------ *)
+(* Two-port S-parameters *)
+
+module Twoport = Sn_engine.Twoport
+
+let test_sparams_through () =
+  (* a direct through connection: S21 = 1, S11 = 0 *)
+  let nl = C.Netlist.create [ r "rthru" "p1" "p2" 1e-6; r "rld" "p1" "0" 1e12 ] in
+  match Twoport.analyze nl ~port1:"p1" ~port2:"p2" ~freqs:[| 1.0e6 |] with
+  | [ s ] ->
+    check_close 1e-3 "S21 = 1" 1.0 (Complex.norm s.Twoport.s21);
+    Alcotest.(check bool) "S11 ~ 0" true (Complex.norm s.Twoport.s11 < 1e-3)
+  | _ -> Alcotest.fail "expected one point"
+
+let test_sparams_series_resistor () =
+  (* series R between 50-ohm ports: S21 = 2 z0 / (2 z0 + R) *)
+  let rv = 100.0 in
+  let nl = C.Netlist.create [ r "rs" "p1" "p2" rv; r "rld" "p1" "0" 1e12 ] in
+  match Twoport.analyze nl ~port1:"p1" ~port2:"p2" ~freqs:[| 1.0e6 |] with
+  | [ s ] ->
+    let expected = 2.0 *. 50.0 /. ((2.0 *. 50.0) +. rv) in
+    check_close 1e-6 "S21 attenuator" expected (Complex.norm s.Twoport.s21);
+    (* reciprocity of a passive network *)
+    check_close 1e-9 "S12 = S21" (Complex.norm s.Twoport.s21)
+      (Complex.norm s.Twoport.s12);
+    (* matched-ish: S11 = R / (R + 2 z0) *)
+    check_close 1e-6 "S11" (rv /. (rv +. 100.0)) (Complex.norm s.Twoport.s11)
+  | _ -> Alcotest.fail "expected one point"
+
+let test_sparams_isolation_of_substrate_model () =
+  (* substrate macromodel between two contacts: a passive resistive
+     network with reciprocal S21 = S12 and finite isolation *)
+  let module G = Sn_geometry in
+  let module Port = Sn_substrate.Port in
+  let a = Port.v ~name:"p1" ~kind:Port.Resistive [ G.Rect.make 10.0 45.0 20.0 55.0 ] in
+  let b = Port.v ~name:"p2" ~kind:Port.Resistive [ G.Rect.make 70.0 45.0 80.0 55.0 ] in
+  let cfg = { Sn_substrate.Grid.nx = 20; ny = 20; z_per_layer = Some [1;2;2;1] } in
+  let m =
+    Sn_substrate.Extractor.extract ~config:cfg ~tech:Sn_tech.Tech.imec018
+      ~die:(G.Rect.make 0.0 0.0 100.0 100.0) [ a; b ]
+  in
+  let nl =
+    C.Netlist.create
+      (Snoise.Merge.of_macromodel m
+      @ [ r "rref" "p1" "0" 1.0e12 ])
+  in
+  match Twoport.analyze nl ~port1:"p1" ~port2:"p2" ~freqs:[| 1.0e6 |] with
+  | [ s ] ->
+    let iso = Twoport.isolation_db s in
+    Alcotest.(check bool)
+      (Printf.sprintf "isolation %.1f dB plausible" iso)
+      true (iso > 3.0 && iso < 80.0);
+    check_close 1e-9 "reciprocal" (Complex.norm s.Twoport.s21)
+      (Complex.norm s.Twoport.s12)
+  | _ -> Alcotest.fail "expected one point"
+
+let test_tran_invalid_args () =
+  let nl = C.Netlist.create [ r "r1" "a" "0" 1.0; vdc "v1" "a" "0" 1.0 ] in
+  Alcotest.check_raises "bad dt"
+    (Invalid_argument "Tran.simulate: tstop and dt must be > 0") (fun () ->
+      ignore (Tran.simulate ~tstop:1.0 ~dt:0.0 nl))
+
+let test_dc_op_report () =
+  let nl = C.Netlist.create (common_source_bias 0.9) in
+  let s = Dc.solve nl in
+  let text = Format.asprintf "%a" Dc.pp s in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("report mentions " ^ needle) true
+        (let n = String.length text and m = String.length needle in
+         let rec go i = i + m <= n && (String.sub text i m = needle || go (i + 1)) in
+         go 0))
+    [ "operating point"; "v(d"; "m1"; "saturation"; "i(vdd" ]
+
+(* ------------------------------------------------------------------ *)
+(* property-based engine checks *)
+
+let random_ladder st n =
+  (* a ladder of n series resistors with shunt resistors to ground *)
+  let series =
+    List.init n (fun k ->
+        r (Printf.sprintf "rs%d" k)
+          (if k = 0 then "in" else Printf.sprintf "n%d" k)
+          (Printf.sprintf "n%d" (k + 1))
+          (10.0 +. Random.State.float st 1000.0))
+  in
+  let shunts =
+    List.init n (fun k ->
+        r (Printf.sprintf "rp%d" k)
+          (Printf.sprintf "n%d" (k + 1))
+          "0"
+          (10.0 +. Random.State.float st 1000.0))
+  in
+  series @ shunts
+
+let prop_dc_superposition =
+  QCheck.Test.make ~count:40 ~name:"DC superposition on random ladders"
+    QCheck.(pair (int_range 1 6) (int_range 0 1000))
+    (fun (n, seed) ->
+      let st = Random.State.make [| seed; n |] in
+      let ladder = random_ladder st n in
+      let v1 = 1.0 +. Random.State.float st 5.0 in
+      let i2 = Random.State.float st 1e-3 in
+      let probe = Printf.sprintf "n%d" n in
+      let solve src_v src_i =
+        let nl =
+          C.Netlist.create
+            (ladder
+            @ [ vdc "v1" "in" "0" src_v;
+                E.Isource { name = "i2"; np = "0"; nn = probe;
+                            wave = W.dc src_i; ac_mag = 0.0 } ])
+        in
+        Dc.voltage (Dc.solve nl) probe
+      in
+      let both = solve v1 i2 in
+      let only_v = solve v1 0.0 in
+      let only_i = solve 0.0 i2 in
+      Float.abs (both -. (only_v +. only_i)) < 1e-7 *. (Float.abs both +. 1.0))
+
+let prop_ac_passive_divider_bounded =
+  QCheck.Test.make ~count:40 ~name:"passive RC transfer never exceeds 1"
+    QCheck.(triple (int_range 1 5) (int_range 0 1000) (float_range 2.0 8.0))
+    (fun (n, seed, logf) ->
+      let st = Random.State.make [| seed; n; 7 |] in
+      let ladder = random_ladder st n in
+      let caps =
+        List.init n (fun k ->
+            c (Printf.sprintf "c%d" k)
+              (Printf.sprintf "n%d" (k + 1))
+              "0"
+              (1e-12 +. Random.State.float st 1e-9))
+      in
+      let nl = C.Netlist.create (vac "v1" "in" "0" 1.0 :: ladder @ caps) in
+      let s = Ac.solve nl ~freq:(10.0 ** logf) in
+      let probe = Printf.sprintf "n%d" n in
+      Complex.norm (Ac.voltage s probe) <= 1.0 +. 1e-9)
+
+let prop_resistive_network_reciprocity =
+  QCheck.Test.make ~count:40 ~name:"resistive network reciprocity"
+    QCheck.(pair (int_range 2 6) (int_range 0 1000))
+    (fun (n, seed) ->
+      (* transfer impedance v(b)/i(a) = v(a)/i(b) *)
+      let st = Random.State.make [| seed; n; 13 |] in
+      let ladder = random_ladder st n in
+      let inject at =
+        let nl =
+          C.Netlist.create
+            (ladder
+            @ [ E.Isource { name = "ii"; np = "0"; nn = at;
+                            wave = W.dc 1e-3; ac_mag = 0.0 } ])
+        in
+        Dc.solve nl
+      in
+      let a = "n1" and b = Printf.sprintf "n%d" n in
+      let fwd = Dc.voltage (inject a) b in
+      let rev = Dc.voltage (inject b) a in
+      Float.abs (fwd -. rev) < 1e-9 *. (Float.abs fwd +. 1e-12))
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+let suites =
+  [
+    ( "engine.dc",
+      [
+        Alcotest.test_case "divider" `Quick test_dc_divider;
+        Alcotest.test_case "current source" `Quick test_dc_current_source;
+        Alcotest.test_case "inductor short" `Quick test_dc_inductor_short;
+        Alcotest.test_case "capacitor open" `Quick test_dc_capacitor_open;
+        Alcotest.test_case "vcvs" `Quick test_dc_vcvs;
+        Alcotest.test_case "vccs" `Quick test_dc_vccs;
+        Alcotest.test_case "diode-connected nmos" `Quick
+          test_dc_diode_connected_nmos;
+        Alcotest.test_case "pmos polarity" `Quick test_dc_pmos_mirror_polarity;
+        Alcotest.test_case "reverse conduction" `Quick
+          test_dc_mos_reverse_conduction;
+        Alcotest.test_case "gmin rescues floating node" `Quick
+          test_dc_bridge_with_gmin_path;
+      ] );
+    ( "engine.ac",
+      [
+        Alcotest.test_case "rc low-pass corner" `Quick test_ac_rc_lowpass;
+        Alcotest.test_case "lc resonance" `Quick test_ac_lc_resonance;
+        Alcotest.test_case "common-source gain" `Quick
+          test_ac_common_source_gain;
+        Alcotest.test_case "back-gate transfer" `Quick
+          test_ac_backgate_transfer;
+        Alcotest.test_case "sweep rolloff" `Quick test_ac_sweep_shape;
+      ] );
+    ( "engine.tran",
+      [
+        Alcotest.test_case "rc step response" `Quick test_tran_rc_step;
+        Alcotest.test_case "sine steady state" `Quick
+          test_tran_sine_steady_state;
+        Alcotest.test_case "lc ring frequency" `Quick
+          test_tran_lc_ringdown_frequency;
+        Alcotest.test_case "trap beats BE" `Quick
+          test_tran_trapezoidal_beats_be;
+        Alcotest.test_case "varactor charging" `Quick
+          test_tran_varactor_modulates;
+        Alcotest.test_case "adaptive RC accuracy" `Quick test_tran_adaptive_rc;
+        Alcotest.test_case "adaptive grows when quiet" `Quick
+          test_tran_adaptive_grows_on_quiet;
+        Alcotest.test_case "csv export" `Quick test_tran_to_csv;
+      ] );
+    ( "engine.twoport",
+      [
+        Alcotest.test_case "through" `Quick test_sparams_through;
+        Alcotest.test_case "series attenuator" `Quick
+          test_sparams_series_resistor;
+        Alcotest.test_case "substrate isolation" `Quick
+          test_sparams_isolation_of_substrate_model;
+      ] );
+    ( "engine.noise",
+      [
+        Alcotest.test_case "resistor divider 4kT(R||R)" `Quick
+          test_noise_resistor_divider;
+        Alcotest.test_case "kT/C integral" `Quick test_noise_ktc;
+        Alcotest.test_case "MOS channel noise" `Quick test_noise_mos_channel;
+        Alcotest.test_case "filtered rolloff" `Quick
+          test_noise_filtered_rolloff;
+        Alcotest.test_case "argument validation" `Quick test_tran_invalid_args;
+      ] );
+    ( "engine.report",
+      [ Alcotest.test_case "op printout" `Quick test_dc_op_report ] );
+    ( "engine.properties",
+      [
+        qcheck prop_dc_superposition;
+        qcheck prop_ac_passive_divider_bounded;
+        qcheck prop_resistive_network_reciprocity;
+      ] );
+  ]

@@ -1,0 +1,13 @@
+let () =
+  Alcotest.run "snoise"
+    (Test_numerics.suites
+     @ Test_geometry.suites
+     @ Test_layout.suites
+     @ Test_substrate.suites
+     @ Test_circuit.suites
+     @ Test_engine.suites
+     @ Test_interconnect.suites
+     @ Test_rf.suites
+     @ Test_testchip.suites
+     @ Test_oscillator.suites
+     @ Test_flow.suites)

@@ -1,0 +1,527 @@
+(* Tests for the sn_numerics library. *)
+
+module Units = Sn_numerics.Units
+module Vec = Sn_numerics.Vec
+module Mat = Sn_numerics.Mat
+module Lu = Sn_numerics.Lu
+module Sparse = Sn_numerics.Sparse
+module Cg = Sn_numerics.Cg
+module Fft = Sn_numerics.Fft
+module Goertzel = Sn_numerics.Goertzel
+module Sweep = Sn_numerics.Sweep
+module Stats = Sn_numerics.Stats
+module Rootfind = Sn_numerics.Rootfind
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close tol = Alcotest.(check (float tol))
+
+(* ------------------------------------------------------------------ *)
+(* Units *)
+
+let test_db_roundtrip () =
+  check_float "20 dB is ratio 10" 10.0 (Units.ratio_of_db 20.0);
+  check_float "ratio 10 is 20 dB" 20.0 (Units.db_of_ratio 10.0);
+  check_float "power ratio 100 is 20 dB" 20.0 (Units.db_of_power_ratio 100.0);
+  check_float "0 dBm is 1 mW" 1.0e-3 (Units.watts_of_dbm 0.0)
+
+let test_dbm_of_vpeak () =
+  (* 0.316 Vpeak into 50 ohm = 1 mW = 0 dBm *)
+  let v = sqrt (2.0 *. 50.0 *. 1.0e-3) in
+  check_close 1e-9 "0 dBm peak voltage" 0.0 (Units.dbm_of_vpeak v);
+  check_close 1e-9 "round trip" v (Units.vpeak_of_dbm 0.0)
+
+let test_minus5dbm () =
+  (* the paper's injected tone: -5 dBm into 50 ohm is ~0.178 Vpeak *)
+  let v = Units.vpeak_of_dbm (-5.0) in
+  check_close 1e-3 "-5 dBm Vpeak" 0.1778 v
+
+let test_db_invalid () =
+  Alcotest.check_raises "db_of_ratio 0" (Invalid_argument
+    "Units.db_of_ratio: argument must be > 0 (got 0)")
+    (fun () -> ignore (Units.db_of_ratio 0.0))
+
+let test_eng_format () =
+  Alcotest.(check string) "GHz" "3.00 GHz" (Units.eng ~unit:"Hz" 3.0e9);
+  Alcotest.(check string) "fF" "120.00 fF" (Units.eng ~unit:"F" 120.0e-15);
+  Alcotest.(check string) "mS" "38.00 mS" (Units.eng ~unit:"S" 38.0e-3)
+
+(* ------------------------------------------------------------------ *)
+(* Vec / Mat *)
+
+let test_vec_ops () =
+  let a = [| 1.0; 2.0; 3.0 |] and b = [| 4.0; 5.0; 6.0 |] in
+  check_float "dot" 32.0 (Vec.dot a b);
+  check_float "norm2" (sqrt 14.0) (Vec.norm2 a);
+  check_float "norm_inf" 3.0 (Vec.norm_inf a);
+  Alcotest.(check (array (float 1e-12))) "add" [| 5.0; 7.0; 9.0 |] (Vec.add a b);
+  Alcotest.(check (array (float 1e-12))) "sub" [| -3.0; -3.0; -3.0 |] (Vec.sub a b);
+  let y = Vec.copy b in
+  Vec.axpy 2.0 a y;
+  Alcotest.(check (array (float 1e-12))) "axpy" [| 6.0; 9.0; 12.0 |] y
+
+let test_vec_mismatch () =
+  Alcotest.check_raises "dot mismatch"
+    (Invalid_argument "Vec.dot: dimension mismatch (2 vs 3)") (fun () ->
+      ignore (Vec.dot [| 1.0; 2.0 |] [| 1.0; 2.0; 3.0 |]))
+
+let test_mat_mul () =
+  let a = Mat.of_arrays [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let b = Mat.of_arrays [| [| 5.0; 6.0 |]; [| 7.0; 8.0 |] |] in
+  let c = Mat.mul a b in
+  check_float "c00" 19.0 (Mat.get c 0 0);
+  check_float "c01" 22.0 (Mat.get c 0 1);
+  check_float "c10" 43.0 (Mat.get c 1 0);
+  check_float "c11" 50.0 (Mat.get c 1 1)
+
+let test_mat_identity () =
+  let a = Mat.init 4 4 (fun i j -> float_of_int ((3 * i) + j + 1)) in
+  let i4 = Mat.identity 4 in
+  check_float "A*I = A" 0.0 (Mat.max_abs_diff a (Mat.mul a i4));
+  check_float "I*A = A" 0.0 (Mat.max_abs_diff a (Mat.mul i4 a))
+
+let test_mat_transpose () =
+  let a = Mat.init 2 3 (fun i j -> float_of_int ((10 * i) + j)) in
+  let t = Mat.transpose a in
+  Alcotest.(check int) "rows" 3 (Mat.rows t);
+  Alcotest.(check int) "cols" 2 (Mat.cols t);
+  check_float "t(2,1)" 12.0 (Mat.get t 2 1)
+
+let test_mat_symmetry () =
+  let s = Mat.of_arrays [| [| 2.0; -1.0 |]; [| -1.0; 2.0 |] |] in
+  Alcotest.(check bool) "symmetric" true (Mat.is_symmetric s);
+  Mat.set s 0 1 5.0;
+  Alcotest.(check bool) "asymmetric" false (Mat.is_symmetric s)
+
+(* ------------------------------------------------------------------ *)
+(* LU *)
+
+let test_lu_solve_known () =
+  let a = Mat.of_arrays [| [| 4.0; 3.0 |]; [| 6.0; 3.0 |] |] in
+  let x = Lu.solve_mat a [| 10.0; 12.0 |] in
+  check_close 1e-9 "x0" 1.0 x.(0);
+  check_close 1e-9 "x1" 2.0 x.(1)
+
+let test_lu_singular () =
+  let a = Mat.of_arrays [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
+  Alcotest.check_raises "singular" (Lu.Singular 1) (fun () ->
+      ignore (Lu.solve_mat a [| 1.0; 1.0 |]))
+
+let test_lu_invert () =
+  let a = Mat.of_arrays [| [| 2.0; 1.0 |]; [| 1.0; 3.0 |] |] in
+  let ainv = Lu.invert_mat a in
+  check_close 1e-12 "A * A^-1 = I" 0.0
+    (Mat.max_abs_diff (Mat.mul a ainv) (Mat.identity 2))
+
+let test_lu_pivoting () =
+  (* zero on the diagonal requires pivoting *)
+  let a = Mat.of_arrays [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |] in
+  let x = Lu.solve_mat a [| 3.0; 7.0 |] in
+  check_close 1e-12 "x0" 7.0 x.(0);
+  check_close 1e-12 "x1" 3.0 x.(1)
+
+let test_lu_complex () =
+  (* (1 + i) x = 2i  ->  x = 1 + i *)
+  let a = [| [| { Complex.re = 1.0; im = 1.0 } |] |] in
+  let b = [| { Complex.re = 0.0; im = 2.0 } |] in
+  let x = Lu.Cplx.solve_matrix a b in
+  check_close 1e-12 "re" 1.0 x.(0).Complex.re;
+  check_close 1e-12 "im" 1.0 x.(0).Complex.im
+
+let test_lu_complex_det () =
+  let i = { Complex.re = 0.0; im = 1.0 } in
+  let a = [| [| i; Complex.zero |]; [| Complex.zero; i |] |] in
+  let d = Lu.Cplx.det (Lu.Cplx.decompose a) in
+  (* i * i = -1 *)
+  check_close 1e-12 "det re" (-1.0) d.Complex.re;
+  check_close 1e-12 "det im" 0.0 d.Complex.im
+
+let prop_lu_random_solve =
+  QCheck.Test.make ~count:100 ~name:"LU solves random well-conditioned systems"
+    QCheck.(pair (int_range 1 12) (int_range 0 10000))
+    (fun (n, seed) ->
+      let st = Random.State.make [| seed; n |] in
+      let a =
+        Mat.init n n (fun i j ->
+            (if i = j then float_of_int n else 0.0)
+            +. Random.State.float st 1.0)
+      in
+      let x_true = Array.init n (fun _ -> Random.State.float st 2.0 -. 1.0) in
+      let b = Mat.mul_vec a x_true in
+      let x = Lu.solve_mat a b in
+      Vec.max_abs_diff x x_true < 1e-8)
+
+(* ------------------------------------------------------------------ *)
+(* Sparse / CG *)
+
+let laplacian_1d n =
+  (* tridiagonal [-1 2 -1] grounded Laplacian: SPD *)
+  let b = Sparse.builder n n in
+  for i = 0 to n - 1 do
+    Sparse.add b i i 2.0;
+    if i > 0 then Sparse.add b i (i - 1) (-1.0);
+    if i < n - 1 then Sparse.add b i (i + 1) (-1.0)
+  done;
+  Sparse.finalize b
+
+let test_sparse_build () =
+  let b = Sparse.builder 3 3 in
+  Sparse.add b 0 0 1.0;
+  Sparse.add b 0 0 2.0;
+  (* duplicate: summed *)
+  Sparse.add b 2 1 (-4.0);
+  Sparse.add b 1 1 0.5;
+  let m = Sparse.finalize b in
+  Alcotest.(check int) "nnz" 3 (Sparse.nnz m);
+  check_float "summed duplicate" 3.0 (Sparse.get m 0 0);
+  check_float "entry" (-4.0) (Sparse.get m 2 1);
+  check_float "missing is zero" 0.0 (Sparse.get m 0 2)
+
+let test_sparse_cancel () =
+  let b = Sparse.builder 2 2 in
+  Sparse.add b 0 1 1.0;
+  Sparse.add b 0 1 (-1.0);
+  Sparse.add b 1 1 5.0;
+  let m = Sparse.finalize b in
+  Alcotest.(check int) "cancelled entries dropped" 1 (Sparse.nnz m)
+
+let test_sparse_mul_vec () =
+  let m = laplacian_1d 4 in
+  let v = [| 1.0; 2.0; 3.0; 4.0 |] in
+  Alcotest.(check (array (float 1e-12)))
+    "L*v" [| 0.0; 0.0; 0.0; 5.0 |] (Sparse.mul_vec m v)
+
+let test_sparse_symmetric () =
+  Alcotest.(check bool) "laplacian symmetric" true
+    (Sparse.is_symmetric (laplacian_1d 10))
+
+let test_cg_vs_lu () =
+  let n = 20 in
+  let m = laplacian_1d n in
+  let b = Array.init n (fun i -> sin (float_of_int i)) in
+  let x_cg = Cg.solve_exn ~tol:1e-12 m b in
+  let x_lu = Lu.solve_mat (Sparse.to_dense m) b in
+  Alcotest.(check bool) "CG matches LU" true (Vec.max_abs_diff x_cg x_lu < 1e-8)
+
+let test_cg_zero_rhs () =
+  let r = Cg.solve (laplacian_1d 5) (Vec.zeros 5) in
+  Alcotest.(check bool) "converged" true r.converged;
+  check_float "zero solution" 0.0 (Vec.norm_inf r.solution)
+
+let test_cg_not_converged () =
+  let m = laplacian_1d 50 in
+  let b = Array.init 50 (fun i -> float_of_int i) in
+  Alcotest.check_raises "raises Not_converged"
+    (Failure "expected Not_converged") (fun () ->
+      match Cg.solve_exn ~max_iter:1 ~tol:1e-14 m b with
+      | _ -> ()
+      | exception Cg.Not_converged _ -> failwith "expected Not_converged")
+
+let prop_cg_solves_spd =
+  QCheck.Test.make ~count:50 ~name:"CG solves random grounded Laplacians"
+    QCheck.(pair (int_range 2 40) (int_range 0 1000))
+    (fun (n, seed) ->
+      let st = Random.State.make [| seed |] in
+      let b = Sparse.builder n n in
+      (* random connected resistor chain + ground leaks: SPD *)
+      for i = 0 to n - 2 do
+        let g = 0.1 +. Random.State.float st 5.0 in
+        Sparse.add b i i g;
+        Sparse.add b (i + 1) (i + 1) g;
+        Sparse.add b i (i + 1) (-.g);
+        Sparse.add b (i + 1) i (-.g)
+      done;
+      for i = 0 to n - 1 do
+        Sparse.add b i i (0.01 +. Random.State.float st 1.0)
+      done;
+      let m = Sparse.finalize b in
+      let x_true = Array.init n (fun _ -> Random.State.float st 2.0 -. 1.0) in
+      let rhs = Sparse.mul_vec m x_true in
+      let x = Cg.solve_exn ~tol:1e-12 m rhs in
+      Vec.max_abs_diff x x_true < 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* FFT / Goertzel *)
+
+let test_fft_impulse () =
+  let x = Array.init 8 (fun i -> if i = 0 then Complex.one else Complex.zero) in
+  let y = Fft.fft x in
+  Array.iter
+    (fun c ->
+      check_close 1e-12 "flat spectrum re" 1.0 c.Complex.re;
+      check_close 1e-12 "flat spectrum im" 0.0 c.Complex.im)
+    y
+
+let test_fft_roundtrip () =
+  let n = 64 in
+  let x =
+    Array.init n (fun i ->
+        { Complex.re = sin (0.3 *. float_of_int i); im = cos (0.7 *. float_of_int i) })
+  in
+  let y = Fft.ifft (Fft.fft x) in
+  let max_err = ref 0.0 in
+  Array.iteri
+    (fun i c ->
+      max_err := Float.max !max_err (Complex.norm (Complex.sub c x.(i))))
+    y;
+  Alcotest.(check bool) "ifft . fft = id" true (!max_err < 1e-10)
+
+let test_fft_bad_length () =
+  Alcotest.check_raises "non power of two"
+    (Invalid_argument "Fft: length must be a power of two") (fun () ->
+      ignore (Fft.fft (Array.make 12 Complex.zero)))
+
+let test_amplitude_spectrum_tone () =
+  let fs = 1024.0 and f = 128.0 and a = 0.5 in
+  let samples =
+    Array.init 1024 (fun i ->
+        a *. cos (Units.two_pi *. f *. float_of_int i /. fs))
+  in
+  let s = Fft.amplitude_spectrum ~window:`Rect ~fs samples in
+  let fpk, apk = Fft.peak_near s ~f ~span:2.0 in
+  check_close 1e-9 "peak frequency" f fpk;
+  check_close 1e-6 "peak amplitude" a apk
+
+let test_amplitude_spectrum_hann () =
+  let fs = 1000.0 and f = 100.0 and a = 2.0 in
+  let samples =
+    Array.init 2000 (fun i ->
+        a *. cos (Units.two_pi *. f *. float_of_int i /. fs))
+  in
+  let s = Fft.amplitude_spectrum ~fs samples in
+  let _, apk = Fft.peak_near s ~f ~span:3.0 in
+  Alcotest.(check bool) "hann-windowed tone within 5%" true
+    (Float.abs (apk -. a) /. a < 0.05)
+
+let test_goertzel_tone () =
+  let fs = 1.0e6 and f = 12_345.0 and a = 0.25 in
+  let n = 10_000 in
+  let samples =
+    Array.init n (fun i ->
+        a *. cos ((Units.two_pi *. f *. float_of_int i /. fs) +. 0.3))
+  in
+  check_close 1e-3 "goertzel amplitude" a (Goertzel.amplitude ~fs ~f samples)
+
+let test_goertzel_dc () =
+  let samples = Array.make 100 3.0 in
+  check_close 1e-9 "dc amplitude" 3.0 (Goertzel.amplitude ~fs:1.0 ~f:0.0 samples)
+
+let test_goertzel_rejects_other_tone () =
+  let fs = 1.0e6 in
+  let n = 100_000 in
+  let samples =
+    Array.init n (fun i ->
+        cos (Units.two_pi *. 100_000.0 *. float_of_int i /. fs))
+  in
+  let leak = Goertzel.amplitude_windowed ~fs ~f:150_000.0 samples in
+  Alcotest.(check bool) "leakage below -60 dB" true (leak < 1e-3)
+
+let prop_goertzel_matches_fft =
+  QCheck.Test.make ~count:30 ~name:"Goertzel matches FFT on bin centers"
+    QCheck.(int_range 1 120)
+    (fun k ->
+      let n = 256 and fs = 256.0 in
+      let f = float_of_int k in
+      let samples =
+        Array.init n (fun i ->
+            (0.7 *. cos (Units.two_pi *. f *. float_of_int i /. fs))
+            +. (0.1 *. cos (Units.two_pi *. 3.0 *. float_of_int i /. fs)))
+      in
+      let g = Goertzel.amplitude ~fs ~f samples in
+      let s = Fft.amplitude_spectrum ~window:`Rect ~fs samples in
+      let _, apk = Fft.peak_near s ~f ~span:0.4 in
+      Float.abs (g -. apk) < 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Sweep / Stats / Rootfind *)
+
+let test_linspace () =
+  Alcotest.(check (array (float 1e-12)))
+    "5 points" [| 0.0; 0.25; 0.5; 0.75; 1.0 |] (Sweep.linspace 0.0 1.0 5)
+
+let test_logspace () =
+  let s = Sweep.logspace 1.0 1000.0 4 in
+  Alcotest.(check (array (float 1e-9))) "decade points"
+    [| 1.0; 10.0; 100.0; 1000.0 |] s
+
+let test_decades () =
+  let s = Sweep.decades ~per_decade:10 1.0e5 1.5e7 in
+  check_close 1e-3 "starts at f0" 1.0e5 s.(0);
+  check_close 1e3 "ends at f1" 1.5e7 s.(Array.length s - 1);
+  Alcotest.(check bool) "monotone" true
+    (Array.for_all Fun.id (Array.init (Array.length s - 1) (fun i -> s.(i) < s.(i + 1))))
+
+let test_interp1 () =
+  let xs = [| 0.0; 1.0; 2.0 |] and ys = [| 0.0; 10.0; 0.0 |] in
+  check_float "midpoint" 5.0 (Sweep.interp1 xs ys 0.5);
+  check_float "clamp low" 0.0 (Sweep.interp1 xs ys (-1.0));
+  check_float "clamp high" 0.0 (Sweep.interp1 xs ys 5.0);
+  check_float "on sample" 10.0 (Sweep.interp1 xs ys 1.0)
+
+let test_stats_basic () =
+  let a = [| 1.0; 2.0; 3.0; 4.0 |] in
+  check_float "mean" 2.5 (Stats.mean a);
+  check_float "variance" 1.25 (Stats.variance a);
+  check_float "max_abs" 4.0 (Stats.max_abs a);
+  check_close 1e-9 "rms" (sqrt 7.5) (Stats.rms a)
+
+let test_linear_fit () =
+  let xs = [| 0.0; 1.0; 2.0; 3.0 |] in
+  let ys = [| 1.0; 3.0; 5.0; 7.0 |] in
+  let f = Stats.linear_fit xs ys in
+  check_float "slope" 2.0 f.Stats.slope;
+  check_float "intercept" 1.0 f.Stats.intercept;
+  check_float "r2" 1.0 f.Stats.r_squared
+
+let test_slope_db_per_decade () =
+  (* amplitude ~ 1/f gives -20 dB/dec *)
+  let freqs = Sweep.logspace 1.0e5 1.0e7 21 in
+  let dbs = Array.map (fun f -> Units.db_of_ratio (1.0 /. f)) freqs in
+  check_close 1e-6 "1/f slope" (-20.0) (Stats.slope_db_per_decade freqs dbs)
+
+let test_bisect () =
+  let root = Rootfind.bisect (fun x -> (x *. x) -. 2.0) 0.0 2.0 in
+  check_close 1e-9 "sqrt 2" (sqrt 2.0) root
+
+let test_bisect_no_bracket () =
+  Alcotest.check_raises "no bracket" Rootfind.No_bracket (fun () ->
+      ignore (Rootfind.bisect (fun x -> (x *. x) +. 1.0) 0.0 1.0))
+
+let test_newton () =
+  let root =
+    Rootfind.newton ~f:(fun x -> (x *. x) -. 9.0) ~df:(fun x -> 2.0 *. x) 1.0
+  in
+  check_close 1e-9 "sqrt 9" 3.0 root
+
+(* ------------------------------------------------------------------ *)
+(* Zero crossing *)
+
+module Zc = Sn_numerics.Zero_crossing
+
+let test_zc_frequency () =
+  let fs = 1.0e6 and f = 12_347.0 in
+  let samples =
+    Array.init 40_000 (fun i ->
+        sin ((Units.two_pi *. f *. float_of_int i /. fs) +. 0.7))
+  in
+  let est = Zc.estimate_frequency ~fs samples in
+  Alcotest.(check bool)
+    (Printf.sprintf "estimate %.2f vs %.2f" est f)
+    true
+    (Float.abs (est -. f) /. f < 1e-4)
+
+let test_zc_jitter_pure_tone () =
+  let fs = 1.0e6 and f = 10_000.0 in
+  let samples =
+    Array.init 50_000 (fun i -> sin (Units.two_pi *. f *. float_of_int i /. fs))
+  in
+  let jitter = Zc.period_jitter ~fs samples in
+  Alcotest.(check bool) "tiny jitter" true (jitter *. f < 1e-3)
+
+let test_zc_too_short () =
+  Alcotest.(check bool) "short record rejected" true
+    (match Zc.estimate_frequency ~fs:1.0 [| 1.0; 2.0 |] with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+let prop_zc_tracks_frequency =
+  QCheck.Test.make ~count:50 ~name:"zero crossing tracks tone frequency"
+    QCheck.(float_range 1000.0 40000.0)
+    (fun f ->
+      let fs = 1.0e6 in
+      let samples =
+        Array.init 30_000 (fun i ->
+            cos (Units.two_pi *. f *. float_of_int i /. fs))
+      in
+      let est = Zc.estimate_frequency ~fs samples in
+      Float.abs (est -. f) /. f < 1e-3)
+
+let prop_fft_parseval =
+  QCheck.Test.make ~count:30 ~name:"FFT satisfies Parseval"
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let n = 128 in
+      let x =
+        Array.init n (fun _ ->
+            { Complex.re = Random.State.float st 2.0 -. 1.0;
+              im = Random.State.float st 2.0 -. 1.0 })
+      in
+      let y = Fft.fft x in
+      let energy a =
+        Array.fold_left (fun acc c -> acc +. Complex.norm2 c) 0.0 a
+      in
+      Float.abs (energy y -. (float_of_int n *. energy x))
+      < 1e-6 *. float_of_int n *. energy x)
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+let suites =
+  [
+    ( "numerics.units",
+      [
+        Alcotest.test_case "db round trip" `Quick test_db_roundtrip;
+        Alcotest.test_case "dbm of vpeak" `Quick test_dbm_of_vpeak;
+        Alcotest.test_case "-5 dBm tone" `Quick test_minus5dbm;
+        Alcotest.test_case "invalid db" `Quick test_db_invalid;
+        Alcotest.test_case "engineering format" `Quick test_eng_format;
+      ] );
+    ( "numerics.linalg",
+      [
+        Alcotest.test_case "vector ops" `Quick test_vec_ops;
+        Alcotest.test_case "vector mismatch" `Quick test_vec_mismatch;
+        Alcotest.test_case "matrix multiply" `Quick test_mat_mul;
+        Alcotest.test_case "identity laws" `Quick test_mat_identity;
+        Alcotest.test_case "transpose" `Quick test_mat_transpose;
+        Alcotest.test_case "symmetry check" `Quick test_mat_symmetry;
+        Alcotest.test_case "LU known system" `Quick test_lu_solve_known;
+        Alcotest.test_case "LU singular" `Quick test_lu_singular;
+        Alcotest.test_case "LU inverse" `Quick test_lu_invert;
+        Alcotest.test_case "LU pivoting" `Quick test_lu_pivoting;
+        Alcotest.test_case "complex LU" `Quick test_lu_complex;
+        Alcotest.test_case "complex determinant" `Quick test_lu_complex_det;
+        qcheck prop_lu_random_solve;
+      ] );
+    ( "numerics.sparse",
+      [
+        Alcotest.test_case "triplet build" `Quick test_sparse_build;
+        Alcotest.test_case "cancellation drops zeros" `Quick test_sparse_cancel;
+        Alcotest.test_case "mat-vec" `Quick test_sparse_mul_vec;
+        Alcotest.test_case "symmetry" `Quick test_sparse_symmetric;
+        Alcotest.test_case "CG matches LU" `Quick test_cg_vs_lu;
+        Alcotest.test_case "CG zero rhs" `Quick test_cg_zero_rhs;
+        Alcotest.test_case "CG non-convergence" `Quick test_cg_not_converged;
+        qcheck prop_cg_solves_spd;
+      ] );
+    ( "numerics.spectral",
+      [
+        Alcotest.test_case "fft impulse" `Quick test_fft_impulse;
+        Alcotest.test_case "fft round trip" `Quick test_fft_roundtrip;
+        Alcotest.test_case "fft bad length" `Quick test_fft_bad_length;
+        Alcotest.test_case "tone amplitude (rect)" `Quick test_amplitude_spectrum_tone;
+        Alcotest.test_case "tone amplitude (hann)" `Quick test_amplitude_spectrum_hann;
+        Alcotest.test_case "goertzel tone" `Quick test_goertzel_tone;
+        Alcotest.test_case "goertzel dc" `Quick test_goertzel_dc;
+        Alcotest.test_case "goertzel leakage" `Quick test_goertzel_rejects_other_tone;
+        qcheck prop_goertzel_matches_fft;
+      ] );
+    ( "numerics.sweep",
+      [
+        Alcotest.test_case "linspace" `Quick test_linspace;
+        Alcotest.test_case "logspace" `Quick test_logspace;
+        Alcotest.test_case "decades" `Quick test_decades;
+        Alcotest.test_case "interp1" `Quick test_interp1;
+        Alcotest.test_case "stats basics" `Quick test_stats_basic;
+        Alcotest.test_case "linear fit" `Quick test_linear_fit;
+        Alcotest.test_case "dB/decade slope" `Quick test_slope_db_per_decade;
+        Alcotest.test_case "zero-crossing frequency" `Quick test_zc_frequency;
+        Alcotest.test_case "zero-crossing jitter" `Quick
+          test_zc_jitter_pure_tone;
+        Alcotest.test_case "zero-crossing short record" `Quick
+          test_zc_too_short;
+        qcheck prop_zc_tracks_frequency;
+        qcheck prop_fft_parseval;
+        Alcotest.test_case "bisection" `Quick test_bisect;
+        Alcotest.test_case "bisection no bracket" `Quick test_bisect_no_bracket;
+        Alcotest.test_case "newton" `Quick test_newton;
+      ] );
+  ]

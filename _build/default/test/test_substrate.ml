@@ -1,0 +1,501 @@
+(* Tests for sn_tech and sn_substrate: the technology card, the FDM
+   grid, and the macromodel physics (reciprocity, scaling laws,
+   shielding). *)
+
+module G = Sn_geometry
+module N = Sn_numerics
+module T = Sn_tech.Tech
+module Port = Sn_substrate.Port
+module Grid = Sn_substrate.Grid
+module Extractor = Sn_substrate.Extractor
+module Macromodel = Sn_substrate.Macromodel
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Tech *)
+
+let test_tech_valid () =
+  match T.validate T.imec018 with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "imec018 invalid: %s" e
+
+let test_tech_lookup () =
+  let m1 = T.metal T.imec018 1 in
+  Alcotest.(check bool) "m1 sheet R typical" true
+    (m1.T.sheet_resistance > 0.01 && m1.T.sheet_resistance < 0.2);
+  let m6 = T.metal T.imec018 6 in
+  Alcotest.(check bool) "top metal thicker" true
+    (m6.T.thickness > m1.T.thickness);
+  Alcotest.check_raises "no metal 7" Not_found (fun () ->
+      ignore (T.metal T.imec018 7))
+
+let test_tech_bulk_resistivity () =
+  (* the paper's substrate: 20 ohm cm = 0.2 ohm m bulk *)
+  match T.imec018.T.substrate.T.layers with
+  | _surface :: bulk :: _ -> check_float "20 ohm cm" 0.2 bulk.T.resistivity
+  | _ -> Alcotest.fail "expected layered profile"
+
+let test_wire_caps_positive () =
+  for k = 1 to 6 do
+    Alcotest.(check bool) "area cap > 0" true
+      (T.wire_capacitance_per_area T.imec018 k > 0.0);
+    Alcotest.(check bool) "fringe cap > 0" true
+      (T.wire_fringe_per_length T.imec018 k > 0.0)
+  done;
+  (* higher metal is farther from substrate: smaller area capacitance *)
+  Alcotest.(check bool) "m6 cap < m1 cap" true
+    (T.wire_capacitance_per_area T.imec018 6
+     < T.wire_capacitance_per_area T.imec018 1)
+
+let test_tech_validation_catches () =
+  let bad = { T.imec018 with T.metals = [] } in
+  Alcotest.(check bool) "no metals rejected" true
+    (Result.is_error (T.validate bad));
+  let bad2 =
+    { T.imec018 with
+      T.substrate = { T.imec018.T.substrate with T.layers = [] } }
+  in
+  Alcotest.(check bool) "empty profile rejected" true
+    (Result.is_error (T.validate bad2))
+
+(* ------------------------------------------------------------------ *)
+(* Grid *)
+
+let die100 = G.Rect.make 0.0 0.0 100.0 100.0
+
+let test_grid_dimensions () =
+  let cfg = { Grid.nx = 10; ny = 20; z_per_layer = Some [ 1; 2; 2; 1 ] } in
+  let g = Grid.build cfg ~die:die100 T.imec018.T.substrate in
+  Alcotest.(check int) "nx" 10 (Grid.nx g);
+  Alcotest.(check int) "ny" 20 (Grid.ny g);
+  Alcotest.(check int) "nz" 6 (Grid.nz g);
+  Alcotest.(check int) "cells" 1200 (Grid.cell_count g);
+  check_float "dx" 1.0e-5 (Grid.dx g 0);
+  check_float "dy" 5.0e-6 (Grid.dy g 0)
+
+let test_grid_depth_preserved () =
+  let g = Grid.build Grid.default_config ~die:die100 T.imec018.T.substrate in
+  let total = ref 0.0 in
+  for iz = 0 to Grid.nz g - 1 do
+    total := !total +. Grid.dz g iz
+  done;
+  Alcotest.(check (float 1e-12)) "total depth"
+    (T.substrate_depth T.imec018) !total
+
+let test_grid_bad_config () =
+  Alcotest.check_raises "nx = 0"
+    (Invalid_argument "Grid.build: nx and ny must be >= 1") (fun () ->
+      ignore
+        (Grid.build { Grid.nx = 0; ny = 4; z_per_layer = None } ~die:die100
+           T.imec018.T.substrate));
+  Alcotest.check_raises "z mismatch"
+    (Invalid_argument "Grid.build: z_per_layer length mismatch") (fun () ->
+      ignore
+        (Grid.build { Grid.nx = 4; ny = 4; z_per_layer = Some [ 1 ] }
+           ~die:die100 T.imec018.T.substrate))
+
+let test_grid_conductances_positive () =
+  let cfg = { Grid.nx = 4; ny = 4; z_per_layer = Some [ 1; 1; 1; 1 ] } in
+  let g = Grid.build cfg ~die:die100 T.imec018.T.substrate in
+  let count = ref 0 in
+  Grid.iter_conductances g (fun a b gv ->
+      Alcotest.(check bool) "distinct cells" true (a <> b);
+      Alcotest.(check bool) "positive conductance" true (gv > 0.0);
+      incr count);
+  (* 3 directions on a 4x4x4 grid: 3 * (3*4*4) pairs *)
+  Alcotest.(check int) "pair count" 144 !count
+
+let test_surface_cell_rect () =
+  let cfg = { Grid.nx = 10; ny = 10; z_per_layer = None } in
+  let g = Grid.build cfg ~die:die100 T.imec018.T.substrate in
+  let r = Grid.surface_cell_rect g 0 0 in
+  check_float "cell width" 10.0 (G.Rect.width r);
+  let r99 = Grid.surface_cell_rect g 9 9 in
+  check_float "last cell touches edge" 100.0 r99.G.Rect.x1
+
+(* ------------------------------------------------------------------ *)
+(* Ports *)
+
+let test_port_of_layout () =
+  let open Sn_layout in
+  let cell =
+    Cell.make ~name:"c"
+      [
+        Shape.rect ~layer:Layer.Substrate_contact ~net:"gnd"
+          (G.Rect.make 0.0 0.0 1.0 1.0);
+        Shape.rect ~layer:Layer.Substrate_contact ~net:"gnd"
+          (G.Rect.make 5.0 0.0 6.0 1.0);
+        Shape.rect ~layer:Layer.Substrate_contact ~net:"sub"
+          (G.Rect.make 9.0 9.0 10.0 10.0);
+        Shape.rect ~layer:Layer.Nwell ~net:"vdd" (G.Rect.make 2.0 2.0 4.0 4.0);
+        Shape.rect ~layer:(Layer.Backgate_probe "m1") ~net:"-"
+          (G.Rect.make 7.0 7.0 8.0 8.0);
+        Shape.rect ~layer:(Layer.Metal 1) ~net:"gnd" (G.Rect.make 0.0 0.0 9.0 1.0);
+      ]
+  in
+  let ports = Port.of_layout (Layout.create ~top:"c" [ cell ]) in
+  let names = List.map (fun p -> p.Port.name) ports in
+  Alcotest.(check (list string)) "port names"
+    [ "backgate:m1"; "gnd"; "nwell:vdd"; "sub" ] names;
+  let gnd = List.find (fun p -> p.Port.name = "gnd") ports in
+  Alcotest.(check int) "gnd merges two rects" 2 (List.length gnd.Port.region);
+  check_float "gnd area" 2.0 (Port.area gnd);
+  let well = List.find (fun p -> p.Port.name = "nwell:vdd") ports in
+  Alcotest.(check bool) "well kind" true (well.Port.kind = Port.Well)
+
+let test_port_empty_region () =
+  Alcotest.check_raises "empty region" (Invalid_argument "Port.v: empty region")
+    (fun () -> ignore (Port.v ~name:"x" ~kind:Port.Resistive []))
+
+(* ------------------------------------------------------------------ *)
+(* Extraction physics *)
+
+let fast_config = { Grid.nx = 24; ny = 24; z_per_layer = Some [ 1; 2; 2; 2 ] }
+
+let two_contact_model ?(die = die100) ?(cfg = fast_config) ?(sep = 60.0) () =
+  let a = Port.v ~name:"a" ~kind:Port.Resistive [ G.Rect.make 10.0 45.0 20.0 55.0 ] in
+  let b =
+    Port.v ~name:"b" ~kind:Port.Resistive
+      [ G.Rect.make (10.0 +. sep) 45.0 (20.0 +. sep) 55.0 ]
+  in
+  Extractor.extract ~config:cfg ~tech:T.imec018 ~die [ a; b ]
+
+let test_macromodel_symmetric () =
+  let m = two_contact_model () in
+  Alcotest.(check bool) "S symmetric" true
+    (N.Mat.is_symmetric ~tol:1e-6 m.Macromodel.conductance)
+
+let test_macromodel_row_sums_zero () =
+  (* no global ground: the reduced network is a pure Laplacian *)
+  let m = two_contact_model () in
+  let s = m.Macromodel.conductance in
+  for i = 0 to N.Mat.rows s - 1 do
+    let sum = ref 0.0 in
+    for j = 0 to N.Mat.cols s - 1 do
+      sum := !sum +. N.Mat.get s i j
+    done;
+    Alcotest.(check bool) "row sum ~ 0" true
+      (Float.abs !sum < 1e-6 *. N.Mat.get s i i)
+  done
+
+let test_two_contact_resistance_plausible () =
+  let m = two_contact_model () in
+  let r = Macromodel.coupling_resistance m "a" "b" in
+  (* spreading resistance of two 10x10 um contacts 60 um apart in a
+     20 ohm cm bulk: order 1-50 kohm *)
+  Alcotest.(check bool)
+    (Printf.sprintf "R = %g in plausible band" r)
+    true
+    (r > 200.0 && r < 100_000.0)
+
+let test_resistance_increases_with_separation () =
+  let r_near =
+    Macromodel.coupling_resistance (two_contact_model ~sep:30.0 ()) "a" "b"
+  in
+  let r_far =
+    Macromodel.coupling_resistance (two_contact_model ~sep:70.0 ()) "a" "b"
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "R(30um)=%g < R(70um)=%g" r_near r_far)
+    true (r_near < r_far)
+
+let test_resistance_decreases_with_contact_area () =
+  let model size =
+    let a =
+      Port.v ~name:"a" ~kind:Port.Resistive
+        [ G.Rect.make 10.0 45.0 (10.0 +. size) (45.0 +. size) ]
+    in
+    let b =
+      Port.v ~name:"b" ~kind:Port.Resistive
+        [ G.Rect.make 70.0 45.0 (70.0 +. size) (45.0 +. size) ]
+    in
+    Extractor.extract ~config:fast_config ~tech:T.imec018 ~die:die100 [ a; b ]
+  in
+  let r_small = Macromodel.coupling_resistance (model 5.0) "a" "b" in
+  let r_big = Macromodel.coupling_resistance (model 15.0) "a" "b" in
+  Alcotest.(check bool)
+    (Printf.sprintf "R(5um)=%g > R(15um)=%g" r_small r_big)
+    true (r_small > r_big)
+
+let test_divider_reciprocity () =
+  let m = two_contact_model () in
+  (* with only two ports and nothing grounded the sense port floats at
+     the injected potential *)
+  let d = Macromodel.divider m ~inject:"a" ~sense:"b" ~grounded:[] in
+  Alcotest.(check (float 1e-5)) "floating two-port divider is 1" 1.0 d
+
+let test_guard_ring_shields () =
+  (* a grounded ring between injector and sensor must reduce coupling *)
+  let inject = Port.v ~name:"inj" ~kind:Port.Resistive
+      [ G.Rect.make 5.0 45.0 15.0 55.0 ] in
+  let sense = Port.v ~name:"sns" ~kind:Port.Probe
+      [ G.Rect.make 80.0 45.0 90.0 55.0 ] in
+  let ring_rects =
+    [ G.Rect.make 45.0 20.0 50.0 80.0 ]
+  in
+  let ring = Port.v ~name:"ring" ~kind:Port.Resistive ring_rects in
+  let bare =
+    Extractor.extract ~config:fast_config ~tech:T.imec018 ~die:die100
+      [ inject; sense ]
+  in
+  let shielded =
+    Extractor.extract ~config:fast_config ~tech:T.imec018 ~die:die100
+      [ inject; sense; ring ]
+  in
+  let d_bare = Macromodel.divider bare ~inject:"inj" ~sense:"sns" ~grounded:[] in
+  let d_shield =
+    Macromodel.divider shielded ~inject:"inj" ~sense:"sns" ~grounded:[ "ring" ]
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "shielded %g << bare %g" d_shield d_bare)
+    true
+    (d_shield < 0.3 *. d_bare)
+
+let test_well_capacitance_reported () =
+  let well =
+    Port.v ~name:"nwell:vdd" ~kind:Port.Well [ G.Rect.make 40.0 40.0 60.0 60.0 ]
+  in
+  let tap = Port.v ~name:"gnd" ~kind:Port.Resistive
+      [ G.Rect.make 5.0 5.0 10.0 10.0 ] in
+  let m =
+    Extractor.extract ~config:fast_config ~tech:T.imec018 ~die:die100
+      [ well; tap ]
+  in
+  match m.Macromodel.well_capacitance with
+  | [ (name, c) ] ->
+    Alcotest.(check string) "well name" "nwell:vdd" name;
+    (* 400 um^2 * 0.1 fF/um^2 = 40 fF + sidewall *)
+    Alcotest.(check bool) (Printf.sprintf "C = %g plausible" c) true
+      (c > 20.0e-15 && c < 100.0e-15)
+  | l -> Alcotest.failf "expected 1 well cap, got %d" (List.length l)
+
+let test_port_outside_die_rejected () =
+  let p = Port.v ~name:"x" ~kind:Port.Resistive
+      [ G.Rect.make 200.0 200.0 210.0 210.0 ] in
+  match
+    Extractor.extract ~config:fast_config ~tech:T.imec018 ~die:die100 [ p ]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection"
+
+let test_solve_constraint_errors () =
+  let m = two_contact_model () in
+  Alcotest.(check bool) "double constraint rejected" true
+    (match
+       Macromodel.solve m ~driven:[ ("a", 1.0) ] ~grounded:[ "a" ]
+     with
+     | exception Invalid_argument _ -> true
+     | _ -> false);
+  Alcotest.(check bool) "no constraint rejected" true
+    (match Macromodel.solve m ~driven:[] ~grounded:[] with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+let test_to_resistors () =
+  let m = two_contact_model () in
+  match Macromodel.to_resistors m with
+  | [ (a, b, r) ] ->
+    Alcotest.(check string) "a" "a" a;
+    Alcotest.(check string) "b" "b" b;
+    Alcotest.(check bool) "positive R" true (r > 0.0)
+  | l -> Alcotest.failf "expected 1 resistor, got %d" (List.length l)
+
+let test_grounded_backplane_shields () =
+  (* metallizing the backside gives the noise a vertical escape path
+     and reduces lateral coupling *)
+  let inject = Port.v ~name:"inj" ~kind:Port.Resistive
+      [ G.Rect.make 5.0 45.0 15.0 55.0 ] in
+  let sense = Port.v ~name:"sns" ~kind:Port.Probe
+      [ G.Rect.make 80.0 45.0 90.0 55.0 ] in
+  let bare =
+    Extractor.extract ~config:fast_config ~tech:T.imec018 ~die:die100
+      [ inject; sense ]
+  in
+  let plated =
+    Extractor.extract ~config:fast_config ~grounded_backplane:true
+      ~tech:T.imec018 ~die:die100 [ inject; sense ]
+  in
+  Alcotest.(check (list string)) "backplane port appended"
+    [ "inj"; "sns"; "backplane" ]
+    (Macromodel.port_names plated);
+  let d_bare = Macromodel.divider bare ~inject:"inj" ~sense:"sns" ~grounded:[] in
+  let d_plated =
+    Macromodel.divider plated ~inject:"inj" ~sense:"sns"
+      ~grounded:[ "backplane" ]
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "plated %g < bare %g" d_plated d_bare)
+    true (d_plated < 0.8 *. d_bare)
+
+module Elim = Sn_substrate.Elimination
+
+let test_elimination_simple_chain () =
+  (* three resistors in series, middle nodes eliminated: R total = sum *)
+  let net =
+    Elim.of_conductances ~n:4 ~ports:[| 0; 3 |]
+      [ (0, 1, 1.0 /. 10.0); (1, 2, 1.0 /. 20.0); (2, 3, 1.0 /. 30.0) ]
+  in
+  Elim.eliminate_internal net;
+  let s = Elim.port_conductance net in
+  Alcotest.(check (float 1e-12)) "series 60 ohm" (1.0 /. 60.0)
+    (-.N.Mat.get s 0 1)
+
+let test_elimination_star () =
+  (* a star of three 30-ohm arms collapses to a 30+30 = ... mesh:
+     pairwise R between any two ports = 60 || (through third: 120)
+     -> star-mesh: g_ij = g_i g_j / (g_1+g_2+g_3) *)
+  let g = 1.0 /. 30.0 in
+  let net =
+    Elim.of_conductances ~n:4 ~ports:[| 0; 1; 2 |]
+      [ (0, 3, g); (1, 3, g); (2, 3, g) ]
+  in
+  Elim.eliminate_internal net;
+  let s = Elim.port_conductance net in
+  Alcotest.(check (float 1e-12)) "mesh conductance" (g /. 3.0)
+    (-.N.Mat.get s 0 1)
+
+let test_elimination_matches_schur () =
+  (* the direct elimination and the CG Schur complement must produce
+     the same macromodel on the same small grid *)
+  let die = G.Rect.make 0.0 0.0 60.0 60.0 in
+  let cfg = { Grid.nx = 10; ny = 10; z_per_layer = Some [ 1; 1; 1; 1 ] } in
+  let ports =
+    [ Port.v ~name:"a" ~kind:Port.Resistive [ G.Rect.make 6.0 24.0 18.0 36.0 ];
+      Port.v ~name:"b" ~kind:Port.Resistive [ G.Rect.make 42.0 24.0 54.0 36.0 ];
+      Port.v ~name:"c" ~kind:Port.Probe [ G.Rect.make 24.0 6.0 36.0 18.0 ] ]
+  in
+  let schur = Extractor.extract ~config:cfg ~tech:T.imec018 ~die ports in
+  let direct = Elim.reduce_grid ~config:cfg ~tech:T.imec018 ~die ports in
+  let max_rel = ref 0.0 in
+  for i = 0 to 2 do
+    for j = 0 to 2 do
+      let a = N.Mat.get schur.Macromodel.conductance i j in
+      let b = N.Mat.get direct.Macromodel.conductance i j in
+      if Float.abs a > 1e-15 then
+        max_rel := Float.max !max_rel (Float.abs ((a -. b) /. a))
+    done
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "reductions agree (max rel err %.2e)" !max_rel)
+    true (!max_rel < 1e-4)
+
+let test_elimination_rejects_bad_input () =
+  Alcotest.(check bool) "bad node" true
+    (match Elim.of_conductances ~n:2 ~ports:[| 0 |] [ (0, 5, 1.0) ] with
+     | exception Invalid_argument _ -> true
+     | _ -> false);
+  Alcotest.(check bool) "bad conductance" true
+    (match Elim.of_conductances ~n:2 ~ports:[| 0 |] [ (0, 1, -1.0) ] with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+let test_epi_distance_insensitive () =
+  (* on an epi wafer the p+ bulk is a single node: coupling barely
+     changes with distance, unlike the high-ohmic wafer *)
+  let die = G.Rect.make 0.0 0.0 300.0 300.0 in
+  let cfg = { Grid.nx = 24; ny = 24; z_per_layer = Some [ 1; 2; 2; 1 ] } in
+  let coupling ~tech ~distance =
+    let ports =
+      [ Port.v ~name:"inj" ~kind:Port.Resistive
+          [ G.Rect.make 20.0 140.0 40.0 160.0 ];
+        Port.v ~name:"vic" ~kind:Port.Probe
+          [ G.Rect.make (40.0 +. distance) 140.0 (60.0 +. distance) 160.0 ];
+        Port.v ~name:"tap" ~kind:Port.Resistive
+          [ G.Rect.make 140.0 20.0 160.0 40.0 ] ]
+    in
+    let m = Extractor.extract ~config:cfg ~tech ~die ports in
+    20.0 *. log10 (Macromodel.divider m ~inject:"inj" ~sense:"vic"
+                     ~grounded:[ "tap" ])
+  in
+  let epi_near = coupling ~tech:T.epi018 ~distance:20.0 in
+  let epi_far = coupling ~tech:T.epi018 ~distance:200.0 in
+  let ho_near = coupling ~tech:T.imec018 ~distance:20.0 in
+  let ho_far = coupling ~tech:T.imec018 ~distance:200.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "epi flat: %.1f vs %.1f dB" epi_near epi_far)
+    true
+    (Float.abs (epi_near -. epi_far) < 1.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "high-ohmic improves: %.1f -> %.1f dB" ho_near ho_far)
+    true
+    (ho_near -. ho_far > 2.0)
+
+let test_epi_card_valid () =
+  match T.validate T.epi018 with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "epi018 invalid: %s" e
+
+let test_grid_convergence () =
+  (* refining the grid must not change the port resistance wildly *)
+  let coarse = { Grid.nx = 16; ny = 16; z_per_layer = Some [ 1; 1; 1; 1 ] } in
+  let fine = { Grid.nx = 32; ny = 32; z_per_layer = Some [ 1; 2; 2; 2 ] } in
+  let r_coarse =
+    Macromodel.coupling_resistance (two_contact_model ~cfg:coarse ()) "a" "b"
+  in
+  let r_fine =
+    Macromodel.coupling_resistance (two_contact_model ~cfg:fine ()) "a" "b"
+  in
+  let rel = Float.abs (r_fine -. r_coarse) /. r_fine in
+  Alcotest.(check bool)
+    (Printf.sprintf "coarse %g vs fine %g: %.0f%%" r_coarse r_fine (100.0 *. rel))
+    true (rel < 0.5)
+
+let suites =
+  [
+    ( "tech",
+      [
+        Alcotest.test_case "imec018 valid" `Quick test_tech_valid;
+        Alcotest.test_case "metal lookup" `Quick test_tech_lookup;
+        Alcotest.test_case "20 ohm cm bulk" `Quick test_tech_bulk_resistivity;
+        Alcotest.test_case "wire capacitances" `Quick test_wire_caps_positive;
+        Alcotest.test_case "validation catches bad cards" `Quick
+          test_tech_validation_catches;
+      ] );
+    ( "substrate.grid",
+      [
+        Alcotest.test_case "dimensions" `Quick test_grid_dimensions;
+        Alcotest.test_case "depth preserved" `Quick test_grid_depth_preserved;
+        Alcotest.test_case "bad configs" `Quick test_grid_bad_config;
+        Alcotest.test_case "conductance stencil" `Quick
+          test_grid_conductances_positive;
+        Alcotest.test_case "surface cells" `Quick test_surface_cell_rect;
+      ] );
+    ( "substrate.ports",
+      [
+        Alcotest.test_case "ports from layout" `Quick test_port_of_layout;
+        Alcotest.test_case "empty region" `Quick test_port_empty_region;
+      ] );
+    ( "substrate.extraction",
+      [
+        Alcotest.test_case "macromodel symmetric" `Quick test_macromodel_symmetric;
+        Alcotest.test_case "laplacian row sums" `Quick test_macromodel_row_sums_zero;
+        Alcotest.test_case "plausible spreading R" `Quick
+          test_two_contact_resistance_plausible;
+        Alcotest.test_case "R grows with separation" `Quick
+          test_resistance_increases_with_separation;
+        Alcotest.test_case "R falls with contact area" `Quick
+          test_resistance_decreases_with_contact_area;
+        Alcotest.test_case "floating divider" `Quick test_divider_reciprocity;
+        Alcotest.test_case "guard ring shields" `Quick test_guard_ring_shields;
+        Alcotest.test_case "well capacitance" `Quick test_well_capacitance_reported;
+        Alcotest.test_case "port outside die" `Quick test_port_outside_die_rejected;
+        Alcotest.test_case "solve constraint errors" `Quick
+          test_solve_constraint_errors;
+        Alcotest.test_case "resistor export" `Quick test_to_resistors;
+        Alcotest.test_case "grounded backplane" `Quick
+          test_grounded_backplane_shields;
+        Alcotest.test_case "elimination: series chain" `Quick
+          test_elimination_simple_chain;
+        Alcotest.test_case "elimination: star-mesh" `Quick
+          test_elimination_star;
+        Alcotest.test_case "elimination matches Schur" `Quick
+          test_elimination_matches_schur;
+        Alcotest.test_case "elimination input checks" `Quick
+          test_elimination_rejects_bad_input;
+        Alcotest.test_case "epi wafer distance-insensitive" `Slow
+          test_epi_distance_insensitive;
+        Alcotest.test_case "epi card valid" `Quick test_epi_card_valid;
+        Alcotest.test_case "grid convergence" `Slow test_grid_convergence;
+      ] );
+  ]
