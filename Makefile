@@ -1,0 +1,19 @@
+.PHONY: all build test check bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# tier-1 gate: what CI runs
+check:
+	dune build && dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

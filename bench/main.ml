@@ -127,6 +127,54 @@ let ablation_corners () =
 open Bechamel
 open Toolkit
 
+(* Fixture for the transient hot path: a linear RC ladder, sized past
+   the assembler's dense/sparse crossover so the CSR refill + pattern-
+   reusing LU is what gets measured. *)
+let tran_ladder_netlist ~stages =
+  let module El = Sn_circuit.Element in
+  let module W = Sn_circuit.Waveform in
+  let node k = if k = 0 then "0" else Printf.sprintf "n%d" k in
+  let elements =
+    El.Vsource
+      { name = "vin"; np = "drive"; nn = "0";
+        wave = W.sin_wave ~amplitude:1.0 ~freq:10.0e6 (); ac_mag = 1.0 }
+    :: El.Resistor { name = "rin"; n1 = "drive"; n2 = node 1; ohms = 50.0 }
+    :: List.concat
+         (List.init stages (fun k ->
+              let k = k + 1 in
+              [ El.Resistor
+                  { name = Printf.sprintf "r%d" k; n1 = node k;
+                    n2 = node (k + 1); ohms = 100.0 +. float_of_int k };
+                El.Capacitor
+                  { name = Printf.sprintf "c%d" k; n1 = node k; n2 = "0";
+                    farads = 1.0e-12 } ]))
+  in
+  Sn_circuit.Netlist.create ~title:"bench RC ladder" elements
+
+(* Fixture for direct elimination: a 48x48 surface mesh with four port
+   regions — the network is rebuilt per run because elimination
+   consumes it. *)
+let elim_n = 48
+
+let elim_edges, elim_ports =
+  let n = elim_n in
+  let idx x y = (y * n) + x in
+  let edges = ref [] in
+  for y = 0 to n - 1 do
+    for x = 0 to n - 1 do
+      if x + 1 < n then
+        edges :=
+          (idx x y, idx (x + 1) y, 1.0e-3 *. (1.0 +. (0.1 *. float_of_int y)))
+          :: !edges;
+      if y + 1 < n then
+        edges :=
+          (idx x y, idx x (y + 1), 1.3e-3 *. (1.0 +. (0.05 *. float_of_int x)))
+          :: !edges
+    done
+  done;
+  ( !edges,
+    [| idx 3 3; idx (n - 4) 3; idx 3 (n - 4); idx (n - 4) (n - 4) |] )
+
 let bench_tests () =
   (* shared fixtures built once *)
   let nmos_flow = Flow.build_nmos Sn_testchip.Nmos_structure.default in
@@ -190,7 +238,47 @@ let bench_tests () =
     Test.make ~name:"runtime_simulation_ac_solve"
       (Staged.stage (fun () ->
            ignore (Sn_engine.Ac.solve ~dc:vco_dc merged ~freq:10.0e6)));
+    (let nl = tran_ladder_netlist ~stages:80 in
+     let options =
+       { Sn_engine.Tran.default_options with
+         Sn_engine.Tran.ic = Sn_engine.Tran.Uic [];
+         record = Some [ "n80" ] }
+     in
+     Test.make ~name:"tran_fixed_step"
+       (Staged.stage (fun () ->
+            ignore
+              (Sn_engine.Tran.simulate ~options ~tstop:2.0e-6 ~dt:1.0e-8 nl))));
+    Test.make ~name:"substrate_elimination"
+      (Staged.stage (fun () ->
+           let module Elim = Sn_substrate.Elimination in
+           let net =
+             Elim.of_conductances ~n:(elim_n * elim_n) ~ports:elim_ports
+               elim_edges
+           in
+           Elim.eliminate_internal net;
+           ignore (Elim.port_conductance net)));
   ]
+
+(* Machine-readable trajectory: benchmark name -> ns/run, so successive
+   revisions can be diffed mechanically. *)
+let emit_json ~path entries =
+  let oc = open_out path in
+  let n = List.length entries in
+  output_string oc "{\n";
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "  %S: { \"ns_per_run\": %.3f }%s\n" name ns
+        (if i = n - 1 then "" else ","))
+    entries;
+  output_string oc "}\n";
+  close_out oc
+
+let strip_group_prefix name =
+  let prefix = "snoise " in
+  let lp = String.length prefix in
+  if String.length name > lp && String.sub name 0 lp = prefix then
+    String.sub name lp (String.length name - lp)
+  else name
 
 let run_benchmarks () =
   banner "Part 2 - Bechamel microbenchmarks (one per table / figure)";
@@ -207,10 +295,12 @@ let run_benchmarks () =
   let raw = Benchmark.all cfg instances grouped in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   Format.fprintf fmt "%-34s %16s@." "benchmark" "time/run";
+  let json = ref [] in
   Hashtbl.iter
     (fun name result ->
       match Analyze.OLS.estimates result with
       | Some [ est ] ->
+        json := (strip_group_prefix name, est) :: !json;
         let human =
           if est >= 1.0e9 then Printf.sprintf "%8.2f s " (est /. 1.0e9)
           else if est >= 1.0e6 then Printf.sprintf "%8.2f ms" (est /. 1.0e6)
@@ -220,6 +310,12 @@ let run_benchmarks () =
         Format.fprintf fmt "%-34s %16s@." name human
       | _ -> Format.fprintf fmt "%-34s %16s@." name "n/a")
     results;
+  let entries =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) !json
+  in
+  emit_json ~path:"BENCH_1.json" entries;
+  Format.fprintf fmt "wrote %d benchmark entries to BENCH_1.json@."
+    (List.length entries);
   Format.pp_print_flush fmt ()
 
 let () =

@@ -10,13 +10,17 @@ type solution = {
 let cx re im = { Complex.re; im }
 let czero = Complex.zero
 
-let volt_of_dc dc node = Dc.voltage dc node
-
-(* Assemble the complex admittance system at angular frequency w. *)
-let assemble mna dc ~omega =
-  let dim = Mna.dim mna in
+(* Assemble the complex admittance system at angular frequency w.  The
+   walk runs over the compiled plan, so the per-frequency cost is the
+   numeric stamping itself — node/branch resolution happened once when
+   the plan was built.  [dcx] is the raw DC unknown vector; MOSFET and
+   varactor small-signal parameters are evaluated at those bias
+   voltages. *)
+let assemble_plan (plan : Stamp_plan.t) dcx ~omega =
+  let dim = Stamp_plan.dim plan in
   let a = Array.make_matrix dim dim czero in
   let rhs = Array.make dim czero in
+  let volt s = if s < 0 then 0.0 else dcx.(s) in
   let stamp i j (y : Complex.t) =
     if i >= 0 && j >= 0 then a.(i).(j) <- Complex.add a.(i).(j) y
   in
@@ -29,103 +33,85 @@ let assemble mna dc ~omega =
     stamp i j (Complex.neg y);
     stamp j i (Complex.neg y)
   in
-  let stamp_vccs i j k l gm =
-    let y = cx gm 0.0 in
-    stamp i k y;
-    stamp i l (Complex.neg y);
-    stamp j k (Complex.neg y);
-    stamp j l y
-  in
-  let slot = Mna.node_slot mna in
   let one = cx 1.0 0.0 in
-  List.iter
-    (fun e ->
+  Array.iter
+    (fun (e : Stamp_plan.elt) ->
       match e with
-      | C.Element.Resistor { n1; n2; ohms; _ } ->
-        stamp_admittance (slot n1) (slot n2) (cx (1.0 /. ohms) 0.0)
-      | C.Element.Capacitor { n1; n2; farads; _ } ->
-        stamp_admittance (slot n1) (slot n2) (cx 0.0 (omega *. farads))
-      | C.Element.Inductor { name; n1; n2; henries } ->
-        let b = Mna.branch_slot mna name in
-        let i = slot n1 and j = slot n2 in
+      | Stamp_plan.Resistor { i; j; g } -> stamp_admittance i j (cx g 0.0)
+      | Stamp_plan.Capacitor { i; j; c; _ } ->
+        stamp_admittance i j (cx 0.0 (omega *. c))
+      | Stamp_plan.Varactor { i; j; vmodel; fm; _ } ->
+        let c =
+          C.Varactor_model.capacitance vmodel (volt i -. volt j) *. fm
+        in
+        stamp_admittance i j (cx 0.0 (omega *. c))
+      | Stamp_plan.Inductor { b; i; j; henries; _ } ->
         stamp b i one;
         stamp b j (Complex.neg one);
         stamp i b one;
         stamp j b (Complex.neg one);
         stamp b b (cx 0.0 (-.(omega *. henries)))
-      | C.Element.Vsource { name; np; nn; ac_mag; _ } ->
-        let b = Mna.branch_slot mna name in
-        let i = slot np and j = slot nn in
+      | Stamp_plan.Vsource { b; i; j; ac_mag; _ } ->
         stamp b i one;
         stamp b j (Complex.neg one);
         stamp i b one;
         stamp j b (Complex.neg one);
         rhs.(b) <- Complex.add rhs.(b) (cx ac_mag 0.0)
-      | C.Element.Isource { np; nn; ac_mag; _ } ->
-        inject (slot np) (cx (-.ac_mag) 0.0);
-        inject (slot nn) (cx ac_mag 0.0)
-      | C.Element.Vccs { np; nn; cp; cn; gm; _ } ->
-        stamp_vccs (slot np) (slot nn) (slot cp) (slot cn) gm
-      | C.Element.Vcvs { name; np; nn; cp; cn; gain } ->
-        let b = Mna.branch_slot mna name in
-        let i = slot np and j = slot nn and k = slot cp and l = slot cn in
+      | Stamp_plan.Isource { i; j; ac_mag; _ } ->
+        inject i (cx (-.ac_mag) 0.0);
+        inject j (cx ac_mag 0.0)
+      | Stamp_plan.Vccs { i; j; k; l; gm } ->
+        let y = cx gm 0.0 in
+        stamp i k y;
+        stamp i l (Complex.neg y);
+        stamp j k (Complex.neg y);
+        stamp j l y
+      | Stamp_plan.Vcvs { b; i; j; k; l; gain } ->
         stamp b i one;
         stamp b j (Complex.neg one);
         stamp b k (cx (-.gain) 0.0);
         stamp b l (cx gain 0.0);
         stamp i b one;
         stamp j b (Complex.neg one)
-      | C.Element.Mosfet { drain; gate; source; bulk; model; w; l; mult; _ } ->
-        let d = slot drain and g = slot gate and s = slot source
-        and b = slot bulk in
+      | Stamp_plan.Mosfet m ->
+        let d = m.Stamp_plan.md and g = m.Stamp_plan.mg
+        and s = m.Stamp_plan.ms and b = m.Stamp_plan.mbk in
         let lin =
-          Device_eval.mos ~model ~w ~l ~mult ~vd:(volt_of_dc dc drain)
-            ~vg:(volt_of_dc dc gate) ~vs:(volt_of_dc dc source)
-            ~vb:(volt_of_dc dc bulk)
+          Device_eval.mos ~model:m.Stamp_plan.mmodel ~w:m.Stamp_plan.mw
+            ~l:m.Stamp_plan.ml ~mult:m.Stamp_plan.mmult ~vd:(volt d)
+            ~vg:(volt g) ~vs:(volt s) ~vb:(volt b)
         in
         (* transconductances: id = g_dg vg + g_dd vd + g_ds vs + g_db vb;
-           the current leaves the drain node and enters the source node *)
+           the current leaves the drain node and enters the source node.
+           The device capacitances were expanded into Capacitor stamps
+           by the plan. *)
         List.iter
           (fun (coeff, node) ->
             stamp d node (cx coeff 0.0);
             stamp s node (cx (-.coeff) 0.0))
           [ (lin.Device_eval.g_dd, d); (lin.Device_eval.g_dg, g);
-            (lin.Device_eval.g_ds, s); (lin.Device_eval.g_db, b) ];
-        (* device capacitances, scaled by multiplicity *)
-        let fm = float_of_int mult in
-        let cap n1 n2 c =
-          stamp_admittance n1 n2 (cx 0.0 (omega *. c *. fm))
-        in
-        cap g s model.C.Mos_model.cgs;
-        cap g d model.C.Mos_model.cgd;
-        cap d b model.C.Mos_model.cdb;
-        cap s b model.C.Mos_model.csb
-      | C.Element.Varactor { n1; n2; model; mult; _ } ->
-        let v1 = volt_of_dc dc n1 and v2 = volt_of_dc dc n2 in
-        let c =
-          C.Varactor_model.capacitance model (v1 -. v2) *. float_of_int mult
-        in
-        stamp_admittance (slot n1) (slot n2) (cx 0.0 (omega *. c)))
-    (C.Netlist.elements (Mna.netlist mna));
+            (lin.Device_eval.g_ds, s); (lin.Device_eval.g_db, b) ])
+    plan.Stamp_plan.elts;
   (* a touch of gmin keeps isolated nodes from making the system singular *)
-  for i = 0 to Mna.n_nodes mna - 1 do
+  for i = 0 to Stamp_plan.n_nodes plan - 1 do
     a.(i).(i) <- Complex.add a.(i).(i) (cx 1e-15 0.0)
   done;
   (a, rhs)
 
-let system mna dc ~omega = assemble mna dc ~omega
+let system_of_plan plan dc ~omega = assemble_plan plan (Dc.unknowns dc) ~omega
+let system mna dc ~omega = system_of_plan (Stamp_plan.build mna) dc ~omega
 
-let solve_at mna dc ~freq =
+let solve_at_plan plan dc ~freq =
   if freq < 0.0 then invalid_arg "Ac.solve: freq must be >= 0";
   let omega = N.Units.two_pi *. freq in
-  let a, rhs = assemble mna dc ~omega in
+  let a, rhs = assemble_plan plan (Dc.unknowns dc) ~omega in
   let x = N.Lu.Cplx.solve_matrix a rhs in
-  { mna; freq; x }
+  { mna = Stamp_plan.mna plan; freq; x }
 
 let solve ?dc netlist ~freq =
   let mna = Mna.build netlist in
   let dc = match dc with Some d -> d | None -> Dc.solve_mna mna in
-  solve_at mna dc ~freq
+  solve_at_plan (Stamp_plan.build mna) dc ~freq
 
 let frequency s = s.freq
 
@@ -140,10 +126,11 @@ type sweep_point = { freq : float; values : (string * Complex.t) list }
 
 let sweep ?dc netlist ~freqs ~nodes =
   let mna = Mna.build netlist in
+  let plan = Stamp_plan.build mna in
   let dc = match dc with Some d -> d | None -> Dc.solve_mna mna in
   Array.to_list freqs
   |> List.map (fun freq ->
-         let s = solve_at mna dc ~freq in
+         let s = solve_at_plan plan dc ~freq in
          { freq; values = List.map (fun n -> (n, voltage s n)) nodes })
 
 let transfer_db points node =

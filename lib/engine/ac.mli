@@ -26,7 +26,15 @@ val system :
   Complex.t array array * Complex.t array
 (** [system mna dc ~omega] is the assembled complex MNA matrix and
     stimulus vector at angular frequency [omega] — exposed for the
-    adjoint-based noise analysis ({!Noise}). *)
+    adjoint-based noise analysis ({!Noise}).  Compiles a fresh stamp
+    plan per call; for repeated assemblies build the plan once and use
+    {!system_of_plan}. *)
+
+val system_of_plan :
+  Stamp_plan.t -> Dc.solution -> omega:float ->
+  Complex.t array array * Complex.t array
+(** Same as {!system} over a pre-compiled stamp plan: per-frequency
+    cost is numeric stamping only. *)
 
 type sweep_point = { freq : float; values : (string * Complex.t) list }
 

@@ -23,68 +23,59 @@ type solution = { mna : Mna.t; x : float array }
 
 let volt_of x slot = if slot < 0 then 0.0 else x.(slot)
 
-(* One Newton iteration: assemble the linearized MNA system at
-   candidate [x] and solve for the next iterate. *)
-let assemble mna ~gmin x =
-  let dim = Mna.dim mna in
-  let a = N.Mat.make dim dim in
-  let rhs = Array.make dim 0.0 in
-  let stamp i j g =
-    if i >= 0 && j >= 0 then N.Mat.add_to a i j g
-  in
+(* Assemble the linearized MNA system at candidate [x] into the shared
+   assembler and right-hand side.  The stamps walk the compiled plan:
+   every node and branch index was resolved when the plan was built, so
+   the Newton inner loop does no name lookups at all.  Dynamic elements
+   are open circuits at DC. *)
+let assemble_plan (plan : Stamp_plan.t) asm rhs ~gmin x =
+  Assembler.start asm;
+  Array.fill rhs 0 (Array.length rhs) 0.0;
+  let stamp i j g = Assembler.add asm i j g in
   let inject i v = if i >= 0 then rhs.(i) <- rhs.(i) +. v in
-  let slot = Mna.node_slot mna in
-  List.iter
-    (fun e ->
+  Array.iter
+    (fun (e : Stamp_plan.elt) ->
       match e with
-      | C.Element.Resistor { n1; n2; ohms; _ } ->
-        let i = slot n1 and j = slot n2 in
-        let g = 1.0 /. ohms in
+      | Stamp_plan.Resistor { i; j; g } ->
         stamp i i g;
         stamp j j g;
         stamp i j (-.g);
         stamp j i (-.g)
-      | C.Element.Capacitor _ | C.Element.Varactor _ -> ()
-      | C.Element.Inductor { name; n1; n2; _ } ->
+      | Stamp_plan.Capacitor _ | Stamp_plan.Varactor _ -> ()
+      | Stamp_plan.Inductor { b; i; j; _ } ->
         (* DC short with explicit branch current *)
-        let b = Mna.branch_slot mna name in
-        let i = slot n1 and j = slot n2 in
         stamp b i 1.0;
         stamp b j (-1.0);
         stamp i b 1.0;
         stamp j b (-1.0)
-      | C.Element.Vsource { name; np; nn; wave; _ } ->
-        let b = Mna.branch_slot mna name in
-        let i = slot np and j = slot nn in
+      | Stamp_plan.Vsource { b; i; j; wave; _ } ->
         stamp b i 1.0;
         stamp b j (-1.0);
         stamp i b 1.0;
         stamp j b (-1.0);
         rhs.(b) <- rhs.(b) +. C.Waveform.dc_value wave
-      | C.Element.Isource { np; nn; wave; _ } ->
+      | Stamp_plan.Isource { i; j; wave; _ } ->
         let v = C.Waveform.dc_value wave in
-        inject (slot np) (-.v);
-        inject (slot nn) v
-      | C.Element.Vccs { np; nn; cp; cn; gm; _ } ->
-        let i = slot np and j = slot nn and k = slot cp and l = slot cn in
+        inject i (-.v);
+        inject j v
+      | Stamp_plan.Vccs { i; j; k; l; gm } ->
         stamp i k gm;
         stamp i l (-.gm);
         stamp j k (-.gm);
         stamp j l gm
-      | C.Element.Vcvs { name; np; nn; cp; cn; gain } ->
-        let b = Mna.branch_slot mna name in
-        let i = slot np and j = slot nn and k = slot cp and l = slot cn in
+      | Stamp_plan.Vcvs { b; i; j; k; l; gain } ->
         stamp b i 1.0;
         stamp b j (-1.0);
         stamp b k (-.gain);
         stamp b l gain;
         stamp i b 1.0;
         stamp j b (-1.0)
-      | C.Element.Mosfet { drain; gate; source; bulk; model; w; l; mult; _ } ->
-        let d = slot drain and g = slot gate and s = slot source
-        and b = slot bulk in
+      | Stamp_plan.Mosfet m ->
+        let d = m.Stamp_plan.md and g = m.Stamp_plan.mg
+        and s = m.Stamp_plan.ms and b = m.Stamp_plan.mbk in
         let lin =
-          Device_eval.mos ~model ~w ~l ~mult ~vd:(volt_of x d)
+          Device_eval.mos ~model:m.Stamp_plan.mmodel ~w:m.Stamp_plan.mw
+            ~l:m.Stamp_plan.ml ~mult:m.Stamp_plan.mmult ~vd:(volt_of x d)
             ~vg:(volt_of x g) ~vs:(volt_of x s) ~vb:(volt_of x b)
         in
         (* i_d(v) ~ id0 + sum g_t (v_t - v_t0); current leaves drain,
@@ -106,31 +97,31 @@ let assemble mna ~gmin x =
         stamp s b (-.lin.Device_eval.g_db);
         inject d (-.ieq);
         inject s ieq)
-    (C.Netlist.elements (Mna.netlist mna));
+    plan.Stamp_plan.elts;
   (* gmin on every node row keeps floating subnets solvable *)
-  for i = 0 to Mna.n_nodes mna - 1 do
-    N.Mat.add_to a i i gmin
-  done;
-  (a, rhs)
+  for i = 0 to Stamp_plan.n_nodes plan - 1 do
+    Assembler.add asm i i gmin
+  done
 
-let newton_loop mna options ~gmin x0 =
-  let dim = Mna.dim mna in
+let newton_loop plan asm rhs options ~gmin x0 =
+  let dim = Stamp_plan.dim plan in
+  let n_nodes = Stamp_plan.n_nodes plan in
   let x = Array.copy x0 in
   let rec iterate k =
     if k >= options.max_iterations then
       raise (No_convergence { iterations = k; residual = Float.infinity })
     else begin
-      let a, rhs = assemble mna ~gmin x in
+      assemble_plan plan asm rhs ~gmin x;
       let x_new =
-        try N.Lu.solve_mat a rhs
-        with N.Lu.Singular _ ->
+        try Assembler.solve asm rhs
+        with N.Splu.Singular _ ->
           raise (No_convergence { iterations = k; residual = Float.nan })
       in
       let max_delta = ref 0.0 in
       for i = 0 to dim - 1 do
         let delta = x_new.(i) -. x.(i) in
         let clamped =
-          if i < Mna.n_nodes mna then
+          if i < n_nodes then
             Float.max (-.options.damping) (Float.min options.damping delta)
           else delta
         in
@@ -142,18 +133,22 @@ let newton_loop mna options ~gmin x0 =
   in
   iterate 0
 
-let solve_mna ?(options = default_options) mna =
-  let dim = Mna.dim mna in
+let solve_plan ?(options = default_options) plan =
+  let dim = Stamp_plan.dim plan in
+  let asm = Assembler.create dim in
+  let rhs = Array.make dim 0.0 in
   let x0 = Array.make dim 0.0 in
-  match newton_loop mna options ~gmin:options.gmin x0 with
-  | x -> { mna; x }
+  match newton_loop plan asm rhs options ~gmin:options.gmin x0 with
+  | x -> { mna = Stamp_plan.mna plan; x }
   | exception No_convergence _ ->
-    (* gmin continuation: solve with a heavy gmin, then relax *)
+    (* gmin continuation: solve with a heavy gmin, then relax.  The
+       assembler (and its factorization pattern) carries across all
+       continuation steps — only values change. *)
     Log.info (fun m -> m "direct Newton failed; starting gmin stepping");
     let rec continuation x = function
       | [] -> x
       | g :: rest ->
-        let x = newton_loop mna options ~gmin:g x in
+        let x = newton_loop plan asm rhs options ~gmin:g x in
         continuation x rest
     in
     let steps =
@@ -162,8 +157,9 @@ let solve_mna ?(options = default_options) mna =
       @ [ options.gmin ]
     in
     let x = continuation x0 steps in
-    { mna; x }
+    { mna = Stamp_plan.mna plan; x }
 
+let solve_mna ?options mna = solve_plan ?options (Stamp_plan.build mna)
 let solve ?options netlist = solve_mna ?options (Mna.build netlist)
 
 let mna s = s.mna

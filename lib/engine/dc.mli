@@ -21,6 +21,10 @@ val solve : ?options:options -> Sn_circuit.Netlist.t -> solution
 
 val solve_mna : ?options:options -> Mna.t -> solution
 
+val solve_plan : ?options:options -> Stamp_plan.t -> solution
+(** Solve over a pre-compiled stamp plan, sharing the symbolic work
+    with a caller that keeps the plan (the transient engine does). *)
+
 val mna : solution -> Mna.t
 
 val voltage : solution -> string -> float

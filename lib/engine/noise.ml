@@ -43,12 +43,20 @@ let analyze ?dc ?(temperature = 300.0) nl ~output ~freqs =
   let dc = match dc with Some d -> d | None -> Dc.solve_mna mna in
   let out_slot = Mna.node_slot mna output in
   if out_slot < 0 then invalid_arg "Noise.analyze: output cannot be ground";
-  let sources = noise_sources nl dc ~temperature in
+  let plan = Stamp_plan.build mna in
+  let sources =
+    (* resolve injection slots once; the frequency loop below only does
+       numeric work *)
+    List.map
+      (fun (element, np, nn, psd_i) ->
+        (element, Mna.node_slot mna np, Mna.node_slot mna nn, psd_i))
+      (noise_sources nl dc ~temperature)
+  in
   Array.to_list freqs
   |> List.map (fun freq ->
          if freq < 0.0 then invalid_arg "Noise.analyze: negative frequency";
          let omega = N.Units.two_pi *. freq in
-         let a, _ = Ac.system mna dc ~omega in
+         let a, _ = Ac.system_of_plan plan dc ~omega in
          (* adjoint: solve A^T y = e_out; then the transfer from a unit
             current injected into node k to the output voltage is y_k *)
          let e_out =
@@ -59,12 +67,8 @@ let analyze ?dc ?(temperature = 300.0) nl ~output ~freqs =
          let gain n = if n < 0 then Complex.zero else y.(n) in
          let contributions =
            List.map
-             (fun (element, np, nn, psd_i) ->
-               let h =
-                 Complex.sub
-                   (gain (Mna.node_slot mna np))
-                   (gain (Mna.node_slot mna nn))
-               in
+             (fun (element, sp, sn, psd_i) ->
+               let h = Complex.sub (gain sp) (gain sn) in
                (* Complex.norm2 is |h|^2 *)
                { element; psd = Complex.norm2 h *. psd_i })
              sources

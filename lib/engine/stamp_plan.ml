@@ -1,0 +1,134 @@
+(* A netlist compiled once into slot-resolved stamps.
+
+   The DC, AC and transient engines all used to walk the element list
+   and re-resolve every node and branch name through hashtables on
+   every assembly — every Newton iteration of every timestep.  The
+   stamp plan does that symbolic work exactly once per netlist: each
+   element becomes a flat record of precomputed unknown indices
+   (ground = -1), each dynamic element gets an index into the
+   transient state arrays, and the per-MOSFET linear capacitances are
+   expanded into ordinary capacitor stamps.  Assemblies then run over
+   an array of int-indexed records with no string hashing and no list
+   traversal. *)
+
+module C = Sn_circuit
+
+type mosfet = {
+  md : int;
+  mg : int;
+  ms : int;
+  mbk : int;
+  mmodel : C.Mos_model.t;
+  mw : float;
+  ml : float;
+  mmult : int;
+}
+
+type elt =
+  | Resistor of { i : int; j : int; g : float }
+  | Capacitor of { ci : int; i : int; j : int; c : float }
+      (* [ci] indexes the transient capacitor-state arrays; covers both
+         netlist capacitors and the four linear capacitances of each
+         MOSFET *)
+  | Varactor of {
+      qi : int;
+      i : int;
+      j : int;
+      vmodel : C.Varactor_model.t;
+      fm : float;
+    }
+  | Inductor of { li : int; b : int; i : int; j : int; henries : float }
+  | Vsource of { b : int; i : int; j : int; wave : C.Waveform.t; ac_mag : float }
+  | Isource of { i : int; j : int; wave : C.Waveform.t; ac_mag : float }
+  | Vccs of { i : int; j : int; k : int; l : int; gm : float }
+  | Vcvs of { b : int; i : int; j : int; k : int; l : int; gain : float }
+  | Mosfet of mosfet
+
+type t = {
+  mna : Mna.t;
+  dim : int;
+  n_nodes : int;
+  elts : elt array;
+  n_caps : int;
+  n_charges : int;
+  n_inds : int;
+  linear : bool;  (** no MOSFET, no varactor: the MNA matrix is
+                      state-independent *)
+}
+
+let mna p = p.mna
+let dim p = p.dim
+let n_nodes p = p.n_nodes
+let linear p = p.linear
+
+let build mna =
+  let slot = Mna.node_slot mna in
+  let bslot = Mna.branch_slot mna in
+  let n_caps = ref 0 and n_charges = ref 0 and n_inds = ref 0 in
+  let linear = ref true in
+  let out = ref [] in
+  let emit e = out := e :: !out in
+  let fresh r =
+    let v = !r in
+    incr r;
+    v
+  in
+  List.iter
+    (fun e ->
+      match e with
+      | C.Element.Resistor { n1; n2; ohms; _ } ->
+        emit (Resistor { i = slot n1; j = slot n2; g = 1.0 /. ohms })
+      | C.Element.Capacitor { n1; n2; farads; _ } ->
+        emit
+          (Capacitor { ci = fresh n_caps; i = slot n1; j = slot n2; c = farads })
+      | C.Element.Varactor { n1; n2; model; mult; _ } ->
+        linear := false;
+        emit
+          (Varactor
+             { qi = fresh n_charges; i = slot n1; j = slot n2; vmodel = model;
+               fm = float_of_int mult })
+      | C.Element.Inductor { name; n1; n2; henries } ->
+        emit
+          (Inductor
+             { li = fresh n_inds; b = bslot name; i = slot n1; j = slot n2;
+               henries })
+      | C.Element.Vsource { name; np; nn; wave; ac_mag } ->
+        emit (Vsource { b = bslot name; i = slot np; j = slot nn; wave; ac_mag })
+      | C.Element.Isource { np; nn; wave; ac_mag; _ } ->
+        emit (Isource { i = slot np; j = slot nn; wave; ac_mag })
+      | C.Element.Vccs { np; nn; cp; cn; gm; _ } ->
+        emit
+          (Vccs { i = slot np; j = slot nn; k = slot cp; l = slot cn; gm })
+      | C.Element.Vcvs { name; np; nn; cp; cn; gain } ->
+        emit
+          (Vcvs
+             { b = bslot name; i = slot np; j = slot nn; k = slot cp;
+               l = slot cn; gain })
+      | C.Element.Mosfet { drain; gate; source; bulk; model; w; l; mult; _ } ->
+        linear := false;
+        let d = slot drain and g = slot gate and s = slot source
+        and bk = slot bulk in
+        emit
+          (Mosfet
+             { md = d; mg = g; ms = s; mbk = bk; mmodel = model; mw = w;
+               ml = l; mmult = mult });
+        (* the four linear device capacitances, scaled by multiplicity *)
+        let fm = float_of_int mult in
+        let cap a b c =
+          emit (Capacitor { ci = fresh n_caps; i = a; j = b; c = c *. fm })
+        in
+        cap g s model.C.Mos_model.cgs;
+        cap g d model.C.Mos_model.cgd;
+        cap d bk model.C.Mos_model.cdb;
+        cap s bk model.C.Mos_model.csb)
+    (C.Netlist.elements (Mna.netlist mna));
+  {
+    mna;
+    dim = Mna.dim mna;
+    n_nodes = Mna.n_nodes mna;
+    elts = Array.of_list (List.rev !out);
+    n_caps = !n_caps;
+    n_charges = !n_charges;
+    n_inds = !n_inds;
+    linear = !linear;
+  }

@@ -1,5 +1,6 @@
 module C = Sn_circuit
 module N = Sn_numerics
+module P = Stamp_plan
 
 type method_ = Backward_euler | Trapezoidal
 
@@ -11,11 +12,12 @@ type options = {
   tolerance : float;
   ic : initial_condition;
   record : string list option;
+  linear_fast_path : bool;
 }
 
 let default_options =
   { method_ = Trapezoidal; max_newton = 50; tolerance = 1e-9;
-    ic = Operating_point; record = None }
+    ic = Operating_point; record = None; linear_fast_path = true }
 
 exception Step_failed of { time : float; iterations : int }
 
@@ -25,307 +27,286 @@ type dataset = {
   data : float array array;
 }
 
-(* Dynamic-element state carried between time points. *)
-type cap_state = { mutable v_prev : float; mutable i_prev : float }
-type charge_state = {
-  mutable q_prev : float;
-  mutable vq_prev : float;
-  mutable iq_prev : float;
-}
-type ind_state = { mutable il_prev : float; mutable vl_prev : float }
-
+(* Dynamic-element state carried between time points, as flat arrays
+   indexed by the plan's per-kind slots ([ci] / [qi] / [li]) — the hot
+   loop touches no hashtables. *)
 type state = {
-  caps : (string, cap_state) Hashtbl.t;
-  charges : (string, charge_state) Hashtbl.t;
-  inds : (string, ind_state) Hashtbl.t;
+  cap_v : float array;  (* capacitor voltage at accepted point *)
+  cap_i : float array;  (* capacitor current at accepted point *)
+  q_prev : float array;  (* varactor charge *)
+  vq_prev : float array;
+  iq_prev : float array;
+  il_prev : float array;  (* inductor current *)
+  vl_prev : float array;
 }
 
 let volt_of x slot = if slot < 0 then 0.0 else x.(slot)
 
-(* Each MOSFET contributes four linear capacitances; key them by a
-   suffixed element name. *)
-let mos_caps (e : C.Element.t) =
-  match e with
-  | C.Element.Mosfet { name; drain; gate; source; bulk; model; mult; _ } ->
-    let fm = float_of_int mult in
-    [
-      (name ^ ".cgs", gate, source, model.C.Mos_model.cgs *. fm);
-      (name ^ ".cgd", gate, drain, model.C.Mos_model.cgd *. fm);
-      (name ^ ".cdb", drain, bulk, model.C.Mos_model.cdb *. fm);
-      (name ^ ".csb", source, bulk, model.C.Mos_model.csb *. fm);
-    ]
-  | C.Element.Resistor _ | C.Element.Capacitor _ | C.Element.Inductor _
-  | C.Element.Vsource _ | C.Element.Isource _ | C.Element.Vccs _
-  | C.Element.Vcvs _ | C.Element.Varactor _ ->
-    []
-
-let init_state mna x0 =
-  let state =
-    { caps = Hashtbl.create 32; charges = Hashtbl.create 8;
-      inds = Hashtbl.create 8 }
+let init_state (plan : P.t) x0 =
+  let mk n = Array.make (max n 1) 0.0 in
+  let st =
+    { cap_v = mk plan.P.n_caps; cap_i = mk plan.P.n_caps;
+      q_prev = mk plan.P.n_charges; vq_prev = mk plan.P.n_charges;
+      iq_prev = mk plan.P.n_charges; il_prev = mk plan.P.n_inds;
+      vl_prev = mk plan.P.n_inds }
   in
-  let slot = Mna.node_slot mna in
-  List.iter
-    (fun e ->
-      (match e with
-       | C.Element.Capacitor { name; n1; n2; _ } ->
-         Hashtbl.replace state.caps name
-           { v_prev = volt_of x0 (slot n1) -. volt_of x0 (slot n2);
-             i_prev = 0.0 }
-       | C.Element.Varactor { name; n1; n2; model; mult; _ } ->
-         let v = volt_of x0 (slot n1) -. volt_of x0 (slot n2) in
-         Hashtbl.replace state.charges name
-           { q_prev = C.Varactor_model.charge model v *. float_of_int mult;
-             vq_prev = v; iq_prev = 0.0 }
-       | C.Element.Inductor { name; n1; n2; _ } ->
-         let b = Mna.branch_slot mna name in
-         Hashtbl.replace state.inds name
-           { il_prev = x0.(b);
-             vl_prev = volt_of x0 (slot n1) -. volt_of x0 (slot n2) }
-       | C.Element.Resistor _ | C.Element.Vsource _ | C.Element.Isource _
-       | C.Element.Vccs _ | C.Element.Vcvs _ | C.Element.Mosfet _ ->
-         ());
-      List.iter
-        (fun (key, na, nb, _c) ->
-          Hashtbl.replace state.caps key
-            { v_prev = volt_of x0 (slot na) -. volt_of x0 (slot nb);
-              i_prev = 0.0 })
-        (mos_caps e))
-    (C.Netlist.elements (Mna.netlist mna));
-  state
+  Array.iter
+    (fun (e : P.elt) ->
+      match e with
+      | P.Capacitor { ci; i; j; _ } ->
+        st.cap_v.(ci) <- volt_of x0 i -. volt_of x0 j
+      | P.Varactor { qi; i; j; vmodel; fm } ->
+        let v = volt_of x0 i -. volt_of x0 j in
+        st.q_prev.(qi) <- C.Varactor_model.charge vmodel v *. fm;
+        st.vq_prev.(qi) <- v
+      | P.Inductor { li; b; i; j; _ } ->
+        st.il_prev.(li) <- x0.(b);
+        st.vl_prev.(li) <- volt_of x0 i -. volt_of x0 j
+      | P.Resistor _ | P.Vsource _ | P.Isource _ | P.Vccs _ | P.Vcvs _
+      | P.Mosfet _ ->
+        ())
+    plan.P.elts;
+  st
+
+let clone_state st =
+  { cap_v = Array.copy st.cap_v; cap_i = Array.copy st.cap_i;
+    q_prev = Array.copy st.q_prev; vq_prev = Array.copy st.vq_prev;
+    iq_prev = Array.copy st.iq_prev; il_prev = Array.copy st.il_prev;
+    vl_prev = Array.copy st.vl_prev }
 
 (* Companion coefficients for a linear capacitance. *)
-let cap_companion options ~h (st : cap_state) c =
+let cap_companion options ~h ~v_prev ~i_prev c =
   match options.method_ with
   | Backward_euler ->
     let geq = c /. h in
-    (geq, -.(geq *. st.v_prev))
+    (geq, -.(geq *. v_prev))
   | Trapezoidal ->
     let geq = 2.0 *. c /. h in
-    (geq, -.(geq *. st.v_prev) -. st.i_prev)
+    (geq, -.(geq *. v_prev) -. i_prev)
 
-(* Assemble and Newton-solve one time point at time [t]. *)
-let solve_point mna options state ~h ~t x_guess =
-  let dim = Mna.dim mna in
-  let slot = Mna.node_slot mna in
-  let x = Array.copy x_guess in
+(* Assemble the companion-model MNA system at time [t], candidate [x].
+   The walk is over the compiled plan, so the per-iteration cost is
+   pure numeric stamping; the assembler reuses its sparsity pattern
+   (and, when frozen, skips matrix work entirely). *)
+let assemble (plan : P.t) asm rhs options (state : state) ~h ~t x =
+  Assembler.start asm;
+  Array.fill rhs 0 (Array.length rhs) 0.0;
   let gmin = 1e-12 in
-  let rec newton k =
-    if k >= options.max_newton then
-      raise (Step_failed { time = t; iterations = k });
-    let a = N.Mat.make dim dim in
-    let rhs = Array.make dim 0.0 in
-    let stamp i j g = if i >= 0 && j >= 0 then N.Mat.add_to a i j g in
-    let inject i v = if i >= 0 then rhs.(i) <- rhs.(i) +. v in
-    let stamp_conductance i j g =
-      stamp i i g;
-      stamp j j g;
-      stamp i j (-.g);
-      stamp j i (-.g)
-    in
-    let stamp_cap key n1 n2 c =
-      let st = Hashtbl.find state.caps key in
-      let geq, ieq = cap_companion options ~h st c in
-      let i = slot n1 and j = slot n2 in
-      stamp_conductance i j geq;
-      inject i (-.ieq);
-      inject j ieq
-    in
-    List.iter
-      (fun e ->
-        (match e with
-         | C.Element.Resistor { n1; n2; ohms; _ } ->
-           stamp_conductance (slot n1) (slot n2) (1.0 /. ohms)
-         | C.Element.Capacitor { name; n1; n2; farads } ->
-           stamp_cap name n1 n2 farads
-         | C.Element.Varactor { name; n1; n2; model; mult; _ } ->
-           let st = Hashtbl.find state.charges name in
-           let fm = float_of_int mult in
-           let i = slot n1 and j = slot n2 in
-           let v = volt_of x i -. volt_of x j in
-           let cv = C.Varactor_model.capacitance model v *. fm in
-           let qv = C.Varactor_model.charge model v *. fm in
-           let geq, ieq =
-             match options.method_ with
-             | Backward_euler ->
-               let geq = cv /. h in
-               (geq, ((qv -. st.q_prev) /. h) -. (geq *. v))
-             | Trapezoidal ->
-               let geq = 2.0 *. cv /. h in
-               ( geq,
-                 (2.0 *. (qv -. st.q_prev) /. h) -. st.iq_prev -. (geq *. v) )
-           in
-           stamp_conductance i j geq;
-           inject i (-.ieq);
-           inject j ieq
-         | C.Element.Inductor { name; n1; n2; henries } ->
-           let b = Mna.branch_slot mna name in
-           let st = Hashtbl.find state.inds name in
-           let i = slot n1 and j = slot n2 in
-           stamp b i 1.0;
-           stamp b j (-1.0);
-           stamp i b 1.0;
-           stamp j b (-1.0);
-           (match options.method_ with
-            | Backward_euler ->
-              let z = henries /. h in
-              N.Mat.add_to a b b (-.z);
-              rhs.(b) <- rhs.(b) -. (z *. st.il_prev)
-            | Trapezoidal ->
-              let z = 2.0 *. henries /. h in
-              N.Mat.add_to a b b (-.z);
-              rhs.(b) <- rhs.(b) -. (z *. st.il_prev) -. st.vl_prev)
-         | C.Element.Vsource { name; np; nn; wave; _ } ->
-           let b = Mna.branch_slot mna name in
-           let i = slot np and j = slot nn in
-           stamp b i 1.0;
-           stamp b j (-1.0);
-           stamp i b 1.0;
-           stamp j b (-1.0);
-           rhs.(b) <- rhs.(b) +. C.Waveform.value wave t
-         | C.Element.Isource { np; nn; wave; _ } ->
-           let v = C.Waveform.value wave t in
-           inject (slot np) (-.v);
-           inject (slot nn) v
-         | C.Element.Vccs { np; nn; cp; cn; gm; _ } ->
-           let i = slot np and j = slot nn and k = slot cp and l = slot cn in
-           stamp i k gm;
-           stamp i l (-.gm);
-           stamp j k (-.gm);
-           stamp j l gm
-         | C.Element.Vcvs { name; np; nn; cp; cn; gain } ->
-           let b = Mna.branch_slot mna name in
-           let i = slot np and j = slot nn and k = slot cp and l = slot cn in
-           stamp b i 1.0;
-           stamp b j (-1.0);
-           stamp b k (-.gain);
-           stamp b l gain;
-           stamp i b 1.0;
-           stamp j b (-1.0)
-         | C.Element.Mosfet { drain; gate; source; bulk; model; w; l; mult; _ }
-           ->
-           let d = slot drain and g = slot gate and s = slot source
-           and b = slot bulk in
-           let lin =
-             Device_eval.mos ~model ~w ~l ~mult ~vd:(volt_of x d)
-               ~vg:(volt_of x g) ~vs:(volt_of x s) ~vb:(volt_of x b)
-           in
-           let linear_part =
-             (lin.Device_eval.g_dd *. volt_of x d)
-             +. (lin.Device_eval.g_dg *. volt_of x g)
-             +. (lin.Device_eval.g_ds *. volt_of x s)
-             +. (lin.Device_eval.g_db *. volt_of x b)
-           in
-           let ieq = lin.Device_eval.id -. linear_part in
-           stamp d d lin.Device_eval.g_dd;
-           stamp d g lin.Device_eval.g_dg;
-           stamp d s lin.Device_eval.g_ds;
-           stamp d b lin.Device_eval.g_db;
-           stamp s d (-.lin.Device_eval.g_dd);
-           stamp s g (-.lin.Device_eval.g_dg);
-           stamp s s (-.lin.Device_eval.g_ds);
-           stamp s b (-.lin.Device_eval.g_db);
-           inject d (-.ieq);
-           inject s ieq);
-        List.iter
-          (fun (key, na, nb, c) -> stamp_cap key na nb c)
-          (mos_caps e))
-      (C.Netlist.elements (Mna.netlist mna));
-    for i = 0 to Mna.n_nodes mna - 1 do
-      N.Mat.add_to a i i gmin
-    done;
-    let x_new =
-      try N.Lu.solve_mat a rhs
-      with N.Lu.Singular _ -> raise (Step_failed { time = t; iterations = k })
-    in
-    let max_delta = ref 0.0 in
-    for i = 0 to dim - 1 do
-      max_delta := Float.max !max_delta (Float.abs (x_new.(i) -. x.(i)));
-      x.(i) <- x_new.(i)
-    done;
-    if !max_delta < options.tolerance then x else newton (k + 1)
+  let stamp i j g = Assembler.add asm i j g in
+  let inject i v = if i >= 0 then rhs.(i) <- rhs.(i) +. v in
+  let stamp_conductance i j g =
+    stamp i i g;
+    stamp j j g;
+    stamp i j (-.g);
+    stamp j i (-.g)
   in
-  newton 0
+  Array.iter
+    (fun (e : P.elt) ->
+      match e with
+      | P.Resistor { i; j; g } -> stamp_conductance i j g
+      | P.Capacitor { ci; i; j; c } ->
+        let geq, ieq =
+          cap_companion options ~h ~v_prev:state.cap_v.(ci)
+            ~i_prev:state.cap_i.(ci) c
+        in
+        stamp_conductance i j geq;
+        inject i (-.ieq);
+        inject j ieq
+      | P.Varactor { qi; i; j; vmodel; fm } ->
+        let v = volt_of x i -. volt_of x j in
+        let cv = C.Varactor_model.capacitance vmodel v *. fm in
+        let qv = C.Varactor_model.charge vmodel v *. fm in
+        let geq, ieq =
+          match options.method_ with
+          | Backward_euler ->
+            let geq = cv /. h in
+            (geq, ((qv -. state.q_prev.(qi)) /. h) -. (geq *. v))
+          | Trapezoidal ->
+            let geq = 2.0 *. cv /. h in
+            ( geq,
+              (2.0 *. (qv -. state.q_prev.(qi)) /. h)
+              -. state.iq_prev.(qi) -. (geq *. v) )
+        in
+        stamp_conductance i j geq;
+        inject i (-.ieq);
+        inject j ieq
+      | P.Inductor { li; b; i; j; henries } ->
+        stamp b i 1.0;
+        stamp b j (-1.0);
+        stamp i b 1.0;
+        stamp j b (-1.0);
+        (match options.method_ with
+         | Backward_euler ->
+           let z = henries /. h in
+           stamp b b (-.z);
+           rhs.(b) <- rhs.(b) -. (z *. state.il_prev.(li))
+         | Trapezoidal ->
+           let z = 2.0 *. henries /. h in
+           stamp b b (-.z);
+           rhs.(b) <- rhs.(b) -. (z *. state.il_prev.(li))
+                      -. state.vl_prev.(li))
+      | P.Vsource { b; i; j; wave; _ } ->
+        stamp b i 1.0;
+        stamp b j (-1.0);
+        stamp i b 1.0;
+        stamp j b (-1.0);
+        rhs.(b) <- rhs.(b) +. C.Waveform.value wave t
+      | P.Isource { i; j; wave; _ } ->
+        let v = C.Waveform.value wave t in
+        inject i (-.v);
+        inject j v
+      | P.Vccs { i; j; k; l; gm } ->
+        stamp i k gm;
+        stamp i l (-.gm);
+        stamp j k (-.gm);
+        stamp j l gm
+      | P.Vcvs { b; i; j; k; l; gain } ->
+        stamp b i 1.0;
+        stamp b j (-1.0);
+        stamp b k (-.gain);
+        stamp b l gain;
+        stamp i b 1.0;
+        stamp j b (-1.0)
+      | P.Mosfet m ->
+        let d = m.P.md and g = m.P.mg and s = m.P.ms and b = m.P.mbk in
+        let lin =
+          Device_eval.mos ~model:m.P.mmodel ~w:m.P.mw ~l:m.P.ml
+            ~mult:m.P.mmult ~vd:(volt_of x d) ~vg:(volt_of x g)
+            ~vs:(volt_of x s) ~vb:(volt_of x b)
+        in
+        let linear_part =
+          (lin.Device_eval.g_dd *. volt_of x d)
+          +. (lin.Device_eval.g_dg *. volt_of x g)
+          +. (lin.Device_eval.g_ds *. volt_of x s)
+          +. (lin.Device_eval.g_db *. volt_of x b)
+        in
+        let ieq = lin.Device_eval.id -. linear_part in
+        stamp d d lin.Device_eval.g_dd;
+        stamp d g lin.Device_eval.g_dg;
+        stamp d s lin.Device_eval.g_ds;
+        stamp d b lin.Device_eval.g_db;
+        stamp s d (-.lin.Device_eval.g_dd);
+        stamp s g (-.lin.Device_eval.g_dg);
+        stamp s s (-.lin.Device_eval.g_ds);
+        stamp s b (-.lin.Device_eval.g_db);
+        inject d (-.ieq);
+        inject s ieq)
+    plan.P.elts;
+  for i = 0 to plan.P.n_nodes - 1 do
+    Assembler.add asm i i gmin
+  done
+
+(* Solve one time point.  A linear plan on the fast path needs no
+   Newton loop: the matrix does not depend on [x], so a single assembly
+   (a no-op once the assembler is frozen) and one solve suffice. *)
+let solve_point plan asm rhs options state ~h ~t x_guess =
+  if P.linear plan && options.linear_fast_path then begin
+    assemble plan asm rhs options state ~h ~t x_guess;
+    try Assembler.solve asm rhs
+    with N.Splu.Singular _ -> raise (Step_failed { time = t; iterations = 0 })
+  end
+  else begin
+    let dim = P.dim plan in
+    let x = Array.copy x_guess in
+    let rec newton k =
+      if k >= options.max_newton then
+        raise (Step_failed { time = t; iterations = k });
+      assemble plan asm rhs options state ~h ~t x;
+      let x_new =
+        try Assembler.solve asm rhs
+        with N.Splu.Singular _ ->
+          raise (Step_failed { time = t; iterations = k })
+      in
+      let max_delta = ref 0.0 in
+      for i = 0 to dim - 1 do
+        max_delta := Float.max !max_delta (Float.abs (x_new.(i) -. x.(i)));
+        x.(i) <- x_new.(i)
+      done;
+      if !max_delta < options.tolerance then x else newton (k + 1)
+    in
+    newton 0
+  end
 
 (* After accepting a step, refresh the dynamic-element states. *)
-let update_state mna options state ~h x =
-  let slot = Mna.node_slot mna in
-  let update_cap key n1 n2 c =
-    let st = Hashtbl.find state.caps key in
-    let v = volt_of x (slot n1) -. volt_of x (slot n2) in
-    let geq, ieq = cap_companion options ~h st c in
-    st.i_prev <- (geq *. v) +. ieq;
-    st.v_prev <- v
-  in
-  List.iter
-    (fun e ->
-      (match e with
-       | C.Element.Capacitor { name; n1; n2; farads } ->
-         update_cap name n1 n2 farads
-       | C.Element.Varactor { name; n1; n2; model; mult; _ } ->
-         let st = Hashtbl.find state.charges name in
-         let fm = float_of_int mult in
-         let v = volt_of x (slot n1) -. volt_of x (slot n2) in
-         let q = C.Varactor_model.charge model v *. fm in
-         let i =
-           match options.method_ with
-           | Backward_euler -> (q -. st.q_prev) /. h
-           | Trapezoidal -> (2.0 *. (q -. st.q_prev) /. h) -. st.iq_prev
-         in
-         st.q_prev <- q;
-         st.vq_prev <- v;
-         st.iq_prev <- i
-       | C.Element.Inductor { name; n1; n2; _ } ->
-         let st = Hashtbl.find state.inds name in
-         let b = Mna.branch_slot mna name in
-         st.il_prev <- x.(b);
-         st.vl_prev <- volt_of x (slot n1) -. volt_of x (slot n2)
-       | C.Element.Resistor _ | C.Element.Vsource _ | C.Element.Isource _
-       | C.Element.Vccs _ | C.Element.Vcvs _ | C.Element.Mosfet _ ->
-         ());
-      List.iter
-        (fun (key, na, nb, c) -> update_cap key na nb c)
-        (mos_caps e))
-    (C.Netlist.elements (Mna.netlist mna))
+let update_state (plan : P.t) options (state : state) ~h x =
+  Array.iter
+    (fun (e : P.elt) ->
+      match e with
+      | P.Capacitor { ci; i; j; c } ->
+        let v = volt_of x i -. volt_of x j in
+        let geq, ieq =
+          cap_companion options ~h ~v_prev:state.cap_v.(ci)
+            ~i_prev:state.cap_i.(ci) c
+        in
+        state.cap_i.(ci) <- (geq *. v) +. ieq;
+        state.cap_v.(ci) <- v
+      | P.Varactor { qi; i; j; vmodel; fm } ->
+        let v = volt_of x i -. volt_of x j in
+        let q = C.Varactor_model.charge vmodel v *. fm in
+        let i_new =
+          match options.method_ with
+          | Backward_euler -> (q -. state.q_prev.(qi)) /. h
+          | Trapezoidal ->
+            (2.0 *. (q -. state.q_prev.(qi)) /. h) -. state.iq_prev.(qi)
+        in
+        state.q_prev.(qi) <- q;
+        state.vq_prev.(qi) <- v;
+        state.iq_prev.(qi) <- i_new
+      | P.Inductor { li; b; i; j; _ } ->
+        state.il_prev.(li) <- x.(b);
+        state.vl_prev.(li) <- volt_of x i -. volt_of x j
+      | P.Resistor _ | P.Vsource _ | P.Isource _ | P.Vccs _ | P.Vcvs _
+      | P.Mosfet _ ->
+        ())
+    plan.P.elts
+
+let initial_unknowns mna plan options =
+  match options.ic with
+  | Operating_point -> Dc.unknowns (Dc.solve_plan plan)
+  | Uic pairs ->
+    let x = Array.make (Mna.dim mna) 0.0 in
+    List.iter
+      (fun (node, v) ->
+        let s = Mna.node_slot mna node in
+        if s >= 0 then x.(s) <- v)
+      pairs;
+    x
+
+let recorded_nodes mna options =
+  match options.record with
+  | Some nodes -> Array.of_list nodes
+  | None -> Mna.node_names mna
 
 let simulate ?(options = default_options) ~tstop ~dt netlist =
   if tstop <= 0.0 || dt <= 0.0 then
     invalid_arg "Tran.simulate: tstop and dt must be > 0";
   let mna = Mna.build netlist in
-  let x0 =
-    match options.ic with
-    | Operating_point -> Dc.unknowns (Dc.solve_mna mna)
-    | Uic pairs ->
-      let x = Array.make (Mna.dim mna) 0.0 in
-      List.iter
-        (fun (node, v) ->
-          let s = Mna.node_slot mna node in
-          if s >= 0 then x.(s) <- v)
-        pairs;
-      x
-  in
-  let recorded =
-    match options.record with
-    | Some nodes -> Array.of_list nodes
-    | None -> Mna.node_names mna
-  in
+  let plan = P.build mna in
+  let x0 = initial_unknowns mna plan options in
+  let recorded = recorded_nodes mna options in
+  (* resolve recorded slots once, outside the time loop *)
+  let rec_slots = Array.map (fun n -> Mna.node_slot mna n) recorded in
   let n_steps = int_of_float (Float.round (tstop /. dt)) in
   let times = Array.init (n_steps + 1) (fun k -> float_of_int k *. dt) in
   let data = Array.map (fun _ -> Array.make (n_steps + 1) 0.0) recorded in
   let record k x =
-    Array.iteri
-      (fun r node ->
-        let s = Mna.node_slot mna node in
-        data.(r).(k) <- volt_of x s)
-      recorded
+    Array.iteri (fun r s -> data.(r).(k) <- volt_of x s) rec_slots
   in
-  let state = init_state mna x0 in
+  let state = init_state plan x0 in
+  let asm = Assembler.create (P.dim plan) in
+  let rhs = Array.make (P.dim plan) 0.0 in
   record 0 x0;
   let x = ref x0 in
   for k = 1 to n_steps do
     let t = times.(k) in
-    let x_next = solve_point mna options state ~h:dt ~t !x in
-    update_state mna options state ~h:dt x_next;
+    let x_next = solve_point plan asm rhs options state ~h:dt ~t !x in
+    (* fixed step + linear circuit: after the first point the matrix can
+       never change again, so pin the factorization — every remaining
+       step is two triangular solves *)
+    if P.linear plan && options.linear_fast_path
+       && not (Assembler.frozen asm)
+    then Assembler.freeze asm;
+    update_state plan options state ~h:dt x_next;
     record k x_next;
     x := x_next
   done;
@@ -348,25 +329,6 @@ let samples_after d ~t0 name =
 (* ------------------------------------------------------------------ *)
 (* adaptive stepping: step-doubling local truncation error control *)
 
-let clone_state st =
-  let caps = Hashtbl.copy st.caps in
-  Hashtbl.iter
-    (fun k (v : cap_state) ->
-      Hashtbl.replace caps k { v_prev = v.v_prev; i_prev = v.i_prev })
-    st.caps;
-  let charges = Hashtbl.copy st.charges in
-  Hashtbl.iter
-    (fun k (v : charge_state) ->
-      Hashtbl.replace charges k
-        { q_prev = v.q_prev; vq_prev = v.vq_prev; iq_prev = v.iq_prev })
-    st.charges;
-  let inds = Hashtbl.copy st.inds in
-  Hashtbl.iter
-    (fun k (v : ind_state) ->
-      Hashtbl.replace inds k { il_prev = v.il_prev; vl_prev = v.vl_prev })
-    st.inds;
-  { caps; charges; inds }
-
 let simulate_adaptive ?(options = default_options) ?dt_min ?dt_max
     ?(lte_tol = 1e-6) ~tstop ~dt netlist =
   if tstop <= 0.0 || dt <= 0.0 then
@@ -374,54 +336,48 @@ let simulate_adaptive ?(options = default_options) ?dt_min ?dt_max
   let dt_min = match dt_min with Some v -> v | None -> dt /. 1024.0 in
   let dt_max = match dt_max with Some v -> v | None -> 16.0 *. dt in
   let mna = Mna.build netlist in
-  let x0 =
-    match options.ic with
-    | Operating_point -> Dc.unknowns (Dc.solve_mna mna)
-    | Uic pairs ->
-      let x = Array.make (Mna.dim mna) 0.0 in
-      List.iter
-        (fun (node, v) ->
-          let s = Mna.node_slot mna node in
-          if s >= 0 then x.(s) <- v)
-        pairs;
-      x
-  in
-  let recorded =
-    match options.record with
-    | Some nodes -> Array.of_list nodes
-    | None -> Mna.node_names mna
-  in
+  let plan = P.build mna in
+  let x0 = initial_unknowns mna plan options in
+  let recorded = recorded_nodes mna options in
+  let rec_slots = Array.map (fun n -> Mna.node_slot mna n) recorded in
   let times = ref [ 0.0 ] in
   let data = Array.map (fun _ -> ref []) recorded in
   let record x =
-    Array.iteri
-      (fun r node ->
-        let s = Mna.node_slot mna node in
-        data.(r) := volt_of x s :: !(data.(r)))
-      recorded
+    Array.iteri (fun r s -> data.(r) := volt_of x s :: !(data.(r))) rec_slots
   in
   record x0;
-  let state = ref (init_state mna x0) in
+  (* the step size changes, so the matrix values change per trial — but
+     the sparsity pattern doesn't: one assembler, refactored in place,
+     never frozen *)
+  let asm = Assembler.create (P.dim plan) in
+  let rhs = Array.make (P.dim plan) 0.0 in
+  let state = ref (init_state plan x0) in
   let x = ref x0 in
   let t = ref 0.0 and h = ref dt in
   while !t < tstop -. 1e-18 do
     let h_eff = Float.min !h (tstop -. !t) in
     (* one full step *)
     let st_full = clone_state !state in
-    let x_full = solve_point mna options st_full ~h:h_eff ~t:(!t +. h_eff) !x in
+    let x_full =
+      solve_point plan asm rhs options st_full ~h:h_eff ~t:(!t +. h_eff) !x
+    in
     (* two half steps *)
     let st_half = clone_state !state in
     let h2 = h_eff /. 2.0 in
-    let x_mid = solve_point mna options st_half ~h:h2 ~t:(!t +. h2) !x in
-    update_state mna options st_half ~h:h2 x_mid;
-    let x_end = solve_point mna options st_half ~h:h2 ~t:(!t +. h_eff) x_mid in
+    let x_mid =
+      solve_point plan asm rhs options st_half ~h:h2 ~t:(!t +. h2) !x
+    in
+    update_state plan options st_half ~h:h2 x_mid;
+    let x_end =
+      solve_point plan asm rhs options st_half ~h:h2 ~t:(!t +. h_eff) x_mid
+    in
     let err = ref 0.0 in
-    for i = 0 to Mna.n_nodes mna - 1 do
+    for i = 0 to P.n_nodes plan - 1 do
       err := Float.max !err (Float.abs (x_full.(i) -. x_end.(i)))
     done;
     if !err <= lte_tol then begin
       (* accept the more accurate half-step solution *)
-      update_state mna options st_half ~h:h2 x_end;
+      update_state plan options st_half ~h:h2 x_end;
       state := st_half;
       x := x_end;
       t := !t +. h_eff;

@@ -18,11 +18,16 @@ type options = {
   tolerance : float;
   ic : initial_condition;
   record : string list option;  (** nodes to record; [None] = all *)
+  linear_fast_path : bool;
+      (** when the circuit is linear (no MOSFET, no varactor), skip the
+          Newton loop and — on a fixed step — freeze the LU
+          factorization after the first point, leaving two triangular
+          solves per step (default [true]) *)
 }
 
 val default_options : options
 (** Trapezoidal, 50 Newton iterations, 1e-9 tolerance, operating-point
-    start, record all nodes. *)
+    start, record all nodes, linear fast path on. *)
 
 exception Step_failed of { time : float; iterations : int }
 

@@ -1,0 +1,70 @@
+(* Growable arrays specialised to unboxed ints and floats.
+
+   The simulation hot paths (sparse assembly, substrate network
+   construction) accumulate entry streams whose length is unknown up
+   front.  Linked lists cost one heap block per entry and trash the
+   minor heap on large grids; these amortised-doubling arrays keep the
+   payload flat. *)
+
+module I = struct
+  type t = { mutable data : int array; mutable len : int }
+
+  let create ?(capacity = 16) () =
+    { data = Array.make (max capacity 1) 0; len = 0 }
+
+  let length t = t.len
+  let clear t = t.len <- 0
+
+  let get t k =
+    if k < 0 || k >= t.len then invalid_arg "Dyn.I.get: out of bounds";
+    t.data.(k)
+
+  let set t k v =
+    if k < 0 || k >= t.len then invalid_arg "Dyn.I.set: out of bounds";
+    t.data.(k) <- v
+
+  let push t v =
+    if t.len = Array.length t.data then begin
+      let d = Array.make (2 * t.len) 0 in
+      Array.blit t.data 0 d 0 t.len;
+      t.data <- d
+    end;
+    t.data.(t.len) <- v;
+    t.len <- t.len + 1
+
+  let to_array t = Array.sub t.data 0 t.len
+
+  (* Read-only view of the backing store; valid indices are
+     [0, length t). *)
+  let unsafe_data t = t.data
+end
+
+module F = struct
+  type t = { mutable data : float array; mutable len : int }
+
+  let create ?(capacity = 16) () =
+    { data = Array.make (max capacity 1) 0.0; len = 0 }
+
+  let length t = t.len
+  let clear t = t.len <- 0
+
+  let get t k =
+    if k < 0 || k >= t.len then invalid_arg "Dyn.F.get: out of bounds";
+    t.data.(k)
+
+  let set t k v =
+    if k < 0 || k >= t.len then invalid_arg "Dyn.F.set: out of bounds";
+    t.data.(k) <- v
+
+  let push t v =
+    if t.len = Array.length t.data then begin
+      let d = Array.make (2 * t.len) 0.0 in
+      Array.blit t.data 0 d 0 t.len;
+      t.data <- d
+    end;
+    t.data.(t.len) <- v;
+    t.len <- t.len + 1
+
+  let to_array t = Array.sub t.data 0 t.len
+  let unsafe_data t = t.data
+end

@@ -1,0 +1,79 @@
+(* Binary min-heap over (int key, int payload) pairs.
+
+   Used for lazy-deletion priority queues: callers push fresh entries
+   whenever a payload's key changes and discard stale entries on pop.
+   Keys compare as plain ints, so composite priorities (for example
+   degree * n + node for deterministic tie-breaking) encode naturally. *)
+
+type t = {
+  mutable keys : int array;
+  mutable payloads : int array;
+  mutable len : int;
+}
+
+let create ?(capacity = 16) () =
+  let capacity = max capacity 1 in
+  { keys = Array.make capacity 0; payloads = Array.make capacity 0; len = 0 }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let grow t =
+  let cap = 2 * Array.length t.keys in
+  let k = Array.make cap 0 and p = Array.make cap 0 in
+  Array.blit t.keys 0 k 0 t.len;
+  Array.blit t.payloads 0 p 0 t.len;
+  t.keys <- k;
+  t.payloads <- p
+
+let swap t a b =
+  let k = t.keys.(a) in
+  t.keys.(a) <- t.keys.(b);
+  t.keys.(b) <- k;
+  let p = t.payloads.(a) in
+  t.payloads.(a) <- t.payloads.(b);
+  t.payloads.(b) <- p
+
+let push t ~key payload =
+  if t.len = Array.length t.keys then grow t;
+  t.keys.(t.len) <- key;
+  t.payloads.(t.len) <- payload;
+  t.len <- t.len + 1;
+  (* sift up *)
+  let i = ref (t.len - 1) in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    t.keys.(!i) < t.keys.(parent)
+  do
+    let parent = (!i - 1) / 2 in
+    swap t !i parent;
+    i := parent
+  done
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let key = t.keys.(0) and payload = t.payloads.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.keys.(0) <- t.keys.(t.len);
+      t.payloads.(0) <- t.payloads.(t.len);
+      (* sift down *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.len && t.keys.(l) < t.keys.(!smallest) then smallest := l;
+        if r < t.len && t.keys.(r) < t.keys.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          swap t !i !smallest;
+          i := !smallest
+        end
+      done
+    end;
+    Some (key, payload)
+  end

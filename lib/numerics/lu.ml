@@ -89,21 +89,117 @@ end
 module Real = Make (Field.Real)
 module Cplx = Make (Field.Cplx)
 
+(* ------------------------------------------------------------------ *)
+(* Real factorization on the flat row-major representation of Mat.t.
+
+   The functorial code above builds an array-of-arrays; going through
+   it from [Mat.t] used to allocate n boxed rows per solve.  The flat
+   variant copies the backing store once (a single [Array.copy]) and
+   eliminates in place, and the factor can be refilled in place for
+   repeated factorizations of a same-shape system. *)
+
+type rfactor = { fn : int; fa : float array; fperm : int array }
+
+let factor_flat n a perm =
+  for i = 0 to n - 1 do
+    perm.(i) <- i
+  done;
+  for k = 0 to n - 1 do
+    let best = ref k and best_mag = ref (Float.abs a.((k * n) + k)) in
+    for i = k + 1 to n - 1 do
+      let m = Float.abs a.((i * n) + k) in
+      if m > !best_mag then begin
+        best := i;
+        best_mag := m
+      end
+    done;
+    if !best_mag = 0.0 || Float.is_nan !best_mag then raise (Singular k);
+    if !best <> k then begin
+      let rk = k * n and rb = !best * n in
+      for j = 0 to n - 1 do
+        let tmp = a.(rk + j) in
+        a.(rk + j) <- a.(rb + j);
+        a.(rb + j) <- tmp
+      done;
+      let tp = perm.(k) in
+      perm.(k) <- perm.(!best);
+      perm.(!best) <- tp
+    end;
+    let pivot = a.((k * n) + k) in
+    for i = k + 1 to n - 1 do
+      let factor = a.((i * n) + k) /. pivot in
+      a.((i * n) + k) <- factor;
+      if factor <> 0.0 then begin
+        let ri = i * n and rk = k * n in
+        for j = k + 1 to n - 1 do
+          a.(ri + j) <- a.(ri + j) -. (factor *. a.(rk + j))
+        done
+      end
+    done
+  done
+
+let factor_mat m =
+  let n = Mat.rows m in
+  if Mat.cols m <> n then invalid_arg "Lu.factor_mat: matrix not square";
+  let a = Array.copy (Mat.raw_data m) in
+  let perm = Array.make n 0 in
+  factor_flat n a perm;
+  { fn = n; fa = a; fperm = perm }
+
+(* Refill an existing factor from a same-size matrix, reusing both
+   workspaces instead of allocating fresh ones. *)
+let refactor_mat f m =
+  if Mat.rows m <> f.fn || Mat.cols m <> f.fn then
+    invalid_arg "Lu.refactor_mat: dimension mismatch";
+  Array.blit (Mat.raw_data m) 0 f.fa 0 (f.fn * f.fn);
+  factor_flat f.fn f.fa f.fperm
+
+let solve_factored_into { fn = n; fa = a; fperm = perm } b x =
+  if Array.length b <> n || Array.length x <> n then
+    invalid_arg "Lu.solve_factored_into: dimension mismatch";
+  for i = 0 to n - 1 do
+    x.(i) <- b.(perm.(i))
+  done;
+  for i = 1 to n - 1 do
+    let acc = ref x.(i) in
+    let ri = i * n in
+    for j = 0 to i - 1 do
+      acc := !acc -. (a.(ri + j) *. x.(j))
+    done;
+    x.(i) <- !acc
+  done;
+  for i = n - 1 downto 0 do
+    let acc = ref x.(i) in
+    let ri = i * n in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (a.(ri + j) *. x.(j))
+    done;
+    x.(i) <- !acc /. a.(ri + i)
+  done
+
+let solve_factored f b =
+  let x = Array.make f.fn 0.0 in
+  solve_factored_into f b x;
+  x
+
+let rdim f = f.fn
+
 let solve_mat a b =
   let n = Mat.rows a in
   if Mat.cols a <> n then invalid_arg "Lu.solve_mat: matrix not square";
-  let rows = Array.init n (fun i -> Array.init n (fun j -> Mat.get a i j)) in
-  Real.solve_matrix rows b
+  if Array.length b <> n then invalid_arg "Lu.solve_mat: dimension mismatch";
+  solve_factored (factor_mat a) b
 
 let invert_mat a =
   let n = Mat.rows a in
   if Mat.cols a <> n then invalid_arg "Lu.invert_mat: matrix not square";
-  let rows = Array.init n (fun i -> Array.init n (fun j -> Mat.get a i j)) in
-  let f = Real.decompose rows in
+  let f = factor_mat a in
   let inv = Mat.make n n in
+  let e = Array.make n 0.0 and x = Array.make n 0.0 in
   for j = 0 to n - 1 do
-    let e = Array.init n (fun i -> if i = j then 1.0 else 0.0) in
-    let x = Real.solve f e in
+    e.(j) <- 1.0;
+    solve_factored_into f e x;
+    e.(j) <- 0.0;
     for i = 0 to n - 1 do
       Mat.set inv i j x.(i)
     done

@@ -40,9 +40,36 @@ module Real : module type of Make (Field.Real)
 module Cplx : module type of Make (Field.Cplx)
 (** Complex-valued instantiation. *)
 
+type rfactor
+(** A real factorization [P*A = L*U] held in flat row-major form — no
+    per-row boxing, refillable in place for repeated factorizations of
+    same-shape systems. *)
+
+val factor_mat : Mat.t -> rfactor
+(** [factor_mat a] factorizes a copy of [a] (one flat array copy).
+    Raises {!Singular} / [Invalid_argument] as {!Make.decompose}. *)
+
+val refactor_mat : rfactor -> Mat.t -> unit
+(** [refactor_mat f a] refills [f] from [a], reusing both workspaces.
+    Raises [Invalid_argument] on shape mismatch and {!Singular} as
+    {!factor_mat} (the factor is then invalid until the next
+    successful refill). *)
+
+val solve_factored : rfactor -> Vec.t -> Vec.t
+(** [solve_factored f b] solves [A x = b] from an existing factor. *)
+
+val solve_factored_into : rfactor -> Vec.t -> Vec.t -> unit
+(** [solve_factored_into f b x] writes the solution into [x]
+    ([b] and [x] may not alias). *)
+
+val rdim : rfactor -> int
+(** Matrix dimension of the factor. *)
+
 val solve_mat : Mat.t -> Vec.t -> Vec.t
-(** [solve_mat a b] solves the dense real system [A x = b] using {!Real}.
+(** [solve_mat a b] solves the dense real system [A x = b] on the flat
+    representation directly.
     Raises {!Singular} or [Invalid_argument] as {!Make.decompose}. *)
 
 val invert_mat : Mat.t -> Mat.t
-(** [invert_mat a] is the inverse of [a], column by column. *)
+(** [invert_mat a] is the inverse of [a], column by column from a
+    single factorization. *)

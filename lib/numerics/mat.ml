@@ -31,6 +31,17 @@ let of_arrays rows_arr =
 let rows m = m.nr
 let cols m = m.nc
 
+(* Direct access to the row-major backing store for solver kernels that
+   want to avoid per-element bounds checks; index (i,j) lives at
+   i * cols + j. *)
+let raw_data m = m.data
+
+let of_flat ~rows:nr ~cols:nc data =
+  if nr < 0 || nc < 0 then invalid_arg "Mat.of_flat: negative dimension";
+  if Array.length data <> nr * nc then
+    invalid_arg "Mat.of_flat: data length does not match dimensions";
+  { nr; nc; data }
+
 let check_bounds name m i j =
   if i < 0 || i >= m.nr || j < 0 || j >= m.nc then
     invalid_arg

@@ -6,88 +6,108 @@ type t = {
   values : float array; (* length nnz *)
 }
 
+(* The builder accumulates (row, col, value) triples in flat growable
+   arrays: one unboxed int/float push per entry instead of a heap block
+   per entry, which matters when assembling 10^5..10^6 conductances from
+   a substrate grid. *)
 type builder = {
   bnr : int;
   bnc : int;
-  mutable entries : (int * int * float) list;
-  mutable count : int;
+  bri : Dyn.I.t;
+  bci : Dyn.I.t;
+  bvv : Dyn.F.t;
 }
 
 let builder nr nc =
   if nr < 0 || nc < 0 then invalid_arg "Sparse.builder: negative dimension";
-  { bnr = nr; bnc = nc; entries = []; count = 0 }
+  { bnr = nr; bnc = nc; bri = Dyn.I.create (); bci = Dyn.I.create ();
+    bvv = Dyn.F.create () }
 
 let add b i j v =
   if i < 0 || i >= b.bnr || j < 0 || j >= b.bnc then
     invalid_arg
       (Printf.sprintf "Sparse.add: (%d,%d) out of %dx%d" i j b.bnr b.bnc);
   if v <> 0.0 then begin
-    b.entries <- (i, j, v) :: b.entries;
-    b.count <- b.count + 1
+    Dyn.I.push b.bri i;
+    Dyn.I.push b.bci j;
+    Dyn.F.push b.bvv v
   end
 
 let finalize b =
-  let arr = Array.of_list b.entries in
-  Array.sort
-    (fun (i1, j1, _) (i2, j2, _) ->
-      match compare i1 i2 with 0 -> compare j1 j2 | c -> c)
-    arr;
-  (* sum duplicates in place, keeping order *)
-  let n = Array.length arr in
-  let out = ref [] and out_n = ref 0 in
+  let n = Dyn.I.length b.bri in
+  let ri = Dyn.I.unsafe_data b.bri
+  and ci = Dyn.I.unsafe_data b.bci
+  and vv = Dyn.F.unsafe_data b.bvv in
+  (* sort an index permutation by (row, col); nc is bounded so the
+     composite key fits a native int *)
+  let order = Array.init n (fun k -> k) in
+  let key k = (ri.(k) * b.bnc) + ci.(k) in
+  Array.sort (fun a c -> compare (key a) (key c)) order;
+  (* sum duplicates, dropping entries that cancel to exactly 0 *)
+  let out_i = Dyn.I.create ~capacity:(max n 1) () in
+  let out_j = Dyn.I.create ~capacity:(max n 1) () in
+  let out_v = Dyn.F.create ~capacity:(max n 1) () in
   let k = ref 0 in
   while !k < n do
-    let i, j, _ = arr.(!k) in
+    let idx = order.(!k) in
+    let i = ri.(idx) and j = ci.(idx) in
     let acc = ref 0.0 in
     while
       !k < n
       &&
-      let i', j', _ = arr.(!k) in
-      i' = i && j' = j
+      let idx' = order.(!k) in
+      ri.(idx') = i && ci.(idx') = j
     do
-      let _, _, v = arr.(!k) in
-      acc := !acc +. v;
+      acc := !acc +. vv.(order.(!k));
       incr k
     done;
     if !acc <> 0.0 then begin
-      out := (i, j, !acc) :: !out;
-      incr out_n
+      Dyn.I.push out_i i;
+      Dyn.I.push out_j j;
+      Dyn.F.push out_v !acc
     end
   done;
-  let compressed = Array.of_list (List.rev !out) in
-  let nnz = Array.length compressed in
+  let nnz = Dyn.I.length out_i in
   let row_ptr = Array.make (b.bnr + 1) 0 in
-  Array.iter (fun (i, _, _) -> row_ptr.(i + 1) <- row_ptr.(i + 1) + 1) compressed;
+  for k = 0 to nnz - 1 do
+    let i = Dyn.I.get out_i k in
+    row_ptr.(i + 1) <- row_ptr.(i + 1) + 1
+  done;
   for i = 0 to b.bnr - 1 do
     row_ptr.(i + 1) <- row_ptr.(i + 1) + row_ptr.(i)
   done;
-  let col_idx = Array.make nnz 0 and values = Array.make nnz 0.0 in
-  Array.iteri
-    (fun k (_, j, v) ->
-      col_idx.(k) <- j;
-      values.(k) <- v)
-    compressed;
-  { nr = b.bnr; nc = b.bnc; row_ptr; col_idx; values }
+  { nr = b.bnr; nc = b.bnc; row_ptr;
+    col_idx = Dyn.I.to_array out_j;
+    values = Dyn.F.to_array out_v }
 
 let rows m = m.nr
 let cols m = m.nc
 let nnz m = Array.length m.values
 
-let get m i j =
+let index m i j =
   if i < 0 || i >= m.nr || j < 0 || j >= m.nc then
-    invalid_arg "Sparse.get: out of bounds";
+    invalid_arg "Sparse.index: out of bounds";
   let lo = m.row_ptr.(i) and hi = m.row_ptr.(i + 1) - 1 in
   let rec search lo hi =
-    if lo > hi then 0.0
+    if lo > hi then -1
     else begin
       let mid = (lo + hi) / 2 in
       let c = m.col_idx.(mid) in
-      if c = j then m.values.(mid)
+      if c = j then mid
       else if c < j then search (mid + 1) hi
       else search lo (mid - 1)
     end
   in
   search lo hi
+
+let get m i j =
+  if i < 0 || i >= m.nr || j < 0 || j >= m.nc then
+    invalid_arg "Sparse.get: out of bounds";
+  match index m i j with -1 -> 0.0 | k -> m.values.(k)
+
+let row_ptr m = m.row_ptr
+let col_idx m = m.col_idx
+let values m = m.values
 
 let mul_vec m v =
   if Array.length v <> m.nc then invalid_arg "Sparse.mul_vec: dimension mismatch";

@@ -40,6 +40,23 @@ val diagonal : t -> Vec.t
 val iter_row : t -> int -> (int -> float -> unit) -> unit
 (** [iter_row m i f] applies [f j v] to every stored entry of row [i]. *)
 
+val index : t -> int -> int -> int
+(** [index m i j] is the position of entry [(i, j)] in {!values}, or
+    [-1] when the entry is not stored; O(log nnz-per-row). *)
+
+val row_ptr : t -> int array
+(** The live CSR row-pointer array (length [rows + 1]).  Read-only by
+    convention. *)
+
+val col_idx : t -> int array
+(** The live CSR column-index array (length [nnz], sorted within each
+    row).  Read-only by convention. *)
+
+val values : t -> float array
+(** The live CSR value array, parallel to {!col_idx}.  Owners may
+    refill it in place to reuse one sparsity pattern across many
+    numeric assemblies (the pattern itself must not change). *)
+
 val is_symmetric : ?tol:float -> t -> bool
 (** [is_symmetric ?tol m] checks structural + numeric symmetry. *)
 

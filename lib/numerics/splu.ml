@@ -1,0 +1,373 @@
+(* Sparse LU factorization with reusable symbolic structure.
+
+   Left-looking Gilbert-Peierls factorization of a CSR matrix: the
+   first factorization performs partial pivoting and a depth-first
+   symbolic reach per column; the pivot order and the L/U fill patterns
+   are then kept, so later factorizations of a matrix with the *same
+   sparsity pattern* (the SPICE situation: one netlist, many Newton
+   iterations and timesteps) skip all graph work and run a plain
+   fixed-pattern numeric refill.  Below [default_crossover] unknowns a
+   flat dense factorization wins on constant factors, so [factor]
+   falls back to it transparently.
+
+   Global counters record fresh factorizations, pattern-reusing
+   refactorizations and triangular solves, so tests and benchmarks can
+   assert reuse (e.g. a linear fixed-step transient must factor exactly
+   once for the whole run). *)
+
+exception Singular of int
+
+let default_crossover = 64
+
+let n_factor = ref 0
+let n_refactor = ref 0
+let n_solve = ref 0
+
+let factorizations () = !n_factor
+let refactorizations () = !n_refactor
+let solves () = !n_solve
+
+let reset_stats () =
+  n_factor := 0;
+  n_refactor := 0;
+  n_solve := 0
+
+(* ------------------------------------------------------------------ *)
+
+type sp = {
+  n : int;
+  perm : int array; (* perm.(k) = original row pivotal at step k *)
+  (* input-matrix columns: row indices in pivot coordinates, values
+     read through [aval_src] straight from the CSR value array *)
+  acolptr : int array;
+  arow : int array;
+  aval_src : int array;
+  (* L: CSC, strictly-lower row indices in pivot coordinates, unit
+     diagonal implicit *)
+  lcolptr : int array;
+  lrow : int array;
+  lval : float array;
+  (* U: CSC, strictly-upper row indices in pivot coordinates, sorted
+     ascending within each column; diagonal kept apart in [dval] *)
+  ucolptr : int array;
+  urow : int array;
+  uval : float array;
+  dval : float array;
+  work : float array; (* dense scatter vector, kept all-zero between uses *)
+}
+
+type t =
+  | Dense of { df : Lu.rfactor; scratch : Mat.t option }
+  | Sparse_f of sp
+
+let dim = function
+  | Dense { df; _ } -> Lu.rdim df
+  | Sparse_f sp -> sp.n
+
+let is_dense = function Dense _ -> true | Sparse_f _ -> false
+
+(* Sort the [lo, hi) segment of a (row, value) column by row index.
+   Columns are short, so insertion sort is fine. *)
+let sort_column_segment rows vals lo hi =
+  let rdata = Dyn.I.unsafe_data rows and vdata = Dyn.F.unsafe_data vals in
+  for p = lo + 1 to hi - 1 do
+    let r = rdata.(p) and v = vdata.(p) in
+    let q = ref (p - 1) in
+    while !q >= lo && rdata.(!q) > r do
+      rdata.(!q + 1) <- rdata.(!q);
+      vdata.(!q + 1) <- vdata.(!q);
+      decr q
+    done;
+    rdata.(!q + 1) <- r;
+    vdata.(!q + 1) <- v
+  done
+
+let gp_factor m =
+  let n = Sparse.rows m in
+  let nnz = Sparse.nnz m in
+  let row_ptr = Sparse.row_ptr m
+  and col_idx = Sparse.col_idx m
+  and vals = Sparse.values m in
+  (* CSC view of A carrying, for each entry, its index in the CSR value
+     array so refactorization can reread values without re-sorting *)
+  let acolptr = Array.make (n + 1) 0 in
+  for p = 0 to nnz - 1 do
+    acolptr.(col_idx.(p) + 1) <- acolptr.(col_idx.(p) + 1) + 1
+  done;
+  for j = 0 to n - 1 do
+    acolptr.(j + 1) <- acolptr.(j + 1) + acolptr.(j)
+  done;
+  let cursor = Array.sub acolptr 0 n in
+  let arow_orig = Array.make nnz 0 in
+  let aval_src = Array.make nnz 0 in
+  for i = 0 to n - 1 do
+    for p = row_ptr.(i) to row_ptr.(i + 1) - 1 do
+      let j = col_idx.(p) in
+      let q = cursor.(j) in
+      arow_orig.(q) <- i;
+      aval_src.(q) <- p;
+      cursor.(j) <- q + 1
+    done
+  done;
+  (* Gilbert-Peierls state *)
+  let pinv = Array.make n (-1) in
+  let perm = Array.make n (-1) in
+  let lcolptr = Array.make (n + 1) 0 in
+  let ucolptr = Array.make (n + 1) 0 in
+  let cap = max (2 * nnz) 16 in
+  let lrow = Dyn.I.create ~capacity:cap () in
+  let lval = Dyn.F.create ~capacity:cap () in
+  let urow = Dyn.I.create ~capacity:cap () in
+  let uval = Dyn.F.create ~capacity:cap () in
+  let dval = Array.make n 0.0 in
+  let x = Array.make n 0.0 in
+  let visited = Array.make n (-1) in
+  let topo = Array.make n 0 in
+  let stack = Array.make n 0 in
+  let pstack = Array.make n 0 in
+  for col = 0 to n - 1 do
+    (* symbolic: reach of the A(:,col) nonzeros in the graph of the
+       finished L columns, collected in reverse topological order in
+       topo.(top..n-1) *)
+    let top = ref n in
+    for p = acolptr.(col) to acolptr.(col + 1) - 1 do
+      let seed = arow_orig.(p) in
+      if visited.(seed) <> col then begin
+        let sp = ref 0 in
+        stack.(0) <- seed;
+        pstack.(0) <-
+          (let k = pinv.(seed) in
+           if k >= 0 then lcolptr.(k) else 0);
+        visited.(seed) <- col;
+        while !sp >= 0 do
+          let i = stack.(!sp) in
+          let k = pinv.(i) in
+          let hi = if k >= 0 then lcolptr.(k + 1) else 0 in
+          let next = pstack.(!sp) in
+          if k >= 0 && next < hi then begin
+            pstack.(!sp) <- next + 1;
+            let child = Dyn.I.get lrow next in
+            if visited.(child) <> col then begin
+              visited.(child) <- col;
+              incr sp;
+              stack.(!sp) <- child;
+              pstack.(!sp) <-
+                (let ck = pinv.(child) in
+                 if ck >= 0 then lcolptr.(ck) else 0)
+            end
+          end
+          else begin
+            decr top;
+            topo.(!top) <- i;
+            decr sp
+          end
+        done
+      end
+    done;
+    (* numeric: sparse solve L x = A(:,col) along the reach *)
+    for p = acolptr.(col) to acolptr.(col + 1) - 1 do
+      x.(arow_orig.(p)) <- vals.(aval_src.(p))
+    done;
+    for t = !top to n - 1 do
+      let i = topo.(t) in
+      let k = pinv.(i) in
+      if k >= 0 then begin
+        let xi = x.(i) in
+        if xi <> 0.0 then
+          for q = lcolptr.(k) to lcolptr.(k + 1) - 1 do
+            let r = Dyn.I.get lrow q in
+            x.(r) <- x.(r) -. (Dyn.F.get lval q *. xi)
+          done
+      end
+    done;
+    (* partial pivot among the not-yet-pivotal reach entries *)
+    let piv = ref (-1) and piv_mag = ref 0.0 in
+    for t = !top to n - 1 do
+      let i = topo.(t) in
+      if pinv.(i) < 0 then begin
+        let mag = Float.abs x.(i) in
+        if mag > !piv_mag then begin
+          piv := i;
+          piv_mag := mag
+        end
+      end
+    done;
+    if !piv < 0 || !piv_mag = 0.0 || Float.is_nan !piv_mag then begin
+      (* keep the scatter vector clean before bailing out *)
+      for t = !top to n - 1 do
+        x.(topo.(t)) <- 0.0
+      done;
+      raise (Singular col)
+    end;
+    let d = x.(!piv) in
+    pinv.(!piv) <- col;
+    perm.(col) <- !piv;
+    dval.(col) <- d;
+    for t = !top to n - 1 do
+      let i = topo.(t) in
+      if i <> !piv then begin
+        let k = pinv.(i) in
+        if k >= 0 then begin
+          (* finished pivot: U entry at row k; the pattern is kept even
+             for exact numeric zeros so refactorization stays valid *)
+          Dyn.I.push urow k;
+          Dyn.F.push uval x.(i)
+        end
+        else begin
+          Dyn.I.push lrow i;
+          Dyn.F.push lval (x.(i) /. d)
+        end
+      end;
+      x.(i) <- 0.0
+    done;
+    ucolptr.(col + 1) <- Dyn.I.length urow;
+    lcolptr.(col + 1) <- Dyn.I.length lrow;
+    (* refactorization walks U columns in ascending row order *)
+    sort_column_segment urow uval ucolptr.(col) ucolptr.(col + 1)
+  done;
+  (* remap L rows and the A scatter rows into pivot coordinates *)
+  let lrow = Dyn.I.to_array lrow in
+  for p = 0 to Array.length lrow - 1 do
+    lrow.(p) <- pinv.(lrow.(p))
+  done;
+  let arow = Array.make nnz 0 in
+  for p = 0 to nnz - 1 do
+    arow.(p) <- pinv.(arow_orig.(p))
+  done;
+  {
+    n;
+    perm;
+    acolptr;
+    arow;
+    aval_src;
+    lcolptr;
+    lrow;
+    lval = Dyn.F.to_array lval;
+    ucolptr;
+    urow = Dyn.I.to_array urow;
+    uval = Dyn.F.to_array uval;
+    dval;
+    work = x;
+  }
+
+(* Numeric refill of an existing factor from a matrix with the same
+   sparsity pattern: no reach computation, no pivot search. *)
+let sp_refactor sp m =
+  let vals = Sparse.values m in
+  if Sparse.rows m <> sp.n || Sparse.cols m <> sp.n then
+    invalid_arg "Splu.refactor: dimension mismatch";
+  if Array.length vals <> Array.length sp.aval_src then
+    invalid_arg "Splu.refactor: sparsity pattern changed";
+  let x = sp.work in
+  let clear_column col =
+    for p = sp.ucolptr.(col) to sp.ucolptr.(col + 1) - 1 do
+      x.(sp.urow.(p)) <- 0.0
+    done;
+    x.(col) <- 0.0;
+    for q = sp.lcolptr.(col) to sp.lcolptr.(col + 1) - 1 do
+      x.(sp.lrow.(q)) <- 0.0
+    done
+  in
+  for col = 0 to sp.n - 1 do
+    for p = sp.acolptr.(col) to sp.acolptr.(col + 1) - 1 do
+      x.(sp.arow.(p)) <- vals.(sp.aval_src.(p))
+    done;
+    for p = sp.ucolptr.(col) to sp.ucolptr.(col + 1) - 1 do
+      let k = sp.urow.(p) in
+      let xk = x.(k) in
+      sp.uval.(p) <- xk;
+      if xk <> 0.0 then
+        for q = sp.lcolptr.(k) to sp.lcolptr.(k + 1) - 1 do
+          x.(sp.lrow.(q)) <- x.(sp.lrow.(q)) -. (sp.lval.(q) *. xk)
+        done
+    done;
+    let d = x.(col) in
+    if d = 0.0 || Float.is_nan d then begin
+      clear_column col;
+      raise (Singular col)
+    end;
+    sp.dval.(col) <- d;
+    for q = sp.lcolptr.(col) to sp.lcolptr.(col + 1) - 1 do
+      sp.lval.(q) <- x.(sp.lrow.(q)) /. d
+    done;
+    clear_column col
+  done
+
+let sp_solve sp b =
+  let n = sp.n in
+  if Array.length b <> n then invalid_arg "Splu.solve: dimension mismatch";
+  let x = Array.make n 0.0 in
+  for k = 0 to n - 1 do
+    x.(k) <- b.(sp.perm.(k))
+  done;
+  for k = 0 to n - 1 do
+    let xk = x.(k) in
+    if xk <> 0.0 then
+      for q = sp.lcolptr.(k) to sp.lcolptr.(k + 1) - 1 do
+        x.(sp.lrow.(q)) <- x.(sp.lrow.(q)) -. (sp.lval.(q) *. xk)
+      done
+  done;
+  for k = n - 1 downto 0 do
+    let xk = x.(k) /. sp.dval.(k) in
+    x.(k) <- xk;
+    if xk <> 0.0 then
+      for p = sp.ucolptr.(k) to sp.ucolptr.(k + 1) - 1 do
+        x.(sp.urow.(p)) <- x.(sp.urow.(p)) -. (sp.uval.(p) *. xk)
+      done
+  done;
+  x
+
+(* ------------------------------------------------------------------ *)
+(* public entry points *)
+
+let to_dense_into scratch m =
+  let nc = Sparse.cols m in
+  let data = Mat.raw_data scratch in
+  Array.fill data 0 (Array.length data) 0.0;
+  for i = 0 to Sparse.rows m - 1 do
+    Sparse.iter_row m i (fun j v -> data.((i * nc) + j) <- v)
+  done
+
+let lift_singular f = try f () with Lu.Singular k -> raise (Singular k)
+
+let factor ?(crossover = default_crossover) m =
+  let n = Sparse.rows m in
+  if Sparse.cols m <> n then invalid_arg "Splu.factor: matrix not square";
+  incr n_factor;
+  if n < crossover then begin
+    let scratch = Sparse.to_dense m in
+    Dense { df = lift_singular (fun () -> Lu.factor_mat scratch);
+            scratch = Some scratch }
+  end
+  else Sparse_f (gp_factor m)
+
+let refactor t m =
+  match t with
+  | Dense { df; scratch = Some s } ->
+    incr n_refactor;
+    to_dense_into s m;
+    lift_singular (fun () -> Lu.refactor_mat df s)
+  | Dense { scratch = None; _ } ->
+    invalid_arg "Splu.refactor: factor was built from a dense matrix"
+  | Sparse_f sp ->
+    incr n_refactor;
+    sp_refactor sp m
+
+(* Dense entry points for callers that assemble straight into a Mat.t
+   (small systems below the crossover): same counters, same exceptions. *)
+let factor_dense m =
+  incr n_factor;
+  Dense { df = lift_singular (fun () -> Lu.factor_mat m); scratch = None }
+
+let refactor_dense t m =
+  match t with
+  | Dense { df; _ } ->
+    incr n_refactor;
+    lift_singular (fun () -> Lu.refactor_mat df m)
+  | Sparse_f _ -> invalid_arg "Splu.refactor_dense: not a dense factor"
+
+let solve t b =
+  incr n_solve;
+  match t with
+  | Dense { df; _ } -> lift_singular (fun () -> Lu.solve_factored df b)
+  | Sparse_f sp -> sp_solve sp b

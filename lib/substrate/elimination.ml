@@ -43,7 +43,8 @@ let of_conductances ~n ~ports edges =
   net
 
 (* Star-mesh: eliminating node k inserts g_ik g_jk / g_k between every
-   neighbour pair. *)
+   neighbour pair.  Returns the (former) neighbours, whose degrees have
+   just changed. *)
 let eliminate_node net k =
   let neighbours =
     Hashtbl.fold
@@ -64,9 +65,13 @@ let eliminate_node net k =
   end;
   List.iter (fun (j, _) -> Hashtbl.remove net.adj.(j) k) neighbours;
   Hashtbl.reset net.adj.(k);
-  net.alive.(k) <- false
+  net.alive.(k) <- false;
+  List.map fst neighbours
 
-let eliminate_internal net =
+(* Reference ordering: full scan for the minimum-degree internal node
+   before every elimination — O(n) per eliminated node.  Kept as the
+   oracle the heap path is tested against. *)
+let eliminate_internal_scan net =
   let n = Array.length net.alive in
   let remaining = ref 0 in
   for i = 0 to n - 1 do
@@ -84,9 +89,47 @@ let eliminate_internal net =
         end
       end
     done;
-    eliminate_node net !best;
+    ignore (eliminate_node net !best);
     decr remaining
   done
+
+(* Lazy-deletion binary heap keyed on [deg * n + node]: pops come out
+   ordered by degree with the node index breaking ties — exactly the
+   order the scan produces — but finding the next victim is O(log n).
+   A node is re-pushed whenever its degree changes; entries whose key
+   no longer matches the live degree are stale and skipped on pop. *)
+let eliminate_internal_heap net =
+  let n = Array.length net.alive in
+  let heap = N.Heap.create ~capacity:(max n 1) () in
+  let push i =
+    N.Heap.push heap ~key:((Hashtbl.length net.adj.(i) * n) + i) i
+  in
+  let remaining = ref 0 in
+  for i = 0 to n - 1 do
+    if net.alive.(i) && not (net.is_port.(i)) then begin
+      incr remaining;
+      push i
+    end
+  done;
+  while !remaining > 0 do
+    match N.Heap.pop heap with
+    | None ->
+      (* every live internal node always has a current entry *)
+      assert false
+    | Some (key, i) ->
+      if net.alive.(i) && key = (Hashtbl.length net.adj.(i) * n) + i then begin
+        let neighbours = eliminate_node net i in
+        List.iter
+          (fun j -> if net.alive.(j) && not net.is_port.(j) then push j)
+          neighbours;
+        decr remaining
+      end
+  done
+
+let eliminate_internal ?(strategy = `Heap) net =
+  match strategy with
+  | `Heap -> eliminate_internal_heap net
+  | `Scan -> eliminate_internal_scan net
 
 let port_conductance net =
   let np = Array.length net.ports in
@@ -124,9 +167,12 @@ let reduce_grid ?(config = Grid.default_config) ~tech ~die ports =
   let n = Grid.cell_count grid in
   let ports_arr = Array.of_list ports in
   let np = Array.length ports_arr in
-  (* port nodes appended after the grid cells *)
-  let edges = ref [] in
-  Grid.iter_conductances grid (fun a b g -> edges := (a, b, g) :: !edges);
+  (* port nodes appended after the grid cells; branches go straight
+     into the network — no intermediate edge list *)
+  let net =
+    of_conductances ~n:(n + np) ~ports:(Array.init np (fun p -> n + p)) []
+  in
+  Grid.iter_conductances grid (fun a b g -> add_branch net a b g);
   let um2 = T.micron *. T.micron in
   for iy = 0 to Grid.ny grid - 1 do
     for ix = 0 to Grid.nx grid - 1 do
@@ -143,17 +189,11 @@ let reduce_grid ?(config = Grid.default_config) ~tech ~die ports =
               0.0 port.Port.region
           in
           if overlap > 0.0 then
-            edges :=
-              (n + p, cell, overlap *. um2 /. profile.T.contact_resistance)
-              :: !edges)
+            add_branch net (n + p) cell
+              (overlap *. um2 /. profile.T.contact_resistance))
         ports_arr
     done
   done;
-  let net =
-    of_conductances ~n:(n + np)
-      ~ports:(Array.init np (fun p -> n + p))
-      !edges
-  in
   eliminate_internal net;
   let s = port_conductance net in
   let well_caps =

@@ -645,6 +645,78 @@ let prop_resistive_network_reciprocity =
       let rev = Dc.voltage (inject b) a in
       Float.abs (fwd -. rev) < 1e-9 *. (Float.abs fwd +. 1e-12))
 
+(* ------------------------------------------------------------------ *)
+(* optimized hot path: the linear fast path must reproduce the Newton
+   path exactly, and a linear fixed-step run must factor exactly once *)
+
+module Splu = Sn_numerics.Splu
+
+(* RLC ladder: linear, with an inductor branch row, sized by [stages]
+   so both the dense and the sparse assembler paths get covered *)
+let ladder_netlist ~stages =
+  let node k = if k = 0 then "0" else Printf.sprintf "n%d" k in
+  let elements =
+    E.Vsource
+      { name = "vin"; np = "drive"; nn = "0";
+        wave = W.sin_wave ~amplitude:1.0 ~freq:20.0e6 (); ac_mag = 0.0 }
+    :: l "lin" "drive" (node 1) 5.0e-9
+    :: List.concat
+         (List.init stages (fun k ->
+              let k = k + 1 in
+              [ r (Printf.sprintf "r%d" k) (node k) (node (k + 1))
+                  (50.0 +. float_of_int k);
+                c (Printf.sprintf "c%d" k) (node (k + 1)) "0" 2.0e-12 ]))
+  in
+  C.Netlist.create ~title:"RLC ladder" elements
+
+let test_tran_fast_path_matches_newton () =
+  List.iter
+    (fun stages ->
+      let nl = ladder_netlist ~stages in
+      let run fast =
+        Tran.simulate
+          ~options:
+            { Tran.default_options with
+              Tran.ic = Tran.Uic [];
+              linear_fast_path = fast }
+          ~tstop:1.0e-7 ~dt:1.0e-9 nl
+      in
+      let fast = run true and newton = run false in
+      let max_diff = ref 0.0 in
+      Array.iteri
+        (fun row wave ->
+          Array.iteri
+            (fun k v ->
+              max_diff :=
+                Float.max !max_diff
+                  (Float.abs (v -. newton.Tran.data.(row).(k))))
+            wave)
+        fast.Tran.data;
+      Alcotest.(check bool)
+        (Printf.sprintf "stages=%d max diff %.3e" stages !max_diff)
+        true
+        (!max_diff < 1e-9))
+    [ 6; 80 ]
+
+let test_tran_single_factorization () =
+  (* 80 stages puts the system well past the dense crossover; Uic skips
+     the DC solve so the transient owns every counted factorization *)
+  let nl = ladder_netlist ~stages:80 in
+  Splu.reset_stats ();
+  let d =
+    Tran.simulate
+      ~options:{ Tran.default_options with Tran.ic = Tran.Uic [] }
+      ~tstop:1.0e-7 ~dt:1.0e-9 nl
+  in
+  Alcotest.(check int) "one LU factorization" 1 (Splu.factorizations ());
+  Alcotest.(check int) "no refactorizations" 0 (Splu.refactorizations ());
+  Alcotest.(check bool)
+    (Printf.sprintf "one solve per step (%d solves, %d steps)"
+       (Splu.solves ())
+       (Array.length d.Tran.times - 1))
+    true
+    (Splu.solves () = Array.length d.Tran.times - 1)
+
 let qcheck t = QCheck_alcotest.to_alcotest t
 
 let suites =
@@ -690,6 +762,10 @@ let suites =
         Alcotest.test_case "adaptive grows when quiet" `Quick
           test_tran_adaptive_grows_on_quiet;
         Alcotest.test_case "csv export" `Quick test_tran_to_csv;
+        Alcotest.test_case "fast path matches Newton path" `Quick
+          test_tran_fast_path_matches_newton;
+        Alcotest.test_case "linear fixed step factors once" `Quick
+          test_tran_single_factorization;
       ] );
     ( "engine.twoport",
       [

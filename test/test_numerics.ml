@@ -5,6 +5,8 @@ module Vec = Sn_numerics.Vec
 module Mat = Sn_numerics.Mat
 module Lu = Sn_numerics.Lu
 module Sparse = Sn_numerics.Sparse
+module Splu = Sn_numerics.Splu
+module Heap = Sn_numerics.Heap
 module Cg = Sn_numerics.Cg
 module Fft = Sn_numerics.Fft
 module Goertzel = Sn_numerics.Goertzel
@@ -238,6 +240,118 @@ let prop_cg_solves_spd =
       let rhs = Sparse.mul_vec m x_true in
       let x = Cg.solve_exn ~tol:1e-12 m rhs in
       Vec.max_abs_diff x x_true < 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Splu: sparse LU with reusable symbolic factorization *)
+
+(* random diagonally dominant unsymmetric sparse system: a ring of
+   couplings plus scattered off-diagonal entries *)
+let random_dd_system st n =
+  let b = Sparse.builder n n in
+  let offdiag = Array.make n 0.0 in
+  let couple i j v =
+    if i <> j then begin
+      Sparse.add b i j v;
+      offdiag.(i) <- offdiag.(i) +. Float.abs v
+    end
+  in
+  for i = 0 to n - 1 do
+    couple i ((i + 1) mod n) (Random.State.float st 2.0 -. 1.0);
+    couple i ((i + n - 1) mod n) (Random.State.float st 2.0 -. 1.0);
+    (* a few random long-range entries make the pattern unsymmetric *)
+    if Random.State.float st 1.0 < 0.5 then
+      couple i (Random.State.int st n) (Random.State.float st 2.0 -. 1.0)
+  done;
+  for i = 0 to n - 1 do
+    Sparse.add b i i (offdiag.(i) +. 1.0 +. Random.State.float st 1.0)
+  done;
+  Sparse.finalize b
+
+let prop_splu_matches_dense =
+  QCheck.Test.make ~count:60
+    ~name:"sparse LU matches dense LU on random diagonally dominant systems"
+    QCheck.(pair (int_range 2 80) (int_range 0 1000))
+    (fun (n, seed) ->
+      let st = Random.State.make [| seed; n |] in
+      let m = random_dd_system st n in
+      let rhs = Array.init n (fun _ -> Random.State.float st 2.0 -. 1.0) in
+      (* crossover 0 forces the Gilbert-Peierls path even for tiny n *)
+      let f = Splu.factor ~crossover:0 m in
+      let x_sparse = Splu.solve f rhs in
+      let x_dense = Lu.solve_mat (Sparse.to_dense m) rhs in
+      if Vec.max_abs_diff x_sparse x_dense >= 1e-9 then false
+      else begin
+        (* numeric refill with the same pattern: scale all values in
+           place, refactor without symbolic work, compare again *)
+        let v = Sparse.values m in
+        for k = 0 to Array.length v - 1 do
+          v.(k) <- v.(k) *. (1.5 +. (0.25 *. sin (float_of_int k)))
+        done;
+        Splu.refactor f m;
+        let x_sparse' = Splu.solve f rhs in
+        let x_dense' = Lu.solve_mat (Sparse.to_dense m) rhs in
+        Vec.max_abs_diff x_sparse' x_dense' < 1e-9
+      end)
+
+let test_splu_dense_fallback () =
+  let st = Random.State.make [| 42 |] in
+  let n = 12 in
+  let m = random_dd_system st n in
+  let rhs = Array.init n (fun i -> cos (float_of_int i)) in
+  (* n below the default crossover: the factor must be dense *)
+  let f = Splu.factor m in
+  Alcotest.(check bool) "dense fallback" true (Splu.is_dense f);
+  Alcotest.(check int) "dim" n (Splu.dim f);
+  let x = Splu.solve f rhs in
+  let x_ref = Lu.solve_mat (Sparse.to_dense m) rhs in
+  Alcotest.(check bool) "fallback matches dense" true
+    (Vec.max_abs_diff x x_ref < 1e-9)
+
+let test_splu_singular () =
+  let b = Sparse.builder 3 3 in
+  Sparse.add b 0 0 1.0;
+  Sparse.add b 1 1 1.0;
+  (* row/column 2 is empty: structurally singular *)
+  let m = Sparse.finalize b in
+  Alcotest.(check bool) "raises Singular" true
+    (match Splu.factor ~crossover:0 m with
+     | _ -> false
+     | exception Splu.Singular _ -> true)
+
+let test_splu_counters () =
+  Splu.reset_stats ();
+  let st = Random.State.make [| 7 |] in
+  let m = random_dd_system st 30 in
+  let rhs = Array.make 30 1.0 in
+  let f = Splu.factor ~crossover:0 m in
+  ignore (Splu.solve f rhs);
+  Splu.refactor f m;
+  ignore (Splu.solve f rhs);
+  Alcotest.(check int) "factorizations" 1 (Splu.factorizations ());
+  Alcotest.(check int) "refactorizations" 1 (Splu.refactorizations ());
+  Alcotest.(check int) "solves" 2 (Splu.solves ())
+
+let test_heap_sorts () =
+  let st = Random.State.make [| 3 |] in
+  let h = Heap.create () in
+  let keys = Array.init 200 (fun _ -> Random.State.int st 1000) in
+  Array.iteri (fun i k -> Heap.push h ~key:k i) keys;
+  Alcotest.(check int) "length" 200 (Heap.length h);
+  let prev = ref min_int in
+  let count = ref 0 in
+  let ok = ref true in
+  let continue = ref true in
+  while !continue do
+    match Heap.pop h with
+    | None -> continue := false
+    | Some (k, payload) ->
+      if k < !prev || keys.(payload) <> k then ok := false;
+      prev := k;
+      incr count
+  done;
+  Alcotest.(check bool) "ascending keys, payloads intact" true !ok;
+  Alcotest.(check int) "all popped" 200 !count;
+  Alcotest.(check bool) "empty" true (Heap.is_empty h)
 
 (* ------------------------------------------------------------------ *)
 (* FFT / Goertzel *)
@@ -491,6 +605,14 @@ let suites =
         Alcotest.test_case "CG zero rhs" `Quick test_cg_zero_rhs;
         Alcotest.test_case "CG non-convergence" `Quick test_cg_not_converged;
         qcheck prop_cg_solves_spd;
+      ] );
+    ( "numerics.splu",
+      [
+        qcheck prop_splu_matches_dense;
+        Alcotest.test_case "dense fallback" `Quick test_splu_dense_fallback;
+        Alcotest.test_case "structurally singular" `Quick test_splu_singular;
+        Alcotest.test_case "factorization counters" `Quick test_splu_counters;
+        Alcotest.test_case "heap sorts" `Quick test_heap_sorts;
       ] );
     ( "numerics.spectral",
       [

@@ -380,6 +380,41 @@ let test_elimination_matches_schur () =
     (Printf.sprintf "reductions agree (max rel err %.2e)" !max_rel)
     true (!max_rel < 1e-4)
 
+let test_elimination_heap_matches_scan () =
+  (* a pseudo-random conductance mesh; the heap ordering must replay
+     the scan's elimination order exactly, so the reduced matrices are
+     identical — not merely close *)
+  let n = 12 in
+  let idx x y = (y * n) + x in
+  let seed = ref 123456789 in
+  let rand () =
+    seed := ((!seed * 1103515245) + 12345) land 0x3FFFFFFF;
+    1.0e-3 *. (0.5 +. (float_of_int (!seed mod 1000) /. 1000.0))
+  in
+  let edges = ref [] in
+  for y = 0 to n - 1 do
+    for x = 0 to n - 1 do
+      if x + 1 < n then edges := (idx x y, idx (x + 1) y, rand ()) :: !edges;
+      if y + 1 < n then edges := (idx x y, idx x (y + 1), rand ()) :: !edges
+    done
+  done;
+  let ports = [| idx 0 0; idx (n - 1) 0; idx 0 (n - 1); idx (n - 1) (n - 1) |] in
+  let build () = Elim.of_conductances ~n:(n * n) ~ports !edges in
+  let heap_net = build () in
+  Elim.eliminate_internal ~strategy:`Heap heap_net;
+  let scan_net = build () in
+  Elim.eliminate_internal ~strategy:`Scan scan_net;
+  let sh = Elim.port_conductance heap_net in
+  let ss = Elim.port_conductance scan_net in
+  let max_diff = ref 0.0 in
+  for i = 0 to 3 do
+    for j = 0 to 3 do
+      max_diff :=
+        Float.max !max_diff (Float.abs (N.Mat.get sh i j -. N.Mat.get ss i j))
+    done
+  done;
+  Alcotest.(check (float 0.0)) "identical reduced matrices" 0.0 !max_diff
+
 let test_elimination_rejects_bad_input () =
   Alcotest.(check bool) "bad node" true
     (match Elim.of_conductances ~n:2 ~ports:[| 0 |] [ (0, 5, 1.0) ] with
@@ -491,6 +526,8 @@ let suites =
           test_elimination_star;
         Alcotest.test_case "elimination matches Schur" `Quick
           test_elimination_matches_schur;
+        Alcotest.test_case "elimination heap = scan" `Quick
+          test_elimination_heap_matches_scan;
         Alcotest.test_case "elimination input checks" `Quick
           test_elimination_rejects_bad_input;
         Alcotest.test_case "epi wafer distance-insensitive" `Slow
