@@ -1,4 +1,4 @@
-.PHONY: all build test check bench clean
+.PHONY: all build test check bench doc clean
 
 all: build
 
@@ -14,6 +14,11 @@ check:
 
 bench:
 	dune exec bench/main.exe
+
+# API reference (requires odoc: `opam install odoc`);
+# output lands in _build/default/_doc/_html/
+doc:
+	dune build @doc
 
 clean:
 	dune clean

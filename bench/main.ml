@@ -122,6 +122,100 @@ let ablation_corners () =
   Format.pp_print_flush fmt ()
 
 (* ------------------------------------------------------------------ *)
+(* Part 3: domain-parallel sweep scaling (BENCH_2.json)
+
+   The workload is the fig8 point evaluation — spur model plus the
+   behavioral "measurement" leg (64k-sample synthesis + windowed DFT
+   readback) — over a 16-point frequency sweep, repeated at pool
+   widths 1/2/4/8.  Width 1 is the exact sequential path, so the
+   speedup column is directly parallel-vs-sequential. *)
+
+let sweep_scaling () =
+  banner "Part 3 - domain-parallel sweep scaling";
+  let module Pool = Sn_engine.Pool in
+  let flow = Flow.build_vco Sn_testchip.Vco_chip.default ~vtune:0.0 in
+  let f_noise = Sn_numerics.Sweep.logspace 1.0e6 15.0e6 16 in
+  let h = Flow.vco_transfers flow ~f_noise in
+  let osc = Flow.vco_oscillator flow in
+  let point fn =
+    let spur = Flow.vco_spur flow ~h ~p_noise_dbm:(-5.0) ~f_noise:fn in
+    let beta, m_am =
+      Sn_rf.Impact.total_modulation osc ~h:(h fn) ~a_noise:0.178 ~f_noise:fn
+    in
+    let samples =
+      Sn_rf.Behavioral.synthesize ~carrier_freq:64.0e6
+        ~amplitude:osc.Sn_rf.Impact.amplitude
+        ~tones:[ { Sn_rf.Behavioral.f_noise = fn; beta; m_am } ]
+        ~fs:320.0e6 ~n:65536
+    in
+    let upper =
+      Sn_rf.Behavioral.measured_sideband_dbm samples ~fs:320.0e6
+        ~carrier_freq:64.0e6 ~f_noise:fn `Upper
+    in
+    (spur.Sn_rf.Impact.upper_dbm, upper)
+  in
+  let points = Array.to_list f_noise in
+  let runs = 3 in
+  let time_width jobs =
+    let pool = Pool.create ~jobs () in
+    ignore (Pool.map_list pool point points) (* warm-up *);
+    Pool.reset_stats pool;
+    let t0 = Unix.gettimeofday () in
+    let last = ref [] in
+    for _ = 1 to runs do
+      last := Pool.map_list pool point points
+    done;
+    let wall = (Unix.gettimeofday () -. t0) /. float_of_int runs in
+    let stats = Pool.stats pool in
+    Pool.shutdown pool;
+    (jobs, wall, stats, !last)
+  in
+  let widths = [ 1; 2; 4; 8 ] in
+  let curves = List.map time_width widths in
+  let seq_wall, seq_result =
+    match curves with
+    | (1, w, _, r) :: _ -> (w, r)
+    | _ -> assert false
+  in
+  Format.fprintf fmt "%6s %12s %10s %14s %10s@." "jobs" "wall/sweep"
+    "speedup" "cpu (3 runs)" "imbalance";
+  List.iter
+    (fun (jobs, wall, stats, result) ->
+      (* parallel sweeps must be bit-identical to the sequential path *)
+      assert (result = seq_result);
+      Format.fprintf fmt "%6d %9.1f ms %9.2fx %11.1f ms %10.2f@." jobs
+        (1.0e3 *. wall) (seq_wall /. wall)
+        (1.0e3 *. Pool.cpu_seconds stats)
+        (Pool.imbalance stats))
+    curves;
+  Format.fprintf fmt
+    "(recommended domain count here: %d; parallel results asserted \
+     bit-identical to jobs=1)@."
+    (Domain.recommended_domain_count ());
+  let oc = open_out "BENCH_2.json" in
+  Printf.fprintf oc
+    "{\n  \"sweep_scaling\": {\n    \"points\": %d,\n    \
+     \"runs_per_width\": %d,\n    \"recommended_domains\": %d,\n    \
+     \"curves\": [\n"
+    (List.length points) runs
+    (Domain.recommended_domain_count ());
+  let n_curves = List.length curves in
+  List.iteri
+    (fun i (jobs, wall, stats, _) ->
+      Printf.fprintf oc
+        "      { \"jobs\": %d, \"wall_seconds\": %.6f, \"speedup\": %.3f, \
+         \"cpu_seconds\": %.6f, \"imbalance\": %.3f }%s\n"
+        jobs wall (seq_wall /. wall)
+        (Pool.cpu_seconds stats)
+        (Pool.imbalance stats)
+        (if i = n_curves - 1 then "" else ","))
+    curves;
+  output_string oc "    ]\n  }\n}\n";
+  close_out oc;
+  Format.fprintf fmt "wrote sweep-scaling curves to BENCH_2.json@.";
+  Format.pp_print_flush fmt ()
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel microbenchmarks, one per table / figure *)
 
 open Bechamel
@@ -324,6 +418,7 @@ let () =
   ablation_interconnect ();
   ablation_backplane ();
   ablation_corners ();
+  sweep_scaling ();
   run_benchmarks ();
   Format.fprintf fmt "@.bench: done@.";
   Format.pp_print_flush fmt ()

@@ -6,13 +6,28 @@
 
 open Cmdliner
 
-let setup_logs verbose =
+let setup_logs (verbose, jobs) =
   Fmt_tty.setup_std_outputs ();
   Logs.set_reporter (Logs_fmt.reporter ());
-  Logs.set_level (if verbose then Some Logs.Info else Some Logs.Warning)
+  Logs.set_level (if verbose then Some Logs.Info else Some Logs.Warning);
+  Option.iter Snoise.Sweep.set_jobs jobs
 
-let verbose =
+let verbose_flag =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log extraction progress.")
+
+let jobs_flag =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the experiment sweeps (default: \
+           $(b,SNOISE_JOBS) or the machine's recommended domain count; \
+           1 runs the exact sequential path).  Output is identical for \
+           every width.")
+
+(* every command takes -v and --jobs *)
+let verbose = Term.(const (fun v j -> (v, j)) $ verbose_flag $ jobs_flag)
 
 let fmt = Format.std_formatter
 

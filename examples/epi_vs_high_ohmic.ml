@@ -43,12 +43,25 @@ let () =
   Format.printf "== Epi vs high-ohmic substrate coupling ==@.@.";
   Format.printf "Aggressor -> victim transfer (dB) vs edge separation:@.@.";
   Format.printf "  %10s %14s %14s@." "distance" "high-ohmic" "epi (p+ bulk)";
+  (* the (wafer x distance) grid: eight independent extractions, all
+     pool tasks of one sweep *)
+  let distances = [ 20.0; 60.0; 120.0; 200.0 ] in
+  let results =
+    Snoise.Sweep.grid
+      (fun tech distance -> coupling ~tech ~distance ())
+      [ Sn_tech.Tech.imec018; Sn_tech.Tech.epi018 ]
+      distances
+  in
+  let value tech d =
+    let _, _, v = List.find (fun (t, x, _) -> t == tech && x = d) results in
+    v
+  in
   List.iter
     (fun d ->
-      let ho = coupling ~tech:Sn_tech.Tech.imec018 ~distance:d () in
-      let epi = coupling ~tech:Sn_tech.Tech.epi018 ~distance:d () in
-      Format.printf "  %7.0f um %14.1f %14.1f@." d ho epi)
-    [ 20.0; 60.0; 120.0; 200.0 ];
+      Format.printf "  %7.0f um %14.1f %14.1f@." d
+        (value Sn_tech.Tech.imec018 d)
+        (value Sn_tech.Tech.epi018 d))
+    distances;
   let epi_open = coupling ~tech:Sn_tech.Tech.epi018 ~distance:120.0 () in
   let epi_plated =
     coupling ~backplane:true ~tech:Sn_tech.Tech.epi018 ~distance:120.0 ()

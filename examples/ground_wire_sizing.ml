@@ -6,6 +6,7 @@
    Run with:  dune exec examples/ground_wire_sizing.exe *)
 
 module Flow = Snoise.Flow
+module Sweep = Snoise.Sweep
 module Impact = Sn_rf.Impact
 
 let f_noise = 10.0e6
@@ -23,17 +24,26 @@ let spur_at factor =
 
 let () =
   Format.printf "== Ground wire sizing (paper Fig. 10, extended) ==@.@.";
-  Format.printf "Spur at fc + 10 MHz, -5 dBm substrate tone, Vtune = 0:@.@.";
+  Format.printf
+    "Spur at fc + 10 MHz, -5 dBm substrate tone, Vtune = 0 (%d jobs):@.@."
+    (Sweep.jobs ());
   Format.printf "  %8s %12s %12s %14s@." "width x" "wire R" "spur [dBm]"
     "vs normal [dB]";
-  let r1, base = spur_at 1.0 in
-  Format.printf "  %8.1f %9.2f ohm %12.1f %14s@." 1.0 r1 base "-";
-  List.iter
-    (fun factor ->
-      let r, dbm = spur_at factor in
-      Format.printf "  %8.1f %9.2f ohm %12.1f %14.2f@." factor r dbm
-        (base -. dbm))
-    [ 1.5; 2.0; 3.0; 5.0 ];
+  (* every width is an independent extraction + impact run: one sweep
+     point each, fanned out over the pool *)
+  let results =
+    Sweep.map_points
+      (fun factor -> (factor, spur_at factor))
+      [ 1.0; 1.5; 2.0; 3.0; 5.0 ]
+  in
+  let base = match results with (_, (_, dbm)) :: _ -> dbm | [] -> 0.0 in
+  List.iteri
+    (fun i (factor, (r, dbm)) ->
+      if i = 0 then Format.printf "  %8.1f %9.2f ohm %12.1f %14s@." factor r dbm "-"
+      else
+        Format.printf "  %8.1f %9.2f ohm %12.1f %14.2f@." factor r dbm
+          (base -. dbm))
+    results;
   Format.printf
     "@.Doubling the width buys ~4.5 dB (the paper's prediction); the@.\
      returns diminish as the fixed probe and strap resistances start@.\

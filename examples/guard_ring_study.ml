@@ -57,27 +57,43 @@ let () =
   Format.printf "== Guard ring design study (high-ohmic substrate) ==@.@.";
   Format.printf
     "Aggressor contact at 130 um from a victim device; 20 ohm cm bulk.@.@.";
-  let bare = transfer ~ring_strip:None ~grounded:[ "frame" ] () in
+  (* every configuration is an independent extraction: fan the whole
+     study out as one parallel sweep over the scenario list *)
+  let scenarios =
+    (`Bare, None, false, [ "frame" ])
+    :: List.map
+         (fun strip -> (`Ring strip, Some strip, false, [ "frame"; "ring" ]))
+         [ 2.0; 5.0; 10.0; 20.0 ]
+    @ [
+        (`Floating, Some 10.0, false, [ "frame" ]);
+        (`Plated, Some 10.0, true, [ "frame"; "ring"; "backplane" ]);
+      ]
+  in
+  let results =
+    Snoise.Sweep.map_points
+      (fun (tag, ring_strip, backplane, grounded) ->
+        (tag, transfer ~backplane ~ring_strip ~grounded ()))
+      scenarios
+  in
+  let find tag = List.assoc tag results in
+  let bare = find `Bare in
   Format.printf "  %-44s %8.1f dB@." "no ring" (db bare);
   List.iter
-    (fun strip ->
-      let d =
-        transfer ~ring_strip:(Some strip) ~grounded:[ "frame"; "ring" ] ()
-      in
-      Format.printf "  %-44s %8.1f dB  (%+.1f dB)@."
-        (Printf.sprintf "%g um ring around the victim, ideal ground" strip)
-        (db d)
-        (db d -. db bare))
-    [ 2.0; 5.0; 10.0; 20.0 ];
+    (fun (tag, d) ->
+      match tag with
+      | `Ring strip ->
+        Format.printf "  %-44s %8.1f dB  (%+.1f dB)@."
+          (Printf.sprintf "%g um ring around the victim, ideal ground" strip)
+          (db d)
+          (db d -. db bare)
+      | _ -> ())
+    results;
   (* a ring is only as good as its ground *)
-  let floating = transfer ~ring_strip:(Some 10.0) ~grounded:[ "frame" ] () in
+  let floating = find `Floating in
   Format.printf "  %-44s %8.1f dB  (%+.1f dB)@." "10 um ring left floating"
     (db floating)
     (db floating -. db bare);
-  let plated =
-    transfer ~backplane:true ~ring_strip:(Some 10.0)
-      ~grounded:[ "frame"; "ring"; "backplane" ] ()
-  in
+  let plated = find `Plated in
   Format.printf "  %-44s %8.1f dB  (%+.1f dB)@."
     "10 um ring + grounded backside metallization" (db plated)
     (db plated -. db bare);

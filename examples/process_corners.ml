@@ -8,6 +8,11 @@ module Corners = Snoise.Corners
 
 let () =
   Format.printf "== Process corners: VCO spur at fc + 10 MHz ==@.@.";
+  (* Corners.vco_spread runs one flow per corner on the shared pool
+     (Snoise.Sweep.corners) — width picked by SNOISE_JOBS *)
+  Format.printf "  evaluating %d corners on %d worker(s)@.@."
+    (List.length Corners.corners_3sigma)
+    (Snoise.Sweep.jobs ());
   let results = Corners.vco_spread () in
   Format.printf "  %-12s %10s %10s %10s %8s | %12s %10s@." "corner"
     "bulk rho" "sheet R" "contact R" "well C" "spur [dBm]" "fc [GHz]";

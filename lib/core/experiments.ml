@@ -120,10 +120,20 @@ type fig7 = {
 let fig7 ?(options = Flow.default_options) ?(f_noise = 10.0e6) () =
   let flow = Flow.build_vco ~options Tc.Vco_chip.default ~vtune:0.0 in
   let h = Flow.vco_transfers flow ~f_noise:[| f_noise |] in
-  let spur = Flow.vco_spur flow ~h ~p_noise_dbm:paper_noise_dbm ~f_noise in
   let osc = Flow.vco_oscillator flow in
-  let lower, upper, samples =
-    behavioral_sidebands osc ~h:(h f_noise) ~f_noise
+  (* one tone, but routed through the sweep layer so fig7 shares the
+     pool path (and its determinism guarantee) with fig8-fig10 *)
+  let spur, lower, upper, samples =
+    match
+      Sweep.map_points
+        (fun fn ->
+          let spur = Flow.vco_spur flow ~h ~p_noise_dbm:paper_noise_dbm ~f_noise:fn in
+          let lower, upper, samples = behavioral_sidebands osc ~h:(h fn) ~f_noise:fn in
+          (spur, lower, upper, samples))
+        [ f_noise ]
+    with
+    | [ r ] -> r
+    | _ -> assert false
   in
   let spec = N.Fft.amplitude_spectrum ~fs:behavioral_fs samples in
   let spectrum =
@@ -172,44 +182,62 @@ type fig8_family = {
 
 let fig8 ?(options = Flow.default_options) ?(vtunes = [ 0.0; 0.45; 0.9 ])
     ?(f_noise = default_f_noise) () =
-  let family vtune =
-    let flow = Flow.build_vco ~options Tc.Vco_chip.default ~vtune in
-    let h = Flow.vco_transfers flow ~f_noise in
-    let osc = Flow.vco_oscillator flow in
-    let points =
-      Array.to_list f_noise
-      |> List.map (fun fn ->
-             let spur =
-               Flow.vco_spur flow ~h ~p_noise_dbm:paper_noise_dbm ~f_noise:fn
-             in
-             let _, upper_meas, _ = behavioral_sidebands osc ~h:(h fn) ~f_noise:fn in
-             {
-               f_noise = fn;
-               upper_dbm = spur.Impact.upper_dbm;
-               lower_dbm = spur.Impact.lower_dbm;
-               behavioral_dbm = upper_meas;
-             })
-    in
-    let slope =
-      N.Stats.slope_db_per_decade
-        (Array.of_list (List.map (fun p -> p.f_noise) points))
-        (Array.of_list (List.map (fun p -> p.upper_dbm) points))
-    in
-    let max_err =
-      List.fold_left
-        (fun acc p ->
-          Float.max acc (Float.abs (p.upper_dbm -. p.behavioral_dbm)))
-        0.0 points
-    in
-    {
-      vtune;
-      carrier_ghz = Flow.vco_carrier_freq flow /. 1.0e9;
-      points;
-      slope_db_per_decade = slope;
-      max_model_vs_behavioral_db = max_err;
-    }
+  (* two sweep levels: the heavy per-family work (extraction + AC
+     impact simulation) fans out over the vtunes, then the per-point
+     work fans out over the full (family x f_noise) grid.  Each level
+     drains before the next starts, so the pool is never re-entered. *)
+  let families =
+    Sweep.map_points
+      (fun vtune ->
+        let flow = Flow.build_vco ~options Tc.Vco_chip.default ~vtune in
+        let h = Flow.vco_transfers flow ~f_noise in
+        let osc = Flow.vco_oscillator flow in
+        (vtune, Flow.vco_carrier_freq flow /. 1.0e9, flow, h, osc))
+      vtunes
   in
-  List.map family vtunes
+  let cells =
+    Sweep.grid
+      (fun (_, _, flow, h, osc) fn ->
+        let spur =
+          Flow.vco_spur flow ~h ~p_noise_dbm:paper_noise_dbm ~f_noise:fn
+        in
+        let _, upper_meas, _ = behavioral_sidebands osc ~h:(h fn) ~f_noise:fn in
+        {
+          f_noise = fn;
+          upper_dbm = spur.Impact.upper_dbm;
+          lower_dbm = spur.Impact.lower_dbm;
+          behavioral_dbm = upper_meas;
+        })
+      families
+      (Array.to_list f_noise)
+  in
+  let n_points = Array.length f_noise in
+  List.mapi
+    (fun i (vtune, carrier_ghz, _, _, _) ->
+      let points =
+        List.filteri
+          (fun j _ -> j / n_points = i)
+          (List.map (fun (_, _, p) -> p) cells)
+      in
+      let slope =
+        N.Stats.slope_db_per_decade
+          (Array.of_list (List.map (fun p -> p.f_noise) points))
+          (Array.of_list (List.map (fun p -> p.upper_dbm) points))
+      in
+      let max_err =
+        List.fold_left
+          (fun acc p ->
+            Float.max acc (Float.abs (p.upper_dbm -. p.behavioral_dbm)))
+          0.0 points
+      in
+      {
+        vtune;
+        carrier_ghz;
+        points;
+        slope_db_per_decade = slope;
+        max_model_vs_behavioral_db = max_err;
+      })
+    families
 
 (* ------------------------------------------------------------------ *)
 (* Figure 9 *)
@@ -231,7 +259,7 @@ let fig9 ?(options = Flow.default_options) ?(f_noise = default_f_noise) () =
   let h = Flow.vco_transfers flow ~f_noise in
   let spurs =
     Array.to_list f_noise
-    |> List.map (fun fn ->
+    |> Sweep.map_points (fun fn ->
            (fn, Flow.vco_spur flow ~h ~p_noise_dbm:paper_noise_dbm ~f_noise:fn))
   in
   let labels =
@@ -294,31 +322,37 @@ type fig10 = {
 }
 
 let fig10 ?(options = Flow.default_options) ?(f_noise = default_f_noise) () =
-  let normal = Flow.build_vco ~options Tc.Vco_chip.default ~vtune:0.0 in
-  let widened =
-    Flow.build_vco
-      ~options:{ options with Flow.widen_ground = Some 2.0 }
-      Tc.Vco_chip.default ~vtune:0.0
+  (* the two variants (normal / widened ground) are independent full
+     extractions: build them as parallel sweep points, then fan the
+     per-frequency spur pairs out *)
+  let normal, widened =
+    match
+      Sweep.map_points
+        (fun options ->
+          let flow = Flow.build_vco ~options Tc.Vco_chip.default ~vtune:0.0 in
+          (flow, Flow.vco_transfers flow ~f_noise))
+        [ options; { options with Flow.widen_ground = Some 2.0 } ]
+    with
+    | [ n; w ] -> (n, w)
+    | _ -> assert false
   in
-  let h_n = Flow.vco_transfers normal ~f_noise in
-  let h_w = Flow.vco_transfers widened ~f_noise in
   let points =
     Array.to_list f_noise
-    |> List.map (fun fn ->
+    |> Sweep.map_points (fun fn ->
            let s_n =
-             Flow.vco_spur normal ~h:h_n ~p_noise_dbm:paper_noise_dbm
-               ~f_noise:fn
+             Flow.vco_spur (fst normal) ~h:(snd normal)
+               ~p_noise_dbm:paper_noise_dbm ~f_noise:fn
            in
            let s_w =
-             Flow.vco_spur widened ~h:h_w ~p_noise_dbm:paper_noise_dbm
-               ~f_noise:fn
+             Flow.vco_spur (fst widened) ~h:(snd widened)
+               ~p_noise_dbm:paper_noise_dbm ~f_noise:fn
            in
            (fn, s_n.Impact.upper_dbm, s_w.Impact.upper_dbm))
   in
   let deltas = List.map (fun (_, n, w) -> n -. w) points in
   {
-    wire_ohms_normal = Flow.vco_ground_wire_resistance normal;
-    wire_ohms_widened = Flow.vco_ground_wire_resistance widened;
+    wire_ohms_normal = Flow.vco_ground_wire_resistance (fst normal);
+    wire_ohms_widened = Flow.vco_ground_wire_resistance (fst widened);
     points;
     mean_improvement_db = N.Stats.mean (Array.of_list deltas);
   }
@@ -382,17 +416,20 @@ type runtime = {
   extraction_seconds : float;
   simulation_seconds : float;
   grid_cells : int;
+  pool : Sn_engine.Pool.stats;
 }
 
 let runtime ?(options = Flow.default_options) () =
+  Sweep.reset_stats ();
   let t0 = Unix.gettimeofday () in
   let flow = Flow.build_vco ~options Tc.Vco_chip.default ~vtune:0.0 in
   let t1 = Unix.gettimeofday () in
   let h = Flow.vco_transfers flow ~f_noise:default_f_noise in
-  Array.iter
-    (fun fn ->
-      ignore (Flow.vco_spur flow ~h ~p_noise_dbm:paper_noise_dbm ~f_noise:fn))
-    default_f_noise;
+  ignore
+    (Sweep.map_array
+       (fun fn ->
+         Flow.vco_spur flow ~h ~p_noise_dbm:paper_noise_dbm ~f_noise:fn)
+       default_f_noise);
   let t2 = Unix.gettimeofday () in
   let cells =
     match Sn_substrate.Extractor.last_stats () with
@@ -403,4 +440,5 @@ let runtime ?(options = Flow.default_options) () =
     extraction_seconds = t1 -. t0;
     simulation_seconds = t2 -. t1;
     grid_cells = cells;
+    pool = Sweep.stats ();
   }

@@ -20,7 +20,11 @@ type fig3 = {
 }
 
 val fig3 : ?options:Flow.options -> unit -> fig3
+(** Reproduce the Fig. 3 structure characterization: extract the
+    measurement structure, compute the divider with and without wire
+    resistance, and sweep the bias grid at 5 MHz. *)
 
+(** Scalar claims of the paper's section 3 text, checked as a group. *)
 type sec3_numbers = {
   division_ratio : float;  (** 1 / divider *)
   r_factor : float;  (** divider with R / divider without R (paper: ~2) *)
@@ -31,9 +35,12 @@ type sec3_numbers = {
 }
 
 val sec3_numbers : ?options:Flow.options -> unit -> sec3_numbers
+(** Derive the section-3 scalar claims from a fresh NMOS flow. *)
 
 (** {1 Figure 7: VCO output spectrum} *)
 
+(** Single-tone VCO spectrum: closed-form spur prediction next to the
+    DFT of the synthesized waveform. *)
 type fig7 = {
   carrier_freq : float;
   carrier_dbm : float;
@@ -52,6 +59,7 @@ val fig7 : ?options:Flow.options -> ?f_noise:float -> unit -> fig7
 
 (** {1 Figure 8: total spur power vs noise frequency and Vtune} *)
 
+(** One noise frequency of a Fig. 8 family. *)
 type fig8_point = {
   f_noise : float;
   upper_dbm : float;
@@ -61,6 +69,7 @@ type fig8_point = {
           oscillator waveform (the "measurement" leg) *)
 }
 
+(** Spur-vs-frequency curve of one tuning voltage. *)
 type fig8_family = {
   vtune : float;
   carrier_ghz : float;
@@ -72,15 +81,22 @@ type fig8_family = {
 val fig8 :
   ?options:Flow.options -> ?vtunes:float list -> ?f_noise:float array ->
   unit -> fig8_family list
+(** Sweep spur power over noise frequency for each tuning voltage
+    (default Vtune 0, 0.45, 0.9 V).  Each family rebuilds the VCO flow
+    at its [vtune]; families and points both fan out on the sweep
+    pool. *)
 
 (** {1 Figure 9: per-device contributions} *)
 
+(** Spur curve of a single coupling entry point (ground wire, back
+    gate, varactor well, inductor). *)
 type fig9_entry = {
-  label : string;
-  spur_dbm_by_freq : (float * float) list;
-  slope_db_per_decade : float;
+  label : string;  (** entry-point name as the figure legend shows it *)
+  spur_dbm_by_freq : (float * float) list;  (** (f_noise Hz, dBm) *)
+  slope_db_per_decade : float;  (** fitted low-frequency slope *)
 }
 
+(** Decomposition of the total spur into per-entry-point curves. *)
 type fig9 = {
   entries : fig9_entry list;
   ground_minus_backgate_db : float;
@@ -90,9 +106,13 @@ type fig9 = {
 }
 
 val fig9 : ?options:Flow.options -> ?f_noise:float array -> unit -> fig9
+(** Sweep the spur model and regroup its per-entry-point contribution
+    terms into one curve per coupling mechanism. *)
 
 (** {1 Figure 10: ground interconnect sizing} *)
 
+(** Effect of widening the ground interconnect on the dominant
+    (resistive) coupling path. *)
 type fig10 = {
   wire_ohms_normal : float;
   wire_ohms_widened : float;
@@ -102,9 +122,12 @@ type fig10 = {
 }
 
 val fig10 : ?options:Flow.options -> ?f_noise:float array -> unit -> fig10
+(** Build the nominal and 2x-widened-ground flows (in parallel on the
+    sweep pool) and compare their spur curves. *)
 
 (** {1 Section 4 design card} *)
 
+(** Headline VCO numbers the paper's section 4 quotes. *)
 type vco_card = {
   carrier_ghz : float;  (** paper: ~3 GHz *)
   kvco_mhz_per_v : float;
@@ -115,9 +138,12 @@ type vco_card = {
 }
 
 val vco_card : ?options:Flow.options -> unit -> vco_card
+(** Evaluate the design card from the extracted VCO flow (carrier and
+    Kvco from a tuning sweep, phase noise from the oscillator model). *)
 
 (** {1 Extension: digital aggressor (conclusion / ref. [10])} *)
 
+(** Spur comb a clocked digital block imprints on the VCO output. *)
 type aggressor_comb = {
   aggressor : Sn_rf.Aggressor.t;
   lines : Sn_rf.Aggressor.comb_line list;
@@ -133,9 +159,15 @@ val aggressor_comb :
 (** {1 Runtime (section 6 note)} *)
 
 type runtime = {
-  extraction_seconds : float;
-  simulation_seconds : float;
-  grid_cells : int;
+  extraction_seconds : float;  (** wall time of the model build *)
+  simulation_seconds : float;  (** wall time of the impact sweep *)
+  grid_cells : int;  (** FDM cells of the substrate extraction *)
+  pool : Sn_engine.Pool.stats;
+      (** worker-pool counters of the impact sweep (tasks, per-worker
+          busy time, effective parallelism) *)
 }
 
 val runtime : ?options:Flow.options -> unit -> runtime
+(** Time one full flow run — extraction, then the default noise-
+    frequency impact sweep on the shared pool — mirroring the paper's
+    "20 min + 15 min on an HP-UX L2000" section-6 note. *)

@@ -5,10 +5,20 @@
     -> interconnect RC model (sn_interconnect)
     -> circuit model (sn_circuit)
     -> merged impact model (Merge)
-    -> impact simulation (sn_engine AC) and spur prediction (sn_rf). *)
+    -> impact simulation (sn_engine AC) and spur prediction (sn_rf).
 
+    A flow value holds the extracted models of one structure; building
+    it is the expensive step (substrate extraction dominates), and the
+    analyses that follow reuse it.  Flow values are immutable after
+    construction, so independent analyses of one flow may run on
+    parallel pool workers ([Snoise.Sweep]). *)
+
+(** Knobs of one flow run — the ablations of the paper's evaluation
+    are all expressed as option records. *)
 type options = {
   grid : Sn_substrate.Grid.config;
+      (** substrate FDM discretization (default 48x48, four doping
+          layers) *)
   interconnect_resistance : bool;
       (** [false] reproduces the "classical flow" that ignores wire R *)
   widen_ground : float option;
@@ -20,11 +30,16 @@ type options = {
 }
 
 val default_options : options
+(** The paper's setup: 48x48 grid, extracted interconnect resistance,
+    nominal widths, the 0.18 um high-ohmic imec card. *)
 
 (* ------------------------------------------------------------------ *)
 (** {1 NMOS measurement structure (paper section 3)} *)
 
 type nmos_flow
+(** Extracted models of the four-finger NMOS measurement structure
+    (substrate macromodel + ground interconnect), ready for
+    bias-dependent analysis. *)
 
 val build_nmos :
   ?options:options -> Sn_testchip.Nmos_structure.params -> nmos_flow
@@ -33,6 +48,9 @@ val build_nmos :
     them. *)
 
 val nmos_macromodel : nmos_flow -> Sn_substrate.Macromodel.t
+(** The reduced substrate admittance model between the structure's
+    contacts (injection pad, rings, back gate). *)
+
 val nmos_ground_wire_resistance : nmos_flow -> float
 (** Extracted metal resistance from the MOS guard ring to the pad. *)
 
@@ -42,32 +60,53 @@ val nmos_divider : nmos_flow -> float
     at 1 MHz where the structure is purely resistive. *)
 
 val nmos_merged : nmos_flow -> vgs:float -> vds:float -> Sn_circuit.Netlist.t
+(** Merged impact model (substrate + interconnect + devices linearized
+    at the given bias), the netlist the AC engine simulates. *)
 
+(** One bias point of the Fig. 4/5 substrate-to-drain transfer
+    characterization. *)
 type nmos_point = {
-  vgs : float;
-  vds : float;
+  vgs : float;  (** gate bias, V *)
+  vds : float;  (** drain bias, V *)
   gmb_total : float;  (** S, all four devices *)
-  gds_total : float;
+  gds_total : float;  (** S, all four devices *)
   transfer_sim_db : float;  (** AC |v(d)| / |v(sub_inject)| *)
   transfer_hand_db : float;  (** divider * gmb / gds, the paper's check *)
 }
 
 val nmos_transfer : nmos_flow -> vgs:float -> vds:float -> freq:float -> nmos_point
+(** Simulates the substrate-to-drain transfer at one bias point and
+    also evaluates the paper's hand formula for cross-checking. *)
 
 (* ------------------------------------------------------------------ *)
 (** {1 VCO (paper sections 4-6)} *)
 
 type vco_flow
+(** Extracted models of the 3 GHz LC-VCO test chip at one tuning
+    voltage: substrate macromodel, ground/tank interconnect, and the
+    oscillator operating point. *)
 
 val build_vco :
   ?options:options -> Sn_testchip.Vco_chip.params -> vtune:float -> vco_flow
+(** Runs the full extraction chain for the VCO chip at tuning voltage
+    [vtune]; the returned flow is reused by every spur analysis. *)
 
 val vco_merged : vco_flow -> Sn_circuit.Netlist.t
+(** Merged impact model of the VCO (substrate + interconnect + the
+    linearized oscillator core). *)
+
 val vco_oscillator : vco_flow -> Sn_rf.Impact.oscillator
+(** Oscillator operating point (carrier, amplitude, sensitivities)
+    consumed by the spur model. *)
+
 val vco_ground_wire_resistance : vco_flow -> float
+(** Extracted resistance of the VCO ground net, the Fig. 10 knob. *)
 
 val vco_carrier_freq : vco_flow -> float
+(** Free-running carrier frequency at this flow's [vtune], Hz. *)
+
 val vco_amplitude : vco_flow -> float
+(** Differential tank amplitude at the operating point, V. *)
 
 val vco_transfers :
   vco_flow -> f_noise:float array ->

@@ -205,6 +205,7 @@ let runtime fmt (r : E.runtime) =
     r.E.extraction_seconds r.E.simulation_seconds r.E.grid_cells;
   Format.fprintf fmt
     "[paper: 20 min extraction + 15 min simulation on an HP-UX L2000]@,";
+  Format.fprintf fmt "%a" Sn_engine.Pool.pp_stats r.E.pool;
   Format.fprintf fmt "@]"
 
 let aggressor fmt (r : E.aggressor_comb) =

@@ -2,14 +2,32 @@
     the paper's tables and figures show. *)
 
 val fig3 : Format.formatter -> Experiments.fig3 -> unit
+(** Fig. 3 table: divider with/without wire R and the bias sweep. *)
+
 val sec3 : Format.formatter -> Experiments.sec3_numbers -> unit
+(** Section-3 scalar claims next to the paper's quoted values. *)
+
 val fig7 : Format.formatter -> Experiments.fig7 -> unit
+(** Fig. 7 spur table plus the ASCII spectrum panel. *)
+
 val fig8 : Format.formatter -> Experiments.fig8_family list -> unit
+(** Fig. 8 spur-vs-frequency table, one block per tuning voltage. *)
+
 val fig9 : Format.formatter -> Experiments.fig9 -> unit
+(** Fig. 9 per-entry-point contribution curves and headline gaps. *)
+
 val fig10 : Format.formatter -> Experiments.fig10 -> unit
+(** Fig. 10 normal-vs-widened ground comparison. *)
+
 val vco_card : Format.formatter -> Experiments.vco_card -> unit
+(** Section-4 VCO design card. *)
+
 val runtime : Format.formatter -> Experiments.runtime -> unit
+(** Wall-clock breakdown of one flow run, including the worker-pool
+    statistics of the impact sweep. *)
+
 val aggressor : Format.formatter -> Experiments.aggressor_comb -> unit
+(** Digital-aggressor spur comb (line table and total power). *)
 
 val spectrum_ascii :
   ?width:int -> ?height:int -> Format.formatter -> (float * float) list -> unit

@@ -13,24 +13,25 @@
    Global counters record fresh factorizations, pattern-reusing
    refactorizations and triangular solves, so tests and benchmarks can
    assert reuse (e.g. a linear fixed-step transient must factor exactly
-   once for the whole run). *)
+   once for the whole run).  They are atomic so counts stay exact when
+   independent solves run on parallel domains (Sn_engine.Pool). *)
 
 exception Singular of int
 
 let default_crossover = 64
 
-let n_factor = ref 0
-let n_refactor = ref 0
-let n_solve = ref 0
+let n_factor = Atomic.make 0
+let n_refactor = Atomic.make 0
+let n_solve = Atomic.make 0
 
-let factorizations () = !n_factor
-let refactorizations () = !n_refactor
-let solves () = !n_solve
+let factorizations () = Atomic.get n_factor
+let refactorizations () = Atomic.get n_refactor
+let solves () = Atomic.get n_solve
 
 let reset_stats () =
-  n_factor := 0;
-  n_refactor := 0;
-  n_solve := 0
+  Atomic.set n_factor 0;
+  Atomic.set n_refactor 0;
+  Atomic.set n_solve 0
 
 (* ------------------------------------------------------------------ *)
 
@@ -333,7 +334,7 @@ let lift_singular f = try f () with Lu.Singular k -> raise (Singular k)
 let factor ?(crossover = default_crossover) m =
   let n = Sparse.rows m in
   if Sparse.cols m <> n then invalid_arg "Splu.factor: matrix not square";
-  incr n_factor;
+  Atomic.incr n_factor;
   if n < crossover then begin
     let scratch = Sparse.to_dense m in
     Dense { df = lift_singular (fun () -> Lu.factor_mat scratch);
@@ -344,30 +345,30 @@ let factor ?(crossover = default_crossover) m =
 let refactor t m =
   match t with
   | Dense { df; scratch = Some s } ->
-    incr n_refactor;
+    Atomic.incr n_refactor;
     to_dense_into s m;
     lift_singular (fun () -> Lu.refactor_mat df s)
   | Dense { scratch = None; _ } ->
     invalid_arg "Splu.refactor: factor was built from a dense matrix"
   | Sparse_f sp ->
-    incr n_refactor;
+    Atomic.incr n_refactor;
     sp_refactor sp m
 
 (* Dense entry points for callers that assemble straight into a Mat.t
    (small systems below the crossover): same counters, same exceptions. *)
 let factor_dense m =
-  incr n_factor;
+  Atomic.incr n_factor;
   Dense { df = lift_singular (fun () -> Lu.factor_mat m); scratch = None }
 
 let refactor_dense t m =
   match t with
   | Dense { df; _ } ->
-    incr n_refactor;
+    Atomic.incr n_refactor;
     lift_singular (fun () -> Lu.refactor_mat df m)
   | Sparse_f _ -> invalid_arg "Splu.refactor_dense: not a dense factor"
 
 let solve t b =
-  incr n_solve;
+  Atomic.incr n_solve;
   match t with
   | Dense { df; _ } -> lift_singular (fun () -> Lu.solve_factored df b)
   | Sparse_f sp -> sp_solve sp b

@@ -13,8 +13,10 @@ type stats = {
   elapsed_seconds : float;
 }
 
-let stats_ref : stats option ref = ref None
-let last_stats () = !stats_ref
+(* atomic: concurrent extractions on pool workers (Sn_engine.Pool)
+   must not tear the record; last writer wins *)
+let stats_ref : stats option Atomic.t = Atomic.make None
+let last_stats () = Atomic.get stats_ref
 
 (* Overlap area (um^2) of a port with one surface cell. *)
 let overlap_area (port : Port.t) cell_rect =
@@ -165,14 +167,14 @@ let extract ?(config = Grid.default_config) ?(grounded_backplane = false) ~tech 
            (p.Port.name, well_capacitance profile p))
   in
   let elapsed = Unix.gettimeofday () -. t0 in
-  stats_ref :=
-    Some
-      {
-        grid_cells = n;
-        ports = np;
-        cg_iterations_total = !total_iters;
-        elapsed_seconds = elapsed;
-      };
+  Atomic.set stats_ref
+    (Some
+       {
+         grid_cells = n;
+         ports = np;
+         cg_iterations_total = !total_iters;
+         elapsed_seconds = elapsed;
+       });
   Log.info (fun m ->
       m "reduction done: %d CG iterations, %.2f s" !total_iters elapsed);
   Macromodel.make ~ports:ports_arr ~conductance:s ~well_capacitance:well_caps

@@ -10,4 +10,5 @@ let () =
      @ Test_rf.suites
      @ Test_testchip.suites
      @ Test_oscillator.suites
+     @ Test_pool.suites
      @ Test_flow.suites)
