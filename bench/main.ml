@@ -216,6 +216,87 @@ let sweep_scaling () =
   Format.pp_print_flush fmt ()
 
 (* ------------------------------------------------------------------ *)
+(* Part 4: robustness-layer overhead on the healthy path (BENCH_3.json)
+
+   The rescue ladder threads fault-injection polls and attempt
+   recording through the DC and transient hot paths.  A healthy run
+   never climbs past the plain Newton rung, so the cost must stay in
+   the noise.  Two probes: a long fixed-step linear transient (the
+   frozen-LU fast path, where a per-step poll would show up first) and
+   the full fig7 spur sweep.  Each runs with the fault hook disarmed
+   and with a fault armed that can never fire — the worst case for the
+   polling cost, since every factorization bumps the atomic counter. *)
+
+let rescue_overhead () =
+  banner "Part 4 - robustness-layer overhead on the healthy path";
+  let module Fault = Sn_engine.Fault in
+  let module C = Sn_circuit in
+  let module El = C.Element in
+  let rc_ladder =
+    let n = 40 in
+    let stages =
+      List.concat
+        (List.init n (fun k ->
+             let a = if k = 0 then "in" else Printf.sprintf "n%d" k in
+             let b = Printf.sprintf "n%d" (k + 1) in
+             [ El.Resistor
+                 { name = Printf.sprintf "r%d" k; n1 = a; n2 = b;
+                   ohms = 100.0 };
+               El.Capacitor
+                 { name = Printf.sprintf "c%d" k; n1 = b; n2 = "0";
+                   farads = 1e-12 } ]))
+    in
+    C.Netlist.create
+      (El.Vsource
+         { name = "v1"; np = "in"; nn = "0"; wave = C.Waveform.dc 1.0;
+           ac_mag = 0.0 }
+      :: stages)
+  in
+  let tran_workload () =
+    ignore (Sn_engine.Tran.simulate ~tstop:2.0e-7 ~dt:1.0e-10 rc_ladder)
+  in
+  let fig7_workload () = ignore (E.fig7 ~f_noise:10.0e6 ()) in
+  let time ~runs f =
+    f () (* warm-up *);
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to runs do
+      f ()
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int runs
+  in
+  let probe (name, runs, f) =
+    Fault.disarm ();
+    let off = time ~runs f in
+    (* armed but unreachable: pure polling cost *)
+    Fault.arm Fault.Factor (Fault.Nth max_int);
+    let on_ = time ~runs f in
+    Fault.disarm ();
+    let ratio = on_ /. off in
+    Format.fprintf fmt "%-16s %9.1f ms disarmed %9.1f ms armed %8.3fx@."
+      name (1.0e3 *. off) (1.0e3 *. on_) ratio;
+    (name, runs, off, on_, ratio)
+  in
+  let rows =
+    List.map probe
+      [ ("tran-fixed-step", 5, tran_workload); ("fig7-sweep", 2, fig7_workload) ]
+  in
+  let oc = open_out "BENCH_3.json" in
+  output_string oc "{\n  \"rescue_overhead\": {\n    \"workloads\": [\n";
+  let n_rows = List.length rows in
+  List.iteri
+    (fun i (name, runs, off, on_, ratio) ->
+      Printf.fprintf oc
+        "      { \"name\": \"%s\", \"runs\": %d, \"disarmed_seconds\": \
+         %.6f, \"armed_idle_seconds\": %.6f, \"overhead_ratio\": %.3f }%s\n"
+        name runs off on_ ratio
+        (if i = n_rows - 1 then "" else ","))
+    rows;
+  output_string oc "    ]\n  }\n}\n";
+  close_out oc;
+  Format.fprintf fmt "wrote rescue-overhead probes to BENCH_3.json@.";
+  Format.pp_print_flush fmt ()
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel microbenchmarks, one per table / figure *)
 
 open Bechamel
@@ -413,12 +494,17 @@ let run_benchmarks () =
   Format.pp_print_flush fmt ()
 
 let () =
-  reproduce_all ();
-  ablation_grid ();
-  ablation_interconnect ();
-  ablation_backplane ();
-  ablation_corners ();
-  sweep_scaling ();
-  run_benchmarks ();
+  (* "bench part4" runs only the cheap robustness-overhead probes *)
+  if Array.exists (String.equal "part4") Sys.argv then rescue_overhead ()
+  else begin
+    reproduce_all ();
+    ablation_grid ();
+    ablation_interconnect ();
+    ablation_backplane ();
+    ablation_corners ();
+    sweep_scaling ();
+    rescue_overhead ();
+    run_benchmarks ()
+  end;
   Format.fprintf fmt "@.bench: done@.";
   Format.pp_print_flush fmt ()

@@ -6,11 +6,12 @@
 
 open Cmdliner
 
-let setup_logs (verbose, jobs) =
+let setup_logs (verbose, jobs, no_lint) =
   Fmt_tty.setup_std_outputs ();
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (if verbose then Some Logs.Info else Some Logs.Warning);
-  Option.iter Snoise.Sweep.set_jobs jobs
+  Option.iter Snoise.Sweep.set_jobs jobs;
+  if no_lint then Snoise.Flow.disable_lint ()
 
 let verbose_flag =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log extraction progress.")
@@ -26,53 +27,82 @@ let jobs_flag =
            1 runs the exact sequential path).  Output is identical for \
            every width.")
 
-(* every command takes -v and --jobs *)
-let verbose = Term.(const (fun v j -> (v, j)) $ verbose_flag $ jobs_flag)
+let no_lint_flag =
+  Arg.(
+    value & flag
+    & info [ "no-lint" ]
+        ~doc:
+          "Skip the netlist lint gate.  By default a merged model with \
+           lint errors (floating island, voltage-source loop, ...) \
+           refuses to simulate with exit code 2.")
+
+(* every command takes -v, --jobs and --no-lint *)
+let verbose =
+  Term.(const (fun v j nl -> (v, j, nl)) $ verbose_flag $ jobs_flag
+        $ no_lint_flag)
 
 let fmt = Format.std_formatter
 
 let finish () = Format.pp_print_flush fmt ()
 
+(* Engine diagnostics (a lint refusal, a solve that exhausted the
+   rescue ladder) exit with code 2 — distinct from cmdliner's 1 for
+   usage errors and the lint/drc commands' 1 for "found findings". *)
+let or_diag_exit f =
+  try f ()
+  with Sn_engine.Diag.Error d ->
+    finish ();
+    Format.eprintf "snoise: %a@." Sn_engine.Diag.pp d;
+    exit 2
+
 let run_fig3 verbose =
   setup_logs verbose;
-  Snoise.Report.fig3 fmt (Snoise.Experiments.fig3 ());
-  Snoise.Report.sec3 fmt (Snoise.Experiments.sec3_numbers ());
-  finish ()
+  or_diag_exit (fun () ->
+      Snoise.Report.fig3 fmt (Snoise.Experiments.fig3 ());
+      Snoise.Report.sec3 fmt (Snoise.Experiments.sec3_numbers ());
+      finish ())
 
 let run_fig7 verbose f_noise =
   setup_logs verbose;
-  Snoise.Report.fig7 fmt (Snoise.Experiments.fig7 ~f_noise ());
-  finish ()
+  or_diag_exit (fun () ->
+      Snoise.Report.fig7 fmt (Snoise.Experiments.fig7 ~f_noise ());
+      finish ())
 
 let run_fig8 verbose =
   setup_logs verbose;
-  Snoise.Report.fig8 fmt (Snoise.Experiments.fig8 ());
-  finish ()
+  or_diag_exit (fun () ->
+      Snoise.Report.fig8 fmt (Snoise.Experiments.fig8 ());
+      finish ())
 
 let run_fig9 verbose =
   setup_logs verbose;
-  Snoise.Report.fig9 fmt (Snoise.Experiments.fig9 ());
-  finish ()
+  or_diag_exit (fun () ->
+      Snoise.Report.fig9 fmt (Snoise.Experiments.fig9 ());
+      finish ())
 
 let run_fig10 verbose =
   setup_logs verbose;
-  Snoise.Report.fig10 fmt (Snoise.Experiments.fig10 ());
-  finish ()
+  or_diag_exit (fun () ->
+      Snoise.Report.fig10 fmt (Snoise.Experiments.fig10 ());
+      finish ())
 
 let run_card verbose =
   setup_logs verbose;
-  Snoise.Report.vco_card fmt (Snoise.Experiments.vco_card ());
-  finish ()
+  or_diag_exit (fun () ->
+      Snoise.Report.vco_card fmt (Snoise.Experiments.vco_card ());
+      finish ())
 
 let run_runtime verbose =
   setup_logs verbose;
-  Snoise.Report.runtime fmt (Snoise.Experiments.runtime ());
-  finish ()
+  or_diag_exit (fun () ->
+      Snoise.Report.runtime fmt (Snoise.Experiments.runtime ());
+      finish ())
 
 let run_aggressor verbose =
   setup_logs verbose;
-  Snoise.Report.aggressor fmt (Snoise.Experiments.aggressor_comb ());
-  finish ()
+  or_diag_exit (fun () ->
+      Snoise.Report.aggressor fmt (Snoise.Experiments.aggressor_comb ());
+      finish ())
 
 let run_all verbose =
   run_fig3 verbose;
@@ -101,15 +131,28 @@ let run_extract verbose path =
 
 let run_netlist verbose vtune =
   setup_logs verbose;
-  let flow = Snoise.Flow.build_vco Sn_testchip.Vco_chip.default ~vtune in
-  print_string (Sn_circuit.Spice.to_string (Snoise.Flow.vco_merged flow))
+  or_diag_exit (fun () ->
+      let flow = Snoise.Flow.build_vco Sn_testchip.Vco_chip.default ~vtune in
+      print_string (Sn_circuit.Spice.to_string (Snoise.Flow.vco_merged flow)))
 
-let run_op verbose vtune =
+let run_op verbose vtune file =
   setup_logs verbose;
-  let flow = Snoise.Flow.build_vco Sn_testchip.Vco_chip.default ~vtune in
-  let dc = Sn_engine.Dc.solve (Snoise.Flow.vco_merged flow) in
-  Format.fprintf fmt "%a@." Sn_engine.Dc.pp dc;
-  finish ()
+  or_diag_exit (fun () ->
+      let netlist =
+        match file with
+        | Some path ->
+          let nl = Sn_circuit.Spice.load path in
+          Snoise.Flow.lint_gate nl;
+          nl
+        | None ->
+          let flow =
+            Snoise.Flow.build_vco Sn_testchip.Vco_chip.default ~vtune
+          in
+          Snoise.Flow.vco_merged flow
+      in
+      let dc = Sn_engine.Dc.solve netlist in
+      Format.fprintf fmt "%a@." Sn_engine.Dc.pp dc;
+      finish ())
 
 let run_lint verbose file =
   setup_logs verbose;
@@ -228,8 +271,16 @@ let cmds =
             required
             & pos 2 (some string) None
             & info [] ~docv:"PORT2" ~doc:"Victim port name."));
-    cmd "op" "print the merged VCO model's DC operating point"
-      Term.(const run_op $ verbose $ vtune_arg);
+    cmd "op" "DC operating point of a SPICE deck (default: the merged VCO)"
+      Term.(
+        const run_op $ verbose $ vtune_arg
+        $ Arg.(
+            value
+            & pos 0 (some file) None
+            & info [] ~docv:"DECK"
+                ~doc:
+                  "SPICE netlist file to solve (lint-gated); omit to \
+                   solve the merged VCO impact model."));
     cmd "lint" "sanity-check a SPICE deck (default: the merged VCO model)"
       Term.(
         const run_lint $ verbose

@@ -19,6 +19,7 @@ type options = {
   interconnect_resistance : bool;
   widen_ground : float option;
   tech : Sn_tech.Tech.t;
+  lint : bool;
 }
 
 let default_options =
@@ -27,7 +28,57 @@ let default_options =
     interconnect_resistance = true;
     widen_ground = None;
     tech = Sn_tech.Tech.imec018;
+    lint = true;
   }
+
+(* ------------------------------------------------------------------ *)
+(* lint gate: merged models pass Sn_circuit.Lint before the engine
+   sees them.  Errors refuse to simulate (raised as a Diag.Bad_input);
+   warnings are logged once per distinct message — bias sweeps re-merge
+   the same structure dozens of times and repeating identical warnings
+   would bury the report. *)
+
+let lint_disabled = ref false
+
+let disable_lint () = lint_disabled := true
+
+let warned : (string, unit) Hashtbl.t = Hashtbl.create 16
+
+let warned_lock = Mutex.create ()
+
+let lint_gate ?(enabled = true) nl =
+  if enabled && not !lint_disabled then begin
+    let ds = C.Lint.check nl in
+    List.iter
+      (fun (d : C.Lint.diagnostic) ->
+        match d.C.Lint.severity with
+        | C.Lint.Error -> ()
+        | C.Lint.Warning ->
+          let key = d.C.Lint.code ^ ":" ^ d.C.Lint.message in
+          let fresh =
+            Mutex.lock warned_lock;
+            let f = not (Hashtbl.mem warned key) in
+            if f then Hashtbl.replace warned key ();
+            Mutex.unlock warned_lock;
+            f
+          in
+          if fresh then Log.warn (fun m -> m "lint: %a" C.Lint.pp d))
+      ds;
+    match C.Lint.errors ds with
+    | [] -> ()
+    | errs ->
+      let what =
+        String.concat "; "
+          (List.map
+             (fun (d : C.Lint.diagnostic) ->
+               Printf.sprintf "%s: %s" d.C.Lint.code d.C.Lint.message)
+             errs)
+      in
+      raise
+        (Sn_engine.Diag.Error
+           (Sn_engine.Diag.Bad_input
+              { loc = Sn_engine.Diag.loc "lint"; what }))
+  end
 
 let noise_elements ~inject_node =
   [
@@ -51,6 +102,7 @@ type nmos_flow = {
   nmos_params : Tc.Nmos_structure.params;
   nmos_macro : Sub.Macromodel.t;
   nmos_itc : Itc.Rc_netlist.t;
+  nmos_lint : bool;
 }
 
 let itc_options options ~substrate_node =
@@ -79,7 +131,7 @@ let build_nmos ?(options = default_options) params =
         report.Itc.Extract.wires_extracted
         (Sub.Macromodel.port_count macro));
   { nmos_params = params; nmos_macro = macro;
-    nmos_itc = report.Itc.Extract.netlist }
+    nmos_itc = report.Itc.Extract.netlist; nmos_lint = options.lint }
 
 let nmos_macromodel f = f.nmos_macro
 
@@ -100,6 +152,7 @@ let nmos_passive_netlist f =
 
 let nmos_divider f =
   let nl = nmos_passive_netlist f in
+  lint_gate ~enabled:f.nmos_lint nl;
   let s = Ac.solve nl ~freq:1.0e6 in
   Complex.norm (Ac.voltage s "backgate:m1")
   /. Complex.norm (Ac.voltage s "sub_inject")
@@ -122,6 +175,7 @@ type nmos_point = {
 
 let nmos_transfer f ~vgs ~vds ~freq =
   let nl = nmos_merged f ~vgs ~vds in
+  lint_gate ~enabled:f.nmos_lint nl;
   let dc = Dc.solve nl in
   let op = Dc.mos_operating_point dc "m1" in
   let mult = float_of_int f.nmos_params.Tc.Nmos_structure.parallel_devices in
@@ -191,6 +245,7 @@ let build_vco ?(options = default_options) params ~vtune =
       @ Merge.of_macromodel macro
       @ Merge.of_rc_netlist report.Itc.Extract.netlist)
   in
+  lint_gate ~enabled:options.lint merged;
   let dc = Dc.solve merged in
   let v node = Dc.voltage dc node in
   let bias =

@@ -105,7 +105,16 @@ let solve_at_plan plan dc ~freq =
   if freq < 0.0 then invalid_arg "Ac.solve: freq must be >= 0";
   let omega = N.Units.two_pi *. freq in
   let a, rhs = assemble_plan plan (Dc.unknowns dc) ~omega in
-  let x = N.Lu.Cplx.solve_matrix a rhs in
+  let x =
+    try N.Lu.Cplx.solve_matrix a rhs
+    with N.Lu.Singular col ->
+      let mna = Stamp_plan.mna plan in
+      raise
+        (Diag.Error
+           (Diag.Singular_pivot
+              { loc = Diag.loc "ac" ~freq; pivot = col;
+                unknown = Diag.unknown_of_slot mna col }))
+  in
   { mna = Stamp_plan.mna plan; freq; x }
 
 let solve ?dc netlist ~freq =

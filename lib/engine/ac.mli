@@ -10,7 +10,10 @@ type solution
 val solve : ?dc:Dc.solution -> Sn_circuit.Netlist.t -> freq:float -> solution
 (** [solve ?dc nl ~freq] computes the phasor solution at [freq] (Hz).
     The operating point is computed with {!Dc.solve} when not
-    supplied.  Raises [Invalid_argument] when [freq < 0]. *)
+    supplied.  Raises [Invalid_argument] when [freq < 0], and
+    {!Diag.Error} with a frequency-tagged {!Diag.Singular_pivot}
+    (naming the offending node or element) when the complex system is
+    singular at [freq]. *)
 
 val frequency : solution -> float
 

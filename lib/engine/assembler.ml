@@ -57,6 +57,8 @@ let freeze t =
   if t.factor = None then invalid_arg "Assembler.freeze: nothing factored yet";
   t.frozen <- true
 
+let unfreeze t = t.frozen <- false
+
 let start t =
   if not t.frozen then
     match t.mode with
@@ -120,6 +122,9 @@ let solve t rhs =
    | Collect { ci; cj; cv } -> t.mode <- compile_pattern t ci cj cv
    | Dense _ | Refill _ -> ());
   if not t.frozen then begin
+    (* fault-injection site: pretend the factorization hit a zero
+       pivot, so tests can drive the rescue paths on healthy circuits *)
+    if Fault.fire Factor then raise (N.Splu.Singular (-1));
     match (t.mode, t.factor) with
     | Dense { dmat; _ }, None -> t.factor <- Some (N.Splu.factor_dense dmat)
     | Dense { dmat; _ }, Some f -> N.Splu.refactor_dense f dmat

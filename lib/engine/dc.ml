@@ -11,15 +11,29 @@ type options = {
   gmin : float;
   damping : float;
   gmin_steps : int;
+  ladder : Diag.rung list;
+  source_steps : int;
+  ptran_steps : int;
 }
 
 let default_options =
   { max_iterations = 200; tolerance = 1e-9; gmin = 1e-12; damping = 0.6;
-    gmin_steps = 6 }
+    gmin_steps = 6;
+    ladder =
+      [ Diag.Plain_newton; Diag.Damped_newton; Diag.Gmin_stepping;
+        Diag.Source_stepping; Diag.Pseudo_transient ];
+    source_steps = 20; ptran_steps = 8 }
 
-exception No_convergence of { iterations : int; residual : float }
+type solution = { mna : Mna.t; x : float array; attempts : Diag.attempt list }
 
-type solution = { mna : Mna.t; x : float array }
+(* Why one rung attempt gave up: carried through the ladder so the
+   final diagnostic can report the *last* (deepest) failure with real
+   context — the worst-residual unknown, or the singular pivot. *)
+type failure =
+  | Diverged of { iterations : int; residual : float; worst : int }
+  | Singular of { iterations : int; pivot : int }
+
+exception Attempt_failed of failure
 
 let volt_of x slot = if slot < 0 then 0.0 else x.(slot)
 
@@ -27,8 +41,13 @@ let volt_of x slot = if slot < 0 then 0.0 else x.(slot)
    assembler and right-hand side.  The stamps walk the compiled plan:
    every node and branch index was resolved when the plan was built, so
    the Newton inner loop does no name lookups at all.  Dynamic elements
-   are open circuits at DC. *)
-let assemble_plan (plan : Stamp_plan.t) asm rhs ~gmin x =
+   are open circuits at DC.
+
+   [source_scale] multiplies every independent-source value (source
+   stepping ramps it 0 -> 1); it only touches the right-hand side, so
+   the stamp event sequence stays identical across the whole ladder and
+   the assembler's recorded pattern remains valid. *)
+let assemble_plan ?(source_scale = 1.0) (plan : Stamp_plan.t) asm rhs ~gmin x =
   Assembler.start asm;
   Array.fill rhs 0 (Array.length rhs) 0.0;
   let stamp i j g = Assembler.add asm i j g in
@@ -53,9 +72,9 @@ let assemble_plan (plan : Stamp_plan.t) asm rhs ~gmin x =
         stamp b j (-1.0);
         stamp i b 1.0;
         stamp j b (-1.0);
-        rhs.(b) <- rhs.(b) +. C.Waveform.dc_value wave
+        rhs.(b) <- rhs.(b) +. (source_scale *. C.Waveform.dc_value wave)
       | Stamp_plan.Isource { i; j; wave; _ } ->
-        let v = C.Waveform.dc_value wave in
+        let v = source_scale *. C.Waveform.dc_value wave in
         inject i (-.v);
         inject j v
       | Stamp_plan.Vccs { i; j; k; l; gm } ->
@@ -103,66 +122,253 @@ let assemble_plan (plan : Stamp_plan.t) asm rhs ~gmin x =
     Assembler.add asm i i gmin
   done
 
-let newton_loop plan asm rhs options ~gmin x0 =
+(* One Newton run.  [anchor = (g, x_prev)] turns the iteration into a
+   backward-Euler pseudo-transient step: conductance [g] from every
+   node to its previous voltage, i.e. [g] is folded into the gmin
+   diagonal add (keeping the stamp sequence unchanged) and [g * x_prev]
+   is injected into the node rows of the right-hand side.
+
+   Returns [(x, iterations)]; raises [Attempt_failed] with the last
+   iteration's worst slot and residual on budget exhaustion, or the
+   singular column on a factorization failure. *)
+let newton_loop ?source_scale ?anchor plan asm rhs ~budget ~clamp ~tolerance
+    ~gmin x0 =
   let dim = Stamp_plan.dim plan in
   let n_nodes = Stamp_plan.n_nodes plan in
   let x = Array.copy x0 in
+  let gmin_eff, inject_anchor =
+    match anchor with
+    | None -> (gmin, fun () -> ())
+    | Some (g, x_prev) ->
+      ( gmin +. g,
+        fun () ->
+          for i = 0 to n_nodes - 1 do
+            rhs.(i) <- rhs.(i) +. (g *. x_prev.(i))
+          done )
+  in
+  let last_residual = ref Float.infinity in
+  let last_worst = ref (-1) in
   let rec iterate k =
-    if k >= options.max_iterations then
-      raise (No_convergence { iterations = k; residual = Float.infinity })
+    if k >= budget then
+      raise
+        (Attempt_failed
+           (Diverged
+              { iterations = k; residual = !last_residual;
+                worst = !last_worst }))
     else begin
-      assemble_plan plan asm rhs ~gmin x;
+      assemble_plan ?source_scale plan asm rhs ~gmin:gmin_eff x;
+      inject_anchor ();
       let x_new =
         try Assembler.solve asm rhs
-        with N.Splu.Singular _ ->
-          raise (No_convergence { iterations = k; residual = Float.nan })
+        with N.Splu.Singular col ->
+          raise (Attempt_failed (Singular { iterations = k; pivot = col }))
       in
       let max_delta = ref 0.0 in
+      let worst = ref (-1) in
       for i = 0 to dim - 1 do
         let delta = x_new.(i) -. x.(i) in
         let clamped =
-          if i < n_nodes then
-            Float.max (-.options.damping) (Float.min options.damping delta)
+          if i < n_nodes then Float.max (-.clamp) (Float.min clamp delta)
           else delta
         in
-        max_delta := Float.max !max_delta (Float.abs delta);
+        let mag = Float.abs delta in
+        if mag > !max_delta then begin
+          max_delta := mag;
+          worst := i
+        end;
         x.(i) <- x.(i) +. clamped
       done;
-      if !max_delta < options.tolerance then x else iterate (k + 1)
+      last_residual := !max_delta;
+      last_worst := !worst;
+      if !max_delta < tolerance then (x, k + 1) else iterate (k + 1)
     end
   in
   iterate 0
+
+(* ------------------------------------------------------------------ *)
+(* The rescue ladder.  Each rung takes the cold start [x0] and either
+   returns [(x, total_newton_iterations)] or raises [Attempt_failed].
+   All rungs share one assembler, so the factorization pattern is
+   discovered once and reused across the whole ladder. *)
+
+let run_plain plan asm rhs (o : options) x0 =
+  newton_loop plan asm rhs ~budget:o.max_iterations ~clamp:o.damping
+    ~tolerance:o.tolerance ~gmin:o.gmin x0
+
+(* Heavier clamp, larger budget: slower but monotone-ish progress on
+   circuits where the full-strength update overshoots. *)
+let run_damped plan asm rhs (o : options) x0 =
+  newton_loop plan asm rhs ~budget:(3 * o.max_iterations)
+    ~clamp:(o.damping /. 6.0) ~tolerance:o.tolerance ~gmin:o.gmin x0
+
+let run_gmin plan asm rhs (o : options) x0 =
+  let steps =
+    List.init o.gmin_steps (fun k ->
+        1e-3
+        *. (10.0
+            ** (-.float_of_int k *. 9.0 /. float_of_int (o.gmin_steps - 1))))
+    @ [ o.gmin ]
+  in
+  let rec continuation x iters = function
+    | [] -> (x, iters)
+    | g :: rest -> (
+      match
+        newton_loop plan asm rhs ~budget:o.max_iterations ~clamp:o.damping
+          ~tolerance:o.tolerance ~gmin:g x
+      with
+      | x, k -> continuation x (iters + k) rest
+      | exception Attempt_failed (Diverged d) ->
+        raise
+          (Attempt_failed (Diverged { d with iterations = iters + d.iterations }))
+      | exception Attempt_failed (Singular s) ->
+        raise
+          (Attempt_failed (Singular { s with iterations = iters + s.iterations })))
+  in
+  continuation x0 0 steps
+
+(* Ramp every independent source from 0 to 100 %.  At scale ~0 the
+   all-zero start is already near the solution; each sub-step warm
+   starts from the previous one, so even a tight damping clamp only has
+   to cover the per-step voltage increment. *)
+let run_source plan asm rhs (o : options) x0 =
+  let n = max 1 o.source_steps in
+  let rec ramp x iters k =
+    if k > n then (x, iters)
+    else
+      let scale = float_of_int k /. float_of_int n in
+      match
+        newton_loop ~source_scale:scale plan asm rhs ~budget:o.max_iterations
+          ~clamp:o.damping ~tolerance:o.tolerance ~gmin:o.gmin x
+      with
+      | x, it -> ramp x (iters + it) (k + 1)
+      | exception Attempt_failed (Diverged d) ->
+        raise
+          (Attempt_failed (Diverged { d with iterations = iters + d.iterations }))
+      | exception Attempt_failed (Singular s) ->
+        raise
+          (Attempt_failed (Singular { s with iterations = iters + s.iterations }))
+  in
+  ramp x0 0 1
+
+(* Pseudo-transient continuation: anchor every node to its previous
+   voltage through a conductance [g], ramp [g] down by decades, then
+   polish with one clean Newton.  Equivalent to backward-Euler time
+   stepping toward the equilibrium with growing timestep. *)
+let run_ptran plan asm rhs (o : options) x0 =
+  let n = max 1 o.ptran_steps in
+  let gs = List.init n (fun k -> 1.0 *. (10.0 ** -.float_of_int k)) in
+  let rec march x iters = function
+    | [] -> (
+      (* final polish without the anchor *)
+      match
+        newton_loop plan asm rhs ~budget:o.max_iterations ~clamp:o.damping
+          ~tolerance:o.tolerance ~gmin:o.gmin x
+      with
+      | x, it -> (x, iters + it)
+      | exception Attempt_failed (Diverged d) ->
+        raise
+          (Attempt_failed (Diverged { d with iterations = iters + d.iterations }))
+      | exception Attempt_failed (Singular s) ->
+        raise
+          (Attempt_failed (Singular { s with iterations = iters + s.iterations })))
+    | g :: rest -> (
+      match
+        newton_loop ~anchor:(g, x) plan asm rhs ~budget:o.max_iterations
+          ~clamp:o.damping ~tolerance:o.tolerance ~gmin:o.gmin x
+      with
+      | x, it -> march x (iters + it) rest
+      | exception Attempt_failed (Diverged d) ->
+        raise
+          (Attempt_failed (Diverged { d with iterations = iters + d.iterations }))
+      | exception Attempt_failed (Singular s) ->
+        raise
+          (Attempt_failed (Singular { s with iterations = iters + s.iterations })))
+  in
+  march x0 0 gs
+
+let run_rung plan asm rhs options rung x0 =
+  match rung with
+  | Diag.Plain_newton -> run_plain plan asm rhs options x0
+  | Diag.Damped_newton -> run_damped plan asm rhs options x0
+  | Diag.Gmin_stepping -> run_gmin plan asm rhs options x0
+  | Diag.Source_stepping -> run_source plan asm rhs options x0
+  | Diag.Pseudo_transient -> run_ptran plan asm rhs options x0
 
 let solve_plan ?(options = default_options) plan =
   let dim = Stamp_plan.dim plan in
   let asm = Assembler.create dim in
   let rhs = Array.make dim 0.0 in
   let x0 = Array.make dim 0.0 in
-  match newton_loop plan asm rhs options ~gmin:options.gmin x0 with
-  | x -> { mna = Stamp_plan.mna plan; x }
-  | exception No_convergence _ ->
-    (* gmin continuation: solve with a heavy gmin, then relax.  The
-       assembler (and its factorization pattern) carries across all
-       continuation steps — only values change. *)
-    Log.info (fun m -> m "direct Newton failed; starting gmin stepping");
-    let rec continuation x = function
-      | [] -> x
-      | g :: rest ->
-        let x = newton_loop plan asm rhs options ~gmin:g x in
-        continuation x rest
-    in
-    let steps =
-      List.init options.gmin_steps (fun k ->
-          1e-3 *. (10.0 ** (-.float_of_int k *. 9.0 /. float_of_int (options.gmin_steps - 1))))
-      @ [ options.gmin ]
-    in
-    let x = continuation x0 steps in
-    { mna = Stamp_plan.mna plan; x }
+  let mna = Stamp_plan.mna plan in
+  let ladder =
+    match options.ladder with [] -> [ Diag.Plain_newton ] | l -> l
+  in
+  let attempts = ref [] in
+  let total_iters = ref 0 in
+  let last_failure = ref None in
+  let rec try_rungs attempt_no = function
+    | [] ->
+      let loc = Diag.loc "dc" in
+      let diag =
+        match !last_failure with
+        | Some (Singular { pivot; _ }) ->
+          Diag.Singular_pivot
+            { loc; pivot; unknown = Diag.unknown_of_slot mna pivot }
+        | Some (Diverged { residual; worst; _ }) ->
+          Diag.No_convergence
+            { loc; iterations = !total_iters; residual;
+              worst = Diag.unknown_of_slot mna worst;
+              attempts = List.rev !attempts }
+        | None ->
+          Diag.No_convergence
+            { loc; iterations = 0; residual = Float.infinity; worst = None;
+              attempts = List.rev !attempts }
+      in
+      Log.err (fun m -> m "%a" Diag.pp diag);
+      raise (Diag.Error diag)
+    | rung :: rest ->
+      if Fault.fire ~scope_index:attempt_no Dc_attempt then begin
+        Log.warn (fun m ->
+            m "injected fault: failing %s attempt" (Diag.rung_name rung));
+        attempts :=
+          { Diag.rung; iterations = 0; converged = false } :: !attempts;
+        try_rungs (attempt_no + 1) rest
+      end
+      else begin
+        (if attempt_no > 1 then
+           Log.info (fun m -> m "rescue: trying %s" (Diag.rung_name rung)));
+        match run_rung plan asm rhs options rung x0 with
+        | x, iters ->
+          attempts :=
+            { Diag.rung; iterations = iters; converged = true } :: !attempts;
+          total_iters := !total_iters + iters;
+          if attempt_no > 1 then
+            Log.info (fun m ->
+                m "rescue: %s converged after %d iterations"
+                  (Diag.rung_name rung) iters);
+          { mna; x; attempts = List.rev !attempts }
+        | exception Attempt_failed f ->
+          let iters =
+            match f with
+            | Diverged { iterations; _ } | Singular { iterations; _ } ->
+              iterations
+          in
+          attempts :=
+            { Diag.rung; iterations = iters; converged = false } :: !attempts;
+          total_iters := !total_iters + iters;
+          last_failure := Some f;
+          Log.info (fun m ->
+              m "%s failed after %d iterations" (Diag.rung_name rung) iters);
+          try_rungs (attempt_no + 1) rest
+      end
+  in
+  try_rungs 1 ladder
 
 let solve_mna ?options mna = solve_plan ?options (Stamp_plan.build mna)
 let solve ?options netlist = solve_mna ?options (Mna.build netlist)
 
 let mna s = s.mna
+let attempts s = s.attempts
 
 let voltage s node =
   let slot = Mna.node_slot s.mna node in

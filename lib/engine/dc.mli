@@ -1,23 +1,39 @@
 (** DC operating-point analysis: Newton-Raphson on the MNA equations
-    with gmin stepping as a convergence fallback. *)
+    with a configurable convergence-rescue ladder.
+
+    When the plain damped Newton attempt fails, the solver escalates
+    through the rungs of {!type-options.field-ladder} in order — heavier damping,
+    gmin continuation, source stepping (all independent sources ramped
+    from 0 to 100 %), and pseudo-transient continuation — until one
+    converges.  Every attempt is recorded; the trace is exposed on the
+    solution via {!attempts} and carried in the diagnostic when every
+    rung fails. *)
 
 type options = {
-  max_iterations : int;  (** Newton cap per gmin step (default 200) *)
+  max_iterations : int;  (** Newton cap per attempt / sub-step (default 200) *)
   tolerance : float;  (** max |delta x| convergence target (default 1e-9) *)
   gmin : float;  (** conductance to ground on every node (default 1e-12) *)
   damping : float;  (** per-iteration update clamp, V (default 0.6) *)
-  gmin_steps : int;  (** gmin continuation steps on failure (default 6) *)
+  gmin_steps : int;  (** gmin continuation steps (default 6) *)
+  ladder : Diag.rung list;
+      (** rescue rungs tried in order (default: all five, starting with
+          {!Diag.Plain_newton}); an empty list falls back to a single
+          plain Newton attempt *)
+  source_steps : int;  (** source-stepping ramp sub-steps (default 20) *)
+  ptran_steps : int;
+      (** pseudo-transient anchor-conductance decades (default 8) *)
 }
 
 val default_options : options
 
-exception No_convergence of { iterations : int; residual : float }
-
 type solution
 
 val solve : ?options:options -> Sn_circuit.Netlist.t -> solution
-(** Raises {!No_convergence} when even gmin stepping fails, and
-    [Not_found]-free: all node references are checked at build time. *)
+(** Raises {!Diag.Error} with {!Diag.No_convergence} (carrying the full
+    rescue-ladder trace and the worst-residual unknown's name) when
+    every rung fails, or {!Diag.Singular_pivot} (naming the node or
+    element behind the pivot) when the failure was a singular matrix.
+    All node references are checked at build time. *)
 
 val solve_mna : ?options:options -> Mna.t -> solution
 
@@ -27,12 +43,17 @@ val solve_plan : ?options:options -> Stamp_plan.t -> solution
 
 val mna : solution -> Mna.t
 
+val attempts : solution -> Diag.attempt list
+(** The recorded rescue-ladder trace, in the order the rungs ran.  A
+    healthy solve has exactly one converged {!Diag.Plain_newton}
+    entry. *)
+
 val voltage : solution -> string -> float
-(** [voltage s node] — 0 for ground.  Raises [Not_found]. *)
+(** [voltage s node] — 0 for ground.  Raises {!Mna.Unknown_node}. *)
 
 val branch_current : solution -> string -> float
 (** Current through a voltage-defined element (V source, VCVS,
-    inductor).  Raises [Not_found]. *)
+    inductor).  Raises {!Mna.Unknown_branch}. *)
 
 val mos_operating_point :
   solution -> string -> Sn_circuit.Mos_model.operating_point

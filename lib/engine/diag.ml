@@ -1,0 +1,177 @@
+(* Structured solver diagnostics.
+
+   Every engine failure mode is one constructor of [t], carrying
+   enough context to act on: the analysis it happened in, the time or
+   frequency point, the iteration count, and — crucially — names
+   rather than indices.  A singular pivot is mapped back through
+   [Mna.slot_name] to the node or element whose equation broke; a
+   diverged Newton reports the unknown with the worst residual; the
+   DC rescue ladder records which rung finally converged.  [pp] is the
+   human rendering, [to_json] the stable machine one (reports, sweep
+   failure sections, CI logs). *)
+
+type location = { analysis : string; time : float option; freq : float option }
+
+let loc ?time ?freq analysis = { analysis; time; freq }
+
+type unknown = Node of string | Branch of string
+
+type rung =
+  | Plain_newton
+  | Damped_newton
+  | Gmin_stepping
+  | Source_stepping
+  | Pseudo_transient
+
+let rung_name = function
+  | Plain_newton -> "plain-newton"
+  | Damped_newton -> "damped-newton"
+  | Gmin_stepping -> "gmin-stepping"
+  | Source_stepping -> "source-stepping"
+  | Pseudo_transient -> "pseudo-transient"
+
+type attempt = { rung : rung; iterations : int; converged : bool }
+
+type t =
+  | No_convergence of {
+      loc : location;
+      iterations : int;
+      residual : float;
+      worst : unknown option;
+      attempts : attempt list;
+    }
+  | Singular_pivot of { loc : location; pivot : int; unknown : unknown option }
+  | Step_truncated of {
+      loc : location;
+      dt_final : float;
+      retries : int;
+      completed_points : int;
+    }
+  | Bad_input of { loc : location; what : string }
+
+exception Error of t
+
+let unknown_of_slot mna slot =
+  if slot < 0 then None
+  else
+    match Mna.slot_name mna slot with
+    | None -> None
+    | Some name ->
+      Some (if slot < Mna.n_nodes mna then Node name else Branch name)
+
+let pp_unknown fmt = function
+  | Node n -> Format.fprintf fmt "node %s" n
+  | Branch b -> Format.fprintf fmt "branch of element %s" b
+
+let pp_location fmt l =
+  Format.fprintf fmt "%s" l.analysis;
+  Option.iter (fun t -> Format.fprintf fmt " at t = %g s" t) l.time;
+  Option.iter (fun f -> Format.fprintf fmt " at f = %g Hz" f) l.freq
+
+let pp_attempt fmt a =
+  Format.fprintf fmt "%s: %s after %d iteration%s" (rung_name a.rung)
+    (if a.converged then "converged" else "failed")
+    a.iterations
+    (if a.iterations = 1 then "" else "s")
+
+let pp fmt = function
+  | No_convergence { loc; iterations; residual; worst; attempts } ->
+    Format.fprintf fmt "@[<v>%a: no convergence after %d iterations"
+      pp_location loc iterations;
+    if Float.is_finite residual then
+      Format.fprintf fmt " (residual %.3g)" residual;
+    Option.iter (fun u -> Format.fprintf fmt ", worst %a" pp_unknown u) worst;
+    if attempts <> [] then begin
+      Format.fprintf fmt "@,rescue ladder:";
+      List.iter (fun a -> Format.fprintf fmt "@,  %a" pp_attempt a) attempts
+    end;
+    Format.fprintf fmt "@]"
+  | Singular_pivot { loc; pivot; unknown } ->
+    Format.fprintf fmt "%a: singular pivot" pp_location loc;
+    if pivot >= 0 then Format.fprintf fmt " at column %d" pivot;
+    (match unknown with
+     | Some u -> Format.fprintf fmt " (%a)" pp_unknown u
+     | None -> if pivot < 0 then Format.fprintf fmt " (injected fault)")
+  | Step_truncated { loc; dt_final; retries; completed_points } ->
+    Format.fprintf fmt
+      "%a: step failed after %d retr%s down to dt = %g s; waveform \
+       truncated to %d accepted point%s"
+      pp_location loc retries
+      (if retries = 1 then "y" else "ies")
+      dt_final completed_points
+      (if completed_points = 1 then "" else "s")
+  | Bad_input { loc; what } ->
+    Format.fprintf fmt "%a: bad input: %s" pp_location loc what
+
+let to_string d = Format.asprintf "%a" pp d
+
+let () =
+  Printexc.register_printer (function
+    | Error d -> Some (Printf.sprintf "Sn_engine.Diag.Error(%s)" (to_string d))
+    | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* JSON rendering: hand-rolled (no JSON dependency), stable key order *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let jstr s = Printf.sprintf "\"%s\"" (json_escape s)
+
+let jfloat v =
+  if Float.is_nan v then "\"nan\""
+  else if v = Float.infinity then "\"inf\""
+  else if v = Float.neg_infinity then "\"-inf\""
+  else Printf.sprintf "%.17g" v
+
+let jopt f = function None -> "null" | Some v -> f v
+
+let junknown = function
+  | Node n -> Printf.sprintf "{\"node\": %s}" (jstr n)
+  | Branch b -> Printf.sprintf "{\"branch\": %s}" (jstr b)
+
+let jlocation l =
+  Printf.sprintf "{\"analysis\": %s, \"time\": %s, \"freq\": %s}"
+    (jstr l.analysis)
+    (jopt jfloat l.time)
+    (jopt jfloat l.freq)
+
+let jattempt a =
+  Printf.sprintf "{\"rung\": %s, \"iterations\": %d, \"converged\": %b}"
+    (jstr (rung_name a.rung))
+    a.iterations a.converged
+
+let to_json = function
+  | No_convergence { loc; iterations; residual; worst; attempts } ->
+    Printf.sprintf
+      "{\"kind\": \"no-convergence\", \"location\": %s, \"iterations\": %d, \
+       \"residual\": %s, \"worst\": %s, \"attempts\": [%s]}"
+      (jlocation loc) iterations (jfloat residual)
+      (jopt junknown worst)
+      (String.concat ", " (List.map jattempt attempts))
+  | Singular_pivot { loc; pivot; unknown } ->
+    Printf.sprintf
+      "{\"kind\": \"singular-pivot\", \"location\": %s, \"pivot\": %d, \
+       \"unknown\": %s}"
+      (jlocation loc) pivot
+      (jopt junknown unknown)
+  | Step_truncated { loc; dt_final; retries; completed_points } ->
+    Printf.sprintf
+      "{\"kind\": \"step-truncated\", \"location\": %s, \"dt_final\": %s, \
+       \"retries\": %d, \"completed_points\": %d}"
+      (jlocation loc) (jfloat dt_final) retries completed_points
+  | Bad_input { loc; what } ->
+    Printf.sprintf "{\"kind\": \"bad-input\", \"location\": %s, \"what\": %s}"
+      (jlocation loc) (jstr what)

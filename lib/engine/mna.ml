@@ -1,5 +1,48 @@
 module C = Sn_circuit
 
+exception Unknown_node of { node : string; candidates : string list }
+exception Unknown_branch of { name : string; candidates : string list }
+
+let () =
+  Printexc.register_printer (function
+    | Unknown_node { node; candidates } ->
+      Some
+        (Printf.sprintf "Mna.Unknown_node(%S, did you mean: %s)" node
+           (String.concat ", " candidates))
+    | Unknown_branch { name; candidates } ->
+      Some
+        (Printf.sprintf "Mna.Unknown_branch(%S, voltage-defined elements: %s)"
+           name
+           (String.concat ", " candidates))
+    | _ -> None)
+
+(* Edit distance for "did you mean" suggestions on a missing node or
+   branch.  Lookup failures are cold paths, so the O(|a| |b|) dynamic
+   program per candidate is fine. *)
+let edit_distance a b =
+  let la = String.length a and lb = String.length b in
+  let row = Array.init (lb + 1) Fun.id in
+  for i = 1 to la do
+    let prev_diag = ref row.(0) in
+    row.(0) <- i;
+    for j = 1 to lb do
+      let d = !prev_diag in
+      prev_diag := row.(j);
+      row.(j) <-
+        min
+          (min (row.(j) + 1) (row.(j - 1) + 1))
+          (d + if a.[i - 1] = b.[j - 1] then 0 else 1)
+    done
+  done;
+  row.(lb)
+
+let closest ?(limit = 5) name candidates =
+  candidates
+  |> List.map (fun c -> (edit_distance name c, c))
+  |> List.sort compare
+  |> List.filteri (fun i _ -> i < limit)
+  |> List.map snd
+
 type t = {
   netlist : C.Netlist.t;
   node_table : (string, int) Hashtbl.t;
@@ -48,11 +91,30 @@ let node_slot m name =
   else
     match Hashtbl.find_opt m.node_table name with
     | Some i -> i
-    | None -> raise Not_found
+    | None ->
+      raise
+        (Unknown_node
+           { node = name;
+             candidates = closest name (Array.to_list m.node_names) })
 
 let branch_slot m name =
   match Hashtbl.find_opt m.branch_table name with
   | Some i -> i
-  | None -> raise Not_found
+  | None ->
+    raise
+      (Unknown_branch
+         { name;
+           candidates =
+             closest name
+               (Hashtbl.fold (fun k _ acc -> k :: acc) m.branch_table []
+               |> List.sort String.compare) })
 
 let node_names m = m.node_names
+
+let slot_name m i =
+  if i >= 0 && i < m.n_nodes then Some m.node_names.(i)
+  else if i >= m.n_nodes && i < m.n_nodes + m.n_branches then
+    Hashtbl.fold
+      (fun name slot acc -> if slot = i then Some name else acc)
+      m.branch_table None
+  else None

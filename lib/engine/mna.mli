@@ -7,6 +7,14 @@
 
 type t
 
+exception Unknown_node of { node : string; candidates : string list }
+(** A node name that is not in the netlist; [candidates] holds the
+    closest existing node names (by edit distance, at most five). *)
+
+exception Unknown_branch of { name : string; candidates : string list }
+(** An element name that does not define a branch current;
+    [candidates] holds the closest voltage-defined element names. *)
+
 val build : Sn_circuit.Netlist.t -> t
 
 val netlist : t -> Sn_circuit.Netlist.t
@@ -19,11 +27,17 @@ val dim : t -> int
 
 val node_slot : t -> string -> int
 (** [node_slot m name] is the unknown index of node [name], or [-1]
-    for ground.  Raises [Not_found] for unknown nodes. *)
+    for ground.  Raises {!Unknown_node} for unknown nodes. *)
 
 val branch_slot : t -> string -> int
 (** [branch_slot m element_name] is the unknown index of the branch
-    current of a voltage-defined element.  Raises [Not_found]. *)
+    current of a voltage-defined element.  Raises {!Unknown_branch}. *)
 
 val node_names : t -> string array
 (** Index [i] holds the name of unknown [i], for [i < n_nodes]. *)
+
+val slot_name : t -> int -> string option
+(** [slot_name m i] maps unknown index [i] back to its node name
+    ([i < n_nodes]) or branch element name — the reverse of
+    {!node_slot} / {!branch_slot}, used to attach names to solver
+    diagnostics (a singular pivot, a worst-residual unknown). *)

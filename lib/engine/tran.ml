@@ -2,6 +2,10 @@ module C = Sn_circuit
 module N = Sn_numerics
 module P = Stamp_plan
 
+let log_src = Logs.Src.create "sn.engine.tran" ~doc:"transient analysis"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
 type method_ = Backward_euler | Trapezoidal
 
 type initial_condition = Operating_point | Uic of (string * float) list
@@ -13,11 +17,13 @@ type options = {
   ic : initial_condition;
   record : string list option;
   linear_fast_path : bool;
+  max_step_retries : int;
 }
 
 let default_options =
   { method_ = Trapezoidal; max_newton = 50; tolerance = 1e-9;
-    ic = Operating_point; record = None; linear_fast_path = true }
+    ic = Operating_point; record = None; linear_fast_path = true;
+    max_step_retries = 6 }
 
 exception Step_failed of { time : float; iterations : int }
 
@@ -25,6 +31,7 @@ type dataset = {
   times : float array;
   names : string array;
   data : float array array;
+  truncated : Diag.t option;
 }
 
 (* Dynamic-element state carried between time points, as flat arrays
@@ -73,6 +80,16 @@ let clone_state st =
     q_prev = Array.copy st.q_prev; vq_prev = Array.copy st.vq_prev;
     iq_prev = Array.copy st.iq_prev; il_prev = Array.copy st.il_prev;
     vl_prev = Array.copy st.vl_prev }
+
+let copy_state ~src ~dst =
+  let blit a b = Array.blit a 0 b 0 (Array.length a) in
+  blit src.cap_v dst.cap_v;
+  blit src.cap_i dst.cap_i;
+  blit src.q_prev dst.q_prev;
+  blit src.vq_prev dst.vq_prev;
+  blit src.iq_prev dst.iq_prev;
+  blit src.il_prev dst.il_prev;
+  blit src.vl_prev dst.vl_prev
 
 (* Companion coefficients for a linear capacitance. *)
 let cap_companion options ~h ~v_prev ~i_prev c =
@@ -199,7 +216,10 @@ let assemble (plan : P.t) asm rhs options (state : state) ~h ~t x =
 (* Solve one time point.  A linear plan on the fast path needs no
    Newton loop: the matrix does not depend on [x], so a single assembly
    (a no-op once the assembler is frozen) and one solve suffice. *)
-let solve_point plan asm rhs options state ~h ~t x_guess =
+let solve_point ?(fault_scope = 0) plan asm rhs options state ~h ~t x_guess =
+  (* fault-injection site: pretend this time-point solve stalled *)
+  if Fault.fire ~scope_index:fault_scope Tran_solve then
+    raise (Step_failed { time = t; iterations = 0 });
   if P.linear plan && options.linear_fast_path then begin
     assemble plan asm rhs options state ~h ~t x_guess;
     try Assembler.solve asm rhs
@@ -297,20 +317,84 @@ let simulate ?(options = default_options) ~tstop ~dt netlist =
   let rhs = Array.make (P.dim plan) 0.0 in
   record 0 x0;
   let x = ref x0 in
-  for k = 1 to n_steps do
-    let t = times.(k) in
-    let x_next = solve_point plan asm rhs options state ~h:dt ~t !x in
-    (* fixed step + linear circuit: after the first point the matrix can
-       never change again, so pin the factorization — every remaining
-       step is two triangular solves *)
-    if P.linear plan && options.linear_fast_path
-       && not (Assembler.frozen asm)
-    then Assembler.freeze asm;
-    update_state plan options state ~h:dt x_next;
-    record k x_next;
-    x := x_next
-  done;
-  { times; names = recorded; data }
+  let scope = ref 0 in
+  let sp state ~h ~t x =
+    incr scope;
+    solve_point ~fault_scope:!scope plan asm rhs options state ~h ~t x
+  in
+  (* Advance one output interval [times.(k-1), times.(k)].  The plain
+     path is one full-[dt] solve; on [Step_failed] the whole interval
+     is re-integrated from the accepted state with 2^r substeps of
+     [dt / 2^r], doubling [r] up to [max_step_retries].  [Error]
+     carries the smallest step tried and the retry count. *)
+  let advance k =
+    let t_prev = times.(k - 1) in
+    match
+      let x_next = sp state ~h:dt ~t:times.(k) !x in
+      (* fixed step + linear circuit: after the first point the matrix
+         can never change again, so pin the factorization — every
+         remaining step is two triangular solves *)
+      if P.linear plan && options.linear_fast_path
+         && not (Assembler.frozen asm)
+      then Assembler.freeze asm;
+      update_state plan options state ~h:dt x_next;
+      x_next
+    with
+    | x_next -> Ok x_next
+    | exception Step_failed _ ->
+      (* substepping changes the matrix values, so the pinned
+         factorization (if any) must be released first *)
+      Assembler.unfreeze asm;
+      let rec retry r =
+        if r > options.max_step_retries then
+          Error (dt /. float_of_int (1 lsl options.max_step_retries),
+                 options.max_step_retries)
+        else begin
+          let sub = 1 lsl r in
+          let h = dt /. float_of_int sub in
+          Log.debug (fun m ->
+              m "step at t = %g s failed; retrying with %d substeps of %g s"
+                times.(k) sub h);
+          let st = clone_state state in
+          match
+            let xr = ref !x in
+            for s = 1 to sub do
+              let t_s = t_prev +. (float_of_int s *. h) in
+              let xn = sp st ~h ~t:t_s !xr in
+              update_state plan options st ~h xn;
+              xr := xn
+            done;
+            !xr
+          with
+          | x_next ->
+            copy_state ~src:st ~dst:state;
+            Ok x_next
+          | exception Step_failed _ -> retry (r + 1)
+        end
+      in
+      retry 1
+  in
+  let rec march k =
+    if k > n_steps then { times; names = recorded; data; truncated = None }
+    else
+      match advance k with
+      | Ok x_next ->
+        record k x_next;
+        x := x_next;
+        march (k + 1)
+      | Error (dt_final, retries) ->
+        let diag =
+          Diag.Step_truncated
+            { loc = Diag.loc "tran" ~time:times.(k); dt_final; retries;
+              completed_points = k }
+        in
+        Log.warn (fun m -> m "%a" Diag.pp diag);
+        { times = Array.sub times 0 k;
+          names = recorded;
+          data = Array.map (fun w -> Array.sub w 0 k) data;
+          truncated = Some diag }
+  in
+  march 1
 
 let node d name =
   let rec find k =
@@ -354,28 +438,39 @@ let simulate_adaptive ?(options = default_options) ?dt_min ?dt_max
   let state = ref (init_state plan x0) in
   let x = ref x0 in
   let t = ref 0.0 and h = ref dt in
-  while !t < tstop -. 1e-18 do
+  let scope = ref 0 in
+  let sp state ~h ~t x =
+    incr scope;
+    solve_point ~fault_scope:!scope plan asm rhs options state ~h ~t x
+  in
+  let n_accepted = ref 1 in
+  let rejects = ref 0 in
+  let truncated = ref None in
+  while !truncated = None && !t < tstop -. 1e-18 do
     let h_eff = Float.min !h (tstop -. !t) in
-    (* one full step *)
-    let st_full = clone_state !state in
-    let x_full =
-      solve_point plan asm rhs options st_full ~h:h_eff ~t:(!t +. h_eff) !x
+    (* A Newton stall anywhere in the trial is handled like an LTE
+       rejection: halve the step and try again from the accepted
+       state (the trials only touch cloned states). *)
+    let trial =
+      try
+        (* one full step *)
+        let st_full = clone_state !state in
+        let x_full = sp st_full ~h:h_eff ~t:(!t +. h_eff) !x in
+        (* two half steps *)
+        let st_half = clone_state !state in
+        let h2 = h_eff /. 2.0 in
+        let x_mid = sp st_half ~h:h2 ~t:(!t +. h2) !x in
+        update_state plan options st_half ~h:h2 x_mid;
+        let x_end = sp st_half ~h:h2 ~t:(!t +. h_eff) x_mid in
+        let err = ref 0.0 in
+        for i = 0 to P.n_nodes plan - 1 do
+          err := Float.max !err (Float.abs (x_full.(i) -. x_end.(i)))
+        done;
+        Some (st_half, h2, x_end, !err)
+      with Step_failed _ -> None
     in
-    (* two half steps *)
-    let st_half = clone_state !state in
-    let h2 = h_eff /. 2.0 in
-    let x_mid =
-      solve_point plan asm rhs options st_half ~h:h2 ~t:(!t +. h2) !x
-    in
-    update_state plan options st_half ~h:h2 x_mid;
-    let x_end =
-      solve_point plan asm rhs options st_half ~h:h2 ~t:(!t +. h_eff) x_mid
-    in
-    let err = ref 0.0 in
-    for i = 0 to P.n_nodes plan - 1 do
-      err := Float.max !err (Float.abs (x_full.(i) -. x_end.(i)))
-    done;
-    if !err <= lte_tol then begin
+    match trial with
+    | Some (st_half, h2, x_end, err) when err <= lte_tol ->
       (* accept the more accurate half-step solution *)
       update_state plan options st_half ~h:h2 x_end;
       state := st_half;
@@ -383,16 +478,29 @@ let simulate_adaptive ?(options = default_options) ?dt_min ?dt_max
       t := !t +. h_eff;
       times := !t :: !times;
       record x_end;
-      if !err < lte_tol /. 4.0 then h := Float.min (2.0 *. h_eff) dt_max
-    end
-    else if h_eff <= dt_min *. 1.000001 then
-      raise (Step_failed { time = !t; iterations = 0 })
-    else h := Float.max (h_eff /. 2.0) dt_min
+      incr n_accepted;
+      rejects := 0;
+      if err < lte_tol /. 4.0 then h := Float.min (2.0 *. h_eff) dt_max
+    | Some _ | None ->
+      if h_eff <= dt_min *. 1.000001 then begin
+        let diag =
+          Diag.Step_truncated
+            { loc = Diag.loc "tran" ~time:(!t +. h_eff); dt_final = h_eff;
+              retries = !rejects; completed_points = !n_accepted }
+        in
+        Log.warn (fun m -> m "%a" Diag.pp diag);
+        truncated := Some diag
+      end
+      else begin
+        incr rejects;
+        h := Float.max (h_eff /. 2.0) dt_min
+      end
   done;
   {
     times = Array.of_list (List.rev !times);
     names = recorded;
     data = Array.map (fun cell -> Array.of_list (List.rev !cell)) data;
+    truncated = !truncated;
   }
 
 let to_csv d =

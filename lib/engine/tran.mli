@@ -23,6 +23,9 @@ type options = {
           Newton loop and — on a fixed step — freeze the LU
           factorization after the first point, leaving two triangular
           solves per step (default [true]) *)
+  max_step_retries : int;
+      (** step-size halvings tried when a time point fails before the
+          waveform is truncated (default 6, i.e. down to [dt / 64]) *)
 }
 
 val default_options : options
@@ -30,19 +33,31 @@ val default_options : options
     start, record all nodes, linear fast path on. *)
 
 exception Step_failed of { time : float; iterations : int }
+(** Internal per-point failure.  The public entry points do not let it
+    escape: a failing point triggers the step-retry backoff, and past
+    the retry limit the waveform is returned truncated (see
+    {!type-dataset.field-truncated}). *)
 
 type dataset = {
   times : float array;
   names : string array;
   data : float array array;  (** [data.(k)] is the waveform of [names.(k)] *)
+  truncated : Diag.t option;
+      (** [None] for a complete run; [Some (Step_truncated _)] when a
+          time point kept failing at the smallest allowed step and the
+          waveform stops early — [times] / [data] then hold only the
+          accepted points *)
 }
 
 val simulate :
   ?options:options -> tstop:float -> dt:float -> Sn_circuit.Netlist.t ->
   dataset
 (** [simulate ?options ~tstop ~dt nl] integrates from 0 to [tstop].
-    Raises [Invalid_argument] for non-positive [tstop] / [dt] and
-    {!Step_failed} when Newton stalls. *)
+    A failing time point is retried by re-integrating its interval
+    with up to [2 ^ max_step_retries] substeps; if even the smallest
+    substep fails, the partial waveform is returned with
+    {!type-dataset.field-truncated} set instead of raising.  Raises
+    [Invalid_argument] for non-positive [tstop] / [dt]. *)
 
 val simulate_adaptive :
   ?options:options -> ?dt_min:float -> ?dt_max:float -> ?lte_tol:float ->
@@ -53,8 +68,11 @@ val simulate_adaptive :
     grows or shrinks [h] to keep the estimated error under [lte_tol]
     (default 1e-6, absolute on node voltages).  [dt] is the initial
     step; [dt_min] defaults to [dt / 1024], [dt_max] to [16 * dt].
-    Time points are non-uniform.  Raises like {!simulate}, plus
-    {!Step_failed} when the error cannot be met at [dt_min]. *)
+    Time points are non-uniform.  A Newton stall is treated like an
+    LTE rejection (halve the step); when the step cannot be met at
+    [dt_min] the partial waveform is returned with
+    {!type-dataset.field-truncated} set.  Raises [Invalid_argument] like
+    {!simulate}. *)
 
 val node : dataset -> string -> float array
 (** Waveform of one recorded node.  Raises [Not_found]. *)

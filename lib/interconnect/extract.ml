@@ -41,8 +41,11 @@ let segment_elements options tech ~layer ~net ~shape_id ~from_node ~to_node path
   let metal =
     match T.metal tech metal_level with
     | m -> m
-    | exception Not_found ->
-      invalid_arg (Printf.sprintf "Extract: unknown metal level %d" metal_level)
+    | exception T.Unknown_metal { tech; index; available } ->
+      invalid_arg
+        (Printf.sprintf "Extract: %s has no metal level %d (available: %s)"
+           tech index
+           (String.concat ", " (List.map string_of_int available)))
   in
   let width_um = G.Path.width path in
   let cap_area = T.wire_capacitance_per_area tech metal_level in
@@ -91,8 +94,11 @@ let via_elements options tech ~level ~shape_id ~from_node ~to_node path =
   let via =
     match T.via tech level with
     | v -> v
-    | exception Not_found ->
-      invalid_arg (Printf.sprintf "Extract: unknown via level %d" level)
+    | exception T.Unknown_via { tech; level; available } ->
+      invalid_arg
+        (Printf.sprintf "Extract: %s has no via level %d (available: %s)"
+           tech level
+           (String.concat ", " (List.map string_of_int available)))
   in
   let area_um2 = G.Path.length path *. G.Path.width path in
   let cuts = Float.max 1.0 (Float.round (area_um2 /. via_cut_area_um2)) in

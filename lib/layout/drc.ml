@@ -24,7 +24,7 @@ let min_width_checks ~tech shapes =
                (Min_width { net = s.Shape.net; layer = s.Shape.layer; width;
                             minimum })
            else None
-         | exception Not_found -> None)
+         | exception T.Unknown_metal _ -> None)
       | (Shape.Path _ | Shape.Rect _), _ -> None)
     shapes
 

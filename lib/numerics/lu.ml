@@ -29,7 +29,7 @@ module Make (F : Field.S) = struct
           best_mag := m
         end
       done;
-      if !best_mag = 0.0 || Float.is_nan !best_mag then raise (Singular k);
+      if not (Float.is_finite !best_mag) || !best_mag = 0.0 then raise (Singular k);
       if !best <> k then begin
         let tmp = lu.(k) in
         lu.(k) <- lu.(!best);
@@ -113,7 +113,7 @@ let factor_flat n a perm =
         best_mag := m
       end
     done;
-    if !best_mag = 0.0 || Float.is_nan !best_mag then raise (Singular k);
+    if not (Float.is_finite !best_mag) || !best_mag = 0.0 then raise (Singular k);
     if !best <> k then begin
       let rk = k * n and rb = !best * n in
       for j = 0 to n - 1 do

@@ -193,7 +193,7 @@ let gp_factor m =
         end
       end
     done;
-    if !piv < 0 || !piv_mag = 0.0 || Float.is_nan !piv_mag then begin
+    if !piv < 0 || not (Float.is_finite !piv_mag) || !piv_mag = 0.0 then begin
       (* keep the scatter vector clean before bailing out *)
       for t = !top to n - 1 do
         x.(topo.(t)) <- 0.0
@@ -283,7 +283,7 @@ let sp_refactor sp m =
         done
     done;
     let d = x.(col) in
-    if d = 0.0 || Float.is_nan d then begin
+    if d = 0.0 || not (Float.is_finite d) then begin
       clear_column col;
       raise (Singular col)
     end;

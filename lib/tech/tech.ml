@@ -28,15 +28,40 @@ type t = {
   supply_voltage : float;
 }
 
+exception Unknown_metal of { tech : string; index : int; available : int list }
+exception Unknown_via of { tech : string; level : int; available : int list }
+
+let () =
+  Printexc.register_printer (function
+    | Unknown_metal { tech; index; available } ->
+      Some
+        (Printf.sprintf "Tech.Unknown_metal(%s has no metal %d; available: %s)"
+           tech index
+           (String.concat ", " (List.map string_of_int available)))
+    | Unknown_via { tech; level; available } ->
+      Some
+        (Printf.sprintf "Tech.Unknown_via(%s has no via level %d; available: %s)"
+           tech level
+           (String.concat ", " (List.map string_of_int available)))
+    | _ -> None)
+
 let metal t k =
   match List.find_opt (fun m -> m.index = k) t.metals with
   | Some m -> m
-  | None -> raise Not_found
+  | None ->
+    raise
+      (Unknown_metal
+         { tech = t.name; index = k;
+           available = List.map (fun m -> m.index) t.metals |> List.sort compare })
 
 let via t k =
   match List.find_opt (fun v -> v.level = k) t.vias with
   | Some v -> v
-  | None -> raise Not_found
+  | None ->
+    raise
+      (Unknown_via
+         { tech = t.name; level = k;
+           available = List.map (fun v -> v.level) t.vias |> List.sort compare })
 
 let substrate_depth t =
   List.fold_left (fun acc l -> acc +. l.depth) 0.0 t.substrate.layers

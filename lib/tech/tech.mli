@@ -42,11 +42,19 @@ type t = {
   supply_voltage : float;  (** V *)
 }
 
+exception Unknown_metal of { tech : string; index : int; available : int list }
+(** A metal level the stack does not define; [available] lists the
+    levels it does, in ascending order. *)
+
+exception Unknown_via of { tech : string; level : int; available : int list }
+(** A via level the stack does not define; [available] lists the
+    levels it does, in ascending order. *)
+
 val metal : t -> int -> metal
-(** [metal t k] is metal level [k].  Raises [Not_found]. *)
+(** [metal t k] is metal level [k].  Raises {!Unknown_metal}. *)
 
 val via : t -> int -> via
-(** [via t k].  Raises [Not_found]. *)
+(** [via t k].  Raises {!Unknown_via}. *)
 
 val substrate_depth : t -> float
 (** Total modeled substrate thickness. *)

@@ -1,0 +1,6 @@
+* pathological deck: two ideal sources disagree on node "in",
+* closing a voltage-source loop (lint error, singular MNA matrix).
+v1 in 0 1.0
+v2 in 0 2.0
+r1 in 0 1k
+.end

@@ -11,4 +11,5 @@ let () =
      @ Test_testchip.suites
      @ Test_oscillator.suites
      @ Test_pool.suites
-     @ Test_flow.suites)
+     @ Test_flow.suites
+     @ Test_robustness.suites)

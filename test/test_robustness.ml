@@ -1,0 +1,390 @@
+(* Tests for the convergence-rescue ladder, structured diagnostics,
+   fault injection and fault-tolerant sweeps. *)
+
+module C = Sn_circuit
+module E = C.Element
+module W = C.Waveform
+module M = C.Mos_model
+module Dc = Sn_engine.Dc
+module Tran = Sn_engine.Tran
+module Diag = Sn_engine.Diag
+module Fault = Sn_engine.Fault
+module Pool = Sn_engine.Pool
+module Mna = Sn_engine.Mna
+
+let check_close tol = Alcotest.(check (float tol))
+
+(* naive substring search, enough for asserting rendered output *)
+let contains s affix =
+  let n = String.length s and m = String.length affix in
+  let rec at i = i + m <= n && (String.sub s i m = affix || at (i + 1)) in
+  at 0
+
+let r name n1 n2 ohms = E.Resistor { name; n1; n2; ohms }
+let c name n1 n2 farads = E.Capacitor { name; n1; n2; farads }
+let vdc name np nn v = E.Vsource { name; np; nn; wave = W.dc v; ac_mag = 0.0 }
+
+let with_fault site spec f =
+  Fault.arm site spec;
+  Fun.protect ~finally:Fault.disarm f
+
+let divider =
+  [ vdc "v1" "in" "0" 10.0; r "r1" "in" "mid" 1000.0;
+    r "r2" "mid" "0" 3000.0 ]
+
+let diode_nmos =
+  [ vdc "vdd" "vdd" "0" 1.8;
+    r "rd" "vdd" "d" 1000.0;
+    E.Mosfet { name = "m1"; drain = "d"; gate = "d"; source = "0";
+               bulk = "0"; model = M.default_nmos; w = 10e-6; l = 1e-6;
+               mult = 1 } ]
+
+(* Two ideal sources fighting over one node: structurally singular,
+   and no rescue rung can fix it. *)
+let vsource_clash =
+  [ vdc "v1" "in" "0" 1.0; vdc "v2" "in" "0" 2.0; r "r1" "in" "0" 1000.0 ]
+
+(* ------------------------------------------------------------------ *)
+(* rescue ladder *)
+
+let test_healthy_trace () =
+  let s = Dc.solve (C.Netlist.create divider) in
+  match Dc.attempts s with
+  | [ { Diag.rung = Diag.Plain_newton; converged = true; _ } ] -> ()
+  | l ->
+    Alcotest.failf "expected one converged plain-newton attempt, got %d"
+      (List.length l)
+
+(* A damping clamp far smaller than the supply makes every cold-start
+   rung exhaust its budget (the unknowns must crawl 1.8 V in 0.05 V
+   clamped updates), while source stepping only ever has to cover one
+   0.09 V ramp increment per warm-started sub-step. *)
+let tight_options =
+  { Dc.default_options with max_iterations = 8; damping = 0.05;
+    tolerance = 1e-6 }
+
+let test_source_stepping_rescue () =
+  let nl = C.Netlist.create diode_nmos in
+  let s = Dc.solve ~options:tight_options nl in
+  let attempts = Dc.attempts s in
+  let rungs = List.map (fun a -> a.Diag.rung) attempts in
+  Alcotest.(check bool)
+    "reached source stepping" true
+    (List.mem Diag.Source_stepping rungs);
+  List.iter
+    (fun (a : Diag.attempt) ->
+      match a.Diag.rung with
+      | Diag.Plain_newton | Diag.Damped_newton | Diag.Gmin_stepping ->
+        Alcotest.(check bool)
+          (Diag.rung_name a.Diag.rung ^ " failed") false a.Diag.converged
+      | Diag.Source_stepping ->
+        Alcotest.(check bool) "source stepping converged" true
+          a.Diag.converged
+      | Diag.Pseudo_transient ->
+        Alcotest.fail "pseudo-transient should not have been reached")
+    attempts;
+  (* the rescued answer agrees with the unconstrained solve *)
+  let ref_s = Dc.solve nl in
+  check_close 1e-4 "rescued vd" (Dc.voltage ref_s "d") (Dc.voltage s "d")
+
+let test_ladder_exhausted_diagnostic () =
+  let nl =
+    C.Netlist.create diode_nmos
+  in
+  (* no rungs beyond a plain attempt that cannot move far enough *)
+  let options =
+    { tight_options with ladder = [ Diag.Plain_newton ] }
+  in
+  match Dc.solve ~options nl with
+  | _ -> Alcotest.fail "expected Diag.Error"
+  | exception Diag.Error (Diag.No_convergence { worst; attempts; _ }) ->
+    Alcotest.(check int) "one attempt recorded" 1 (List.length attempts);
+    (match worst with
+     | Some (Diag.Node _) -> ()
+     | _ -> Alcotest.fail "expected a named worst node")
+  | exception Diag.Error d ->
+    Alcotest.failf "unexpected diagnostic: %s" (Diag.to_string d)
+
+let test_singular_pivot_names_element () =
+  match Dc.solve (C.Netlist.create vsource_clash) with
+  | _ -> Alcotest.fail "expected Diag.Error"
+  | exception Diag.Error (Diag.Singular_pivot { unknown; _ }) -> (
+    match unknown with
+    | Some (Diag.Branch b) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "pivot names a clashing source (got %s)" b)
+        true
+        (b = "v1" || b = "v2")
+    | u ->
+      Alcotest.failf "expected a branch name, got %s"
+        (match u with
+         | Some (Diag.Node n) -> "node " ^ n
+         | Some (Diag.Branch _) -> assert false
+         | None -> "none"))
+  | exception Diag.Error d ->
+    Alcotest.failf "unexpected diagnostic: %s" (Diag.to_string d)
+
+let test_injected_dc_fault_transparent () =
+  let nl = C.Netlist.create diode_nmos in
+  let clean = Dc.solve nl in
+  with_fault Fault.Dc_attempt Fault.First_in_scope (fun () ->
+      let s = Dc.solve nl in
+      (* the injected failure of the plain attempt is visible in the
+         trace but not in the answer *)
+      (match Dc.attempts s with
+       | { Diag.rung = Diag.Plain_newton; converged = false; iterations = 0 }
+         :: { Diag.rung = Diag.Damped_newton; converged = true; _ } :: _ ->
+         ()
+       | _ -> Alcotest.fail "expected injected plain failure, damped rescue");
+      check_close 1e-6 "same vd" (Dc.voltage clean "d") (Dc.voltage s "d");
+      check_close 1e-6 "same vdd" (Dc.voltage clean "vdd")
+        (Dc.voltage s "vdd"))
+
+(* ------------------------------------------------------------------ *)
+(* transient backoff *)
+
+let rc_charge =
+  [ vdc "v1" "in" "0" 1.0; r "r1" "in" "out" 1000.0; c "c1" "out" "0" 1e-6 ]
+
+let rc_options = { Tran.default_options with ic = Tran.Uic [] }
+
+let test_tran_backoff_recovers () =
+  let nl = C.Netlist.create rc_charge in
+  let tstop = 2e-3 and dt = 1e-4 in
+  let clean = Tran.simulate ~options:rc_options ~tstop ~dt nl in
+  with_fault Fault.Tran_solve (Fault.Nth 8) (fun () ->
+      let d = Tran.simulate ~options:rc_options ~tstop ~dt nl in
+      Alcotest.(check bool) "not truncated" true (d.Tran.truncated = None);
+      Alcotest.(check int) "full waveform" (Array.length clean.Tran.times)
+        (Array.length d.Tran.times);
+      let v = Tran.node d "out" and v_ref = Tran.node clean "out" in
+      Array.iteri
+        (fun k x -> check_close 1e-3 (Printf.sprintf "v(out) at %d" k)
+            v_ref.(k) x)
+        v)
+
+(* max_newton = 0 fails every solve at every substep size: the run
+   must stop early with a truncation diagnostic instead of raising. *)
+let unsolvable_options =
+  { rc_options with max_newton = 0; linear_fast_path = false;
+    max_step_retries = 2 }
+
+let test_tran_truncation () =
+  let nl = C.Netlist.create rc_charge in
+  let d = Tran.simulate ~options:unsolvable_options ~tstop:1e-3 ~dt:1e-4 nl in
+  (match d.Tran.truncated with
+   | Some (Diag.Step_truncated { retries; completed_points; _ }) ->
+     Alcotest.(check int) "retries exhausted" 2 retries;
+     Alcotest.(check int) "only the initial point" 1 completed_points
+   | Some other ->
+     Alcotest.failf "unexpected diagnostic: %s" (Diag.to_string other)
+   | None -> Alcotest.fail "expected a truncated dataset");
+  Alcotest.(check int) "times truncated" 1 (Array.length d.Tran.times)
+
+let test_tran_adaptive_truncation () =
+  let nl = C.Netlist.create rc_charge in
+  let d =
+    Tran.simulate_adaptive ~options:unsolvable_options ~tstop:1e-3 ~dt:1e-4 nl
+  in
+  match d.Tran.truncated with
+  | Some (Diag.Step_truncated _) -> ()
+  | Some other ->
+    Alcotest.failf "unexpected diagnostic: %s" (Diag.to_string other)
+  | None -> Alcotest.fail "expected a truncated dataset"
+
+(* ------------------------------------------------------------------ *)
+(* fault-tolerant sweeps *)
+
+(* One injected singular factorization with the rescue ladder disabled:
+   exactly one point fails in the pool, the sequential retry (fault
+   already consumed) succeeds, and every point comes back [Ok]. *)
+let sweep_retry_rescues ~jobs () =
+  let pool = Pool.create ~jobs () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let calls = Atomic.make 0 in
+  let options = { Dc.default_options with ladder = [ Diag.Plain_newton ] } in
+  let solve ohms =
+    Atomic.incr calls;
+    let nl =
+      C.Netlist.create
+        [ vdc "v1" "in" "0" 10.0; r "r1" "in" "mid" 1000.0;
+          r "r2" "mid" "0" ohms ]
+    in
+    Dc.voltage (Dc.solve ~options nl) "mid"
+  in
+  let points = Array.init 8 (fun k -> 1000.0 *. float_of_int (k + 1)) in
+  with_fault Fault.Factor (Fault.Nth 5) (fun () ->
+      let results = Snoise.Sweep.map_array_result ~pool solve points in
+      Array.iteri
+        (fun k res ->
+          match res with
+          | Ok v ->
+            let ohms = points.(k) in
+            check_close 1e-6
+              (Printf.sprintf "point %d" k)
+              (10.0 *. ohms /. (1000.0 +. ohms))
+              v
+          | Error d ->
+            Alcotest.failf "point %d not rescued: %s" k (Diag.to_string d))
+        results;
+      Alcotest.(check int) "exactly one retry" 9 (Atomic.get calls))
+
+let test_sweep_retry_width1 () = sweep_retry_rescues ~jobs:1 ()
+let test_sweep_retry_width4 () = sweep_retry_rescues ~jobs:4 ()
+
+(* Acceptance: a 16-point sweep with one permanently bad point returns
+   15 [Ok] and one [Error] carrying a named unknown. *)
+let test_sweep_one_permanent_failure () =
+  let pool = Pool.create ~jobs:4 () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let solve k =
+    let nl =
+      if k = 13 then C.Netlist.create vsource_clash
+      else C.Netlist.create divider
+    in
+    Dc.voltage (Dc.solve nl) "mid"
+  in
+  let results =
+    Snoise.Sweep.map_points_result ~pool solve (List.init 16 Fun.id)
+  in
+  Alcotest.(check int) "16 results" 16 (List.length results);
+  List.iteri
+    (fun k res ->
+      match (k, res) with
+      | 13, Error (Diag.Singular_pivot { unknown = Some (Diag.Branch b); _ })
+        ->
+        Alcotest.(check bool) "named source" true (b = "v1" || b = "v2")
+      | 13, Error d ->
+        Alcotest.failf "point 13: expected a named singular pivot, got %s"
+          (Diag.to_string d)
+      | 13, Ok _ -> Alcotest.fail "point 13 should fail"
+      | _, Ok v -> check_close 1e-6 (Printf.sprintf "point %d" k) 7.5 v
+      | _, Error d ->
+        Alcotest.failf "point %d failed: %s" k (Diag.to_string d))
+    results
+
+let test_grid_result_keeps_coordinates () =
+  let f a b =
+    if a = 2 && b = 20 then
+      raise
+        (Diag.Error
+           (Diag.Bad_input { loc = Diag.loc "test"; what = "poisoned cell" }))
+    else a + b
+  in
+  let cells = Snoise.Sweep.grid_result f [ 1; 2 ] [ 10; 20 ] in
+  Alcotest.(check int) "4 cells" 4 (List.length cells);
+  List.iter
+    (fun (a, b, res) ->
+      match res with
+      | Ok v -> Alcotest.(check int) "sum" (a + b) v
+      | Error (Diag.Bad_input _) ->
+        Alcotest.(check (pair int int)) "failed cell" (2, 20) (a, b)
+      | Error d -> Alcotest.failf "unexpected: %s" (Diag.to_string d))
+    cells
+
+let test_pool_map_array_result () =
+  let pool = Pool.create ~jobs:4 () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let f k = if k = 3 then failwith "boom" else k * k in
+  let results = Pool.map_array_result pool f (Array.init 8 Fun.id) in
+  Array.iteri
+    (fun k res ->
+      match res with
+      | Ok v -> Alcotest.(check int) "square" (k * k) v
+      | Error (Failure msg) ->
+        Alcotest.(check int) "only point 3 fails" 3 k;
+        Alcotest.(check string) "message" "boom" msg
+      | Error e -> raise e)
+    results;
+  Alcotest.(check int) "one failure counted" 1 (Pool.stats pool).Pool.tasks_failed
+
+(* ------------------------------------------------------------------ *)
+(* lint gate, naming, rendering *)
+
+let test_lint_gate_blocks_errors () =
+  let bad = C.Netlist.create vsource_clash in
+  (match Snoise.Flow.lint_gate bad with
+   | () -> Alcotest.fail "expected a lint refusal"
+   | exception Diag.Error (Diag.Bad_input { what; _ }) ->
+     Alcotest.(check bool) "names the check" true
+       (contains what "vsource-loop"));
+  (* the escape hatch really is a no-op *)
+  Snoise.Flow.lint_gate ~enabled:false bad;
+  Snoise.Flow.lint_gate (C.Netlist.create divider)
+
+let test_unknown_node_candidates () =
+  let s = Dc.solve (C.Netlist.create divider) in
+  match Dc.voltage s "mdi" with
+  | _ -> Alcotest.fail "expected Unknown_node"
+  | exception Mna.Unknown_node { node; candidates } ->
+    Alcotest.(check string) "offending name" "mdi" node;
+    Alcotest.(check bool) "suggests mid" true (List.mem "mid" candidates)
+
+let test_diag_json () =
+  let j =
+    Diag.to_json
+      (Diag.Singular_pivot
+         { loc = Diag.loc "dc"; pivot = 3;
+           unknown = Some (Diag.Branch "v1") })
+  in
+  Alcotest.(check bool) "kind" true (contains j "\"kind\": \"singular-pivot\"");
+  Alcotest.(check bool) "branch" true (contains j "\"branch\": \"v1\"");
+  let j2 =
+    Diag.to_json
+      (Diag.No_convergence
+         { loc = Diag.loc "dc"; iterations = 12; residual = 0.5;
+           worst = Some (Diag.Node "out");
+           attempts =
+             [ { Diag.rung = Diag.Plain_newton; iterations = 12;
+                 converged = false } ] })
+  in
+  Alcotest.(check bool) "kind 2" true
+    (contains j2 "\"kind\": \"no-convergence\"");
+  Alcotest.(check bool) "rung name" true (contains j2 "\"plain-newton\"")
+
+let suites =
+  [
+    ( "robustness.rescue",
+      [
+        Alcotest.test_case "healthy solve: one plain attempt" `Quick
+          test_healthy_trace;
+        Alcotest.test_case "source stepping rescues tight clamp" `Quick
+          test_source_stepping_rescue;
+        Alcotest.test_case "exhausted ladder names worst node" `Quick
+          test_ladder_exhausted_diagnostic;
+        Alcotest.test_case "singular pivot names the element" `Quick
+          test_singular_pivot_names_element;
+        Alcotest.test_case "injected DC fault is transparent" `Quick
+          test_injected_dc_fault_transparent;
+      ] );
+    ( "robustness.tran",
+      [
+        Alcotest.test_case "step backoff recovers injected fault" `Quick
+          test_tran_backoff_recovers;
+        Alcotest.test_case "fixed-step truncation diagnostic" `Quick
+          test_tran_truncation;
+        Alcotest.test_case "adaptive truncation diagnostic" `Quick
+          test_tran_adaptive_truncation;
+      ] );
+    ( "robustness.sweep",
+      [
+        Alcotest.test_case "retry rescues injected fault (jobs=1)" `Quick
+          test_sweep_retry_width1;
+        Alcotest.test_case "retry rescues injected fault (jobs=4)" `Quick
+          test_sweep_retry_width4;
+        Alcotest.test_case "15 Ok + 1 named Error" `Quick
+          test_sweep_one_permanent_failure;
+        Alcotest.test_case "grid keeps failed coordinates" `Quick
+          test_grid_result_keeps_coordinates;
+        Alcotest.test_case "pool map_array_result" `Quick
+          test_pool_map_array_result;
+      ] );
+    ( "robustness.diag",
+      [
+        Alcotest.test_case "lint gate refuses bad netlist" `Quick
+          test_lint_gate_blocks_errors;
+        Alcotest.test_case "unknown node suggests candidates" `Quick
+          test_unknown_node_candidates;
+        Alcotest.test_case "stable JSON rendering" `Quick test_diag_json;
+      ] );
+  ]

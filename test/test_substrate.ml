@@ -27,8 +27,11 @@ let test_tech_lookup () =
   let m6 = T.metal T.imec018 6 in
   Alcotest.(check bool) "top metal thicker" true
     (m6.T.thickness > m1.T.thickness);
-  Alcotest.check_raises "no metal 7" Not_found (fun () ->
-      ignore (T.metal T.imec018 7))
+  Alcotest.check_raises "no metal 7"
+    (T.Unknown_metal
+       { tech = "imec-0.18um-1P6M-high-ohmic"; index = 7;
+         available = [ 1; 2; 3; 4; 5; 6 ] })
+    (fun () -> ignore (T.metal T.imec018 7))
 
 let test_tech_bulk_resistivity () =
   (* the paper's substrate: 20 ohm cm = 0.2 ohm m bulk *)
