@@ -297,6 +297,191 @@ let rescue_overhead () =
   Format.pp_print_flush fmt ()
 
 (* ------------------------------------------------------------------ *)
+(* Part 5: the sparse complex frequency-domain engine (BENCH_4.json)
+
+   An RC mesh of 18 x 18 nodes (326 unknowns, every node loaded by a
+   capacitor, driven from one corner through 50 ohm) swept over 120
+   log-spaced frequency points.  The sparse engine (one compiled
+   G + jwB plan, one symbolic factorization, slot-replay refills) is
+   compared against the dense reference formulation (full matrix
+   assembly + dense complex LU per point), timed on a subset of points
+   and extrapolated.  The same mesh drives the adjoint noise
+   comparison: transpose solve on the shared sparse factorization
+   versus the materialized-transpose dense solve the noise engine used
+   to perform.  Agreement (<= 1e-9 relative) and jobs=1 vs jobs=4
+   byte-identity are asserted, so "bench part5" doubles as a CI smoke
+   gate. *)
+
+let frequency_domain () =
+  banner "Part 5 - sparse frequency-domain engine (AC sweep + adjoint noise)";
+  let module C = Sn_circuit in
+  let module El = C.Element in
+  let module Eng = Sn_engine in
+  let module N = Sn_numerics in
+  let n_side = 18 in
+  let name i j = Printf.sprintf "n%d_%d" i j in
+  let elems = ref [] in
+  let emit e = elems := e :: !elems in
+  for i = 0 to n_side - 1 do
+    for j = 0 to n_side - 1 do
+      let here = name i j in
+      if i < n_side - 1 then
+        emit
+          (El.Resistor
+             { name = Printf.sprintf "rr%d_%d" i j; n1 = here;
+               n2 = name (i + 1) j; ohms = 100.0 });
+      if j < n_side - 1 then
+        emit
+          (El.Resistor
+             { name = Printf.sprintf "rd%d_%d" i j; n1 = here;
+               n2 = name i (j + 1); ohms = 130.0 });
+      emit
+        (El.Capacitor
+           { name = Printf.sprintf "cg%d_%d" i j; n1 = here; n2 = "0";
+             farads = 0.5e-12 })
+    done
+  done;
+  emit
+    (El.Vsource
+       { name = "vin"; np = "emf"; nn = "0"; wave = C.Waveform.dc 0.0;
+         ac_mag = 1.0 });
+  emit (El.Resistor { name = "rsrc"; n1 = "emf"; n2 = name 0 0; ohms = 50.0 });
+  let nl = C.Netlist.create !elems in
+  let mna = Eng.Mna.build nl in
+  let plan = Eng.Stamp_plan.build mna in
+  let dc = Eng.Dc.solve_mna mna in
+  let out = name (n_side - 1) (n_side - 1) in
+  let out_slot = Eng.Mna.node_slot mna out in
+  let dim = Eng.Mna.dim mna in
+  let n_pts = 120 in
+  let freqs = N.Sweep.logspace 1.0e6 1.0e9 n_pts in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* sparse AC sweep, sequential *)
+  Eng.Pool.set_default_jobs 1;
+  ignore (Eng.Ac.sweep ~dc nl ~freqs:[| 1.0e6 |] ~nodes:[ out ]) (* warm-up *);
+  let seq, t_sparse =
+    time (fun () -> Eng.Ac.sweep ~dc nl ~freqs ~nodes:[ out ])
+  in
+  (* dense reference on a subset of points, extrapolated *)
+  let subset = [| 0; n_pts / 3; 2 * n_pts / 3; n_pts - 1 |] in
+  let n_sub = float_of_int (Array.length subset) in
+  let dense_at k =
+    let omega = N.Units.two_pi *. freqs.(k) in
+    let a, rhs = Eng.Ac.system_of_plan plan dc ~omega in
+    N.Lu.Cplx.solve_matrix a rhs
+  in
+  let max_ac_err = ref 0.0 in
+  let (), t_dense_sub =
+    time (fun () ->
+        Array.iter
+          (fun k ->
+            let x = dense_at k in
+            let v_ref = x.(out_slot) in
+            let v = List.assoc out seq.(k).Eng.Ac.values in
+            let err =
+              Complex.norm (Complex.sub v v_ref)
+              /. Float.max (Complex.norm v_ref) 1e-300
+            in
+            max_ac_err := Float.max !max_ac_err err)
+          subset)
+  in
+  let t_dense_est = t_dense_sub /. n_sub *. float_of_int n_pts in
+  if !max_ac_err > 1e-9 then
+    failwith "bench part5: sparse AC disagrees with the dense reference";
+  (* parallel byte-identity *)
+  Eng.Pool.set_default_jobs 4;
+  let par = Eng.Ac.sweep ~dc nl ~freqs ~nodes:[ out ] in
+  Eng.Pool.set_default_jobs 1;
+  if not (seq = par) then
+    failwith "bench part5: jobs=4 sweep differs from jobs=1";
+  (* adjoint noise on the shared sparse factorization *)
+  let noise_pts, t_noise =
+    time (fun () -> Eng.Noise.analyze ~dc nl ~output:out ~freqs)
+  in
+  let noise_arr = Array.of_list noise_pts in
+  (* dense adjoint baseline: materialized transpose + dense complex LU
+     per point, exactly what the noise engine used to do *)
+  let transpose m =
+    let n = Array.length m in
+    Array.init n (fun i -> Array.init n (fun j -> m.(j).(i)))
+  in
+  let e_out =
+    Array.init dim (fun i ->
+        if i = out_slot then Complex.one else Complex.zero)
+  in
+  let four_kt = 4.0 *. 1.380649e-23 *. 300.0 in
+  let slot = Eng.Mna.node_slot mna in
+  let dense_noise_at k =
+    let omega = N.Units.two_pi *. freqs.(k) in
+    let a, _ = Eng.Ac.system_of_plan plan dc ~omega in
+    let y = N.Lu.Cplx.solve_matrix (transpose a) e_out in
+    let g s = if s < 0 then Complex.zero else y.(s) in
+    List.fold_left
+      (fun acc e ->
+        match e with
+        | El.Resistor { n1; n2; ohms; _ } ->
+          let h = Complex.sub (g (slot n1)) (g (slot n2)) in
+          acc +. (Complex.norm2 h *. (four_kt /. ohms))
+        | _ -> acc)
+      0.0 (C.Netlist.elements nl)
+  in
+  let max_noise_err = ref 0.0 in
+  let (), t_noise_dense_sub =
+    time (fun () ->
+        Array.iter
+          (fun k ->
+            let ref_psd = dense_noise_at k in
+            let err =
+              Float.abs (noise_arr.(k).Eng.Noise.total_psd -. ref_psd)
+              /. Float.max ref_psd 1e-300
+            in
+            max_noise_err := Float.max !max_noise_err err)
+          subset)
+  in
+  let t_noise_dense_est = t_noise_dense_sub /. n_sub *. float_of_int n_pts in
+  if !max_noise_err > 1e-9 then
+    failwith "bench part5: adjoint noise disagrees with the dense baseline";
+  Eng.Pool.set_default_jobs (Eng.Pool.env_jobs ());
+  let ac_speedup = t_dense_est /. t_sparse in
+  let noise_speedup = t_noise_dense_est /. t_noise in
+  Format.fprintf fmt
+    "%d unknowns, %d points@.ac sweep: sparse %.3f s, dense est %.1f s \
+     (%.1fx), max rel err %.2e@.noise adjoint: sparse %.3f s, dense est \
+     %.1f s (%.1fx), max rel err %.2e@."
+    dim n_pts t_sparse t_dense_est ac_speedup !max_ac_err t_noise
+    t_noise_dense_est noise_speedup !max_noise_err;
+  let oc = open_out "BENCH_4.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"frequency_domain\": {\n\
+    \    \"unknowns\": %d,\n\
+    \    \"freq_points\": %d,\n\
+    \    \"ac_sweep\": {\n\
+    \      \"sparse_seconds\": %.6f,\n\
+    \      \"dense_seconds_est\": %.6f,\n\
+    \      \"speedup\": %.2f,\n\
+    \      \"max_rel_err\": %.3e,\n\
+    \      \"parallel_identical\": true\n\
+    \    },\n\
+    \    \"noise_adjoint\": {\n\
+    \      \"sparse_seconds\": %.6f,\n\
+    \      \"dense_seconds_est\": %.6f,\n\
+    \      \"speedup\": %.2f,\n\
+    \      \"max_rel_err\": %.3e\n\
+    \    }\n\
+    \  }\n\
+     }\n"
+    dim n_pts t_sparse t_dense_est ac_speedup !max_ac_err t_noise
+    t_noise_dense_est noise_speedup !max_noise_err;
+  close_out oc;
+  Format.fprintf fmt "wrote frequency-domain probes to BENCH_4.json@.";
+  Format.pp_print_flush fmt ()
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel microbenchmarks, one per table / figure *)
 
 open Bechamel
@@ -494,8 +679,12 @@ let run_benchmarks () =
   Format.pp_print_flush fmt ()
 
 let () =
-  (* "bench part4" runs only the cheap robustness-overhead probes *)
+  (* "bench part4" / "bench part5" run a single cheap part: the
+     robustness-overhead probes and the frequency-domain engine smoke
+     gate respectively *)
   if Array.exists (String.equal "part4") Sys.argv then rescue_overhead ()
+  else if Array.exists (String.equal "part5") Sys.argv then
+    frequency_domain ()
   else begin
     reproduce_all ();
     ablation_grid ();
@@ -504,6 +693,7 @@ let () =
     ablation_corners ();
     sweep_scaling ();
     rescue_overhead ();
+    frequency_domain ();
     run_benchmarks ()
   end;
   Format.fprintf fmt "@.bench: done@.";

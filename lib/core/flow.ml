@@ -324,7 +324,7 @@ let vco_transfers f ~f_noise =
   in
   let points = Ac.sweep ~dc:f.vco_dc f.vco_nl ~freqs:f_noise ~nodes in
   let table = Hashtbl.create 64 in
-  List.iter
+  Array.iter
     (fun (p : Ac.sweep_point) ->
       List.iter
         (fun (node, v) -> Hashtbl.replace table (p.Ac.freq, node) v)

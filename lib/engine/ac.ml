@@ -10,12 +10,14 @@ type solution = {
 let cx re im = { Complex.re; im }
 let czero = Complex.zero
 
-(* Assemble the complex admittance system at angular frequency w.  The
-   walk runs over the compiled plan, so the per-frequency cost is the
-   numeric stamping itself — node/branch resolution happened once when
-   the plan was built.  [dcx] is the raw DC unknown vector; MOSFET and
-   varactor small-signal parameters are evaluated at those bias
-   voltages. *)
+(* Dense reference assembly of the complex admittance system at angular
+   frequency w.  This is the slow-but-obvious formulation the sparse
+   frequency-domain engine ({!Ac_plan}) is validated against: it
+   re-stamps the full matrix and re-evaluates every device's
+   small-signal parameters at each call.  The production solve path
+   below goes through [Ac_plan] instead.  [dcx] is the raw DC unknown
+   vector; MOSFET and varactor small-signal parameters are evaluated at
+   those bias voltages. *)
 let assemble_plan (plan : Stamp_plan.t) dcx ~omega =
   let dim = Stamp_plan.dim plan in
   let a = Array.make_matrix dim dim czero in
@@ -94,28 +96,22 @@ let assemble_plan (plan : Stamp_plan.t) dcx ~omega =
     plan.Stamp_plan.elts;
   (* a touch of gmin keeps isolated nodes from making the system singular *)
   for i = 0 to Stamp_plan.n_nodes plan - 1 do
-    a.(i).(i) <- Complex.add a.(i).(i) (cx 1e-15 0.0)
+    a.(i).(i) <- Complex.add a.(i).(i) (cx Stamp_plan.node_gmin 0.0)
   done;
   (a, rhs)
 
 let system_of_plan plan dc ~omega = assemble_plan plan (Dc.unknowns dc) ~omega
 let system mna dc ~omega = system_of_plan (Stamp_plan.build mna) dc ~omega
 
-let solve_at_plan plan dc ~freq =
-  if freq < 0.0 then invalid_arg "Ac.solve: freq must be >= 0";
-  let omega = N.Units.two_pi *. freq in
-  let a, rhs = assemble_plan plan (Dc.unknowns dc) ~omega in
-  let x =
-    try N.Lu.Cplx.solve_matrix a rhs
-    with N.Lu.Singular col ->
-      let mna = Stamp_plan.mna plan in
-      raise
-        (Diag.Error
-           (Diag.Singular_pivot
-              { loc = Diag.loc "ac" ~freq; pivot = col;
-                unknown = Diag.unknown_of_slot mna col }))
-  in
-  { mna = Stamp_plan.mna plan; freq; x }
+(* Production solve path: compiled G + jwB plan, pattern-reusing sparse
+   factorization, per-domain workspace. *)
+let solve_at_acp acp ~freq =
+  let ws = Ac_plan.domain_workspace acp in
+  Ac_plan.prepare_at acp ws ~freq;
+  let x = Ac_plan.solve_stimulus acp ws in
+  { mna = Stamp_plan.mna (Ac_plan.plan acp); freq; x }
+
+let solve_at_plan plan dc ~freq = solve_at_acp (Ac_plan.of_dc plan dc) ~freq
 
 let solve ?dc netlist ~freq =
   let mna = Mna.build netlist in
@@ -137,13 +133,31 @@ let sweep ?dc netlist ~freqs ~nodes =
   let mna = Mna.build netlist in
   let plan = Stamp_plan.build mna in
   let dc = match dc with Some d -> d | None -> Dc.solve_mna mna in
-  Array.to_list freqs
-  |> List.map (fun freq ->
-         let s = solve_at_plan plan dc ~freq in
-         { freq; values = List.map (fun n -> (n, voltage s n)) nodes })
+  Array.iter
+    (fun f -> if f < 0.0 then invalid_arg "Ac.solve: freq must be >= 0")
+    freqs;
+  let acp = Ac_plan.of_dc plan dc in
+  (* resolve node names once, not per point *)
+  let slots = List.map (fun n -> (n, Mna.node_slot mna n)) nodes in
+  (* pin the pivot order before the pool fans out so any jobs width
+     produces byte-identical results *)
+  if Array.length freqs > 0 then Ac_plan.ensure_master acp ~freq:freqs.(0);
+  Pool.map_array (Pool.default ())
+    (fun freq ->
+      let ws = Ac_plan.domain_workspace acp in
+      Ac_plan.prepare_at acp ws ~freq;
+      let x = Ac_plan.solve_stimulus acp ws in
+      {
+        freq;
+        values =
+          List.map (fun (n, s) -> (n, if s < 0 then czero else x.(s))) slots;
+      })
+    freqs
+
+let sweep_list ?dc netlist ~freqs ~nodes =
+  Array.to_list (sweep ?dc netlist ~freqs ~nodes)
 
 let transfer_db points node =
-  Array.of_list
-    (List.map
-       (fun p -> N.Units.db_of_ratio (Complex.norm (List.assoc node p.values)))
-       points)
+  Array.map
+    (fun p -> N.Units.db_of_ratio (Complex.norm (List.assoc node p.values)))
+    points

@@ -3,7 +3,16 @@
 
     Stimuli are the sources' [ac_mag] fields; everything else is
     linearized (MOSFETs become gm / gds / gmb controlled sources plus
-    their capacitances, varactors become C(V_dc)). *)
+    their capacitances, varactors become C(V_dc)).
+
+    Solves run on the sparse frequency-domain engine ({!Ac_plan}): the
+    stamp plan is compiled once per operating point into
+    frequency-independent conductance and susceptance slot lists, each
+    point is a [G + jwB] refill into a reused sparse pattern, and the
+    symbolic factorization is computed once and numerically refilled per
+    frequency.  {!sweep} distributes points over the process-wide
+    {!Pool} (the [--jobs] flag / [SNOISE_JOBS]); results are
+    byte-identical at any pool width. *)
 
 type solution
 
@@ -28,9 +37,10 @@ val system :
   Mna.t -> Dc.solution -> omega:float ->
   Complex.t array array * Complex.t array
 (** [system mna dc ~omega] is the assembled complex MNA matrix and
-    stimulus vector at angular frequency [omega] — exposed for the
-    adjoint-based noise analysis ({!Noise}).  Compiles a fresh stamp
-    plan per call; for repeated assemblies build the plan once and use
+    stimulus vector at angular frequency [omega] — the dense reference
+    formulation, kept for validation of the sparse engine and for
+    callers that want the explicit matrix.  Compiles a fresh stamp plan
+    per call; for repeated assemblies build the plan once and use
     {!system_of_plan}. *)
 
 val system_of_plan :
@@ -43,10 +53,22 @@ type sweep_point = { freq : float; values : (string * Complex.t) list }
 
 val sweep :
   ?dc:Dc.solution -> Sn_circuit.Netlist.t -> freqs:float array ->
-  nodes:string list -> sweep_point list
-(** [sweep nl ~freqs ~nodes] reuses one operating point across the
-    whole frequency sweep. *)
+  nodes:string list -> sweep_point array
+(** [sweep nl ~freqs ~nodes] reuses one operating point, one compiled
+    plan and one symbolic factorization across the whole frequency
+    sweep, and evaluates the points on the default {!Pool}.  The result
+    array is positioned by input index and byte-identical regardless of
+    the pool's width.  Raises as {!solve}; unknown node names raise
+    [Not_found] before any solve runs. *)
 
-val transfer_db : sweep_point list -> string -> float array
+val sweep_list :
+  ?dc:Dc.solution -> Sn_circuit.Netlist.t -> freqs:float array ->
+  nodes:string list -> sweep_point list
+[@@ocaml.deprecated "use Ac.sweep, which returns an array"]
+(** [sweep_list nl ~freqs ~nodes] is
+    [Array.to_list (sweep nl ~freqs ~nodes)] — transition shim for
+    callers of the old list-returning sweep. *)
+
+val transfer_db : sweep_point array -> string -> float array
 (** [transfer_db points node] extracts [20 log10 |v(node)|] per sweep
     point. *)

@@ -34,16 +34,15 @@ let noise_sources nl dc ~temperature =
         None)
     (C.Netlist.elements nl)
 
-let transpose m =
-  let n = Array.length m in
-  Array.init n (fun i -> Array.init n (fun j -> m.(j).(i)))
-
 let analyze ?dc ?(temperature = 300.0) nl ~output ~freqs =
   let mna = Mna.build nl in
   let dc = match dc with Some d -> d | None -> Dc.solve_mna mna in
   let out_slot = Mna.node_slot mna output in
   if out_slot < 0 then invalid_arg "Noise.analyze: output cannot be ground";
   let plan = Stamp_plan.build mna in
+  Array.iter
+    (fun f -> if f < 0.0 then invalid_arg "Noise.analyze: negative frequency")
+    freqs;
   let sources =
     (* resolve injection slots once; the frequency loop below only does
        numeric work *)
@@ -52,32 +51,42 @@ let analyze ?dc ?(temperature = 300.0) nl ~output ~freqs =
         (element, Mna.node_slot mna np, Mna.node_slot mna nn, psd_i))
       (noise_sources nl dc ~temperature)
   in
-  Array.to_list freqs
-  |> List.map (fun freq ->
-         if freq < 0.0 then invalid_arg "Noise.analyze: negative frequency";
-         let omega = N.Units.two_pi *. freq in
-         let a, _ = Ac.system_of_plan plan dc ~omega in
-         (* adjoint: solve A^T y = e_out; then the transfer from a unit
-            current injected into node k to the output voltage is y_k *)
-         let e_out =
-           Array.init (Mna.dim mna) (fun i ->
-               if i = out_slot then Complex.one else Complex.zero)
-         in
-         let y = N.Lu.Cplx.solve_matrix (transpose a) e_out in
-         let gain n = if n < 0 then Complex.zero else y.(n) in
-         let contributions =
-           List.map
-             (fun (element, sp, sn, psd_i) ->
-               let h = Complex.sub (gain sp) (gain sn) in
-               (* Complex.norm2 is |h|^2 *)
-               { element; psd = Complex.norm2 h *. psd_i })
-             sources
-           |> List.sort (fun a b -> compare b.psd a.psd)
-         in
-         let total_psd =
-           List.fold_left (fun acc c -> acc +. c.psd) 0.0 contributions
-         in
-         { freq; total_psd; contributions })
+  let acp = Ac_plan.of_dc plan dc in
+  (* the adjoint stimulus: a unit excitation of the output row, shared
+     by every frequency point *)
+  let e_out =
+    Array.init (Mna.dim mna) (fun i ->
+        if i = out_slot then Complex.one else Complex.zero)
+  in
+  (* pin the pivot order before the pool fans out (byte-identical at
+     any jobs width) *)
+  if Array.length freqs > 0 then
+    Ac_plan.ensure_master ~analysis:"noise" acp ~freq:freqs.(0);
+  Pool.map_array (Pool.default ())
+    (fun freq ->
+      (* adjoint: factor the forward AC system once, then solve
+         A^T y = e_out on the same factorization (transpose solve); the
+         transfer from a unit current injected into node k to the
+         output voltage is y_k *)
+      let ws = Ac_plan.domain_workspace acp in
+      Ac_plan.prepare_at ~analysis:"noise" acp ws ~freq;
+      let y = Ac_plan.solve_transpose ws e_out in
+      let gain n = if n < 0 then Complex.zero else y.(n) in
+      let contributions =
+        List.map
+          (fun (element, sp, sn, psd_i) ->
+            let h = Complex.sub (gain sp) (gain sn) in
+            (* Complex.norm2 is |h|^2 *)
+            { element; psd = Complex.norm2 h *. psd_i })
+          sources
+        |> List.sort (fun a b -> compare b.psd a.psd)
+      in
+      let total_psd =
+        List.fold_left (fun acc c -> acc +. c.psd) 0.0 contributions
+      in
+      { freq; total_psd; contributions })
+    freqs
+  |> Array.to_list
 
 let total_rms points =
   match points with

@@ -4,7 +4,14 @@
     noise of every MOSFET ([4kT gamma gm], [gamma = 2/3]) is
     propagated to an output node with the adjoint method: one solve of
     the {e transposed} AC system per frequency gives the transfer from
-    every internal current injection to the output at once. *)
+    every internal current injection to the output at once.
+
+    The transpose solve runs on the {e same} sparse factorization the
+    forward AC path builds ([U{^T}] then [L{^T}] sweeps) — no
+    transposed matrix is materialized and no second factorization is
+    run.  Frequency points are distributed over the default {!Pool}
+    ([--jobs] / [SNOISE_JOBS]) with byte-identical results at any
+    width. *)
 
 type contribution = {
   element : string;
@@ -23,7 +30,8 @@ val analyze :
 (** [analyze ?dc ?temperature nl ~output ~freqs] computes the output
     noise voltage spectral density.  [temperature] defaults to 300 K.
     Raises [Not_found] for an unknown output node and
-    [Invalid_argument] for negative frequencies. *)
+    [Invalid_argument] for negative frequencies (validated before any
+    solve runs). *)
 
 val total_rms : point list -> float
 (** [total_rms points] integrates the PSD over the swept band

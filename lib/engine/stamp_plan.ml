@@ -13,6 +13,14 @@
 
 module C = Sn_circuit
 
+(* Conductance floor stamped on every node diagonal by the small-signal
+   analyses (both the dense reference and the sparse frequency-domain
+   paths) so an isolated subnet never makes the system singular.  Small
+   enough (1 fS) to be invisible next to any real admittance; the
+   Newton paths use the larger, user-settable [Dc.options.gmin]
+   instead, which also serves their convergence continuation. *)
+let node_gmin = 1e-15
+
 type mosfet = {
   md : int;
   mg : int;

@@ -108,7 +108,7 @@ let cap_companion options ~h ~v_prev ~i_prev c =
 let assemble (plan : P.t) asm rhs options (state : state) ~h ~t x =
   Assembler.start asm;
   Array.fill rhs 0 (Array.length rhs) 0.0;
-  let gmin = 1e-12 in
+  let gmin = Dc.default_options.Dc.gmin in
   let stamp i j g = Assembler.add asm i j g in
   let inject i v = if i >= 0 then rhs.(i) <- rhs.(i) +. v in
   let stamp_conductance i j g =

@@ -33,16 +33,21 @@ let analyze ?(z0 = 50.0) nl ~port1 ~port2 ~freqs =
   in
   let forward = harness ~drive:`One and reverse = harness ~drive:`Two in
   let dc_f = Dc.solve forward and dc_r = Dc.solve reverse in
-  Array.to_list freqs
-  |> List.map (fun freq ->
-         let sf = Ac.solve ~dc:dc_f forward ~freq in
-         let sr = Ac.solve ~dc:dc_r reverse ~freq in
+  (* one compiled plan and one factorization pattern per direction, all
+     frequencies through the sparse sweep engine *)
+  let nodes = [ port1; port2 ] in
+  let fwd = Ac.sweep ~dc:dc_f forward ~freqs ~nodes in
+  let rev = Ac.sweep ~dc:dc_r reverse ~freqs ~nodes in
+  Array.to_list
+    (Array.map2
+       (fun (pf : Ac.sweep_point) (pr : Ac.sweep_point) ->
          {
-           freq;
-           s11 = Complex.sub (Ac.voltage sf port1) Complex.one;
-           s21 = Ac.voltage sf port2;
-           s22 = Complex.sub (Ac.voltage sr port2) Complex.one;
-           s12 = Ac.voltage sr port1;
+           freq = pf.Ac.freq;
+           s11 = Complex.sub (List.assoc port1 pf.Ac.values) Complex.one;
+           s21 = List.assoc port2 pf.Ac.values;
+           s22 = Complex.sub (List.assoc port2 pr.Ac.values) Complex.one;
+           s12 = List.assoc port1 pr.Ac.values;
          })
+       fwd rev)
 
 let isolation_db s = -.N.Units.db_of_ratio (Complex.norm s.s21)

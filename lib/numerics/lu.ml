@@ -75,6 +75,35 @@ module Make (F : Field.S) = struct
 
   let solve_matrix a b = solve (decompose a) b
 
+  (* A = P^T L U, so A^T x = b unrolls as U^T z = b (forward, diagonal
+     division), L^T y = z (backward, unit diagonal), x = P^T y.  The
+     transposed triangles are read column-wise from the stored factor,
+     so no transposed matrix is ever materialized. *)
+  let solve_transpose { lu; perm; _ } b =
+    let n = Array.length lu in
+    if Array.length b <> n then
+      invalid_arg "Lu.solve_transpose: dimension mismatch";
+    let z = Array.make n F.zero in
+    for i = 0 to n - 1 do
+      let acc = ref b.(i) in
+      for j = 0 to i - 1 do
+        acc := F.sub !acc (F.mul lu.(j).(i) z.(j))
+      done;
+      z.(i) <- F.div !acc lu.(i).(i)
+    done;
+    for i = n - 1 downto 0 do
+      let acc = ref z.(i) in
+      for j = i + 1 to n - 1 do
+        acc := F.sub !acc (F.mul lu.(j).(i) z.(j))
+      done;
+      z.(i) <- !acc
+    done;
+    let x = Array.make n F.zero in
+    for i = 0 to n - 1 do
+      x.(perm.(i)) <- z.(i)
+    done;
+    x
+
   let det { lu; sign; _ } =
     let n = Array.length lu in
     let d = ref (if sign >= 0 then F.one else F.neg F.one) in

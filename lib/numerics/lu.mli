@@ -27,6 +27,14 @@ module Make (F : Field.S) : sig
   val solve_matrix : matrix -> F.t array -> F.t array
   (** [solve_matrix a b] is [solve (decompose a) b]. *)
 
+  val solve_transpose : t -> F.t array -> F.t array
+  (** [solve_transpose lu b] solves [A{^T} x = b] on the {e existing}
+      factorization of [A] (U{^T} then L{^T} sweeps) — no transposed
+      matrix is built and no second factorization is run.  This is the
+      adjoint-analysis primitive: the noise engine factors the forward
+      AC system once per frequency and reuses it for the transposed
+      solve. *)
+
   val det : t -> F.t
   (** [det lu] is the determinant of the factorized matrix. *)
 

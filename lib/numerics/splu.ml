@@ -372,3 +372,429 @@ let solve t b =
   match t with
   | Dense { df; _ } -> lift_singular (fun () -> Lu.solve_factored df b)
   | Sparse_f sp -> sp_solve sp b
+
+(* ------------------------------------------------------------------ *)
+(* Complex kernel for the frequency-domain engine.
+
+   Same left-looking Gilbert-Peierls algorithm as the real kernel
+   above, on split re/im value arrays so every inner loop stays on
+   unboxed floats — a [Complex.t array] would allocate one heap block
+   per entry.  The factor is split into a symbolic half (pivot order,
+   A/L/U index structure: immutable after the first factorization and
+   shared read-only between worker domains) and a numeric half (L/U/D
+   values plus the scatter workspace: one copy per worker via
+   {!Cplx.clone}), so a frequency sweep pays the graph work exactly
+   once and every parallel worker refills the same pivot order — which
+   is what makes parallel sweeps byte-identical to sequential ones.
+
+   Boxed [Complex.t] appears only at the [solve] boundaries. *)
+
+module Cplx = struct
+  type mat = { pattern : Sparse.t; re : float array; im : float array }
+
+  let mat_of_pattern pattern =
+    let nnz = Sparse.nnz pattern in
+    { pattern; re = Array.make nnz 0.0; im = Array.make nnz 0.0 }
+
+  let mat_clear m =
+    Array.fill m.re 0 (Array.length m.re) 0.0;
+    Array.fill m.im 0 (Array.length m.im) 0.0
+
+  let mat_to_dense m =
+    let n = Sparse.rows m.pattern and nc = Sparse.cols m.pattern in
+    let d = Array.make_matrix n nc Complex.zero in
+    let rp = Sparse.row_ptr m.pattern and ci = Sparse.col_idx m.pattern in
+    for i = 0 to n - 1 do
+      for p = rp.(i) to rp.(i + 1) - 1 do
+        d.(i).(ci.(p)) <- { Complex.re = m.re.(p); im = m.im.(p) }
+      done
+    done;
+    d
+
+  type csym = {
+    n : int;
+    perm : int array;
+    acolptr : int array;
+    arow : int array;
+    aval_src : int array;
+    lcolptr : int array;
+    lrow : int array;
+    ucolptr : int array;
+    urow : int array;
+  }
+
+  type cnum = {
+    lre : float array;
+    lim : float array;
+    ure : float array;
+    uim : float array;
+    dgr : float array; (* diagonal of U *)
+    dgi : float array;
+    wkr : float array; (* scatter workspace, all-zero between uses *)
+    wki : float array;
+  }
+
+  type t =
+    | Cdense of { cdim : int; mutable df : Lu.Cplx.t }
+    | Csparse of { sym : csym; num : cnum }
+
+  let dim = function
+    | Cdense { cdim; _ } -> cdim
+    | Csparse { sym; _ } -> sym.n
+
+  let is_dense = function Cdense _ -> true | Csparse _ -> false
+
+  let sort_column_segment_c rows re im lo hi =
+    let rdata = Dyn.I.unsafe_data rows in
+    let rd = Dyn.F.unsafe_data re and id = Dyn.F.unsafe_data im in
+    for p = lo + 1 to hi - 1 do
+      let r = rdata.(p) and vr = rd.(p) and vi = id.(p) in
+      let q = ref (p - 1) in
+      while !q >= lo && rdata.(!q) > r do
+        rdata.(!q + 1) <- rdata.(!q);
+        rd.(!q + 1) <- rd.(!q);
+        id.(!q + 1) <- id.(!q);
+        decr q
+      done;
+      rdata.(!q + 1) <- r;
+      rd.(!q + 1) <- vr;
+      id.(!q + 1) <- vi
+    done
+
+  let gp_factor_c (m : mat) =
+    let pat = m.pattern in
+    let n = Sparse.rows pat in
+    let nnz = Sparse.nnz pat in
+    let row_ptr = Sparse.row_ptr pat and col_idx = Sparse.col_idx pat in
+    let vre = m.re and vim = m.im in
+    let acolptr = Array.make (n + 1) 0 in
+    for p = 0 to nnz - 1 do
+      acolptr.(col_idx.(p) + 1) <- acolptr.(col_idx.(p) + 1) + 1
+    done;
+    for j = 0 to n - 1 do
+      acolptr.(j + 1) <- acolptr.(j + 1) + acolptr.(j)
+    done;
+    let cursor = Array.sub acolptr 0 n in
+    let arow_orig = Array.make nnz 0 in
+    let aval_src = Array.make nnz 0 in
+    for i = 0 to n - 1 do
+      for p = row_ptr.(i) to row_ptr.(i + 1) - 1 do
+        let j = col_idx.(p) in
+        let q = cursor.(j) in
+        arow_orig.(q) <- i;
+        aval_src.(q) <- p;
+        cursor.(j) <- q + 1
+      done
+    done;
+    let pinv = Array.make n (-1) in
+    let perm = Array.make n (-1) in
+    let lcolptr = Array.make (n + 1) 0 in
+    let ucolptr = Array.make (n + 1) 0 in
+    let cap = max (2 * nnz) 16 in
+    let lrow = Dyn.I.create ~capacity:cap () in
+    let lre = Dyn.F.create ~capacity:cap () in
+    let lim = Dyn.F.create ~capacity:cap () in
+    let urow = Dyn.I.create ~capacity:cap () in
+    let ure = Dyn.F.create ~capacity:cap () in
+    let uim = Dyn.F.create ~capacity:cap () in
+    let dgr = Array.make n 0.0 and dgi = Array.make n 0.0 in
+    let xr = Array.make n 0.0 and xi = Array.make n 0.0 in
+    let visited = Array.make n (-1) in
+    let topo = Array.make n 0 in
+    let stack = Array.make n 0 in
+    let pstack = Array.make n 0 in
+    for col = 0 to n - 1 do
+      (* symbolic reach: identical to the real kernel *)
+      let top = ref n in
+      for p = acolptr.(col) to acolptr.(col + 1) - 1 do
+        let seed = arow_orig.(p) in
+        if visited.(seed) <> col then begin
+          let sp = ref 0 in
+          stack.(0) <- seed;
+          pstack.(0) <-
+            (let k = pinv.(seed) in
+             if k >= 0 then lcolptr.(k) else 0);
+          visited.(seed) <- col;
+          while !sp >= 0 do
+            let i = stack.(!sp) in
+            let k = pinv.(i) in
+            let hi = if k >= 0 then lcolptr.(k + 1) else 0 in
+            let next = pstack.(!sp) in
+            if k >= 0 && next < hi then begin
+              pstack.(!sp) <- next + 1;
+              let child = Dyn.I.get lrow next in
+              if visited.(child) <> col then begin
+                visited.(child) <- col;
+                incr sp;
+                stack.(!sp) <- child;
+                pstack.(!sp) <-
+                  (let ck = pinv.(child) in
+                   if ck >= 0 then lcolptr.(ck) else 0)
+              end
+            end
+            else begin
+              decr top;
+              topo.(!top) <- i;
+              decr sp
+            end
+          done
+        end
+      done;
+      (* numeric: sparse complex solve L x = A(:,col) along the reach *)
+      for p = acolptr.(col) to acolptr.(col + 1) - 1 do
+        xr.(arow_orig.(p)) <- vre.(aval_src.(p));
+        xi.(arow_orig.(p)) <- vim.(aval_src.(p))
+      done;
+      for t = !top to n - 1 do
+        let i = topo.(t) in
+        let k = pinv.(i) in
+        if k >= 0 then begin
+          let xir = xr.(i) and xii = xi.(i) in
+          if xir <> 0.0 || xii <> 0.0 then
+            for q = lcolptr.(k) to lcolptr.(k + 1) - 1 do
+              let r = Dyn.I.get lrow q in
+              let lr = Dyn.F.get lre q and li = Dyn.F.get lim q in
+              xr.(r) <- xr.(r) -. ((lr *. xir) -. (li *. xii));
+              xi.(r) <- xi.(r) -. ((lr *. xii) +. (li *. xir))
+            done
+        end
+      done;
+      (* partial pivot on |x|^2 among the not-yet-pivotal reach entries *)
+      let piv = ref (-1) and piv_mag = ref 0.0 in
+      for t = !top to n - 1 do
+        let i = topo.(t) in
+        if pinv.(i) < 0 then begin
+          let mag = (xr.(i) *. xr.(i)) +. (xi.(i) *. xi.(i)) in
+          if mag > !piv_mag then begin
+            piv := i;
+            piv_mag := mag
+          end
+        end
+      done;
+      if !piv < 0 || not (Float.is_finite !piv_mag) || !piv_mag = 0.0 then begin
+        for t = !top to n - 1 do
+          xr.(topo.(t)) <- 0.0;
+          xi.(topo.(t)) <- 0.0
+        done;
+        raise (Singular col)
+      end;
+      let dr = xr.(!piv) and di = xi.(!piv) in
+      let den = (dr *. dr) +. (di *. di) in
+      pinv.(!piv) <- col;
+      perm.(col) <- !piv;
+      dgr.(col) <- dr;
+      dgi.(col) <- di;
+      for t = !top to n - 1 do
+        let i = topo.(t) in
+        if i <> !piv then begin
+          let k = pinv.(i) in
+          if k >= 0 then begin
+            Dyn.I.push urow k;
+            Dyn.F.push ure xr.(i);
+            Dyn.F.push uim xi.(i)
+          end
+          else begin
+            Dyn.I.push lrow i;
+            Dyn.F.push lre (((xr.(i) *. dr) +. (xi.(i) *. di)) /. den);
+            Dyn.F.push lim (((xi.(i) *. dr) -. (xr.(i) *. di)) /. den)
+          end
+        end;
+        xr.(i) <- 0.0;
+        xi.(i) <- 0.0
+      done;
+      ucolptr.(col + 1) <- Dyn.I.length urow;
+      lcolptr.(col + 1) <- Dyn.I.length lrow;
+      sort_column_segment_c urow ure uim ucolptr.(col) ucolptr.(col + 1)
+    done;
+    let lrow = Dyn.I.to_array lrow in
+    for p = 0 to Array.length lrow - 1 do
+      lrow.(p) <- pinv.(lrow.(p))
+    done;
+    let arow = Array.make nnz 0 in
+    for p = 0 to nnz - 1 do
+      arow.(p) <- pinv.(arow_orig.(p))
+    done;
+    Csparse
+      {
+        sym =
+          { n; perm; acolptr; arow; aval_src; lcolptr; lrow; ucolptr;
+            urow = Dyn.I.to_array urow };
+        num =
+          { lre = Dyn.F.to_array lre; lim = Dyn.F.to_array lim;
+            ure = Dyn.F.to_array ure; uim = Dyn.F.to_array uim; dgr; dgi;
+            wkr = xr; wki = xi };
+      }
+
+  let sp_refactor_c sym num (m : mat) =
+    let vre = m.re and vim = m.im in
+    if Sparse.rows m.pattern <> sym.n || Sparse.cols m.pattern <> sym.n then
+      invalid_arg "Splu.Cplx.refactor: dimension mismatch";
+    if Array.length vre <> Array.length sym.aval_src then
+      invalid_arg "Splu.Cplx.refactor: sparsity pattern changed";
+    let xr = num.wkr and xi = num.wki in
+    let clear_column col =
+      for p = sym.ucolptr.(col) to sym.ucolptr.(col + 1) - 1 do
+        xr.(sym.urow.(p)) <- 0.0;
+        xi.(sym.urow.(p)) <- 0.0
+      done;
+      xr.(col) <- 0.0;
+      xi.(col) <- 0.0;
+      for q = sym.lcolptr.(col) to sym.lcolptr.(col + 1) - 1 do
+        xr.(sym.lrow.(q)) <- 0.0;
+        xi.(sym.lrow.(q)) <- 0.0
+      done
+    in
+    for col = 0 to sym.n - 1 do
+      for p = sym.acolptr.(col) to sym.acolptr.(col + 1) - 1 do
+        xr.(sym.arow.(p)) <- vre.(sym.aval_src.(p));
+        xi.(sym.arow.(p)) <- vim.(sym.aval_src.(p))
+      done;
+      for p = sym.ucolptr.(col) to sym.ucolptr.(col + 1) - 1 do
+        let k = sym.urow.(p) in
+        let ukr = xr.(k) and uki = xi.(k) in
+        num.ure.(p) <- ukr;
+        num.uim.(p) <- uki;
+        if ukr <> 0.0 || uki <> 0.0 then
+          for q = sym.lcolptr.(k) to sym.lcolptr.(k + 1) - 1 do
+            let r = sym.lrow.(q) in
+            let lr = num.lre.(q) and li = num.lim.(q) in
+            xr.(r) <- xr.(r) -. ((lr *. ukr) -. (li *. uki));
+            xi.(r) <- xi.(r) -. ((lr *. uki) +. (li *. ukr))
+          done
+      done;
+      let dr = xr.(col) and di = xi.(col) in
+      let den = (dr *. dr) +. (di *. di) in
+      if den = 0.0 || not (Float.is_finite den) then begin
+        clear_column col;
+        raise (Singular col)
+      end;
+      num.dgr.(col) <- dr;
+      num.dgi.(col) <- di;
+      for q = sym.lcolptr.(col) to sym.lcolptr.(col + 1) - 1 do
+        let r = sym.lrow.(q) in
+        num.lre.(q) <- ((xr.(r) *. dr) +. (xi.(r) *. di)) /. den;
+        num.lim.(q) <- ((xi.(r) *. dr) -. (xr.(r) *. di)) /. den
+      done;
+      clear_column col
+    done
+
+  let sp_solve_c sym num (b : Complex.t array) =
+    let n = sym.n in
+    if Array.length b <> n then
+      invalid_arg "Splu.Cplx.solve: dimension mismatch";
+    let xr = Array.make n 0.0 and xi = Array.make n 0.0 in
+    for k = 0 to n - 1 do
+      let v = b.(sym.perm.(k)) in
+      xr.(k) <- v.Complex.re;
+      xi.(k) <- v.Complex.im
+    done;
+    for k = 0 to n - 1 do
+      let vr = xr.(k) and vi = xi.(k) in
+      if vr <> 0.0 || vi <> 0.0 then
+        for q = sym.lcolptr.(k) to sym.lcolptr.(k + 1) - 1 do
+          let r = sym.lrow.(q) in
+          let lr = num.lre.(q) and li = num.lim.(q) in
+          xr.(r) <- xr.(r) -. ((lr *. vr) -. (li *. vi));
+          xi.(r) <- xi.(r) -. ((lr *. vi) +. (li *. vr))
+        done
+    done;
+    for k = n - 1 downto 0 do
+      let dr = num.dgr.(k) and di = num.dgi.(k) in
+      let den = (dr *. dr) +. (di *. di) in
+      let vr = ((xr.(k) *. dr) +. (xi.(k) *. di)) /. den in
+      let vi = ((xi.(k) *. dr) -. (xr.(k) *. di)) /. den in
+      xr.(k) <- vr;
+      xi.(k) <- vi;
+      if vr <> 0.0 || vi <> 0.0 then
+        for p = sym.ucolptr.(k) to sym.ucolptr.(k + 1) - 1 do
+          let r = sym.urow.(p) in
+          let ur = num.ure.(p) and ui = num.uim.(p) in
+          xr.(r) <- xr.(r) -. ((ur *. vr) -. (ui *. vi));
+          xi.(r) <- xi.(r) -. ((ur *. vi) +. (ui *. vr))
+        done
+    done;
+    Array.init n (fun k -> { Complex.re = xr.(k); im = xi.(k) })
+
+  (* A = P^T L U, so A^T x = b is U^T z = b (forward, gathering along
+     the stored U columns), L^T y = z (backward, along the L columns),
+     x = P^T y.  The factorization of the forward system is reused;
+     nothing is transposed or refactored. *)
+  let sp_solve_transpose_c sym num (b : Complex.t array) =
+    let n = sym.n in
+    if Array.length b <> n then
+      invalid_arg "Splu.Cplx.solve_transpose: dimension mismatch";
+    let zr = Array.make n 0.0 and zi = Array.make n 0.0 in
+    for k = 0 to n - 1 do
+      let accr = ref b.(k).Complex.re and acci = ref b.(k).Complex.im in
+      for p = sym.ucolptr.(k) to sym.ucolptr.(k + 1) - 1 do
+        let r = sym.urow.(p) in
+        let ur = num.ure.(p) and ui = num.uim.(p) in
+        accr := !accr -. ((ur *. zr.(r)) -. (ui *. zi.(r)));
+        acci := !acci -. ((ur *. zi.(r)) +. (ui *. zr.(r)))
+      done;
+      let dr = num.dgr.(k) and di = num.dgi.(k) in
+      let den = (dr *. dr) +. (di *. di) in
+      zr.(k) <- ((!accr *. dr) +. (!acci *. di)) /. den;
+      zi.(k) <- ((!acci *. dr) -. (!accr *. di)) /. den
+    done;
+    for k = n - 1 downto 0 do
+      let accr = ref zr.(k) and acci = ref zi.(k) in
+      for q = sym.lcolptr.(k) to sym.lcolptr.(k + 1) - 1 do
+        let r = sym.lrow.(q) in
+        let lr = num.lre.(q) and li = num.lim.(q) in
+        accr := !accr -. ((lr *. zr.(r)) -. (li *. zi.(r)));
+        acci := !acci -. ((lr *. zi.(r)) +. (li *. zr.(r)))
+      done;
+      zr.(k) <- !accr;
+      zi.(k) <- !acci
+    done;
+    let x = Array.make n Complex.zero in
+    for k = 0 to n - 1 do
+      x.(sym.perm.(k)) <- { Complex.re = zr.(k); im = zi.(k) }
+    done;
+    x
+
+  (* public entry points: same counters, same [Singular] as the real
+     kernel, so tests can assert symbolic reuse across both fields *)
+
+  let factor ?(crossover = default_crossover) m =
+    let n = Sparse.rows m.pattern in
+    if Sparse.cols m.pattern <> n then
+      invalid_arg "Splu.Cplx.factor: matrix not square";
+    Atomic.incr n_factor;
+    if n < crossover then
+      Cdense
+        { cdim = n;
+          df = lift_singular (fun () -> Lu.Cplx.decompose (mat_to_dense m)) }
+    else gp_factor_c m
+
+  let refactor t m =
+    Atomic.incr n_refactor;
+    match t with
+    | Cdense d ->
+      d.df <- lift_singular (fun () -> Lu.Cplx.decompose (mat_to_dense m))
+    | Csparse { sym; num } -> sp_refactor_c sym num m
+
+  let clone = function
+    | Cdense { cdim; df } -> Cdense { cdim; df }
+    | Csparse { sym; num } ->
+      Csparse
+        { sym;
+          num =
+            { lre = Array.copy num.lre; lim = Array.copy num.lim;
+              ure = Array.copy num.ure; uim = Array.copy num.uim;
+              dgr = Array.copy num.dgr; dgi = Array.copy num.dgi;
+              wkr = Array.make sym.n 0.0; wki = Array.make sym.n 0.0 } }
+
+  let solve t b =
+    Atomic.incr n_solve;
+    match t with
+    | Cdense { df; _ } -> Lu.Cplx.solve df b
+    | Csparse { sym; num } -> sp_solve_c sym num b
+
+  let solve_transpose t b =
+    Atomic.incr n_solve;
+    match t with
+    | Cdense { df; _ } -> Lu.Cplx.solve_transpose df b
+    | Csparse { sym; num } -> sp_solve_transpose_c sym num b
+end

@@ -238,6 +238,66 @@ let test_ac_sweep_shape () =
     (-20.0)
     (Sn_numerics.Stats.slope_db_per_decade tail_f tail_db)
 
+(* the merged VCO testchip deck (MOSFETs, varactors, inductor branches,
+   substrate network, interconnect) and its operating point, shared by
+   the sparse-engine tests below *)
+let vco_fixture =
+  lazy
+    (let f = Snoise.Flow.build_vco Sn_testchip.Vco_chip.default ~vtune:0.0 in
+     let nl = Snoise.Flow.vco_merged f in
+     (nl, Dc.solve nl))
+
+(* the sparse frequency-domain engine against the dense reference
+   formulation, on the full VCO testchip deck (MOSFETs, varactors,
+   inductor branches, substrate network) *)
+let test_ac_sparse_matches_dense_vco () =
+  let module VC = Sn_testchip.Vco_chip in
+  let module Mna = Sn_engine.Mna in
+  let module Sp = Sn_engine.Stamp_plan in
+  let nl, dc = Lazy.force vco_fixture in
+  let mna = Mna.build nl in
+  let plan = Sp.build mna in
+  let nodes = List.sort_uniq String.compare (List.map snd VC.sensitive_nodes) in
+  let freqs = Sn_numerics.Sweep.logspace 1e6 1e10 9 in
+  let points = Ac.sweep ~dc nl ~freqs ~nodes in
+  Array.iteri
+    (fun k (p : Ac.sweep_point) ->
+      let omega = U.two_pi *. freqs.(k) in
+      let a, rhs = Ac.system_of_plan plan dc ~omega in
+      let x = Sn_numerics.Lu.Cplx.solve_matrix a rhs in
+      List.iter
+        (fun (node, v) ->
+          let slot = Mna.node_slot mna node in
+          let v_ref = if slot < 0 then Complex.zero else x.(slot) in
+          let err = Complex.norm (Complex.sub v v_ref) in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s @ %.3g Hz (err %.2e)" node freqs.(k) err)
+            true
+            (err <= 1e-9 *. Float.max 1.0 (Complex.norm v_ref)))
+        p.Ac.values)
+    points
+
+(* parallel sweeps must be byte-identical to sequential ones, and a
+   whole sweep must run on a single symbolic factorization *)
+let test_ac_sweep_parallel_identical () =
+  let module VC = Sn_testchip.Vco_chip in
+  let module Pool = Sn_engine.Pool in
+  let module Splu = Sn_numerics.Splu in
+  let nl, dc = Lazy.force vco_fixture in
+  let nodes = List.sort_uniq String.compare (List.map snd VC.sensitive_nodes) in
+  let freqs = Sn_numerics.Sweep.logspace 1e5 1e9 33 in
+  Fun.protect
+    ~finally:(fun () -> Pool.set_default_jobs (Pool.env_jobs ()))
+    (fun () ->
+      Pool.set_default_jobs 1;
+      Splu.reset_stats ();
+      let seq = Ac.sweep ~dc nl ~freqs ~nodes in
+      Alcotest.(check int) "one master factorization"
+        1 (Splu.factorizations ());
+      Pool.set_default_jobs 4;
+      let par = Ac.sweep ~dc nl ~freqs ~nodes in
+      Alcotest.(check bool) "jobs=4 byte-identical to jobs=1" true (seq = par))
+
 (* ------------------------------------------------------------------ *)
 (* Transient *)
 
@@ -486,6 +546,66 @@ let test_noise_filtered_rolloff () =
     let drop = 10.0 *. log10 (a.Noise.total_psd /. b.Noise.total_psd) in
     check_close 0.3 "20 dB/dec in power" 20.0 drop
   | _ -> Alcotest.fail "expected 2 points"
+
+(* the adjoint transfer (one transpose solve on the shared
+   factorization) against brute force: one dense forward solve per
+   noise source *)
+let test_noise_adjoint_matches_bruteforce () =
+  let module Mna = Sn_engine.Mna in
+  let module Sp = Sn_engine.Stamp_plan in
+  let nl = C.Netlist.create (common_source_bias 0.9) in
+  let dc = Dc.solve nl in
+  let mna = Mna.build nl in
+  let plan = Sp.build mna in
+  let freq = 2.5e6 in
+  let p =
+    match Noise.analyze ~dc nl ~output:"d" ~freqs:[| freq |] with
+    | [ p ] -> p
+    | _ -> Alcotest.fail "expected 1 point"
+  in
+  let a, _ = Ac.system_of_plan plan dc ~omega:(U.two_pi *. freq) in
+  let out_slot = Mna.node_slot mna "d" in
+  let four_kt = 4.0 *. 1.380649e-23 *. 300.0 in
+  let sources =
+    List.filter_map
+      (fun e ->
+        match e with
+        | E.Resistor { name; n1; n2; ohms } ->
+          Some (name, n1, n2, four_kt /. ohms)
+        | E.Mosfet { name; drain; source; mult; _ } ->
+          let op = Dc.mos_operating_point dc name in
+          let gm = float_of_int mult *. op.M.gm in
+          if gm > 0.0 then
+            Some (name, drain, source, four_kt *. (2.0 /. 3.0) *. gm)
+          else None
+        | _ -> None)
+      (C.Netlist.elements nl)
+  in
+  Alcotest.(check int) "every source contributes"
+    (List.length sources)
+    (List.length p.Noise.contributions);
+  List.iter
+    (fun (name, np, nn, psd_i) ->
+      let rhs = Array.make (Mna.dim mna) Complex.zero in
+      let add n v =
+        let s = Mna.node_slot mna n in
+        if s >= 0 then
+          rhs.(s) <- Complex.add rhs.(s) { Complex.re = v; im = 0.0 }
+      in
+      add np 1.0;
+      add nn (-1.0);
+      let x = Sn_numerics.Lu.Cplx.solve_matrix a rhs in
+      let vout = if out_slot < 0 then Complex.zero else x.(out_slot) in
+      let expected = Complex.norm2 vout *. psd_i in
+      let got =
+        (List.find (fun c -> c.Noise.element = name) p.Noise.contributions)
+          .Noise.psd
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s adjoint vs forward" name)
+        true
+        (Float.abs (got -. expected) <= 1e-9 *. Float.max expected 1e-30))
+    sources
 
 (* ------------------------------------------------------------------ *)
 (* Two-port S-parameters *)
@@ -746,6 +866,10 @@ let suites =
         Alcotest.test_case "back-gate transfer" `Quick
           test_ac_backgate_transfer;
         Alcotest.test_case "sweep rolloff" `Quick test_ac_sweep_shape;
+        Alcotest.test_case "sparse engine matches dense on VCO deck" `Quick
+          test_ac_sparse_matches_dense_vco;
+        Alcotest.test_case "parallel sweep byte-identical" `Quick
+          test_ac_sweep_parallel_identical;
       ] );
     ( "engine.tran",
       [
@@ -781,6 +905,8 @@ let suites =
           test_noise_resistor_divider;
         Alcotest.test_case "kT/C integral" `Quick test_noise_ktc;
         Alcotest.test_case "MOS channel noise" `Quick test_noise_mos_channel;
+        Alcotest.test_case "adjoint matches brute force" `Quick
+          test_noise_adjoint_matches_bruteforce;
         Alcotest.test_case "filtered rolloff" `Quick
           test_noise_filtered_rolloff;
         Alcotest.test_case "argument validation" `Quick test_tran_invalid_args;

@@ -331,6 +331,117 @@ let test_splu_counters () =
   Alcotest.(check int) "refactorizations" 1 (Splu.refactorizations ());
   Alcotest.(check int) "solves" 2 (Splu.solves ())
 
+(* complex kernel: split re/im Gilbert-Peierls with transpose solve *)
+
+(* reuse the real pattern generator; boost the diagonal so the complex
+   off-diagonal magnitudes cannot overwhelm it *)
+let random_cdd_system st n =
+  let p = random_dd_system st n in
+  let m = Splu.Cplx.mat_of_pattern p in
+  let v = Sparse.values p in
+  let rp = Sparse.row_ptr p and ci = Sparse.col_idx p in
+  for i = 0 to n - 1 do
+    for k = rp.(i) to rp.(i + 1) - 1 do
+      if ci.(k) = i then begin
+        m.Splu.Cplx.re.(k) <- 3.0 *. v.(k);
+        m.Splu.Cplx.im.(k) <- 0.5 *. v.(k)
+      end
+      else begin
+        m.Splu.Cplx.re.(k) <- v.(k);
+        m.Splu.Cplx.im.(k) <- Random.State.float st 2.0 -. 1.0
+      end
+    done
+  done;
+  m
+
+let cmax_diff a b =
+  let d = ref 0.0 in
+  Array.iteri
+    (fun i ai -> d := Float.max !d (Complex.norm (Complex.sub ai b.(i))))
+    a;
+  !d
+
+let dense_transpose d =
+  let n = Array.length d in
+  Array.init n (fun i -> Array.init n (fun j -> d.(j).(i)))
+
+let random_crhs st n =
+  Array.init n (fun _ ->
+      { Complex.re = Random.State.float st 2.0 -. 1.0;
+        im = Random.State.float st 2.0 -. 1.0 })
+
+let prop_csplu_matches_dense =
+  QCheck.Test.make ~count:40
+    ~name:"complex sparse LU matches dense (forward and transpose solves)"
+    QCheck.(pair (int_range 2 60) (int_range 0 1000))
+    (fun (n, seed) ->
+      let st = Random.State.make [| seed; n; 77 |] in
+      let m = random_cdd_system st n in
+      let rhs = random_crhs st n in
+      let f = Splu.Cplx.factor ~crossover:0 m in
+      let d = Splu.Cplx.mat_to_dense m in
+      if cmax_diff (Splu.Cplx.solve f rhs) (Lu.Cplx.solve_matrix d rhs) >= 1e-9
+      then false
+      else if
+        cmax_diff
+          (Splu.Cplx.solve_transpose f rhs)
+          (Lu.Cplx.solve_matrix (dense_transpose d) rhs)
+        >= 1e-9
+      then false
+      else begin
+        (* numeric refill on the fixed pattern *)
+        for k = 0 to Array.length m.Splu.Cplx.re - 1 do
+          m.Splu.Cplx.re.(k) <- m.Splu.Cplx.re.(k) *. 1.25;
+          m.Splu.Cplx.im.(k) <- m.Splu.Cplx.im.(k) *. 0.75
+        done;
+        Splu.Cplx.refactor f m;
+        let d' = Splu.Cplx.mat_to_dense m in
+        if
+          cmax_diff (Splu.Cplx.solve f rhs) (Lu.Cplx.solve_matrix d' rhs)
+          >= 1e-9
+        then false
+        else begin
+          (* a clone refactored at the same values reproduces the
+             original factor bit for bit *)
+          let c = Splu.Cplx.clone f in
+          Splu.Cplx.refactor c m;
+          Splu.Cplx.solve c rhs = Splu.Cplx.solve f rhs
+          && Splu.Cplx.solve_transpose c rhs = Splu.Cplx.solve_transpose f rhs
+        end
+      end)
+
+let test_csplu_dense_fallback () =
+  let st = Random.State.make [| 11 |] in
+  let n = 12 in
+  let m = random_cdd_system st n in
+  let rhs = random_crhs st n in
+  (* n below the default crossover: the factor must be dense *)
+  let f = Splu.Cplx.factor m in
+  Alcotest.(check bool) "dense fallback" true (Splu.Cplx.is_dense f);
+  Alcotest.(check int) "dim" n (Splu.Cplx.dim f);
+  let d = Splu.Cplx.mat_to_dense m in
+  Alcotest.(check bool) "forward matches" true
+    (cmax_diff (Splu.Cplx.solve f rhs) (Lu.Cplx.solve_matrix d rhs) < 1e-9);
+  Alcotest.(check bool) "transpose matches" true
+    (cmax_diff
+       (Splu.Cplx.solve_transpose f rhs)
+       (Lu.Cplx.solve_matrix (dense_transpose d) rhs)
+     < 1e-9)
+
+let test_csplu_singular () =
+  let b = Sparse.builder 3 3 in
+  Sparse.add b 0 0 1.0;
+  Sparse.add b 1 1 1.0;
+  (* row/column 2 is empty: structurally singular *)
+  let p = Sparse.finalize b in
+  let m = Splu.Cplx.mat_of_pattern p in
+  m.Splu.Cplx.re.(0) <- 1.0;
+  m.Splu.Cplx.re.(1) <- 1.0;
+  Alcotest.(check bool) "raises Singular" true
+    (match Splu.Cplx.factor ~crossover:0 m with
+     | _ -> false
+     | exception Splu.Singular _ -> true)
+
 let test_heap_sorts () =
   let st = Random.State.make [| 3 |] in
   let h = Heap.create () in
@@ -612,6 +723,11 @@ let suites =
         Alcotest.test_case "dense fallback" `Quick test_splu_dense_fallback;
         Alcotest.test_case "structurally singular" `Quick test_splu_singular;
         Alcotest.test_case "factorization counters" `Quick test_splu_counters;
+        qcheck prop_csplu_matches_dense;
+        Alcotest.test_case "complex dense fallback" `Quick
+          test_csplu_dense_fallback;
+        Alcotest.test_case "complex structurally singular" `Quick
+          test_csplu_singular;
         Alcotest.test_case "heap sorts" `Quick test_heap_sorts;
       ] );
     ( "numerics.spectral",

@@ -232,6 +232,50 @@ let sweep_retry_rescues ~jobs () =
 let test_sweep_retry_width1 () = sweep_retry_rescues ~jobs:1 ()
 let test_sweep_retry_width4 () = sweep_retry_rescues ~jobs:4 ()
 
+(* The sparse frequency-domain path carries the same typed diagnostics
+   as the dense one: a singular complex pivot maps back to the named
+   unknown (vsource_clash is linear, so any bias vector compiles the
+   same plan; crossover 0 forces the Gilbert-Peierls kernel). *)
+let test_ac_sparse_singular_names_branch () =
+  let module Ac_plan = Sn_engine.Ac_plan in
+  let module Sp = Sn_engine.Stamp_plan in
+  let nl = C.Netlist.create vsource_clash in
+  let mna = Mna.build nl in
+  let plan = Sp.build mna in
+  let acp = Ac_plan.compile ~crossover:0 plan (Array.make (Mna.dim mna) 0.0) in
+  match Ac_plan.ensure_master acp ~freq:1.0e6 with
+  | () -> Alcotest.fail "expected a singular pivot"
+  | exception
+      Diag.Error
+        (Diag.Singular_pivot { unknown = Some (Diag.Branch b); loc; _ }) ->
+    Alcotest.(check bool) "named source" true (b = "v1" || b = "v2");
+    Alcotest.(check string) "analysis" "ac" loc.Diag.analysis;
+    Alcotest.(check (option (float 0.0))) "frequency" (Some 1.0e6)
+      loc.Diag.freq
+  | exception Diag.Error d ->
+    Alcotest.failf "expected a named singular pivot, got %s" (Diag.to_string d)
+
+(* The injected-fault site covers the new frequency-domain factor: with
+   the operating point precomputed (so the DC assembler does not consume
+   the fault), the first AC factorization reports the sentinel pivot. *)
+let test_injected_ac_fault_diagnostic () =
+  let nl =
+    C.Netlist.create
+      [ E.Vsource { name = "v1"; np = "in"; nn = "0"; wave = W.dc 10.0;
+                    ac_mag = 1.0 };
+        r "r1" "in" "mid" 1000.0; r "r2" "mid" "0" 3000.0 ]
+  in
+  let dc = Dc.solve nl in
+  with_fault Fault.Factor (Fault.Nth 1) (fun () ->
+      match Sn_engine.Ac.solve ~dc nl ~freq:1.0e6 with
+      | _ -> Alcotest.fail "expected an injected fault"
+      | exception Diag.Error (Diag.Singular_pivot { pivot; _ } as d) ->
+        Alcotest.(check int) "sentinel pivot" (-1) pivot;
+        Alcotest.(check bool) "renders as injected" true
+          (contains (Diag.to_string d) "injected fault")
+      | exception Diag.Error d ->
+        Alcotest.failf "expected a singular pivot, got %s" (Diag.to_string d))
+
 (* Acceptance: a 16-point sweep with one permanently bad point returns
    15 [Ok] and one [Error] carrying a named unknown. *)
 let test_sweep_one_permanent_failure () =
@@ -365,6 +409,13 @@ let suites =
           test_tran_truncation;
         Alcotest.test_case "adaptive truncation diagnostic" `Quick
           test_tran_adaptive_truncation;
+      ] );
+    ( "robustness.ac",
+      [
+        Alcotest.test_case "sparse singular pivot names the source" `Quick
+          test_ac_sparse_singular_names_branch;
+        Alcotest.test_case "injected AC fault is transparent" `Quick
+          test_injected_ac_fault_diagnostic;
       ] );
     ( "robustness.sweep",
       [
