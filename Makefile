@@ -1,4 +1,4 @@
-.PHONY: all build test check bench doc clean
+.PHONY: all build test check lint bench doc clean
 
 all: build
 
@@ -11,6 +11,17 @@ test:
 # tier-1 gate: what CI runs
 check:
 	dune build && dune runtest
+
+# structural ERC over every shipped deck (rule catalogue: docs/LINT.md);
+# pathological test decks are expected to fail and are skipped here
+lint: build
+	@status=0; \
+	for deck in examples/decks/*.sp test/decks/clean_rc.sp \
+	    test/decks/isource_open.sp; do \
+	  echo "== snoise lint $$deck"; \
+	  dune exec bin/snoise_cli.exe -- lint "$$deck" || status=1; \
+	done; \
+	exit $$status
 
 bench:
 	dune exec bench/main.exe

@@ -154,21 +154,42 @@ let run_op verbose vtune file =
       Format.fprintf fmt "%a@." Sn_engine.Dc.pp dc;
       finish ())
 
-let run_lint verbose file =
+(* --ignore CODE[=SUBJECT]: '=' as the separator because subject
+   names themselves contain ':' (backgate:m1, nwell:vdd) *)
+let parse_ignore s =
+  match String.index_opt s '=' with
+  | None -> (s, None)
+  | Some i ->
+    (String.sub s 0 i, Some (String.sub s (i + 1) (String.length s - i - 1)))
+
+let run_lint verbose json strict ignores disables file =
   setup_logs verbose;
-  let netlist =
-    match file with
-    | Some path -> Sn_circuit.Spice.load path
-    | None ->
-      Snoise.Flow.vco_merged
-        (Snoise.Flow.build_vco Sn_testchip.Vco_chip.default ~vtune:0.45)
-  in
-  let ds = Sn_circuit.Lint.check netlist in
-  if ds = [] then Format.fprintf fmt "netlist is clean@."
-  else
-    List.iter (fun d -> Format.fprintf fmt "%a@." Sn_circuit.Lint.pp d) ds;
-  finish ();
-  if Sn_circuit.Lint.errors ds <> [] then exit 1
+  or_diag_exit (fun () ->
+      let deck, netlist =
+        match file with
+        | Some path -> (path, Sn_circuit.Spice.load path)
+        | None ->
+          ( "merged VCO impact model",
+            Snoise.Flow.vco_merged
+              (Snoise.Flow.build_vco Sn_testchip.Vco_chip.default
+                 ~vtune:0.45) )
+      in
+      let config =
+        {
+          Sn_analysis.Analyzer.default with
+          Sn_analysis.Analyzer.disabled = disables;
+          ignores = List.map parse_ignore ignores;
+        }
+      in
+      let report = Sn_analysis.Analyzer.analyze ~config netlist in
+      if json then print_endline (Sn_analysis.Analyzer.to_json report)
+      else Snoise.Report.lint fmt ~deck report;
+      finish ();
+      let failing =
+        Sn_analysis.Analyzer.errors report <> []
+        || (strict && Sn_analysis.Analyzer.warnings report <> [])
+      in
+      if failing then exit 1)
 
 let run_drc verbose file =
   setup_logs verbose;
@@ -281,9 +302,32 @@ let cmds =
                 ~doc:
                   "SPICE netlist file to solve (lint-gated); omit to \
                    solve the merged VCO impact model."));
-    cmd "lint" "sanity-check a SPICE deck (default: the merged VCO model)"
+    cmd "lint"
+      "structural ERC of a SPICE deck (default: the merged VCO model)"
       Term.(
         const run_lint $ verbose
+        $ Arg.(
+            value & flag
+            & info [ "json" ]
+                ~doc:"Emit the report as a JSON object on stdout.")
+        $ Arg.(
+            value & flag
+            & info [ "strict" ]
+                ~doc:"Exit 1 on warnings too, not only on errors.")
+        $ Arg.(
+            value
+            & opt_all string []
+            & info [ "ignore" ] ~docv:"CODE[=SUBJECT]"
+                ~doc:
+                  "Suppress diagnostics of rule $(docv); with \
+                   $(b,=SUBJECT), only on that element/node/port.  \
+                   Repeatable.  Equivalent to an in-deck \
+                   $(b,*%snoise ignore) pragma.")
+        $ Arg.(
+            value
+            & opt_all string []
+            & info [ "disable" ] ~docv:"CODE"
+                ~doc:"Do not run rule $(docv) at all.  Repeatable.")
         $ Arg.(
             value
             & pos 0 (some file) None

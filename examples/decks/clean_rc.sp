@@ -1,0 +1,5 @@
+.title minimal clean RC low-pass
+v1 in 0 1.0 ac 1
+r1 in out 1k
+c1 out 0 1p
+.end

@@ -1,0 +1,11 @@
+.title resistive divider with an observation-only probe tap
+* The probe node hangs off a single resistor on purpose (it models a
+* high-impedance sense point); suppress the one expected warning so
+* the deck lints clean:
+*%snoise ignore dangling-node probe
+v1 in 0 1.0 ac 1
+r1 in mid 1k
+r2 mid 0 1k
+rprobe mid probe 10k
+c1 mid 0 1p
+.end

@@ -1,0 +1,90 @@
+module C = Sn_circuit
+
+type config = {
+  disabled : string list;
+  ignores : (string * string option) list;
+  use_pragmas : bool;
+}
+
+let default = { disabled = []; ignores = []; use_pragmas = true }
+
+type report = {
+  diagnostics : Rule.diagnostic list;
+  suppressed : int;
+}
+
+let matches_ignore (d : Rule.diagnostic) (code, subject) =
+  String.equal d.Rule.code code
+  &&
+  match subject with
+  | None -> true
+  | Some s -> String.equal (Rule.subject_name d.Rule.subject) s
+
+let analyze ?(config = default) netlist =
+  let ctx = Rule.context netlist in
+  let ignores =
+    if config.use_pragmas then
+      config.ignores
+      @ List.map
+          (fun (p : C.Netlist.pragma) -> (p.ignore_code, p.ignore_subject))
+          (C.Netlist.pragmas netlist)
+    else config.ignores
+  in
+  let raw =
+    List.concat_map
+      (fun (r : Rule.t) ->
+        if List.mem r.Rule.code config.disabled then [] else r.Rule.check ctx)
+      Rules.registry
+  in
+  (* autofill a source location for element subjects whose rule did
+     not attach one *)
+  let raw =
+    List.map
+      (fun (d : Rule.diagnostic) ->
+        match (d.Rule.loc, d.Rule.subject) with
+        | None, Rule.Element name ->
+          { d with Rule.loc = C.Netlist.element_loc netlist name }
+        | _ -> d)
+      raw
+  in
+  let kept, dropped =
+    List.partition
+      (fun d -> not (List.exists (matches_ignore d) ignores))
+      raw
+  in
+  {
+    diagnostics = List.sort_uniq Rule.compare_diagnostic kept;
+    suppressed = List.length dropped;
+  }
+
+let errors r =
+  List.filter
+    (fun (d : Rule.diagnostic) -> d.Rule.severity = Rule.Error)
+    r.diagnostics
+
+let warnings r =
+  List.filter
+    (fun (d : Rule.diagnostic) -> d.Rule.severity = Rule.Warning)
+    r.diagnostics
+
+let pp_report fmt r =
+  List.iter
+    (fun d -> Format.fprintf fmt "%a@." Rule.pp_diagnostic d)
+    r.diagnostics;
+  let ne = List.length (errors r) and nw = List.length (warnings r) in
+  Format.fprintf fmt "%d error%s, %d warning%s" ne
+    (if ne = 1 then "" else "s")
+    nw
+    (if nw = 1 then "" else "s");
+  if r.suppressed > 0 then
+    Format.fprintf fmt " (%d suppressed)" r.suppressed;
+  Format.pp_print_newline fmt ()
+
+let to_json r =
+  Printf.sprintf
+    "{\"tool\": \"snoise lint\", \"version\": \"1.0.0\", \"errors\": %d, \
+     \"warnings\": %d, \"suppressed\": %d, \"diagnostics\": [%s]}"
+    (List.length (errors r))
+    (List.length (warnings r))
+    r.suppressed
+    (String.concat ", " (List.map Rule.diagnostic_to_json r.diagnostics))

@@ -1,0 +1,49 @@
+(** The analyzer driver: runs every enabled rule over a netlist and
+    produces a deterministic, suppression-aware report. *)
+
+(** What to run and what to silence. *)
+type config = {
+  disabled : string list;
+      (** rule codes not to run at all (their checks never execute) *)
+  ignores : (string * string option) list;
+      (** [(code, subject)] suppressions applied after running: a
+          diagnostic is dropped when its code matches and — if the
+          subject is [Some s] — its subject name equals [s].  [None]
+          suppresses the code everywhere. *)
+  use_pragmas : bool;
+      (** honour [*%snoise ignore] pragmas carried by the netlist
+          (see {!Sn_circuit.Spice}); they extend [ignores] *)
+}
+
+val default : config
+(** Everything enabled, no suppressions, pragmas honoured. *)
+
+type report = {
+  diagnostics : Rule.diagnostic list;
+      (** deduplicated and sorted with {!Rule.compare_diagnostic}:
+          errors first, then by code, subject and message — stable
+          across runs and element orderings *)
+  suppressed : int;
+      (** diagnostics dropped by [ignores] or deck pragmas *)
+}
+
+val analyze : ?config:config -> Sn_circuit.Netlist.t -> report
+(** Run the {!Rules.registry} over the netlist (compiling its
+    {!Sn_engine.Stamp_plan} lazily for the pattern rules).  Element
+    subjects are given the element's SPICE source location when the
+    netlist carries one and the rule did not attach a location
+    itself. *)
+
+val errors : report -> Rule.diagnostic list
+val warnings : report -> Rule.diagnostic list
+
+val pp_report : Format.formatter -> report -> unit
+(** One {!Rule.pp_diagnostic} line per diagnostic followed by an
+    ["N errors, M warnings"] summary (plus a suppressed count when
+    non-zero). *)
+
+val to_json : report -> string
+(** Stable JSON object:
+    [{"tool", "version", "errors", "warnings", "suppressed",
+    "diagnostics": [...]}] with each diagnostic rendered by
+    {!Rule.diagnostic_to_json}. *)

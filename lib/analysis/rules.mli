@@ -1,0 +1,62 @@
+(** The built-in rule suite and its registry.
+
+    Codes are stable identifiers: deck pragmas, analyzer configuration
+    and [docs/LINT.md] all refer to rules by code.  The registry is
+    sorted by code; {!Analyzer.analyze} runs every rule that is not
+    disabled. *)
+
+val registry : Rule.t list
+(** All built-in rules, sorted by code:
+    - ["dangling-node"] (warning): a node touched by exactly one
+      element terminal;
+    - ["duplicate-element"] (warning): two elements of the same kind,
+      nodes and value — almost always a double merge;
+    - ["extreme-value"] (warning): component value or device geometry
+      outside its plausible range — usually a unit-suffix slip;
+    - ["floating-body"] (warning): a MOSFET bulk node touched only by
+      bulk terminals — no substrate tie;
+    - ["floating-gate"] (warning): a MOSFET gate node touched only by
+      gate terminals — DC bias undefined;
+    - ["isource-cutset"] (warning): a current source whose current has
+      no return path — the cutset dual of [vsource-loop]; the gmin
+      floor keeps such decks solvable, but voltages reach [I/gmin];
+    - ["no-ground-path"] (error): a connected component with no DC
+      path to ground;
+    - ["shorted-element"] (warning): an element with all terminals on
+      one node;
+    - ["structural-singular"] (error): the compiled MNA pattern admits
+      no perfect row/column matching (see {!Structural});
+    - ["unbound-port"] (warning): a substrate macromodel port that
+      never met a circuit element after {!Snoise.Merge};
+    - ["unknown-pragma"] (warning): an [ignore] pragma naming a rule
+      code that does not exist — a typo that suppresses nothing;
+    - ["untied-ring"] (warning): a guard ring / substrate tap bound to
+      circuit elements but with no metal DC path to ground;
+    - ["vsource-loop"] (error): a cycle of ideal voltage sources /
+      inductors (numerically singular at DC). *)
+
+val find : string -> Rule.t option
+(** Look a rule up by code. *)
+
+val codes : string list
+(** All registry codes, sorted. *)
+
+(** {2 Merge namespace conventions}
+
+    [Snoise.Merge] names the elements it synthesizes with these
+    prefixes; the port-binding rules recognize substrate parasitics by
+    them.  A contract test ([test_analysis.ml]) asserts the merge
+    layer actually uses them. *)
+
+val substrate_prefixes : string list
+(** [["rsub_"; "cwell_"]] — macromodel conductances / well caps. *)
+
+val probe_port_prefix : string
+(** ["backgate:"] — observation-only ports, exempt from binding
+    rules. *)
+
+val well_port_prefix : string
+(** ["nwell:"] — well ports, tied through their junction cap. *)
+
+val is_substrate_element : string -> bool
+(** Whether an element name carries a {!substrate_prefixes} prefix. *)

@@ -1,8 +1,17 @@
-type t = { title : string; elements : Element.t list }
+type source_loc = { file : string; line : int }
+
+type pragma = { ignore_code : string; ignore_subject : string option }
+
+type t = {
+  title : string;
+  elements : Element.t list;
+  pragmas : pragma list;
+  locs : (string, source_loc) Hashtbl.t;
+}
 
 exception Invalid of string list
 
-let create ?(title = "untitled") elements =
+let create ?(title = "untitled") ?(pragmas = []) ?(locs = []) elements =
   let errors = ref [] in
   let err m = errors := m :: !errors in
   (* duplicate names *)
@@ -26,11 +35,21 @@ let create ?(title = "untitled") elements =
              elements)
   then err "netlist has no ground reference (node 0 or gnd)";
   (match !errors with [] -> () | es -> raise (Invalid (List.rev es)));
-  { title; elements }
+  let loc_table = Hashtbl.create (List.length locs |> max 1) in
+  List.iter (fun (name, loc) -> Hashtbl.replace loc_table name loc) locs;
+  { title; elements; pragmas; locs = loc_table }
 
 let title nl = nl.title
 let elements nl = nl.elements
 let element_count nl = List.length nl.elements
+
+let pragmas nl = nl.pragmas
+
+let element_loc nl name = Hashtbl.find_opt nl.locs name
+
+let element_locs nl =
+  Hashtbl.fold (fun name loc acc -> (name, loc) :: acc) nl.locs []
+  |> List.sort compare
 
 let nodes nl =
   List.concat_map Element.nodes nl.elements
@@ -49,10 +68,18 @@ let mem_node nl n =
   || List.exists (fun e -> List.mem n (Element.nodes e)) nl.elements
 
 let merge ?(title = "merged") parts =
-  create ~title (List.concat_map elements parts)
+  create ~title
+    ~pragmas:(List.concat_map pragmas parts)
+    ~locs:(List.concat_map element_locs parts)
+    (List.concat_map elements parts)
 
-let map f nl = create ~title:nl.title (List.map f nl.elements)
-let filter f nl = create ~title:nl.title (List.filter f nl.elements)
+let map f nl =
+  create ~title:nl.title ~pragmas:nl.pragmas ~locs:(element_locs nl)
+    (List.map f nl.elements)
+
+let filter f nl =
+  create ~title:nl.title ~pragmas:nl.pragmas ~locs:(element_locs nl)
+    (List.filter f nl.elements)
 
 let pp fmt nl =
   Format.fprintf fmt "@[<v>* %s@," nl.title;

@@ -5,17 +5,45 @@
 
 type t
 
+type source_loc = { file : string; line : int }
+(** Where an element card came from, for diagnostics that point at the
+    offending SPICE line ({!Spice.of_string} fills this in). *)
+
+type pragma = { ignore_code : string; ignore_subject : string option }
+(** A lint-suppression request carried by the netlist: ignore
+    diagnostics with rule code [ignore_code], either everywhere
+    ([ignore_subject = None]) or only on the named element / node /
+    port.  Written in decks as [*%snoise ignore <code> [<subject>]]
+    and interpreted by [Sn_analysis]. *)
+
 exception Invalid of string list
 (** Raised by {!create} with all validation messages. *)
 
-val create : ?title:string -> Element.t list -> t
-(** [create ?title elements] validates and builds a netlist.
-    Raises {!Invalid} on duplicate element names, per-element
-    validation failures, or a netlist with no ground reference. *)
+val create :
+  ?title:string ->
+  ?pragmas:pragma list ->
+  ?locs:(string * source_loc) list ->
+  Element.t list ->
+  t
+(** [create ?title ?pragmas ?locs elements] validates and builds a
+    netlist.  [locs] maps element names to their source locations
+    (unknown names are kept but never looked up).  Raises {!Invalid}
+    on duplicate element names, per-element validation failures, or a
+    netlist with no ground reference. *)
 
 val title : t -> string
 val elements : t -> Element.t list
 val element_count : t -> int
+
+val pragmas : t -> pragma list
+(** Suppression pragmas, in deck order. *)
+
+val element_loc : t -> string -> source_loc option
+(** Source location of the element named, when known. *)
+
+val element_locs : t -> (string * source_loc) list
+(** All known locations, sorted by element name — what {!merge} and
+    {!map} carry over. *)
 
 val nodes : t -> string list
 (** Sorted distinct non-ground node names. *)
@@ -27,7 +55,8 @@ val mem_node : t -> string -> bool
 
 val merge : ?title:string -> t list -> t
 (** [merge parts] concatenates element lists (re-validating); node
-    names shared across parts become electrical connections. *)
+    names shared across parts become electrical connections.  Pragmas
+    and source locations of every part are carried over. *)
 
 val map : (Element.t -> Element.t) -> t -> t
 (** Rewrite elements (revalidates). *)

@@ -255,36 +255,74 @@ let logical_lines text =
   in
   join [] (List.mapi (fun i l -> (i + 1, l)) raw)
 
-let of_string text =
+(* A lint-suppression pragma: a line reading
+   [*%snoise ignore <code> [<subject>]] (leading [*] optional, spaces
+   after the [*] allowed).  Returns [None] for lines that are not
+   pragmas; raises on a [%snoise] line with an unknown verb so typos
+   do not silently disable nothing. *)
+let pragma_of_line ln line =
+  let body =
+    let s = String.trim line in
+    if String.length s > 0 && s.[0] = '*' then
+      String.trim (String.sub s 1 (String.length s - 1))
+    else s
+  in
+  if not (String.length body >= 7 && String.sub body 0 7 = "%snoise") then None
+  else
+    match
+      String.split_on_char ' ' body |> List.filter (fun t -> t <> "")
+    with
+    | _ :: "ignore" :: code :: rest ->
+      let subject =
+        match rest with
+        | [] -> None
+        | [ s ] -> Some s
+        | _ -> fail ln "%snoise ignore takes a code and at most one subject"
+      in
+      Some
+        { Netlist.ignore_code = String.lowercase_ascii code;
+          ignore_subject = subject }
+    | _ -> fail ln "unknown %snoise pragma (expected: ignore <code> [<subject>])"
+
+let of_string ?(file = "<string>") text =
   let models = { mos = []; var = [] } in
   let title = ref "spice netlist" in
   let cards = ref [] in
-  (* first pass: models and title *)
+  let locs = ref [] in
+  let pragmas = ref [] in
+  (* first pass: models, title and pragmas *)
   List.iter
     (fun (ln, line) ->
-      if line = "" || line.[0] = '*' then ()
-      else begin
-        let tokens = tokens_of_line line in
-        match tokens with
-        | dot :: rest when String.length dot > 0 && dot.[0] = '.' ->
-          (match String.lowercase_ascii dot with
-           | ".model" -> parse_model ln models rest
-           | ".title" -> title := String.concat " " rest
-           | ".end" -> ()
-           | d -> fail ln ("unknown directive: " ^ d))
-        | _ -> ()
-      end)
+      match pragma_of_line ln line with
+      | Some p -> pragmas := p :: !pragmas
+      | None ->
+        if line = "" || line.[0] = '*' then ()
+        else begin
+          let tokens = tokens_of_line line in
+          match tokens with
+          | dot :: rest when String.length dot > 0 && dot.[0] = '.' ->
+            (match String.lowercase_ascii dot with
+             | ".model" -> parse_model ln models rest
+             | ".title" -> title := String.concat " " rest
+             | ".end" -> ()
+             | d -> fail ln ("unknown directive: " ^ d))
+          | _ -> ()
+        end)
     (logical_lines text);
   (* second pass: element cards *)
   List.iter
     (fun (ln, line) ->
-      if line = "" || line.[0] = '*' || line.[0] = '.' then ()
+      if line = "" || line.[0] = '*' || line.[0] = '.' || line.[0] = '%'
+      then ()
       else
         match parse_card ln models (tokens_of_line line) with
-        | Some e -> cards := e :: !cards
+        | Some e ->
+          cards := e :: !cards;
+          locs := (Element.name e, { Netlist.file; line = ln }) :: !locs
         | None -> ())
     (logical_lines text);
-  Netlist.create ~title:!title (List.rev !cards)
+  Netlist.create ~title:!title ~pragmas:(List.rev !pragmas) ~locs:!locs
+    (List.rev !cards)
 
 (* ------------------------------------------------------------------ *)
 (* printing *)
@@ -320,6 +358,14 @@ let wave_text = function
 let to_string nl =
   let b = Buffer.create 4096 in
   Buffer.add_string b (Printf.sprintf ".title %s\n" (Netlist.title nl));
+  List.iter
+    (fun (p : Netlist.pragma) ->
+      Buffer.add_string b
+        (match p.Netlist.ignore_subject with
+         | None -> Printf.sprintf "*%%snoise ignore %s\n" p.Netlist.ignore_code
+         | Some s ->
+           Printf.sprintf "*%%snoise ignore %s %s\n" p.Netlist.ignore_code s))
+    (Netlist.pragmas nl);
   (* model cards, deduplicated by name *)
   let mos = Hashtbl.create 8 and var = Hashtbl.create 8 in
   List.iter
@@ -370,7 +416,7 @@ let load path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
-    (fun () -> of_string (In_channel.input_all ic))
+    (fun () -> of_string ~file:path (In_channel.input_all ic))
 
 let save path nl =
   let oc = open_out path in

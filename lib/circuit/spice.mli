@@ -22,19 +22,29 @@
 
     Values accept engineering suffixes
     [f p n u m k meg g t] (case-insensitive); lines starting with [+]
-    continue the previous card. *)
+    continue the previous card.
+
+    Lint-suppression pragmas ride in comments:
+    {v
+    *%snoise ignore <code> [<subject>]
+    v}
+    and surface as {!Netlist.pragmas}; every parsed element also
+    records its {!Netlist.source_loc} so analysis diagnostics can
+    point at the offending deck line. *)
 
 exception Parse_error of int * string
 
 val parse_number : string -> float option
 (** [parse_number "10meg"] is [Some 1e7]; exposed for tests. *)
 
-val of_string : string -> Netlist.t
-(** Raises {!Parse_error} or {!Netlist.Invalid}. *)
+val of_string : ?file:string -> string -> Netlist.t
+(** Raises {!Parse_error} or {!Netlist.Invalid}.  [?file] (default
+    ["<string>"]) names the source in the recorded element
+    locations. *)
 
 val to_string : Netlist.t -> string
-(** Emits a netlist (with the [.model] cards it needs) that
-    {!of_string} parses back. *)
+(** Emits a netlist (with the [.model] cards and [%snoise] pragmas it
+    needs) that {!of_string} parses back. *)
 
 val load : string -> Netlist.t
 val save : string -> Netlist.t -> unit

@@ -32,11 +32,13 @@ let default_options =
   }
 
 (* ------------------------------------------------------------------ *)
-(* lint gate: merged models pass Sn_circuit.Lint before the engine
-   sees them.  Errors refuse to simulate (raised as a Diag.Bad_input);
-   warnings are logged once per distinct message — bias sweeps re-merge
-   the same structure dozens of times and repeating identical warnings
-   would bury the report. *)
+(* lint gate: merged models pass the Sn_analysis rule suite before the
+   engine sees them.  Errors refuse to simulate (raised as a
+   Diag.Bad_input); warnings are logged once per distinct message —
+   bias sweeps re-merge the same structure dozens of times and
+   repeating identical warnings would bury the report. *)
+
+module A = Sn_analysis
 
 let lint_disabled = ref false
 
@@ -48,30 +50,28 @@ let warned_lock = Mutex.create ()
 
 let lint_gate ?(enabled = true) nl =
   if enabled && not !lint_disabled then begin
-    let ds = C.Lint.check nl in
+    let report = A.Analyzer.analyze nl in
     List.iter
-      (fun (d : C.Lint.diagnostic) ->
-        match d.C.Lint.severity with
-        | C.Lint.Error -> ()
-        | C.Lint.Warning ->
-          let key = d.C.Lint.code ^ ":" ^ d.C.Lint.message in
-          let fresh =
-            Mutex.lock warned_lock;
-            let f = not (Hashtbl.mem warned key) in
-            if f then Hashtbl.replace warned key ();
-            Mutex.unlock warned_lock;
-            f
-          in
-          if fresh then Log.warn (fun m -> m "lint: %a" C.Lint.pp d))
-      ds;
-    match C.Lint.errors ds with
+      (fun (d : A.Rule.diagnostic) ->
+        let key = d.A.Rule.code ^ ":" ^ d.A.Rule.message in
+        let fresh =
+          Mutex.lock warned_lock;
+          let f = not (Hashtbl.mem warned key) in
+          if f then Hashtbl.replace warned key ();
+          Mutex.unlock warned_lock;
+          f
+        in
+        if fresh then
+          Log.warn (fun m -> m "lint: %a" A.Rule.pp_diagnostic d))
+      (A.Analyzer.warnings report);
+    match A.Analyzer.errors report with
     | [] -> ()
     | errs ->
       let what =
         String.concat "; "
           (List.map
-             (fun (d : C.Lint.diagnostic) ->
-               Printf.sprintf "%s: %s" d.C.Lint.code d.C.Lint.message)
+             (fun (d : A.Rule.diagnostic) ->
+               Printf.sprintf "%s: %s" d.A.Rule.code d.A.Rule.message)
              errs)
       in
       raise

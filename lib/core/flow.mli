@@ -28,9 +28,10 @@ type options = {
       (** process card; default {!Sn_tech.Tech.imec018} — corner
           analysis swaps in scaled variants *)
   lint : bool;
-      (** run {!Sn_circuit.Lint} on every merged model before
-          simulating it (default [true]); lint errors refuse to
-          simulate by raising {!Sn_engine.Diag.Error} *)
+      (** run the {!Sn_analysis} rule suite on every merged model
+          before simulating it (default [true]); error-severity
+          diagnostics refuse to simulate by raising
+          {!Sn_engine.Diag.Error} *)
 }
 
 val default_options : options
@@ -38,12 +39,13 @@ val default_options : options
     nominal widths, the 0.18 um high-ohmic imec card, lint gate on. *)
 
 val lint_gate : ?enabled:bool -> Sn_circuit.Netlist.t -> unit
-(** [lint_gate nl] refuses a netlist with lint errors by raising
-    {!Sn_engine.Diag.Error} with a {!Sn_engine.Diag.Bad_input} listing
-    every error; warnings are logged once per distinct message.
-    [?enabled:false] (or {!disable_lint}) turns the gate into a no-op.
-    The flow calls this on every merged model it is about to
-    simulate. *)
+(** [lint_gate nl] runs {!Sn_analysis.Analyzer.analyze} (with deck
+    pragmas honoured) and refuses a netlist with error-severity
+    diagnostics by raising {!Sn_engine.Diag.Error} with a
+    {!Sn_engine.Diag.Bad_input} listing every error; warnings are
+    logged once per distinct message.  [?enabled:false] (or
+    {!disable_lint}) turns the gate into a no-op.  The flow calls this
+    on every merged model it is about to simulate. *)
 
 val disable_lint : unit -> unit
 (** Process-wide lint kill switch — the CLI's [--no-lint].  Overrides

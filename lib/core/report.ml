@@ -243,3 +243,23 @@ let aggressor fmt (r : E.aggressor_comb) =
     r.E.lines;
   Format.fprintf fmt "total comb power: %.1f dBm@," r.E.total_dbm;
   Format.fprintf fmt "@]"
+
+let lint fmt ~deck (r : Sn_analysis.Analyzer.report) =
+  let module A = Sn_analysis in
+  Format.fprintf fmt "@[<v>";
+  hr fmt;
+  Format.fprintf fmt "Lint - %s@," deck;
+  hr fmt;
+  (match r.A.Analyzer.diagnostics with
+   | [] -> Format.fprintf fmt "clean@,"
+   | ds ->
+     List.iter (fun d -> Format.fprintf fmt "%a@," A.Rule.pp_diagnostic d) ds);
+  let ne = List.length (A.Analyzer.errors r)
+  and nw = List.length (A.Analyzer.warnings r) in
+  Format.fprintf fmt "%d error%s, %d warning%s" ne
+    (if ne = 1 then "" else "s")
+    nw
+    (if nw = 1 then "" else "s");
+  if r.A.Analyzer.suppressed > 0 then
+    Format.fprintf fmt " (%d suppressed)" r.A.Analyzer.suppressed;
+  Format.fprintf fmt "@,@]"

@@ -40,3 +40,9 @@ val spectrum_ascii :
   ?width:int -> ?height:int -> Format.formatter -> (float * float) list -> unit
 (** [spectrum_ascii fmt points] renders (frequency-offset, dBm) points
     as an ASCII spectrum plot — the Figure 7 panel. *)
+
+val lint :
+  Format.formatter -> deck:string -> Sn_analysis.Analyzer.report -> unit
+(** Boxed lint report for one deck: one {!Sn_analysis.Rule.pp_diagnostic}
+    line per finding (or ["clean"]) and an error/warning/suppressed
+    summary.  The CLI's [snoise lint] text output. *)

@@ -48,6 +48,7 @@ type t = {
   node_table : (string, int) Hashtbl.t;
   branch_table : (string, int) Hashtbl.t;
   node_names : string array;
+  branch_names : string array;  (* index i names branch slot n_nodes + i *)
   n_nodes : int;
   n_branches : int;
 }
@@ -65,10 +66,12 @@ let build netlist =
   let n_nodes = List.length nodes in
   let branch_table = Hashtbl.create 16 in
   let n_branches = ref 0 in
+  let branch_names = ref [] in
   List.iter
     (fun e ->
       if needs_branch e then begin
         Hashtbl.replace branch_table (C.Element.name e) (n_nodes + !n_branches);
+        branch_names := C.Element.name e :: !branch_names;
         incr n_branches
       end)
     (C.Netlist.elements netlist);
@@ -77,6 +80,7 @@ let build netlist =
     node_table;
     branch_table;
     node_names = Array.of_list nodes;
+    branch_names = Array.of_list (List.rev !branch_names);
     n_nodes;
     n_branches = !n_branches;
   }
@@ -110,11 +114,10 @@ let branch_slot m name =
                |> List.sort String.compare) })
 
 let node_names m = m.node_names
+let branch_names m = m.branch_names
 
 let slot_name m i =
   if i >= 0 && i < m.n_nodes then Some m.node_names.(i)
   else if i >= m.n_nodes && i < m.n_nodes + m.n_branches then
-    Hashtbl.fold
-      (fun name slot acc -> if slot = i then Some name else acc)
-      m.branch_table None
+    Some m.branch_names.(i - m.n_nodes)
   else None

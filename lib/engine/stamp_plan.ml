@@ -140,3 +140,108 @@ let build mna =
     n_inds = !n_inds;
     linear = !linear;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Structural zero-nonzero pattern export, consumed by the static
+   analyzer (Sn_analysis) for matching-based singularity prediction.
+
+   The pattern must reproduce exactly which matrix positions the
+   assembly paths can ever fill: the DC shape follows Dc.assemble_plan
+   (dynamic elements open, gmin on every node diagonal), the AC shape
+   follows Ac_plan.compile (capacitive susceptances present, jwL on
+   the inductor branch diagonal, same gmin floor).  Device
+   small-signal parameters are treated as symbolic nonzeros — a cutoff
+   MOSFET's conductances stay in the pattern, matching the unit-weight
+   pattern compilation of the numeric engines.
+
+   Cancellation is resolved per element with signed unit weights: a
+   stamp group whose coefficients sum to zero at one position (a
+   self-looped element's +1/-1 incidence pair, a resistor with both
+   terminals on one node) contributes nothing there, exactly as the
+   numeric stamps would.  Sums across different elements never cancel
+   structurally, so positions are unioned across elements. *)
+
+type pattern = {
+  pat_dim : int;  (** unknown count: [dim] of the plan *)
+  pat_nodes : int;  (** node-voltage unknowns come first *)
+  pat_adj : int array array;
+      (** row [i] holds the strictly increasing column indices of the
+          structurally nonzero entries of matrix row [i] *)
+}
+
+let structural_pattern ~with_dynamic p =
+  let global : (int * int, unit) Hashtbl.t = Hashtbl.create 256 in
+  let local : (int * int, float ref) Hashtbl.t = Hashtbl.create 16 in
+  let stamp i j v =
+    if i >= 0 && j >= 0 then
+      match Hashtbl.find_opt local (i, j) with
+      | Some r -> r := !r +. v
+      | None -> Hashtbl.add local (i, j) (ref v)
+  in
+  let adm i j =
+    stamp i i 1.0;
+    stamp j j 1.0;
+    stamp i j (-1.0);
+    stamp j i (-1.0)
+  in
+  let branch_pair b i j =
+    stamp b i 1.0;
+    stamp b j (-1.0);
+    stamp i b 1.0;
+    stamp j b (-1.0)
+  in
+  let flush () =
+    Hashtbl.iter
+      (fun pos r -> if !r <> 0.0 then Hashtbl.replace global pos ())
+      local;
+    Hashtbl.reset local
+  in
+  Array.iter
+    (fun e ->
+      (match e with
+       | Resistor { i; j; _ } -> adm i j
+       | Capacitor { i; j; _ } | Varactor { i; j; _ } ->
+         if with_dynamic then adm i j
+       | Inductor { b; i; j; _ } ->
+         branch_pair b i j;
+         if with_dynamic then stamp b b 1.0
+       | Vsource { b; i; j; _ } -> branch_pair b i j
+       | Isource _ -> ()
+       | Vccs { i; j; k; l; _ } ->
+         stamp i k 1.0;
+         stamp i l (-1.0);
+         stamp j k (-1.0);
+         stamp j l 1.0
+       | Vcvs { b; i; j; k; l; _ } ->
+         branch_pair b i j;
+         stamp b k (-1.0);
+         stamp b l 1.0
+       | Mosfet { md; mg; ms; mbk; _ } ->
+         (* symbolic conductances g_d{d,g,s,b}: each appears once with
+            + on the drain row and once with - on the source row, so
+            signed units cancel exactly when (and only when) the
+            numeric stamps would *)
+         List.iter
+           (fun col ->
+             stamp md col 1.0;
+             stamp ms col (-1.0))
+           [ md; mg; ms; mbk ]);
+      flush ())
+    p.elts;
+  (* the gmin floor both assembly paths put on every node diagonal *)
+  for i = 0 to p.n_nodes - 1 do
+    Hashtbl.replace global (i, i) ()
+  done;
+  let rows = Array.make p.dim [] in
+  Hashtbl.iter (fun (i, j) () -> rows.(i) <- j :: rows.(i)) global;
+  {
+    pat_dim = p.dim;
+    pat_nodes = p.n_nodes;
+    pat_adj =
+      Array.map
+        (fun cols -> Array.of_list (List.sort_uniq compare cols))
+        rows;
+  }
+
+let dc_pattern p = structural_pattern ~with_dynamic:false p
+let ac_pattern p = structural_pattern ~with_dynamic:true p

@@ -1,0 +1,6 @@
+.title clean RC divider
+v1 in 0 1.0
+r1 in mid 1k
+r2 mid 0 1k
+c1 mid 0 1p
+.end

@@ -1,0 +1,8 @@
+* pathological deck: an ideal inductor strapped straight across an
+* ideal source closes a voltage-defined loop through ground — the DC
+* MNA pattern is structurally singular (AC is fine: the inductor row
+* gains its jwL diagonal).
+v1 in 0 1.0
+l1 in 0 10n
+r1 in 0 1k
+.end

@@ -1,0 +1,8 @@
+* a current source driving an RC island that returns through ground:
+* simulates fine, lints clean of errors (isource-cutset stays quiet
+* because r1/r2 provide the return path).
+i1 x 0 1m
+r1 x y 1k
+r2 y 0 1k
+c1 x 0 1p
+.end

@@ -263,57 +263,37 @@ let test_spice_errors () =
   fails ".model m1 diode is=1\n";
   fails "V1 a 0 SIN(1 2)\n"
 
-(* ------------------------------------------------------------------ *)
-(* lint *)
-
-let test_lint_clean_netlist () =
-  let nl =
-    C.Netlist.create
-      [ C.Element.Vsource { name = "v1"; np = "in"; nn = "0";
-                            wave = W.dc 1.0; ac_mag = 0.0 };
-        r "r1" "in" "out" 1.0e3; r "r2" "out" "0" 1.0e3 ]
+let test_spice_pragmas () =
+  let deck =
+    ".title t\n\
+     *%snoise ignore dangling-node probe\n\
+     %snoise ignore extreme-value\n\
+     r1 a 0 1k\n"
   in
-  Alcotest.(check int) "no diagnostics" 0 (List.length (C.Lint.check nl))
-
-let test_lint_dangling_node () =
-  let nl = C.Netlist.create [ r "r1" "a" "0" 1.0e3; r "r2" "a" "b" 1.0e3 ] in
-  let ds = C.Lint.check nl in
-  Alcotest.(check bool) "dangling b" true
-    (List.exists (fun (d : C.Lint.diagnostic) -> d.C.Lint.code = "dangling-node") ds)
-
-let test_lint_no_ground_path () =
-  let nl =
-    C.Netlist.create
-      [ r "r1" "a" "0" 1.0e3;
-        (* island hanging off a capacitor *)
-        C.Element.Capacitor { name = "c1"; n1 = "a"; n2 = "x"; farads = 1e-12 };
-        r "r2" "x" "y" 1.0e3 ]
-  in
-  let ds = C.Lint.errors (C.Lint.check nl) in
-  Alcotest.(check bool) "island reported" true
-    (List.exists (fun (d : C.Lint.diagnostic) -> d.C.Lint.code = "no-ground-path") ds)
-
-let test_lint_vsource_loop () =
-  let v name np nn = C.Element.Vsource { name; np; nn; wave = W.dc 1.0; ac_mag = 0.0 } in
-  let nl = C.Netlist.create [ v "v1" "a" "0"; v "v2" "a" "0"; r "r1" "a" "0" 1.0 ] in
-  let ds = C.Lint.errors (C.Lint.check nl) in
-  Alcotest.(check bool) "loop reported" true
-    (List.exists (fun (d : C.Lint.diagnostic) -> d.C.Lint.code = "vsource-loop") ds)
-
-let test_lint_extreme_value () =
-  let nl = C.Netlist.create [ r "r1" "a" "0" 1.0e12 ] in
-  let ds = C.Lint.check nl in
-  Alcotest.(check bool) "extreme R" true
-    (List.exists (fun (d : C.Lint.diagnostic) -> d.C.Lint.code = "extreme-value") ds)
-
-let test_lint_merged_vco_is_clean () =
-  (* the real merged impact model must lint clean of errors *)
-  let flow = Snoise.Flow.build_vco Sn_testchip.Vco_chip.default ~vtune:0.0 in
-  let ds = C.Lint.errors (C.Lint.check (Snoise.Flow.vco_merged flow)) in
-  List.iter
-    (fun d -> Format.eprintf "%a@." C.Lint.pp d)
-    ds;
-  Alcotest.(check int) "no errors" 0 (List.length ds)
+  let nl = C.Spice.of_string ~file:"t.sp" deck in
+  (match C.Netlist.pragmas nl with
+   | [ p1; p2 ] ->
+     Alcotest.(check string) "code 1" "dangling-node" p1.C.Netlist.ignore_code;
+     Alcotest.(check (option string)) "subject 1" (Some "probe")
+       p1.C.Netlist.ignore_subject;
+     Alcotest.(check string) "code 2" "extreme-value" p2.C.Netlist.ignore_code;
+     Alcotest.(check (option string)) "subject 2" None
+       p2.C.Netlist.ignore_subject
+   | ps -> Alcotest.failf "expected 2 pragmas, got %d" (List.length ps));
+  (match C.Netlist.element_loc nl "r1" with
+   | Some l ->
+     Alcotest.(check string) "file" "t.sp" l.C.Netlist.file;
+     Alcotest.(check int) "line" 4 l.C.Netlist.line
+   | None -> Alcotest.fail "r1 has no source location");
+  (* pragmas survive the SPICE round trip *)
+  let nl2 = C.Spice.of_string (C.Spice.to_string nl) in
+  Alcotest.(check int) "roundtrip pragmas" 2
+    (List.length (C.Netlist.pragmas nl2));
+  (* a %snoise line with an unknown verb is a parse error, not a
+     silently-ignored comment *)
+  match C.Spice.of_string "*%snoise frobnicate x\nr1 a 0 1k\n" with
+  | exception C.Spice.Parse_error _ -> ()
+  | _ -> Alcotest.fail "bad pragma accepted"
 
 let qcheck t = QCheck_alcotest.to_alcotest t
 
@@ -351,16 +331,6 @@ let suites =
         Alcotest.test_case "queries" `Quick test_netlist_queries;
         Alcotest.test_case "merge" `Quick test_netlist_merge;
       ] );
-    ( "circuit.lint",
-      [
-        Alcotest.test_case "clean netlist" `Quick test_lint_clean_netlist;
-        Alcotest.test_case "dangling node" `Quick test_lint_dangling_node;
-        Alcotest.test_case "no ground path" `Quick test_lint_no_ground_path;
-        Alcotest.test_case "vsource loop" `Quick test_lint_vsource_loop;
-        Alcotest.test_case "extreme value" `Quick test_lint_extreme_value;
-        Alcotest.test_case "merged VCO lints clean" `Slow
-          test_lint_merged_vco_is_clean;
-      ] );
     ( "circuit.spice",
       [
         Alcotest.test_case "number suffixes" `Quick test_parse_number;
@@ -368,5 +338,6 @@ let suites =
         Alcotest.test_case "round trip" `Quick test_spice_roundtrip;
         Alcotest.test_case "continuation lines" `Quick test_spice_continuation;
         Alcotest.test_case "parse errors" `Quick test_spice_errors;
+        Alcotest.test_case "pragmas and locations" `Quick test_spice_pragmas;
       ] );
   ]

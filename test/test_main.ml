@@ -5,6 +5,7 @@ let () =
      @ Test_layout.suites
      @ Test_substrate.suites
      @ Test_circuit.suites
+     @ Test_analysis.suites
      @ Test_engine.suites
      @ Test_interconnect.suites
      @ Test_rf.suites
