@@ -1,4 +1,4 @@
-.PHONY: all build test check lint bench doc clean
+.PHONY: all build test check lint bench bench-extract doc clean
 
 all: build
 
@@ -25,6 +25,11 @@ lint: build
 
 bench:
 	dune exec bench/main.exe
+
+# extraction-at-scale bench only (MG-CG vs direct, tiled cache, BENCH_5.json);
+# `make bench-extract SMALL=1` runs the reduced CI-sized ladder
+bench-extract:
+	dune exec bench/main.exe -- part6 $(if $(SMALL),small)
 
 # API reference (requires odoc: `opam install odoc`);
 # output lands in _build/default/_doc/_html/

@@ -482,6 +482,221 @@ let frequency_domain () =
   Format.pp_print_flush fmt ()
 
 (* ------------------------------------------------------------------ *)
+(* Part 6: substrate extraction at scale (BENCH_5.json)
+
+   Wall time of the macromodel extraction versus lateral grid size,
+   48^2 up to 512^2 surface cells (over a million FDM nodes at the
+   top), multigrid-preconditioned CG against the direct star-mesh
+   elimination.  Direct is measured only at the small sizes and
+   power-law extrapolated past them (the same measured-subset idiom as
+   part 5); the MG-CG column reports per-size CG iteration counts so
+   the near-flat growth that makes the scaling possible is visible in
+   the JSON.  A 2x2 tiled extraction runs cold then warm against a
+   throwaway cache directory (warm must hit every tile and run zero
+   CG iterations), jobs=1 vs jobs=4 byte-identity and small-grid
+   agreement with the direct oracle are asserted, so "bench part6"
+   doubles as a CI smoke gate.  "bench part6 small" trims the size
+   ladder for CI. *)
+
+let extraction_scaling () =
+  banner "Part 6 - substrate extraction at scale (MG-CG, tiles, cache)";
+  let module G = Sn_geometry in
+  let module Sub = Sn_substrate in
+  let module X = Sub.Extractor in
+  let module Port = Sub.Port in
+  let module Mac = Sub.Macromodel in
+  let module N = Sn_numerics in
+  let module Pool = Sn_engine.Pool in
+  let small = Array.exists (String.equal "small") Sys.argv in
+  let die = G.Rect.make 0.0 0.0 400.0 400.0 in
+  let ports =
+    [ Port.v ~name:"agg" ~kind:Port.Resistive
+        [ G.Rect.make 40.0 40.0 120.0 120.0 ];
+      Port.v ~name:"vic" ~kind:Port.Resistive
+        [ G.Rect.make 280.0 280.0 360.0 360.0 ];
+      Port.v ~name:"ring" ~kind:Port.Resistive
+        [ G.Rect.make 40.0 280.0 120.0 360.0 ];
+      Port.v ~name:"tap" ~kind:Port.Resistive
+        [ G.Rect.make 280.0 40.0 360.0 120.0 ];
+      Port.v ~name:"probe" ~kind:Port.Probe
+        [ G.Rect.make 180.0 180.0 220.0 220.0 ] ]
+  in
+  let cfg n = { Sub.Grid.nx = n; ny = n; z_per_layer = Some [ 1; 1; 1; 1 ] } in
+  let sizes = if small then [| 32; 48 |] else [| 48; 96; 128; 192; 256; 512 |] in
+  let direct_limit = 96 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let entries = Array.make (Array.length sizes) "" in
+  let mat_bits m =
+    let np = N.Mat.rows m in
+    Array.init (np * np) (fun k ->
+        Int64.bits_of_float (N.Mat.get m (k / np) (k mod np)))
+  in
+  let max_rel_err a b =
+    let ea = mat_bits a and eb = mat_bits b in
+    let scale =
+      Array.fold_left
+        (fun m x -> Float.max m (Float.abs (Int64.float_of_bits x)))
+        1e-300 ea
+    in
+    let worst = ref 0.0 in
+    Array.iteri
+      (fun k x ->
+        worst :=
+          Float.max !worst
+            (Float.abs (Int64.float_of_bits x -. Int64.float_of_bits eb.(k))
+            /. scale))
+      ea;
+    !worst
+  in
+  (* direct elimination measured at the small sizes; power-law fit in
+     cell count extrapolates the rest *)
+  let direct_measured = ref [] in
+  let accuracy_err = ref 0.0 in
+  Format.fprintf fmt "%8s %10s %12s %8s %6s %14s@." "grid" "cells"
+    "mgcg (s)" "cg its" "mg lvl" "direct (s)";
+  Array.iteri
+    (fun k n ->
+      let mg, t_mg =
+        time (fun () -> X.extract ~config:(cfg n) ~tech:Sn_tech.Tech.imec018 ~die ports)
+      in
+      let st = Option.get (X.last_stats ()) in
+      let cells = st.X.grid_cells in
+      let direct_s, estimated =
+        if n <= direct_limit then begin
+          let dm, t_d =
+            time (fun () ->
+                Sub.Elimination.reduce_grid ~config:(cfg n)
+                  ~tech:Sn_tech.Tech.imec018 ~die ports)
+          in
+          accuracy_err :=
+            Float.max !accuracy_err
+              (max_rel_err dm.Mac.conductance mg.Mac.conductance);
+          direct_measured := (float_of_int cells, t_d) :: !direct_measured;
+          (t_d, false)
+        end
+        else begin
+          (* fit t = c * cells^alpha through the measured pairs *)
+          let pairs = !direct_measured in
+          let alpha, c =
+            match pairs with
+            | (c1, t1) :: _ ->
+              let cn, tn = List.nth pairs (List.length pairs - 1) in
+              let alpha =
+                if List.length pairs > 1 && tn > 0.0 && t1 > 0.0 then
+                  Float.max 1.0 (log (t1 /. tn) /. log (c1 /. cn))
+                else 1.5
+              in
+              (alpha, t1 /. (c1 ** alpha))
+            | [] -> (1.5, 1e-6)
+          in
+          (c *. (float_of_int cells ** alpha), true)
+        end
+      in
+      Format.fprintf fmt "%5dx%-2d %10d %12.3f %8d %6d %11.2f%s@." n n cells
+        t_mg st.X.cg_iterations_total st.X.mg_levels direct_s
+        (if estimated then " est" else "");
+      entries.(k) <-
+        Printf.sprintf
+          "      { \"nx\": %d, \"cells\": %d, \"mgcg_seconds\": %.6f, \
+           \"cg_iterations\": %d, \"mg_levels\": %d, \
+           \"direct_seconds\": %.6f, \"direct_estimated\": %b }"
+          n cells t_mg st.X.cg_iterations_total st.X.mg_levels direct_s
+          estimated;
+      if k = Array.length sizes - 1 then begin
+        let speedup = direct_s /. t_mg in
+        Format.fprintf fmt
+          "largest grid: MG-CG %.2f s vs direct%s %.1f s (%.1fx)@." t_mg
+          (if estimated then " (est)" else "")
+          direct_s speedup;
+        if (not small) && speedup < 10.0 then
+          failwith "bench part6: < 10x speedup over direct at largest grid"
+      end)
+    sizes;
+  Format.fprintf fmt "small-grid agreement vs direct: max rel err %.2e@."
+    !accuracy_err;
+  if !accuracy_err > 1e-8 then
+    failwith "bench part6: MG-CG disagrees with direct elimination";
+  (* tiled extraction, cold vs warm cache *)
+  let n_tiled = if small then 48 else 96 in
+  let cache_dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "snoise_bench_cache_%d" (Unix.getpid ()))
+  in
+  if Sys.file_exists cache_dir then
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat cache_dir f))
+      (Sys.readdir cache_dir);
+  let cache = Sub.Cache.create ~dir:cache_dir in
+  let run_tiled () =
+    X.extract ~config:(cfg n_tiled) ~tiles:(2, 2) ~cache
+      ~tech:Sn_tech.Tech.imec018 ~die ports
+  in
+  let cold, t_cold = time run_tiled in
+  let st_cold = Option.get (X.last_stats ()) in
+  let warm, t_warm = time run_tiled in
+  let st_warm = Option.get (X.last_stats ()) in
+  if st_cold.X.cache_hits <> 0 || st_cold.X.cache_misses <> st_cold.X.tiles
+  then failwith "bench part6: cold cache counters off";
+  if st_warm.X.cache_hits <> st_warm.X.tiles || st_warm.X.cache_misses <> 0
+  then failwith "bench part6: warm cache missed a tile";
+  if st_warm.X.cg_iterations_total <> 0 then
+    failwith "bench part6: warm cache still ran CG";
+  if mat_bits cold.Mac.conductance <> mat_bits warm.Mac.conductance then
+    failwith "bench part6: warm cache result differs";
+  Format.fprintf fmt
+    "tiled %dx%d at %dx%d: cold %.3f s (%d tiles, %d interface nodes), \
+     warm %.3f s (%d/%d hits, 0 CG iterations)@."
+    2 2 n_tiled n_tiled t_cold st_cold.X.tiles st_cold.X.interface_nodes
+    t_warm st_warm.X.cache_hits st_warm.X.tiles;
+  (* worker-count determinism *)
+  let n_par = if small then 48 else 96 in
+  let run_par () =
+    X.extract ~config:(cfg n_par) ~tiles:(2, 2) ~tech:Sn_tech.Tech.imec018
+      ~die ports
+  in
+  Pool.set_default_jobs 1;
+  let seq = run_par () in
+  Pool.set_default_jobs 4;
+  let par = run_par () in
+  Pool.set_default_jobs (Pool.env_jobs ());
+  if mat_bits seq.Mac.conductance <> mat_bits par.Mac.conductance then
+    failwith "bench part6: jobs=4 extraction differs from jobs=1";
+  Format.fprintf fmt "jobs=1 vs jobs=4: byte-identical@.";
+  let oc = open_out "BENCH_5.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"extraction_scaling\": {\n\
+    \    \"ports\": %d,\n\
+    \    \"small_mode\": %b,\n\
+    \    \"grids\": [\n%s\n\
+    \    ],\n\
+    \    \"accuracy_max_rel_err\": %.3e,\n\
+    \    \"tiled_cache\": {\n\
+    \      \"grid_nx\": %d,\n\
+    \      \"tiles\": %d,\n\
+    \      \"interface_nodes\": %d,\n\
+    \      \"cold_seconds\": %.6f,\n\
+    \      \"warm_seconds\": %.6f,\n\
+    \      \"warm_hits\": %d,\n\
+    \      \"warm_cg_iterations\": %d,\n\
+    \      \"warm_identical\": true\n\
+    \    },\n\
+    \    \"parallel_identical\": true\n\
+    \  }\n\
+     }\n"
+    (List.length ports) small
+    (String.concat ",\n" (Array.to_list entries))
+    !accuracy_err n_tiled st_cold.X.tiles st_cold.X.interface_nodes t_cold
+    t_warm st_warm.X.cache_hits st_warm.X.cg_iterations_total;
+  close_out oc;
+  Format.fprintf fmt "wrote extraction scaling to BENCH_5.json@.";
+  Format.pp_print_flush fmt ()
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel microbenchmarks, one per table / figure *)
 
 open Bechamel
@@ -685,6 +900,8 @@ let () =
   if Array.exists (String.equal "part4") Sys.argv then rescue_overhead ()
   else if Array.exists (String.equal "part5") Sys.argv then
     frequency_domain ()
+  else if Array.exists (String.equal "part6") Sys.argv then
+    extraction_scaling ()
   else begin
     reproduce_all ();
     ablation_grid ();
@@ -694,6 +911,7 @@ let () =
     sweep_scaling ();
     rescue_overhead ();
     frequency_domain ();
+    extraction_scaling ();
     run_benchmarks ()
   end;
   Format.fprintf fmt "@.bench: done@.";

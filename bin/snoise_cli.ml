@@ -6,12 +6,17 @@
 
 open Cmdliner
 
-let setup_logs (verbose, jobs, no_lint) =
+let setup_logs (verbose, jobs, no_lint, cache_dir, no_cache) =
   Fmt_tty.setup_std_outputs ();
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (if verbose then Some Logs.Info else Some Logs.Warning);
   Option.iter Snoise.Sweep.set_jobs jobs;
-  if no_lint then Snoise.Flow.disable_lint ()
+  if no_lint then Snoise.Flow.disable_lint ();
+  if no_cache then Sn_substrate.Cache.set_default_dir None
+  else
+    Option.iter
+      (fun d -> Sn_substrate.Cache.set_default_dir (Some d))
+      cache_dir
 
 let verbose_flag =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log extraction progress.")
@@ -36,10 +41,31 @@ let no_lint_flag =
            lint errors (floating island, voltage-source loop, ...) \
            refuses to simulate with exit code 2.")
 
-(* every command takes -v, --jobs and --no-lint *)
+let cache_dir_flag =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Persist reduced substrate tile macromodels under $(docv) \
+           (content-addressed: entries are keyed by what they were \
+           computed from, so stale hits are impossible).  Default: \
+           $(b,SNOISE_CACHE_DIR) when set, otherwise no caching.")
+
+let no_cache_flag =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:
+          "Disable the substrate macromodel cache, overriding \
+           $(b,--cache-dir) and $(b,SNOISE_CACHE_DIR).")
+
+(* every command takes -v, --jobs, --no-lint and the cache knobs *)
 let verbose =
-  Term.(const (fun v j nl -> (v, j, nl)) $ verbose_flag $ jobs_flag
-        $ no_lint_flag)
+  Term.(
+    const (fun v j nl cd nc -> (v, j, nl, cd, nc))
+    $ verbose_flag $ jobs_flag $ no_lint_flag $ cache_dir_flag
+    $ no_cache_flag)
 
 let fmt = Format.std_formatter
 

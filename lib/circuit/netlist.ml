@@ -2,16 +2,20 @@ type source_loc = { file : string; line : int }
 
 type pragma = { ignore_code : string; ignore_subject : string option }
 
+type directive = { verb : string; args : (string * string) list }
+
 type t = {
   title : string;
   elements : Element.t list;
   pragmas : pragma list;
+  directives : directive list;
   locs : (string, source_loc) Hashtbl.t;
 }
 
 exception Invalid of string list
 
-let create ?(title = "untitled") ?(pragmas = []) ?(locs = []) elements =
+let create ?(title = "untitled") ?(pragmas = []) ?(directives = [])
+    ?(locs = []) elements =
   let errors = ref [] in
   let err m = errors := m :: !errors in
   (* duplicate names *)
@@ -37,13 +41,15 @@ let create ?(title = "untitled") ?(pragmas = []) ?(locs = []) elements =
   (match !errors with [] -> () | es -> raise (Invalid (List.rev es)));
   let loc_table = Hashtbl.create (List.length locs |> max 1) in
   List.iter (fun (name, loc) -> Hashtbl.replace loc_table name loc) locs;
-  { title; elements; pragmas; locs = loc_table }
+  { title; elements; pragmas; directives; locs = loc_table }
 
 let title nl = nl.title
 let elements nl = nl.elements
 let element_count nl = List.length nl.elements
 
 let pragmas nl = nl.pragmas
+
+let directives nl = nl.directives
 
 let element_loc nl name = Hashtbl.find_opt nl.locs name
 
@@ -70,15 +76,18 @@ let mem_node nl n =
 let merge ?(title = "merged") parts =
   create ~title
     ~pragmas:(List.concat_map pragmas parts)
+    ~directives:(List.concat_map directives parts)
     ~locs:(List.concat_map element_locs parts)
     (List.concat_map elements parts)
 
 let map f nl =
-  create ~title:nl.title ~pragmas:nl.pragmas ~locs:(element_locs nl)
+  create ~title:nl.title ~pragmas:nl.pragmas ~directives:nl.directives
+    ~locs:(element_locs nl)
     (List.map f nl.elements)
 
 let filter f nl =
-  create ~title:nl.title ~pragmas:nl.pragmas ~locs:(element_locs nl)
+  create ~title:nl.title ~pragmas:nl.pragmas ~directives:nl.directives
+    ~locs:(element_locs nl)
     (List.filter f nl.elements)
 
 let pp fmt nl =

@@ -16,20 +16,29 @@ type pragma = { ignore_code : string; ignore_subject : string option }
     port.  Written in decks as [*%snoise ignore <code> [<subject>]]
     and interpreted by [Sn_analysis]. *)
 
+type directive = { verb : string; args : (string * string) list }
+(** A tool directive carried by the netlist: a verb with key=value
+    arguments, written in decks as
+    [*%snoise <verb> <key>=<value> ...] — e.g.
+    [*%snoise extract tiles=2x2 grid=48x48] records the intended
+    substrate extraction setup so lint rules can sanity-check it
+    against the deck ([Sn_analysis]'s ["extract-tile-degenerate"]). *)
+
 exception Invalid of string list
 (** Raised by {!create} with all validation messages. *)
 
 val create :
   ?title:string ->
   ?pragmas:pragma list ->
+  ?directives:directive list ->
   ?locs:(string * source_loc) list ->
   Element.t list ->
   t
-(** [create ?title ?pragmas ?locs elements] validates and builds a
-    netlist.  [locs] maps element names to their source locations
-    (unknown names are kept but never looked up).  Raises {!Invalid}
-    on duplicate element names, per-element validation failures, or a
-    netlist with no ground reference. *)
+(** [create ?title ?pragmas ?directives ?locs elements] validates and
+    builds a netlist.  [locs] maps element names to their source
+    locations (unknown names are kept but never looked up).  Raises
+    {!Invalid} on duplicate element names, per-element validation
+    failures, or a netlist with no ground reference. *)
 
 val title : t -> string
 val elements : t -> Element.t list
@@ -37,6 +46,9 @@ val element_count : t -> int
 
 val pragmas : t -> pragma list
 (** Suppression pragmas, in deck order. *)
+
+val directives : t -> directive list
+(** Tool directives, in deck order. *)
 
 val element_loc : t -> string -> source_loc option
 (** Source location of the element named, when known. *)
@@ -55,8 +67,8 @@ val mem_node : t -> string -> bool
 
 val merge : ?title:string -> t list -> t
 (** [merge parts] concatenates element lists (re-validating); node
-    names shared across parts become electrical connections.  Pragmas
-    and source locations of every part are carried over. *)
+    names shared across parts become electrical connections.  Pragmas,
+    directives and source locations of every part are carried over. *)
 
 val map : (Element.t -> Element.t) -> t -> t
 (** Rewrite elements (revalidates). *)

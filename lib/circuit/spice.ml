@@ -255,11 +255,12 @@ let logical_lines text =
   in
   join [] (List.mapi (fun i l -> (i + 1, l)) raw)
 
-(* A lint-suppression pragma: a line reading
-   [*%snoise ignore <code> [<subject>]] (leading [*] optional, spaces
-   after the [*] allowed).  Returns [None] for lines that are not
-   pragmas; raises on a [%snoise] line with an unknown verb so typos
-   do not silently disable nothing. *)
+(* A [%snoise] marker line (leading [*] optional, spaces after the [*]
+   allowed).  Two verbs exist: the lint-suppression pragma
+   [*%snoise ignore <code> [<subject>]] and the tool directive
+   [*%snoise extract <key>=<value> ...].  Returns [None] for lines
+   that are no marker at all; raises on a [%snoise] line with an
+   unknown verb so typos do not silently disable nothing. *)
 let pragma_of_line ln line =
   let body =
     let s = String.trim line in
@@ -280,9 +281,27 @@ let pragma_of_line ln line =
         | _ -> fail ln "%snoise ignore takes a code and at most one subject"
       in
       Some
-        { Netlist.ignore_code = String.lowercase_ascii code;
-          ignore_subject = subject }
-    | _ -> fail ln "unknown %snoise pragma (expected: ignore <code> [<subject>])"
+        (`Pragma
+          { Netlist.ignore_code = String.lowercase_ascii code;
+            ignore_subject = subject })
+    | _ :: "extract" :: rest ->
+      let args =
+        List.map
+          (fun tok ->
+            match String.index_opt tok '=' with
+            | Some i when i > 0 && i < String.length tok - 1 ->
+              ( String.lowercase_ascii (String.sub tok 0 i),
+                String.sub tok (i + 1) (String.length tok - i - 1) )
+            | _ ->
+              fail ln
+                ("%snoise extract takes key=value arguments, got: " ^ tok))
+          rest
+      in
+      Some (`Directive { Netlist.verb = "extract"; args })
+    | _ ->
+      fail ln
+        "unknown %snoise marker (expected: ignore <code> [<subject>] | \
+         extract <key>=<value> ...)"
 
 let of_string ?(file = "<string>") text =
   let models = { mos = []; var = [] } in
@@ -290,11 +309,13 @@ let of_string ?(file = "<string>") text =
   let cards = ref [] in
   let locs = ref [] in
   let pragmas = ref [] in
-  (* first pass: models, title and pragmas *)
+  let directives = ref [] in
+  (* first pass: models, title, pragmas and directives *)
   List.iter
     (fun (ln, line) ->
       match pragma_of_line ln line with
-      | Some p -> pragmas := p :: !pragmas
+      | Some (`Pragma p) -> pragmas := p :: !pragmas
+      | Some (`Directive d) -> directives := d :: !directives
       | None ->
         if line = "" || line.[0] = '*' then ()
         else begin
@@ -321,8 +342,8 @@ let of_string ?(file = "<string>") text =
           locs := (Element.name e, { Netlist.file; line = ln }) :: !locs
         | None -> ())
     (logical_lines text);
-  Netlist.create ~title:!title ~pragmas:(List.rev !pragmas) ~locs:!locs
-    (List.rev !cards)
+  Netlist.create ~title:!title ~pragmas:(List.rev !pragmas)
+    ~directives:(List.rev !directives) ~locs:!locs (List.rev !cards)
 
 (* ------------------------------------------------------------------ *)
 (* printing *)
@@ -366,6 +387,15 @@ let to_string nl =
          | Some s ->
            Printf.sprintf "*%%snoise ignore %s %s\n" p.Netlist.ignore_code s))
     (Netlist.pragmas nl);
+  List.iter
+    (fun (d : Netlist.directive) ->
+      Buffer.add_string b
+        (Printf.sprintf "*%%snoise %s%s\n" d.Netlist.verb
+           (String.concat ""
+              (List.map
+                 (fun (k, v) -> Printf.sprintf " %s=%s" k v)
+                 d.Netlist.args))))
+    (Netlist.directives nl);
   (* model cards, deduplicated by name *)
   let mos = Hashtbl.create 8 and var = Hashtbl.create 8 in
   List.iter

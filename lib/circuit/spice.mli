@@ -24,13 +24,14 @@
     [f p n u m k meg g t] (case-insensitive); lines starting with [+]
     continue the previous card.
 
-    Lint-suppression pragmas ride in comments:
+    Lint-suppression pragmas and tool directives ride in comments:
     {v
     *%snoise ignore <code> [<subject>]
+    *%snoise extract <key>=<value> ...
     v}
-    and surface as {!Netlist.pragmas}; every parsed element also
-    records its {!Netlist.source_loc} so analysis diagnostics can
-    point at the offending deck line. *)
+    and surface as {!Netlist.pragmas} / {!Netlist.directives}; every
+    parsed element also records its {!Netlist.source_loc} so analysis
+    diagnostics can point at the offending deck line. *)
 
 exception Parse_error of int * string
 
@@ -43,8 +44,8 @@ val of_string : ?file:string -> string -> Netlist.t
     locations. *)
 
 val to_string : Netlist.t -> string
-(** Emits a netlist (with the [.model] cards and [%snoise] pragmas it
-    needs) that {!of_string} parses back. *)
+(** Emits a netlist (with the [.model] cards and [%snoise] marker
+    lines it needs) that {!of_string} parses back. *)
 
 val load : string -> Netlist.t
 val save : string -> Netlist.t -> unit

@@ -416,6 +416,7 @@ type runtime = {
   extraction_seconds : float;
   simulation_seconds : float;
   grid_cells : int;
+  extractor : Sn_substrate.Extractor.stats option;
   pool : Sn_engine.Pool.stats;
 }
 
@@ -431,8 +432,9 @@ let runtime ?(options = Flow.default_options) () =
          Flow.vco_spur flow ~h ~p_noise_dbm:paper_noise_dbm ~f_noise:fn)
        default_f_noise);
   let t2 = Unix.gettimeofday () in
+  let xstats = Sn_substrate.Extractor.last_stats () in
   let cells =
-    match Sn_substrate.Extractor.last_stats () with
+    match xstats with
     | Some s -> s.Sn_substrate.Extractor.grid_cells
     | None -> 0
   in
@@ -440,5 +442,6 @@ let runtime ?(options = Flow.default_options) () =
     extraction_seconds = t1 -. t0;
     simulation_seconds = t2 -. t1;
     grid_cells = cells;
+    extractor = xstats;
     pool = Sweep.stats ();
   }

@@ -162,6 +162,10 @@ type runtime = {
   extraction_seconds : float;  (** wall time of the model build *)
   simulation_seconds : float;  (** wall time of the impact sweep *)
   grid_cells : int;  (** FDM cells of the substrate extraction *)
+  extractor : Sn_substrate.Extractor.stats option;
+      (** extractor phase timings, CG iteration count and macromodel
+          cache hit/miss counters of the flow's substrate
+          extraction *)
   pool : Sn_engine.Pool.stats;
       (** worker-pool counters of the impact sweep (tasks, per-worker
           busy time, effective parallelism) *)

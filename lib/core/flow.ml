@@ -16,6 +16,7 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 
 type options = {
   grid : Sub.Grid.config;
+  tiles : int * int;
   interconnect_resistance : bool;
   widen_ground : float option;
   tech : Sn_tech.Tech.t;
@@ -25,6 +26,7 @@ type options = {
 let default_options =
   {
     grid = { Sub.Grid.nx = 48; ny = 48; z_per_layer = Some [ 1; 4; 3; 2 ] };
+    tiles = (1, 1);
     interconnect_resistance = true;
     widen_ground = None;
     tech = Sn_tech.Tech.imec018;
@@ -123,8 +125,8 @@ let build_nmos ?(options = default_options) params =
       ~tech:options.tech layout
   in
   let macro =
-    Sub.Extractor.extract_from_layout ~config:options.grid ~tech:options.tech
-      layout
+    Sub.Extractor.extract_from_layout ~config:options.grid
+      ~tiles:options.tiles ~tech:options.tech layout
   in
   Log.info (fun m ->
       m "nmos structure: %d wires, %d substrate ports"
@@ -234,8 +236,8 @@ let build_vco ?(options = default_options) params ~vtune =
       ~tech:options.tech layout
   in
   let macro =
-    Sub.Extractor.extract_from_layout ~config:options.grid ~tech:options.tech
-      layout
+    Sub.Extractor.extract_from_layout ~config:options.grid
+      ~tiles:options.tiles ~tech:options.tech layout
   in
   let circuit = Tc.Vco_chip.circuit params ~vtune in
   let merged =

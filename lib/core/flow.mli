@@ -19,6 +19,10 @@ type options = {
   grid : Sn_substrate.Grid.config;
       (** substrate FDM discretization (default 48x48, four doping
           layers) *)
+  tiles : int * int;
+      (** hierarchical-Schur tiling of the substrate extraction
+          (default [(1, 1)], the whole-die reduction) — see
+          {!Sn_substrate.Tiling} *)
   interconnect_resistance : bool;
       (** [false] reproduces the "classical flow" that ignores wire R *)
   widen_ground : float option;

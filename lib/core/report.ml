@@ -203,6 +203,22 @@ let runtime fmt (r : E.runtime) =
   Format.fprintf fmt
     "extraction %.2f s, impact simulation %.3f s (%d grid cells)@,"
     r.E.extraction_seconds r.E.simulation_seconds r.E.grid_cells;
+  (match r.E.extractor with
+   | None -> ()
+   | Some x ->
+     let module X = Sn_substrate.Extractor in
+     Format.fprintf fmt
+       "extractor: assemble %.2f s, reduce %.2f s, stitch %.2f s \
+        (%d tiles, %d interface nodes)@,"
+       x.X.assemble_seconds x.X.reduce_seconds x.X.stitch_seconds x.X.tiles
+       x.X.interface_nodes;
+     Format.fprintf fmt
+       "extractor: %d CG iterations (%d MG levels), cache %d hit%s / %d \
+        miss%s@,"
+       x.X.cg_iterations_total x.X.mg_levels x.X.cache_hits
+       (if x.X.cache_hits = 1 then "" else "s")
+       x.X.cache_misses
+       (if x.X.cache_misses = 1 then "" else "es"));
   Format.fprintf fmt
     "[paper: 20 min extraction + 15 min simulation on an HP-UX L2000]@,";
   Format.fprintf fmt "%a" Sn_engine.Pool.pp_stats r.E.pool;

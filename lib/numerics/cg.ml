@@ -7,18 +7,29 @@ type result = {
 
 exception Not_converged of result
 
-let solve ?(tol = 1e-10) ?max_iter ?x0 a b =
+exception Zero_diagonal of int
+
+let solve ?(tol = 1e-10) ?max_iter ?x0 ?precond a b =
   let n = Sparse.rows a in
   if Sparse.cols a <> n then invalid_arg "Cg.solve: matrix not square";
   if Array.length b <> n then invalid_arg "Cg.solve: dimension mismatch";
   let max_iter = match max_iter with Some m -> m | None -> 4 * n in
   let x = match x0 with Some v -> Vec.copy v | None -> Vec.zeros n in
-  (* Jacobi preconditioner: M^-1 = 1/diag(A) (guard zero diagonals). *)
-  let inv_diag =
-    Array.map (fun d -> if Float.abs d > 0.0 then 1.0 /. d else 1.0)
-      (Sparse.diagonal a)
+  let apply_precond =
+    match precond with
+    | Some f -> f
+    | None ->
+      (* Jacobi preconditioner: M^-1 = 1/diag(A).  A zero diagonal in
+         an SPD system is a structural error (a disconnected cell) —
+         refuse it instead of quietly mispreconditioning. *)
+      let inv_diag =
+        Array.mapi
+          (fun i d ->
+            if Float.abs d > 0.0 then 1.0 /. d else raise (Zero_diagonal i))
+          (Sparse.diagonal a)
+      in
+      fun r -> Vec.init n (fun i -> inv_diag.(i) *. r.(i))
   in
-  let apply_precond r = Vec.init n (fun i -> inv_diag.(i) *. r.(i)) in
   let b_norm = Vec.norm2 b in
   if b_norm = 0.0 then
     { solution = Vec.zeros n; iterations = 0; residual_norm = 0.0; converged = true }
@@ -55,6 +66,6 @@ let solve ?(tol = 1e-10) ?max_iter ?x0 a b =
     loop 0
   end
 
-let solve_exn ?tol ?max_iter ?x0 a b =
-  let r = solve ?tol ?max_iter ?x0 a b in
+let solve_exn ?tol ?max_iter ?x0 ?precond a b =
+  let r = solve ?tol ?max_iter ?x0 ?precond a b in
   if r.converged then r.solution else raise (Not_converged r)

@@ -14,14 +14,38 @@ exception Not_converged of result
 (** Raised by {!solve_exn} when the iteration cap is reached before the
     tolerance. *)
 
+exception Zero_diagonal of int
+(** [Zero_diagonal i] is raised when row [i] of the matrix has a zero
+    diagonal entry — structurally impossible for a correctly assembled
+    SPD conductance system, so it is refused instead of silently
+    mispreconditioned.  Callers that know the grid geometry
+    ({!Sn_substrate.Extractor}) translate [i] back into the offending
+    cell coordinates. *)
+
 val solve :
-  ?tol:float -> ?max_iter:int -> ?x0:Vec.t -> Sparse.t -> Vec.t -> result
-(** [solve ?tol ?max_iter ?x0 a b] runs Jacobi-preconditioned CG on
-    [A x = b].  [tol] is the relative residual target (default [1e-10]);
-    [max_iter] defaults to [4 * dim].  Raises [Invalid_argument] when
-    [a] is not square or dimensions mismatch. *)
+  ?tol:float ->
+  ?max_iter:int ->
+  ?x0:Vec.t ->
+  ?precond:(Vec.t -> Vec.t) ->
+  Sparse.t ->
+  Vec.t ->
+  result
+(** [solve ?tol ?max_iter ?x0 ?precond a b] runs preconditioned CG on
+    [A x = b].  [precond] applies [M{^-1}] to a residual and must be a
+    symmetric positive-definite operator (e.g. {!Mg.apply}); when
+    omitted, a Jacobi preconditioner is built from the diagonal of
+    [a], raising {!Zero_diagonal} on a zero entry.  [tol] is the
+    relative residual target (default [1e-10]); [max_iter] defaults to
+    [4 * dim].  Raises [Invalid_argument] when [a] is not square or
+    dimensions mismatch. *)
 
 val solve_exn :
-  ?tol:float -> ?max_iter:int -> ?x0:Vec.t -> Sparse.t -> Vec.t -> Vec.t
+  ?tol:float ->
+  ?max_iter:int ->
+  ?x0:Vec.t ->
+  ?precond:(Vec.t -> Vec.t) ->
+  Sparse.t ->
+  Vec.t ->
+  Vec.t
 (** Like {!solve} but returns the solution directly and raises
     {!Not_converged} on failure. *)

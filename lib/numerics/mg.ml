@@ -1,0 +1,261 @@
+(* Geometric multigrid V-cycle preconditioner for the FDM substrate
+   Laplacian.  The hierarchy is built variationally: index-space
+   trilinear prolongation P per level, restriction P^T, Galerkin
+   coarse operator P^T A P — so nonuniform (snap-line) spacings need
+   no special casing.  Smoothing is red-black Gauss-Seidel; the
+   post-smoother sweeps in exactly the reverse order of the
+   pre-smoother, which makes one V-cycle a symmetric positive-definite
+   operator, as PCG requires. *)
+
+type level = {
+  a : Sparse.t;
+  n : int;
+  row_ptr : int array;
+  col_idx : int array;
+  values : float array;
+  inv_diag : float array;
+  order : int array; (* red cells ascending, then black cells ascending *)
+  (* interpolation from the next-coarser level, CSR over fine rows;
+     empty arrays on the coarsest level *)
+  p_ptr : int array;
+  p_idx : int array;
+  p_w : float array;
+  coarse_n : int;
+}
+
+type t = { levels : level array; coarse : Lu.rfactor option; nu : int }
+
+let levels t = Array.length t.levels
+
+(* 1-D index-space coarsening: even fine lines inject, odd fine lines
+   average their two coarse flanks.  Dimensions below 4 stay as they
+   are (the z extent of the substrate stack bottoms out quickly while
+   x/y keep halving). *)
+let coarsen_dim nf = if nf >= 4 then (nf + 1) / 2 else nf
+
+let interp_1d nf nc =
+  Array.init nf (fun i ->
+      if nc = nf then [| (i, 1.0) |]
+      else if i land 1 = 0 then [| (i / 2, 1.0) |]
+      else begin
+        let l = (i - 1) / 2 in
+        let r = l + 1 in
+        if r < nc then [| (l, 0.5); (r, 0.5) |] else [| (l, 1.0) |]
+      end)
+
+let red_black_order (nx, ny, nz) =
+  let n = nx * ny * nz in
+  let order = Array.make n 0 in
+  let pos = ref 0 in
+  for parity = 0 to 1 do
+    for iz = 0 to nz - 1 do
+      for iy = 0 to ny - 1 do
+        for ix = 0 to nx - 1 do
+          if (ix + iy + iz) land 1 = parity then begin
+            order.(!pos) <- (iz * nx * ny) + (iy * nx) + ix;
+            incr pos
+          end
+        done
+      done
+    done
+  done;
+  order
+
+let inv_diag_of a =
+  Array.mapi
+    (fun i d ->
+      if Float.abs d > 0.0 then 1.0 /. d else raise (Cg.Zero_diagonal i))
+    (Sparse.diagonal a)
+
+(* Tensor-product trilinear prolongation as a CSR map fine -> coarse
+   entries, and the Galerkin triple product P^T A P accumulated row by
+   row into hash tables (the coarse stencil stays O(27) wide, so the
+   tables stay tiny). *)
+let build_transfer (nx, ny, nz) (cx, cy, cz) a =
+  let mx = interp_1d nx cx and my = interp_1d ny cy and mz = interp_1d nz cz in
+  let n = nx * ny * nz in
+  let nc = cx * cy * cz in
+  let p_ptr = Array.make (n + 1) 0 in
+  let rows = Array.make n [||] in
+  for iz = 0 to nz - 1 do
+    for iy = 0 to ny - 1 do
+      for ix = 0 to nx - 1 do
+        let i = (iz * nx * ny) + (iy * nx) + ix in
+        let ex = mx.(ix) and ey = my.(iy) and ez = mz.(iz) in
+        let row =
+          Array.concat
+            (List.concat_map
+               (fun (jz, wz) ->
+                 List.map
+                   (fun (jy, wy) ->
+                     Array.map
+                       (fun (jx, wx) ->
+                         ((jz * cx * cy) + (jy * cx) + jx, wx *. wy *. wz))
+                       ex)
+                   (Array.to_list ey))
+               (Array.to_list ez))
+        in
+        rows.(i) <- row;
+        p_ptr.(i + 1) <- p_ptr.(i) + Array.length row
+      done
+    done
+  done;
+  let nnz_p = p_ptr.(n) in
+  let p_idx = Array.make nnz_p 0 and p_w = Array.make nnz_p 0.0 in
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun k (j, w) ->
+          p_idx.(p_ptr.(i) + k) <- j;
+          p_w.(p_ptr.(i) + k) <- w)
+        row)
+    rows;
+  (* Galerkin coarse operator *)
+  let acc = Array.init nc (fun _ -> Hashtbl.create 32) in
+  let bump ci cj v =
+    let tbl = acc.(ci) in
+    let cur = Option.value ~default:0.0 (Hashtbl.find_opt tbl cj) in
+    Hashtbl.replace tbl cj (cur +. v)
+  in
+  for i = 0 to n - 1 do
+    Sparse.iter_row a i (fun j aij ->
+        let rj = rows.(j) in
+        Array.iter
+          (fun (ci, wi) ->
+            Array.iter (fun (cj, wj) -> bump ci cj (wi *. wj *. aij)) rj)
+          rows.(i))
+  done;
+  let b = Sparse.builder nc nc in
+  Array.iteri
+    (fun ci tbl -> Hashtbl.iter (fun cj v -> Sparse.add b ci cj v) tbl)
+    acc;
+  (p_ptr, p_idx, p_w, Sparse.finalize b)
+
+let build ?(nu = 1) ?(coarse_limit = 600) ~dims a =
+  let nx, ny, nz = dims in
+  let n = nx * ny * nz in
+  if Sparse.rows a <> n || Sparse.cols a <> n then
+    invalid_arg "Mg.build: dims do not match matrix size";
+  if nu < 1 then invalid_arg "Mg.build: nu must be >= 1";
+  let rec grow a dims acc =
+    let nx, ny, nz = dims in
+    let n = nx * ny * nz in
+    let cx = coarsen_dim nx and cy = coarsen_dim ny and cz = coarsen_dim nz in
+    let stop = n <= coarse_limit || (cx = nx && cy = ny && cz = nz) in
+    if stop then begin
+      let lvl =
+        {
+          a;
+          n;
+          row_ptr = Sparse.row_ptr a;
+          col_idx = Sparse.col_idx a;
+          values = Sparse.values a;
+          inv_diag = inv_diag_of a;
+          order = red_black_order dims;
+          p_ptr = [||];
+          p_idx = [||];
+          p_w = [||];
+          coarse_n = 0;
+        }
+      in
+      List.rev (lvl :: acc)
+    end
+    else begin
+      let p_ptr, p_idx, p_w, a_c = build_transfer dims (cx, cy, cz) a in
+      let lvl =
+        {
+          a;
+          n;
+          row_ptr = Sparse.row_ptr a;
+          col_idx = Sparse.col_idx a;
+          values = Sparse.values a;
+          inv_diag = inv_diag_of a;
+          order = red_black_order dims;
+          p_ptr;
+          p_idx;
+          p_w;
+          coarse_n = cx * cy * cz;
+        }
+      in
+      grow a_c (cx, cy, cz) (lvl :: acc)
+    end
+  in
+  let levels = Array.of_list (grow a dims []) in
+  let last = levels.(Array.length levels - 1) in
+  (* the coarsest operator is dense-factored once; with only one level
+     the V-cycle degenerates to that direct solve *)
+  let coarse = Some (Lu.factor_mat (Sparse.to_dense last.a)) in
+  { levels; coarse; nu }
+
+(* One Gauss-Seidel sweep over the given cell order (forward = the
+   stored red-then-black order; the post-smoother passes it
+   reversed). *)
+let gs_sweep lvl b x ~reverse =
+  let order = lvl.order in
+  let rp = lvl.row_ptr and ci = lvl.col_idx and v = lvl.values in
+  let m = Array.length order in
+  for k = 0 to m - 1 do
+    let i = order.(if reverse then m - 1 - k else k) in
+    let s = ref b.(i) in
+    for e = rp.(i) to rp.(i + 1) - 1 do
+      let j = ci.(e) in
+      if j <> i then s := !s -. (v.(e) *. x.(j))
+    done;
+    x.(i) <- !s *. lvl.inv_diag.(i)
+  done
+
+let residual lvl b x r =
+  let rp = lvl.row_ptr and ci = lvl.col_idx and v = lvl.values in
+  for i = 0 to lvl.n - 1 do
+    let s = ref 0.0 in
+    for e = rp.(i) to rp.(i + 1) - 1 do
+      s := !s +. (v.(e) *. x.(ci.(e)))
+    done;
+    r.(i) <- b.(i) -. !s
+  done
+
+let restrict lvl r rc =
+  Array.fill rc 0 (Array.length rc) 0.0;
+  for i = 0 to lvl.n - 1 do
+    let ri = r.(i) in
+    for e = lvl.p_ptr.(i) to lvl.p_ptr.(i + 1) - 1 do
+      rc.(lvl.p_idx.(e)) <- rc.(lvl.p_idx.(e)) +. (lvl.p_w.(e) *. ri)
+    done
+  done
+
+let prolong_add lvl xc x =
+  for i = 0 to lvl.n - 1 do
+    let s = ref 0.0 in
+    for e = lvl.p_ptr.(i) to lvl.p_ptr.(i + 1) - 1 do
+      s := !s +. (lvl.p_w.(e) *. xc.(lvl.p_idx.(e)))
+    done;
+    x.(i) <- x.(i) +. !s
+  done
+
+let rec v_cycle t l b =
+  let lvl = t.levels.(l) in
+  if l = Array.length t.levels - 1 then
+    match t.coarse with
+    | Some f -> Lu.solve_factored f b
+    | None -> assert false
+  else begin
+    let x = Vec.zeros lvl.n in
+    for _ = 1 to t.nu do
+      gs_sweep lvl b x ~reverse:false
+    done;
+    let r = Vec.zeros lvl.n in
+    residual lvl b x r;
+    let rc = Vec.zeros lvl.coarse_n in
+    restrict lvl r rc;
+    let xc = v_cycle t (l + 1) rc in
+    prolong_add lvl xc x;
+    for _ = 1 to t.nu do
+      gs_sweep lvl b x ~reverse:true
+    done;
+    x
+  end
+
+let apply t r =
+  if Array.length r <> t.levels.(0).n then
+    invalid_arg "Mg.apply: dimension mismatch";
+  v_cycle t 0 r

@@ -1,0 +1,111 @@
+(* Content-addressed macromodel cache.
+
+   A reduced tile model is a pure function of the branch list it was
+   reduced from (grid slice geometry and technology numbers are folded
+   into the branch conductances), the retained-node labels and the
+   solver settings — so the cache key is a digest over exactly that
+   serialized content, and a hit can skip the tile reduction entirely.
+   Entries persist as versioned Marshal payloads behind a magic
+   header; anything unreadable (truncated file, stale version, label
+   mismatch) is treated as a miss and recomputed. *)
+
+let log_src = Logs.Src.create "sn.subcache" ~doc:"substrate macromodel cache"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let format_version = 1
+
+type t = { dir : string }
+
+type tile_model = {
+  labels : string array;
+  matrix : float array;
+  iterations : int;
+}
+
+(* payload written to disk; [version] is checked on read so a format
+   bump invalidates old entries instead of misreading them *)
+type payload = { version : int; model : tile_model }
+
+let magic = "snoise-tile-cache\n"
+
+let dir t = t.dir
+
+let create ~dir =
+  (* best-effort mkdir -p over the last two path components; an
+     unreachable directory degrades to a cache that never hits *)
+  let rec ensure d =
+    if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+      ensure (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error _ -> ()
+    end
+  in
+  ensure dir;
+  { dir }
+
+let hex_key material = Digest.to_hex (Digest.string material)
+
+let path t ~key = Filename.concat t.dir (key ^ ".tile")
+
+let lookup t ~key =
+  let file = path t ~key in
+  match
+    let ic = open_in_bin file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let m = really_input_string ic (String.length magic) in
+        if not (String.equal m magic) then None
+        else
+          let (p : payload) = Marshal.from_channel ic in
+          if p.version = format_version then Some p.model else None)
+  with
+  | result -> result
+  | exception _ ->
+    (* missing, truncated or corrupted entry: fall back to recompute *)
+    if Sys.file_exists file then
+      Log.warn (fun m -> m "unreadable cache entry %s: recomputing" file);
+    None
+
+let store t ~key model =
+  (* write-to-temp + rename so concurrent readers never observe a
+     partial entry; failures only cost the caching, never the result *)
+  try
+    let file = path t ~key in
+    let tmp =
+      Filename.temp_file ~temp_dir:t.dir "tile-"
+        ("." ^ string_of_int (Unix.getpid ()))
+    in
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc magic;
+        Marshal.to_channel oc { version = format_version; model } []);
+    Sys.rename tmp file
+  with _ -> Log.warn (fun m -> m "cache store failed under %s" t.dir)
+
+(* process-wide default, the CLI / SNOISE_CACHE_DIR knob.
+   Unset reads the environment on first use; Disabled (--no-cache)
+   wins over the environment. *)
+type selection = Unset | Disabled | Selected of t
+
+let selection = Atomic.make Unset
+
+let set_default_dir = function
+  | None -> Atomic.set selection Disabled
+  | Some d -> Atomic.set selection (Selected (create ~dir:d))
+
+let default () =
+  match Atomic.get selection with
+  | Selected c -> Some c
+  | Disabled -> None
+  | Unset -> (
+    match Sys.getenv_opt "SNOISE_CACHE_DIR" with
+    | Some d when String.trim d <> "" ->
+      let c = create ~dir:d in
+      Atomic.set selection (Selected c);
+      Some c
+    | _ ->
+      Atomic.set selection Disabled;
+      None)

@@ -1,0 +1,71 @@
+(** Content-addressed cache of reduced tile macromodels.
+
+    A tile's reduced conductance matrix is a pure function of the
+    serialized content {!Extractor} hashes into the key: the tile's
+    branch list (grid slice geometry and technology numbers are folded
+    into the branch conductances), the retained-node labels, and the
+    solver settings.  Keying by content means incremental layout edits
+    and corner sweeps re-reduce only the tiles whose inputs actually
+    changed, while warm extractions skip the reduction entirely.
+
+    Entries persist on disk (conventionally under [_snoise_cache/]) as
+    versioned [Marshal] payloads behind a magic header.  Reads are
+    fail-soft: a truncated, corrupted or version-stale entry is a miss
+    that falls back to recomputation. *)
+
+type t
+(** A handle on one cache directory. *)
+
+(** A cached reduced tile. *)
+type tile_model = {
+  labels : string array;
+      (** retained-node labels in matrix order — verified against the
+          extraction on a hit, so a stale entry can never be scattered
+          into the wrong slots *)
+  matrix : float array;
+      (** row-major reduced conductance matrix over the retained
+          nodes *)
+  iterations : int;  (** CG iterations spent producing the entry *)
+}
+
+val create : dir:string -> t
+(** [create ~dir] binds a cache to [dir], creating it (best-effort,
+    [mkdir -p] style) when missing.  An unwritable directory degrades
+    to a cache that never hits — extraction results are never
+    affected. *)
+
+val dir : t -> string
+(** The cache directory. *)
+
+val hex_key : string -> string
+(** [hex_key material] digests serialized key material into the hex
+    file-name key. *)
+
+val lookup : t -> key:string -> tile_model option
+(** [lookup t ~key] returns the cached model, or [None] on a miss —
+    including any unreadable or version-stale entry. *)
+
+val store : t -> key:string -> tile_model -> unit
+(** [store t ~key model] persists an entry atomically (temp file +
+    rename).  Failures are logged and swallowed: caching is an
+    optimization, never a correctness dependency. *)
+
+val format_version : int
+(** Serialization format version; bumping it invalidates every
+    existing entry. *)
+
+(** {1 Process-wide default}
+
+    The CLI flags [--cache-dir DIR] / [--no-cache] and the
+    [SNOISE_CACHE_DIR] environment variable select the default cache
+    consulted by {!Extractor.extract} when no explicit cache is
+    passed. *)
+
+val set_default_dir : string option -> unit
+(** [set_default_dir (Some d)] selects [d]; [set_default_dir None]
+    disables caching for the process, overriding the environment. *)
+
+val default : unit -> t option
+(** The selected default cache: the last {!set_default_dir}, else
+    [SNOISE_CACHE_DIR] from the environment, else [None] (caching
+    off). *)

@@ -242,6 +242,98 @@ let prop_cg_solves_spd =
       Vec.max_abs_diff x x_true < 1e-6)
 
 (* ------------------------------------------------------------------ *)
+(* Mg: geometric multigrid preconditioner *)
+
+module Mg = Sn_numerics.Mg
+
+(* 3-D grid Laplacian in the extractor's cell ordering, grounded
+   through weak leaks on the top surface — the shape Mg is built
+   for *)
+let grid_laplacian ?(leak = 1.0e-2) (nx, ny, nz) =
+  let n = nx * ny * nz in
+  let b = Sparse.builder n n in
+  let idx ix iy iz = (iz * nx * ny) + (iy * nx) + ix in
+  let couple i j g =
+    Sparse.add b i i g;
+    Sparse.add b j j g;
+    Sparse.add b i j (-.g);
+    Sparse.add b j i (-.g)
+  in
+  for iz = 0 to nz - 1 do
+    for iy = 0 to ny - 1 do
+      for ix = 0 to nx - 1 do
+        let here = idx ix iy iz in
+        if ix + 1 < nx then couple here (idx (ix + 1) iy iz) 1.0;
+        if iy + 1 < ny then couple here (idx ix (iy + 1) iz) 1.3;
+        if iz + 1 < nz then couple here (idx ix iy (iz + 1)) 0.7;
+        if iz = 0 then Sparse.add b here here leak
+      done
+    done
+  done;
+  Sparse.finalize b
+
+let test_mg_cg_vs_lu () =
+  let dims = (9, 7, 3) in
+  let m = grid_laplacian dims in
+  let n = Sparse.rows m in
+  let mg = Mg.build ~dims m in
+  let st = Random.State.make [| 7 |] in
+  let rhs = Array.init n (fun _ -> Random.State.float st 2.0 -. 1.0) in
+  let x = Cg.solve_exn ~tol:1e-12 ~precond:(Mg.apply mg) m rhs in
+  let x_lu = Lu.solve_mat (Sparse.to_dense m) rhs in
+  Alcotest.(check bool) "MG-CG matches LU" true
+    (Vec.max_abs_diff x x_lu < 1e-7)
+
+(* PCG requires a symmetric preconditioner: <M e_i, e_j> = <e_i, M e_j>.
+   The symmetric red-black V-cycle must satisfy this to rounding. *)
+let test_mg_symmetric () =
+  let dims = (6, 5, 2) in
+  let m = grid_laplacian dims in
+  let n = Sparse.rows m in
+  let mg = Mg.build ~coarse_limit:20 ~dims m in
+  let basis k = Vec.init n (fun i -> if i = k then 1.0 else 0.0) in
+  let pairs = [ (0, n - 1); (3, 17); (n / 2, n / 3) ] in
+  List.iter
+    (fun (i, j) ->
+      let mi = Mg.apply mg (basis i) and mj = Mg.apply mg (basis j) in
+      let scale = Float.max (Vec.norm_inf mi) (Vec.norm_inf mj) in
+      Alcotest.(check bool)
+        (Printf.sprintf "symmetry (%d,%d)" i j)
+        true
+        (Float.abs (mi.(j) -. mj.(i)) /. scale < 1e-10))
+    pairs
+
+(* the point of multigrid: iteration counts stay near-constant as the
+   grid refines, where Jacobi-CG grows with the mesh diameter *)
+let test_mg_iterations_flat () =
+  let iters dims =
+    let m = grid_laplacian dims in
+    let mg = Mg.build ~dims m in
+    let n = Sparse.rows m in
+    let rhs = Array.init n (fun i -> sin (0.1 *. float_of_int i)) in
+    let r = Cg.solve ~tol:1e-10 ~precond:(Mg.apply mg) m rhs in
+    Alcotest.(check bool) "converged" true r.Cg.converged;
+    r.Cg.iterations
+  in
+  let small = iters (24, 24, 4) in
+  let large = iters (48, 48, 4) in
+  Alcotest.(check bool)
+    (Printf.sprintf "near-constant iterations (%d -> %d)" small large)
+    true
+    (large <= small + 6 && large <= 30)
+
+let test_cg_zero_diagonal () =
+  let b = Sparse.builder 3 3 in
+  Sparse.add b 0 0 2.0;
+  Sparse.add b 2 2 1.0;
+  (* row 1 left without a diagonal entry *)
+  Sparse.add b 0 2 (-0.5);
+  Sparse.add b 2 0 (-0.5);
+  let m = Sparse.finalize b in
+  Alcotest.check_raises "zero diagonal refused" (Cg.Zero_diagonal 1)
+    (fun () -> ignore (Cg.solve m [| 1.0; 1.0; 1.0 |]))
+
+(* ------------------------------------------------------------------ *)
 (* Splu: sparse LU with reusable symbolic factorization *)
 
 (* random diagonally dominant unsymmetric sparse system: a ring of
@@ -715,7 +807,15 @@ let suites =
         Alcotest.test_case "CG matches LU" `Quick test_cg_vs_lu;
         Alcotest.test_case "CG zero rhs" `Quick test_cg_zero_rhs;
         Alcotest.test_case "CG non-convergence" `Quick test_cg_not_converged;
+        Alcotest.test_case "CG zero diagonal" `Quick test_cg_zero_diagonal;
         qcheck prop_cg_solves_spd;
+      ] );
+    ( "numerics.mg",
+      [
+        Alcotest.test_case "MG-CG matches LU" `Quick test_mg_cg_vs_lu;
+        Alcotest.test_case "V-cycle symmetric" `Quick test_mg_symmetric;
+        Alcotest.test_case "iterations near-constant" `Quick
+          test_mg_iterations_flat;
       ] );
     ( "numerics.splu",
       [

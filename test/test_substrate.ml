@@ -479,6 +479,181 @@ let test_grid_convergence () =
     (Printf.sprintf "coarse %g vs fine %g: %.0f%%" r_coarse r_fine (100.0 *. rel))
     true (rel < 0.5)
 
+(* ------------------------------------------------------------------ *)
+(* extraction at scale: tiled hierarchical reduction, the macromodel
+   cache, and pool determinism *)
+
+module Cache = Sn_substrate.Cache
+module Pool = Sn_engine.Pool
+
+let stats_exn () =
+  match Extractor.last_stats () with
+  | Some s -> s
+  | None -> Alcotest.fail "extractor recorded no stats"
+
+let mat_entries m =
+  let np = N.Mat.rows m in
+  Array.init (np * np) (fun k -> N.Mat.get m (k / np) (k mod np))
+
+(* byte-identical: same IEEE bits, not merely close *)
+let check_identical what a b =
+  let ea = mat_entries a and eb = mat_entries b in
+  Alcotest.(check bool) what true
+    (Array.for_all2
+       (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+       ea eb)
+
+let scale_die = G.Rect.make 0.0 0.0 60.0 60.0
+
+let scale_ports seed =
+  (* 3 or 4 square ports placed by a tiny LCG, always inside the die *)
+  let state = ref (seed land 0x3FFFFFFF) in
+  let rand m =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state mod m
+  in
+  let n_ports = 3 + rand 2 in
+  List.init n_ports (fun k ->
+      let x0 = 2.0 +. float_of_int (rand 44) in
+      let y0 = 2.0 +. float_of_int (rand 44) in
+      Port.v ~name:(Printf.sprintf "p%d" k)
+        ~kind:(if k = 2 then Port.Probe else Port.Resistive)
+        [ G.Rect.make x0 y0 (x0 +. 12.0) (y0 +. 12.0) ])
+
+let max_rel_err a b =
+  let scale =
+    Array.fold_left (fun m x -> Float.max m (Float.abs x)) 1e-300
+      (mat_entries a)
+  in
+  let ea = mat_entries a and eb = mat_entries b in
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun k x -> worst := Float.max !worst (Float.abs (x -. eb.(k)) /. scale))
+    ea;
+  !worst
+
+let qcheck_tiled_matches_direct =
+  QCheck.Test.make ~count:12 ~name:"tiled MG-CG = direct elimination"
+    QCheck.(
+      quad (int_range 4 10) (int_range 4 10)
+        (pair (int_range 1 3) (int_range 1 3))
+        (int_range 0 10000))
+    (fun (nx, ny, tiles, seed) ->
+      let cfg = { Grid.nx; ny; z_per_layer = Some [ 1; 1; 1; 1 ] } in
+      let ports = scale_ports seed in
+      let tiled =
+        Extractor.extract ~config:cfg ~solver:Extractor.Mg_cg ~tiles
+          ~tech:T.imec018 ~die:scale_die ports
+      in
+      let direct =
+        Elim.reduce_grid ~config:cfg ~tech:T.imec018 ~die:scale_die ports
+      in
+      max_rel_err direct.Macromodel.conductance
+        tiled.Macromodel.conductance
+      < 1e-8)
+
+let scale_cfg = { Grid.nx = 16; ny = 16; z_per_layer = Some [ 1; 1; 1; 1 ] }
+
+let scale_ports4 =
+  [ Port.v ~name:"a" ~kind:Port.Resistive [ G.Rect.make 4.0 4.0 16.0 16.0 ];
+    Port.v ~name:"b" ~kind:Port.Resistive [ G.Rect.make 44.0 4.0 56.0 16.0 ];
+    Port.v ~name:"c" ~kind:Port.Resistive [ G.Rect.make 4.0 44.0 16.0 56.0 ];
+    Port.v ~name:"d" ~kind:Port.Resistive [ G.Rect.make 44.0 44.0 56.0 56.0 ] ]
+
+let fresh_cache_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "snoise_cache_test_%d_%d" (Unix.getpid ()) !counter)
+    in
+    if Sys.file_exists dir then
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+    dir
+
+let extract_cached cache =
+  Extractor.extract ~config:scale_cfg ~tiles:(2, 2) ~cache ~tech:T.imec018
+    ~die:scale_die scale_ports4
+
+let test_cache_round_trip () =
+  let cache = Cache.create ~dir:(fresh_cache_dir ()) in
+  let cold = extract_cached cache in
+  let s_cold = stats_exn () in
+  Alcotest.(check int) "cold: no hits" 0 s_cold.Extractor.cache_hits;
+  Alcotest.(check int) "cold: all tiles missed" 4
+    s_cold.Extractor.cache_misses;
+  Alcotest.(check bool) "cold: CG ran" true
+    (s_cold.Extractor.cg_iterations_total > 0);
+  let warm = extract_cached cache in
+  let s_warm = stats_exn () in
+  Alcotest.(check int) "warm: all tiles hit" 4 s_warm.Extractor.cache_hits;
+  Alcotest.(check int) "warm: no misses" 0 s_warm.Extractor.cache_misses;
+  Alcotest.(check int) "warm: reduction skipped (no CG)" 0
+    s_warm.Extractor.cg_iterations_total;
+  check_identical "warm result byte-identical"
+    cold.Macromodel.conductance warm.Macromodel.conductance;
+  (* corrupt one entry: that tile (and only that tile) recomputes,
+     and the result is unchanged *)
+  let entries =
+    Sys.readdir (Cache.dir cache)
+    |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".tile")
+    |> List.sort String.compare
+  in
+  Alcotest.(check int) "four entries on disk" 4 (List.length entries);
+  let victim = Filename.concat (Cache.dir cache) (List.hd entries) in
+  let oc = open_out_bin victim in
+  output_string oc "garbage";
+  close_out oc;
+  let rebuilt = extract_cached cache in
+  let s_rebuilt = stats_exn () in
+  Alcotest.(check int) "corrupted: three hits" 3
+    s_rebuilt.Extractor.cache_hits;
+  Alcotest.(check int) "corrupted: one miss" 1
+    s_rebuilt.Extractor.cache_misses;
+  check_identical "recomputed result byte-identical"
+    cold.Macromodel.conductance rebuilt.Macromodel.conductance
+
+let test_jobs_identity () =
+  let run () =
+    Extractor.extract ~config:scale_cfg ~tiles:(2, 2) ~tech:T.imec018
+      ~die:scale_die scale_ports4
+  in
+  Pool.set_default_jobs 1;
+  let seq = run () in
+  Pool.set_default_jobs 4;
+  let par = run () in
+  Pool.set_default_jobs (Pool.env_jobs ());
+  check_identical "1 worker = 4 workers, byte-identical"
+    seq.Macromodel.conductance par.Macromodel.conductance
+
+let test_solvers_agree () =
+  (* the three solvers and the untiled path agree on one setup *)
+  let base =
+    Elim.reduce_grid ~config:scale_cfg ~tech:T.imec018 ~die:scale_die
+      scale_ports4
+  in
+  List.iter
+    (fun (what, solver, tiles) ->
+      let m =
+        Extractor.extract ~config:scale_cfg ~solver ~tiles ~tech:T.imec018
+          ~die:scale_die scale_ports4
+      in
+      let err = max_rel_err base.Macromodel.conductance m.Macromodel.conductance in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s (rel err %.2e)" what err)
+        true (err < 1e-8))
+    [ ("mg-cg untiled", Extractor.Mg_cg, (1, 1));
+      ("mg-cg tiled", Extractor.Mg_cg, (2, 2));
+      ("jacobi-cg tiled", Extractor.Jacobi_cg, (2, 2));
+      ("direct tiled", Extractor.Direct, (3, 2)) ]
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
 let suites =
   [
     ( "tech",
@@ -537,5 +712,12 @@ let suites =
           test_epi_distance_insensitive;
         Alcotest.test_case "epi card valid" `Quick test_epi_card_valid;
         Alcotest.test_case "grid convergence" `Slow test_grid_convergence;
+      ] );
+    ( "substrate.scale",
+      [
+        qcheck qcheck_tiled_matches_direct;
+        Alcotest.test_case "solvers agree" `Quick test_solvers_agree;
+        Alcotest.test_case "cache round trip" `Quick test_cache_round_trip;
+        Alcotest.test_case "jobs identity" `Quick test_jobs_identity;
       ] );
   ]
