@@ -1,4 +1,4 @@
-.PHONY: all build test check lint bench bench-extract doc clean
+.PHONY: all build test check lint bench bench-extract bench-serve server-smoke doc clean
 
 all: build
 
@@ -30,6 +30,18 @@ bench:
 # `make bench-extract SMALL=1` runs the reduced CI-sized ladder
 bench-extract:
 	dune exec bench/main.exe -- part6 $(if $(SMALL),small)
+
+# resident-service bench only (cold vs warm requests/s, batching
+# byte-identity, BENCH_6.json); `make bench-serve SMALL=1` runs the
+# reduced CI-sized workload
+bench-serve:
+	dune exec bench/main.exe -- part7 $(if $(SMALL),small)
+
+# end-to-end smoke of `snoise serve` over a real socket (docs/SERVER.md
+# session, scripted): cold/warm requests, stats counters, structured
+# lint error, protocol shutdown
+server-smoke: build
+	sh test/server_smoke.sh
 
 # API reference (requires odoc: `opam install odoc`);
 # output lands in _build/default/_doc/_html/

@@ -697,6 +697,171 @@ let extraction_scaling () =
   Format.pp_print_flush fmt ()
 
 (* ------------------------------------------------------------------ *)
+(* Part 8: resident service throughput (BENCH_6.json)
+
+   The workload [snoise serve] exists for: the same deck requested
+   over and over.  Cold serves every request with the plan cache
+   cleared, so each one re-parses, re-lints, re-compiles and
+   re-factorizes; warm serves hit the compiled plan, the memoized DC
+   bias and the cached AC factorization.  The part also re-asserts the
+   batching contract outside the unit tests: a drained batch of ac
+   sweeps must be byte-identical to serving the same requests one at a
+   time, at pool widths 1 and 4. *)
+
+let serving_throughput () =
+  banner "Part 8 - resident service: cold vs warm requests/s (BENCH_6.json)";
+  let module Sv = Sn_server.Service in
+  let module Pc = Sn_server.Plan_cache in
+  let module J = Sn_server.Json in
+  let small = Array.exists (String.equal "small") Sys.argv in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* an RC ladder big enough that compiling the deck (parse + lint +
+     MNA + stamp plan + DC bias + AC factorization) dwarfs one warm
+     three-point solve *)
+  let stages = if small then 80 else 160 in
+  let deck =
+    let b = Buffer.create 8192 in
+    Buffer.add_string b "* bench service RC ladder\n";
+    Buffer.add_string b "v1 in 0 dc 1 ac 1\n";
+    Buffer.add_string b "rin in n1 50\n";
+    for k = 1 to stages do
+      let n2 = if k = stages then "out" else Printf.sprintf "n%d" (k + 1) in
+      Printf.bprintf b "r%d n%d %s %d\n" k k n2 (100 + k);
+      Printf.bprintf b "c%d n%d 0 1e-12\n" k k
+    done;
+    Buffer.add_string b "rload out 0 1k\n.end\n";
+    Buffer.contents b
+  in
+  let ac_line ?(id = 1) freqs =
+    Printf.sprintf
+      {|{"id": %d, "verb": "ac", "deck": %s, "params": {"freqs": %s, "nodes": ["out"]}}|}
+      id
+      (J.to_string (J.Str deck))
+      freqs
+  in
+  let member name j =
+    match J.member name j with
+    | Some v -> v
+    | None ->
+      failwith
+        (Printf.sprintf "bench part7: reply lacks %S: %s" name (J.to_string j))
+  in
+  let handle1 svc line =
+    match Sv.handle svc ~client:1 line with
+    | [ r ] ->
+      (match J.member "error" r with
+      | Some e ->
+        failwith ("bench part7: request refused: " ^ J.to_string e)
+      | None -> r)
+    | rs ->
+      failwith
+        (Printf.sprintf "bench part7: expected 1 reply, got %d"
+           (List.length rs))
+  in
+  let line = ac_line "[1e6, 5e6, 2e7]" in
+  let svc = Sv.create () in
+  (* cold: clear the cache before every request *)
+  let n_cold = if small then 5 else 10 in
+  let (), t_cold =
+    time (fun () ->
+        for _ = 1 to n_cold do
+          Pc.clear (Sv.cache svc);
+          ignore (handle1 svc line)
+        done)
+  in
+  let cold_rps = float_of_int n_cold /. t_cold in
+  (* warm: prime once, then serve from the caches *)
+  ignore (handle1 svc line);
+  let n_warm = if small then 50 else 200 in
+  let last = ref J.Null in
+  let (), t_warm =
+    time (fun () ->
+        for _ = 1 to n_warm do
+          last := handle1 svc line
+        done)
+  in
+  let warm_rps = float_of_int n_warm /. t_warm in
+  (match member "plan" (member "served" !last) with
+  | J.Str "hit" -> ()
+  | other ->
+    failwith
+      ("bench part7: warm request missed the plan cache: "
+      ^ J.to_string other));
+  let speedup = warm_rps /. cold_rps in
+  Format.fprintf fmt
+    "%d-stage ladder: cold %8.1f req/s (%d reqs), warm %8.1f req/s (%d reqs) \
+     -> %.1fx@."
+    stages cold_rps n_cold warm_rps n_warm speedup;
+  if (not small) && speedup < 10.0 then
+    failwith "bench part7: warm serving < 10x cold";
+  (* batching contract: drained batch byte-identical to one-at-a-time *)
+  let freq_sets =
+    [ "[1e6, 3e6]"; "[2e6]"; "[1e6, 5e6, 9e6]"; "[3e6, 2e6]" ]
+  in
+  let result_str reply = J.to_string (member "result" reply) in
+  let batch_identical jobs =
+    Snoise.Sweep.set_jobs jobs;
+    Fun.protect
+      ~finally:(fun () -> Snoise.Sweep.set_jobs 1)
+      (fun () ->
+        let batched = Sv.create () in
+        List.iteri
+          (fun i freqs ->
+            match Sv.submit batched ~client:1 (ac_line ~id:i freqs) with
+            | `Queued -> ()
+            | _ -> failwith "bench part7: batch submit not queued")
+          freq_sets;
+        let batched_replies = List.map snd (Sv.drain batched) in
+        let indiv = Sv.create () in
+        List.iteri
+          (fun i freqs ->
+            let b = List.nth batched_replies i in
+            (match member "batched" (member "served" b) with
+            | J.Num n when int_of_float n = List.length freq_sets -> ()
+            | other ->
+              failwith
+                ("bench part7: batch not coalesced: " ^ J.to_string other));
+            let s = handle1 indiv (ac_line ~id:i freqs) in
+            if not (String.equal (result_str b) (result_str s)) then
+              failwith
+                (Printf.sprintf
+                   "bench part7: batched reply %d differs at jobs=%d" i jobs))
+          freq_sets)
+  in
+  batch_identical 1;
+  batch_identical 4;
+  Format.fprintf fmt
+    "batched sweep (%d requests) byte-identical to sequential at jobs 1 and 4@."
+    (List.length freq_sets);
+  let oc = open_out "BENCH_6.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"resident_service\": {\n\
+    \    \"deck_stages\": %d,\n\
+    \    \"small_mode\": %b,\n\
+    \    \"cold_requests\": %d,\n\
+    \    \"warm_requests\": %d,\n\
+    \    \"cold_rps\": %.3f,\n\
+    \    \"warm_rps\": %.3f,\n\
+    \    \"warm_over_cold\": %.2f,\n\
+    \    \"batch\": {\n\
+    \      \"requests\": %d,\n\
+    \      \"jobs\": [1, 4],\n\
+    \      \"byte_identical\": true\n\
+    \    }\n\
+    \  }\n\
+     }\n"
+    stages small n_cold n_warm cold_rps warm_rps speedup
+    (List.length freq_sets);
+  close_out oc;
+  Format.fprintf fmt "wrote resident-service throughput to BENCH_6.json@.";
+  Format.pp_print_flush fmt ()
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel microbenchmarks, one per table / figure *)
 
 open Bechamel
@@ -902,6 +1067,8 @@ let () =
     frequency_domain ()
   else if Array.exists (String.equal "part6") Sys.argv then
     extraction_scaling ()
+  else if Array.exists (String.equal "part7") Sys.argv then
+    serving_throughput ()
   else begin
     reproduce_all ();
     ablation_grid ();
@@ -912,6 +1079,7 @@ let () =
     rescue_overhead ();
     frequency_domain ();
     extraction_scaling ();
+    serving_throughput ();
     run_benchmarks ()
   end;
   Format.fprintf fmt "@.bench: done@.";

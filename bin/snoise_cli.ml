@@ -254,6 +254,124 @@ let run_isolation verbose path port1 port2 =
     points;
   finish ()
 
+(* --- the resident service ------------------------------------------ *)
+
+let default_socket () =
+  match Sys.getenv_opt "SNOISE_SOCKET" with
+  | Some s when s <> "" -> s
+  | _ -> Filename.concat (Filename.get_temp_dir_name ()) "snoise.sock"
+
+let parse_host_port s =
+  match String.rindex_opt s ':' with
+  | None -> ("127.0.0.1", int_of_string s)
+  | Some i ->
+    ( String.sub s 0 i,
+      int_of_string (String.sub s (i + 1) (String.length s - i - 1)) )
+
+let run_serve verbose socket tcp max_queue quota max_decks tran_max_points =
+  setup_logs verbose;
+  or_diag_exit (fun () ->
+      let tcp =
+        Option.map
+          (fun s ->
+            try parse_host_port s
+            with Failure _ ->
+              Format.eprintf "snoise serve: bad --tcp %S (HOST:PORT)@." s;
+              exit 1)
+          tcp
+      in
+      let config =
+        {
+          Sn_server.Service.max_queue;
+          client_quota = quota;
+          max_decks;
+          tran_max_points;
+        }
+      in
+      let server = Sn_server.Server.create ~config ?tcp ~socket () in
+      Sn_server.Server.serve
+        ~on_ready:(fun () ->
+          Format.printf "snoise serve: listening on %s%s@." socket
+            (match tcp with
+            | Some (h, p) -> Printf.sprintf " and tcp %s:%d" h p
+            | None -> "");
+          Format.pp_print_flush Format.std_formatter ())
+        server)
+
+(* one-shot JSONL client: send request lines (positional or stdin),
+   print each reply line, exit 1 when any reply is an error *)
+let run_request verbose socket wait lines =
+  setup_logs verbose;
+  let connect () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX socket);
+    fd
+  in
+  let fd =
+    let deadline = Unix.gettimeofday () +. wait in
+    let rec retry () =
+      match connect () with
+      | fd -> fd
+      | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+        when Unix.gettimeofday () < deadline ->
+        Unix.sleepf 0.05;
+        retry ()
+      | exception Unix.Unix_error (e, _, _) ->
+        Format.eprintf "snoise request: cannot connect to %s: %s@." socket
+          (Unix.error_message e);
+        exit 2
+    in
+    retry ()
+  in
+  let lines =
+    match lines with
+    | _ :: _ -> lines
+    | [] ->
+      let rec slurp acc =
+        match In_channel.input_line stdin with
+        | Some l -> slurp (l :: acc)
+        | None -> List.rev acc
+      in
+      slurp []
+  in
+  let lines = List.filter (fun l -> String.trim l <> "") lines in
+  let payload = String.concat "\n" lines ^ "\n" in
+  let rec send off =
+    if off < String.length payload then
+      send (off + Unix.write_substring fd payload off (String.length payload - off))
+  in
+  send 0;
+  let ic = Unix.in_channel_of_descr fd in
+  let saw_error = ref false in
+  let rec read_replies n =
+    if n > 0 then
+      match In_channel.input_line ic with
+      | Some reply ->
+        print_endline reply;
+        (match Sn_server.Json.parse reply with
+        | Ok j -> (
+          match Sn_server.Json.member "type" j with
+          | Some (Sn_server.Json.Str "error") -> saw_error := true
+          | _ -> ())
+        | Error _ -> saw_error := true);
+        read_replies (n - 1)
+      | None ->
+        Format.eprintf "snoise request: server closed the connection@.";
+        exit 2
+  in
+  read_replies (List.length lines);
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  if !saw_error then exit 1
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string (default_socket ())
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:
+          "Unix-domain socket path (default: $(b,SNOISE_SOCKET) or \
+           snoise.sock in the system temp directory).")
+
 let f_noise_arg =
   Arg.(
     value
@@ -328,6 +446,68 @@ let cmds =
                 ~doc:
                   "SPICE netlist file to solve (lint-gated); omit to \
                    solve the merged VCO impact model."));
+    cmd "serve"
+      "persistent simulation service over a Unix-domain socket (JSONL)"
+      Term.(
+        const run_serve $ verbose $ socket_arg
+        $ Arg.(
+            value
+            & opt (some string) None
+            & info [ "tcp" ] ~docv:"HOST:PORT"
+                ~doc:
+                  "Additionally listen on a TCP endpoint (loopback \
+                   use; the protocol has no authentication).")
+        $ Arg.(
+            value
+            & opt int Sn_server.Service.default_config.Sn_server.Service.max_queue
+            & info [ "max-queue" ] ~docv:"N"
+                ~doc:
+                  "Bounded request-queue capacity; a full queue answers \
+                   $(b,busy) with a retry hint instead of buffering \
+                   without limit.")
+        $ Arg.(
+            value
+            & opt int
+                Sn_server.Service.default_config.Sn_server.Service.client_quota
+            & info [ "quota" ] ~docv:"N"
+                ~doc:
+                  "Max requests one client may have queued at once; \
+                   beyond it the client is answered $(b,quota-exceeded).")
+        $ Arg.(
+            value
+            & opt int Sn_server.Service.default_config.Sn_server.Service.max_decks
+            & info [ "max-decks" ] ~docv:"N"
+                ~doc:
+                  "Compiled-plan cache bound (LRU eviction beyond it).")
+        $ Arg.(
+            value
+            & opt int
+                Sn_server.Service.default_config.Sn_server.Service
+                .tran_max_points
+            & info [ "tran-max-points" ] ~docv:"N"
+                ~doc:
+                  "Largest transient point count a request may ask \
+                   for."));
+    cmd "request"
+      "send JSONL request lines to a running snoise serve and print replies"
+      Term.(
+        const run_request $ verbose $ socket_arg
+        $ Arg.(
+            value
+            & opt float 0.0
+            & info [ "wait" ] ~docv:"SECONDS"
+                ~doc:
+                  "Retry connecting for up to $(docv) (a just-started \
+                   server may not be listening yet).")
+        $ Arg.(
+            value
+            & pos_all string []
+            & info [] ~docv:"REQUEST"
+                ~doc:
+                  "Request lines (JSON objects).  With none, lines are \
+                   read from stdin.  Exit status: 0 when every reply is \
+                   a response, 1 when any reply is an error, 2 on \
+                   connection failure."));
     cmd "lint"
       "structural ERC of a SPICE deck (default: the merged VCO model)"
       Term.(

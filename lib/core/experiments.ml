@@ -418,6 +418,7 @@ type runtime = {
   grid_cells : int;
   extractor : Sn_substrate.Extractor.stats option;
   pool : Sn_engine.Pool.stats;
+  tile_cache : Sn_substrate.Cache.resolution;
 }
 
 let runtime ?(options = Flow.default_options) () =
@@ -444,4 +445,5 @@ let runtime ?(options = Flow.default_options) () =
     grid_cells = cells;
     extractor = xstats;
     pool = Sweep.stats ();
+    tile_cache = Sn_substrate.Cache.resolution ();
   }

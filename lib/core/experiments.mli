@@ -169,6 +169,10 @@ type runtime = {
   pool : Sn_engine.Pool.stats;
       (** worker-pool counters of the impact sweep (tasks, per-worker
           busy time, effective parallelism) *)
+  tile_cache : Sn_substrate.Cache.resolution;
+      (** how the substrate tile-cache directory resolved
+          ([--cache-dir] / [SNOISE_CACHE_DIR] / disabled) — the knob
+          that decides whether this extraction could run warm *)
 }
 
 val runtime : ?options:Flow.options -> unit -> runtime

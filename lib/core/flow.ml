@@ -82,6 +82,66 @@ let lint_gate ?(enabled = true) nl =
               { loc = Sn_engine.Diag.loc "lint"; what }))
   end
 
+(* ------------------------------------------------------------------ *)
+(* compiled decks: the resident-service hot path.  One value holds the
+   parse -> lint -> MNA -> stamp-plan chain of a deck, with the DC
+   operating point and the complex AC plan memoized behind a mutex so
+   a long-lived process pays each stage exactly once however many
+   requests hit the deck (and from whichever thread). *)
+
+type compiled = {
+  c_netlist : C.Netlist.t;
+  c_mna : Sn_engine.Mna.t;
+  c_plan : Sn_engine.Stamp_plan.t;
+  c_lock : Mutex.t;
+  mutable c_bias : Dc.solution option;
+  mutable c_acp : Sn_engine.Ac_plan.t option;
+}
+
+let compile_deck ?(lint = true) nl =
+  lint_gate ~enabled:lint nl;
+  let mna = Sn_engine.Mna.build nl in
+  {
+    c_netlist = nl;
+    c_mna = mna;
+    c_plan = Sn_engine.Stamp_plan.build mna;
+    c_lock = Mutex.create ();
+    c_bias = None;
+    c_acp = None;
+  }
+
+let compiled_netlist c = c.c_netlist
+let compiled_mna c = c.c_mna
+let compiled_plan c = c.c_plan
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(* callers hold c_lock *)
+let bias_locked c =
+  match c.c_bias with
+  | Some b -> b
+  | None ->
+    let b = Dc.solve_plan c.c_plan in
+    c.c_bias <- Some b;
+    b
+
+let compiled_bias c = with_lock c.c_lock (fun () -> bias_locked c)
+
+let compiled_bias_cached c = with_lock c.c_lock (fun () -> c.c_bias <> None)
+
+let compiled_ac_plan c =
+  with_lock c.c_lock (fun () ->
+      match c.c_acp with
+      | Some a -> a
+      | None ->
+        let a = Sn_engine.Ac_plan.of_dc c.c_plan (bias_locked c) in
+        c.c_acp <- Some a;
+        a)
+
+(* ------------------------------------------------------------------ *)
+
 let noise_elements ~inject_node =
   [
     E.Vsource { name = "vnoise"; np = "sub_drive"; nn = "0";

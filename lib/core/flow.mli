@@ -56,6 +56,55 @@ val disable_lint : unit -> unit
     the per-flow [lint] option. *)
 
 (* ------------------------------------------------------------------ *)
+(** {1 Compiled decks (resident flows)}
+
+    The per-invocation CLI pays parse, lint, MNA build, stamp-plan
+    compilation and the DC bias on every run.  A {!compiled} value
+    pays each stage exactly once and memoizes the rest, which is what
+    the [snoise serve] daemon keeps hot between requests: a warm
+    served analysis is a pure solve over pre-compiled plans.  Values
+    are safe to share between threads — the lazily-computed stages are
+    memoized behind a mutex. *)
+
+type compiled
+(** One deck's compiled artifacts: netlist, MNA structure,
+    {!Sn_engine.Stamp_plan}, and (lazily) the DC operating point and
+    the complex {!Sn_engine.Ac_plan} at that bias. *)
+
+val compile_deck : ?lint:bool -> Sn_circuit.Netlist.t -> compiled
+(** [compile_deck nl] runs the {!lint_gate} (unless [~lint:false]) and
+    compiles the deck's stamp plan.  The expensive bias-dependent
+    stages are deferred until first use.  Raises
+    {!Sn_engine.Diag.Error} on lint errors, like every flow entry
+    point. *)
+
+val compiled_netlist : compiled -> Sn_circuit.Netlist.t
+(** The deck the artifacts were compiled from. *)
+
+val compiled_mna : compiled -> Sn_engine.Mna.t
+(** The deck's MNA structure (node/branch name resolution). *)
+
+val compiled_plan : compiled -> Sn_engine.Stamp_plan.t
+(** The compiled stamp plan — what {!Sn_engine.Dc.solve_plan} and the
+    transient engine consume. *)
+
+val compiled_bias : compiled -> Sn_engine.Dc.solution
+(** The DC operating point, solved on first call and memoized.
+    Raises {!Sn_engine.Diag.Error} when the rescue ladder is
+    exhausted; the failure is {e not} memoized, so a later call
+    retries. *)
+
+val compiled_bias_cached : compiled -> bool
+(** Whether {!compiled_bias} has already been computed — how the
+    server's stats distinguish a bias hit from a bias solve. *)
+
+val compiled_ac_plan : compiled -> Sn_engine.Ac_plan.t
+(** The complex G + jwB plan compiled at {!compiled_bias}, memoized.
+    Because the plan also carries its master factorization after the
+    first solve, repeated served AC/noise requests skip the symbolic
+    factorization too. *)
+
+(* ------------------------------------------------------------------ *)
 (** {1 NMOS measurement structure (paper section 3)} *)
 
 type nmos_flow

@@ -219,6 +219,8 @@ let runtime fmt (r : E.runtime) =
        (if x.X.cache_hits = 1 then "" else "s")
        x.X.cache_misses
        (if x.X.cache_misses = 1 then "" else "es"));
+  Format.fprintf fmt "tile cache: %a@," Sn_substrate.Cache.pp_resolution
+    r.E.tile_cache;
   Format.fprintf fmt
     "[paper: 20 min extraction + 15 min simulation on an HP-UX L2000]@,";
   Format.fprintf fmt "%a" Sn_engine.Pool.pp_stats r.E.pool;

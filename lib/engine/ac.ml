@@ -111,6 +111,8 @@ let solve_at_acp acp ~freq =
   let x = Ac_plan.solve_stimulus acp ws in
   { mna = Stamp_plan.mna (Ac_plan.plan acp); freq; x }
 
+let solve_plan acp ~freq = solve_at_acp acp ~freq
+
 let solve_at_plan plan dc ~freq = solve_at_acp (Ac_plan.of_dc plan dc) ~freq
 
 let solve ?dc netlist ~freq =
@@ -129,18 +131,18 @@ let magnitude_db s node =
 
 type sweep_point = { freq : float; values : (string * Complex.t) list }
 
-let sweep ?dc netlist ~freqs ~nodes =
-  let mna = Mna.build netlist in
-  let plan = Stamp_plan.build mna in
-  let dc = match dc with Some d -> d | None -> Dc.solve_mna mna in
+let sweep_plan acp ~freqs ~nodes =
+  let mna = Stamp_plan.mna (Ac_plan.plan acp) in
   Array.iter
     (fun f -> if f < 0.0 then invalid_arg "Ac.solve: freq must be >= 0")
     freqs;
-  let acp = Ac_plan.of_dc plan dc in
   (* resolve node names once, not per point *)
   let slots = List.map (fun n -> (n, Mna.node_slot mna n)) nodes in
   (* pin the pivot order before the pool fans out so any jobs width
-     produces byte-identical results *)
+     produces byte-identical results; a plan that already carries a
+     master factorization (a resident-service cache hit) keeps it, so
+     batched and individual dispatches over one plan agree bit for
+     bit *)
   if Array.length freqs > 0 then Ac_plan.ensure_master acp ~freq:freqs.(0);
   Pool.map_array (Pool.default ())
     (fun freq ->
@@ -153,6 +155,12 @@ let sweep ?dc netlist ~freqs ~nodes =
           List.map (fun (n, s) -> (n, if s < 0 then czero else x.(s))) slots;
       })
     freqs
+
+let sweep ?dc netlist ~freqs ~nodes =
+  let mna = Mna.build netlist in
+  let plan = Stamp_plan.build mna in
+  let dc = match dc with Some d -> d | None -> Dc.solve_mna mna in
+  sweep_plan (Ac_plan.of_dc plan dc) ~freqs ~nodes
 
 let sweep_list ?dc netlist ~freqs ~nodes =
   Array.to_list (sweep ?dc netlist ~freqs ~nodes)

@@ -24,6 +24,13 @@ val solve : ?dc:Dc.solution -> Sn_circuit.Netlist.t -> freq:float -> solution
     (naming the offending node or element) when the complex system is
     singular at [freq]. *)
 
+val solve_plan : Ac_plan.t -> freq:float -> solution
+(** [solve_plan acp ~freq] solves one point on a pre-compiled
+    {!Ac_plan} — the resident-service hot path: no parse, no stamp
+    compilation, no bias solve, just a [G + jwB] refill of the plan's
+    reused pattern and a factorization (or numeric refactor when the
+    plan already carries its master).  Raises like {!solve}. *)
+
 val frequency : solution -> float
 
 val voltage : solution -> string -> Complex.t
@@ -60,6 +67,16 @@ val sweep :
     array is positioned by input index and byte-identical regardless of
     the pool's width.  Raises as {!solve}; unknown node names raise
     [Not_found] before any solve runs. *)
+
+val sweep_plan :
+  Ac_plan.t -> freqs:float array -> nodes:string list -> sweep_point array
+(** [sweep_plan acp ~freqs ~nodes] is {!sweep} over a pre-compiled
+    {!Ac_plan}: the symbolic factorization is pinned once (or reused
+    when the plan already carries it) and the points run on the
+    default {!Pool}.  Because a plan's pivot order is fixed by its
+    first factorization, repeated and batched sweeps over one cached
+    plan are byte-identical however the points are grouped into
+    dispatches.  Raises as {!sweep}. *)
 
 val sweep_list :
   ?dc:Dc.solution -> Sn_circuit.Netlist.t -> freqs:float array ->

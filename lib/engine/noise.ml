@@ -34,12 +34,11 @@ let noise_sources nl dc ~temperature =
         None)
     (C.Netlist.elements nl)
 
-let analyze ?dc ?(temperature = 300.0) nl ~output ~freqs =
-  let mna = Mna.build nl in
-  let dc = match dc with Some d -> d | None -> Dc.solve_mna mna in
+let analyze_plan ?(temperature = 300.0) ~dc acp ~output ~freqs =
+  let mna = Stamp_plan.mna (Ac_plan.plan acp) in
+  let nl = Mna.netlist mna in
   let out_slot = Mna.node_slot mna output in
   if out_slot < 0 then invalid_arg "Noise.analyze: output cannot be ground";
-  let plan = Stamp_plan.build mna in
   Array.iter
     (fun f -> if f < 0.0 then invalid_arg "Noise.analyze: negative frequency")
     freqs;
@@ -51,7 +50,6 @@ let analyze ?dc ?(temperature = 300.0) nl ~output ~freqs =
         (element, Mna.node_slot mna np, Mna.node_slot mna nn, psd_i))
       (noise_sources nl dc ~temperature)
   in
-  let acp = Ac_plan.of_dc plan dc in
   (* the adjoint stimulus: a unit excitation of the output row, shared
      by every frequency point *)
   let e_out =
@@ -87,6 +85,12 @@ let analyze ?dc ?(temperature = 300.0) nl ~output ~freqs =
       { freq; total_psd; contributions })
     freqs
   |> Array.to_list
+
+let analyze ?dc ?temperature nl ~output ~freqs =
+  let mna = Mna.build nl in
+  let dc = match dc with Some d -> d | None -> Dc.solve_mna mna in
+  let acp = Ac_plan.of_dc (Stamp_plan.build mna) dc in
+  analyze_plan ?temperature ~dc acp ~output ~freqs
 
 let total_rms points =
   match points with

@@ -33,6 +33,15 @@ val analyze :
     [Invalid_argument] for negative frequencies (validated before any
     solve runs). *)
 
+val analyze_plan :
+  ?temperature:float -> dc:Dc.solution -> Ac_plan.t ->
+  output:string -> freqs:float array -> point list
+(** [analyze_plan ~dc acp ~output ~freqs] is {!analyze} over a
+    pre-compiled {!Ac_plan} and its operating point — the
+    resident-service hot path, skipping the MNA build, the stamp-plan
+    compilation and the bias solve.  [dc] must be the operating point
+    the plan was compiled at.  Raises as {!analyze}. *)
+
 val total_rms : point list -> float
 (** [total_rms points] integrates the PSD over the swept band
     (trapezoidal in linear frequency) and returns the RMS noise

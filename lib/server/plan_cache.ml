@@ -1,0 +1,183 @@
+(* LRU bookkeeping: every lookup stamps the entry with a monotonically
+   increasing tick; eviction scans for the minimum stamp.  The scan is
+   O(entries) but entries are bounded by max_decks (default 128) and
+   eviction only runs on insertion past the bound — invisible next to
+   a single Newton iteration. *)
+
+type 'a entry = { value : 'a; mutable last_use : int }
+
+type t = {
+  lock : Mutex.t;
+  max_decks : int;
+  mutable tick : int;
+  netlists : (string, Sn_circuit.Netlist.t entry) Hashtbl.t;
+  plans : (string, Snoise.Flow.compiled entry) Hashtbl.t;
+  macros : (string, Sn_substrate.Macromodel.t entry) Hashtbl.t;
+  mutable plan_hits : int;
+  mutable plan_misses : int;
+  mutable parse_hits : int;
+  mutable parse_misses : int;
+  mutable macro_hits : int;
+  mutable macro_misses : int;
+  mutable evictions : int;
+}
+
+let create ?(max_decks = 128) () =
+  {
+    lock = Mutex.create ();
+    max_decks = max 1 max_decks;
+    tick = 0;
+    netlists = Hashtbl.create 64;
+    plans = Hashtbl.create 64;
+    macros = Hashtbl.create 16;
+    plan_hits = 0;
+    plan_misses = 0;
+    parse_hits = 0;
+    parse_misses = 0;
+    macro_hits = 0;
+    macro_misses = 0;
+    evictions = 0;
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let touch t entry =
+  t.tick <- t.tick + 1;
+  entry.last_use <- t.tick
+
+let deck_key ~text ~overrides =
+  let canonical =
+    List.map (fun (k, v) -> Printf.sprintf "%s=%.17g" k v) overrides
+    |> String.concat ";"
+  in
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf "snoise-plan-v1\n%d:%s\n%s" (String.length text) text
+          canonical))
+
+let text_key text =
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf "snoise-parse-v1\n%d:%s" (String.length text) text))
+
+(* layered find: probe under the lock, compute outside it (a compile
+   or extraction can take seconds and must not serialize unrelated
+   requests), publish under the lock.  Two racing misses both compute;
+   the second publish wins harmlessly — entries are pure values of
+   their key. *)
+let find_generic t table ~key ~(compute : unit -> 'a) ~hit ~miss
+    ~(evict : unit -> unit) =
+  let cached =
+    with_lock t (fun () ->
+        match Hashtbl.find_opt table key with
+        | Some e ->
+          touch t e;
+          hit ();
+          Some e.value
+        | None ->
+          miss ();
+          None)
+  in
+  match cached with
+  | Some v -> (v, Protocol.Hit)
+  | None ->
+    let v = compute () in
+    with_lock t (fun () ->
+        t.tick <- t.tick + 1;
+        Hashtbl.replace table key { value = v; last_use = t.tick };
+        evict ());
+    (v, Protocol.Miss)
+
+(* caller holds the lock *)
+let evict_lru t =
+  while Hashtbl.length t.plans > t.max_decks do
+    let victim = ref None in
+    Hashtbl.iter
+      (fun k e ->
+        match !victim with
+        | Some (_, age) when age <= e.last_use -> ()
+        | _ -> victim := Some (k, e.last_use))
+      t.plans;
+    match !victim with
+    | Some (k, _) ->
+      Hashtbl.remove t.plans k;
+      t.evictions <- t.evictions + 1
+    | None -> ()
+  done;
+  (* keep the parse layer from outliving every plan that used it *)
+  while Hashtbl.length t.netlists > 2 * t.max_decks do
+    let victim = ref None in
+    Hashtbl.iter
+      (fun k e ->
+        match !victim with
+        | Some (_, age) when age <= e.last_use -> ()
+        | _ -> victim := Some (k, e.last_use))
+      t.netlists;
+    match !victim with
+    | Some (k, _) -> Hashtbl.remove t.netlists k
+    | None -> ()
+  done
+
+let find_netlist t ~text ~parse =
+  let key = text_key text in
+  fst
+    (find_generic t t.netlists ~key
+       ~compute:(fun () -> parse text)
+       ~hit:(fun () -> t.parse_hits <- t.parse_hits + 1)
+       ~miss:(fun () -> t.parse_misses <- t.parse_misses + 1)
+       ~evict:(fun () -> evict_lru t))
+
+let find_compiled t ~key ~compile =
+  find_generic t t.plans ~key ~compute:compile
+    ~hit:(fun () -> t.plan_hits <- t.plan_hits + 1)
+    ~miss:(fun () -> t.plan_misses <- t.plan_misses + 1)
+    ~evict:(fun () -> evict_lru t)
+
+let find_macro t ~text ~extract =
+  let key = text_key text in
+  find_generic t t.macros ~key ~compute:extract
+    ~hit:(fun () -> t.macro_hits <- t.macro_hits + 1)
+    ~miss:(fun () -> t.macro_misses <- t.macro_misses + 1)
+    ~evict:(fun () -> ())
+
+type stats = {
+  plans : int;
+  plan_hits : int;
+  plan_misses : int;
+  parse_hits : int;
+  parse_misses : int;
+  macro_hits : int;
+  macro_misses : int;
+  evictions : int;
+}
+
+let stats t =
+  with_lock t (fun () ->
+      {
+        plans = Hashtbl.length t.plans;
+        plan_hits = t.plan_hits;
+        plan_misses = t.plan_misses;
+        parse_hits = t.parse_hits;
+        parse_misses = t.parse_misses;
+        macro_hits = t.macro_hits;
+        macro_misses = t.macro_misses;
+        evictions = t.evictions;
+      })
+
+let clear t =
+  with_lock t (fun () ->
+      Hashtbl.reset t.netlists;
+      Hashtbl.reset t.plans;
+      Hashtbl.reset t.macros)
+
+let reset_counters t =
+  with_lock t (fun () ->
+      t.plan_hits <- 0;
+      t.plan_misses <- 0;
+      t.parse_hits <- 0;
+      t.parse_misses <- 0;
+      t.macro_hits <- 0;
+      t.macro_misses <- 0;
+      t.evictions <- 0)

@@ -1,0 +1,76 @@
+(** In-memory content-addressed cache of compiled simulation
+    artifacts — what keeps a resident [snoise serve] process hot.
+
+    Three layers, all keyed by {e content} digests so a stale hit is
+    impossible (the same discipline as the on-disk
+    {!Sn_substrate.Cache} for tiles):
+
+    - {b parse layer}: deck text digest -> parsed
+      {!Sn_circuit.Netlist.t}.  Editing a deck file changes its
+      digest, which is the whole invalidation story.
+    - {b plan layer}: (deck text digest, canonical overrides) ->
+      {!Snoise.Flow.compiled} — the lint verdict, MNA structure and
+      compiled stamp plan.  The {!Snoise.Flow.compiled} value itself
+      memoizes the DC bias and the complex AC plan, so the
+      (deck, bias point) -> [Ac_plan] mapping rides on this layer.
+    - {b macro layer}: layout text digest -> extracted substrate
+      macromodel (the [extract] verb).
+
+    Plan-layer entries are evicted least-recently-used beyond
+    [max_decks]; the parse layer is evicted alongside (it only exists
+    to de-duplicate work between override variants of one deck).
+    All operations are thread-safe. *)
+
+type t
+
+val create : ?max_decks:int -> unit -> t
+(** [create ()] builds an empty cache holding at most [max_decks]
+    (default 128) compiled plans. *)
+
+val deck_key : text:string -> overrides:(string * float) list -> string
+(** The plan-layer key: a digest over the deck text and the
+    canonically-rendered (sorted) overrides.  Exposed so tests and
+    [docs/SERVER.md] can state the cache-key semantics precisely. *)
+
+val find_netlist :
+  t -> text:string -> parse:(string -> Sn_circuit.Netlist.t) ->
+  Sn_circuit.Netlist.t
+(** [find_netlist t ~text ~parse] returns the cached parse of [text]
+    or runs [parse text] and caches it.  Parser exceptions propagate
+    and cache nothing. *)
+
+val find_compiled :
+  t -> key:string -> compile:(unit -> Snoise.Flow.compiled) ->
+  Snoise.Flow.compiled * Protocol.cache_note
+(** [find_compiled t ~key ~compile] returns the cached compiled deck
+    for [key] (a {!deck_key}) and {!Protocol.Hit}, or runs [compile]
+    and caches its result with {!Protocol.Miss}.  A [compile] that
+    raises (lint refusal, bad deck) caches nothing, so a fixed deck
+    re-compiles cleanly. *)
+
+val find_macro :
+  t -> text:string ->
+  extract:(unit -> Sn_substrate.Macromodel.t) ->
+  Sn_substrate.Macromodel.t * Protocol.cache_note
+(** Layout-extraction layer, keyed by layout text digest. *)
+
+(** Monotonic hit/miss/eviction counters, exposed in the server's
+    [stats] reply. *)
+type stats = {
+  plans : int;  (** compiled plans currently resident *)
+  plan_hits : int;
+  plan_misses : int;
+  parse_hits : int;
+  parse_misses : int;
+  macro_hits : int;
+  macro_misses : int;
+  evictions : int;  (** LRU evictions from the plan layer *)
+}
+
+val stats : t -> stats
+
+val clear : t -> unit
+(** Drop every entry (the bench's cold-cache mode).  Counters are
+    preserved. *)
+
+val reset_counters : t -> unit

@@ -1,0 +1,980 @@
+module J = Json
+module P = Protocol
+module C = Sn_circuit
+module E = Sn_engine
+module A = Sn_analysis
+module N = Sn_numerics
+module Flow = Snoise.Flow
+
+let log_src = Logs.Src.create "sn.server" ~doc:"snoise serving core"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type config = {
+  max_queue : int;
+  client_quota : int;
+  max_decks : int;
+  tran_max_points : int;
+}
+
+let default_config =
+  { max_queue = 256; client_quota = 32; max_decks = 128;
+    tran_max_points = 100_000 }
+
+type pending = { seq : int; client : int; req : P.request }
+
+type t = {
+  config : config;
+  cache : Plan_cache.t;
+  lock : Mutex.t;
+  queue : pending Queue.t;
+  per_client : (int, int) Hashtbl.t;
+  mutable seq : int;
+  started : float;
+  (* counters (all under [lock]) *)
+  verb_counts : (string, int) Hashtbl.t;
+  verb_ms : (string, float) Hashtbl.t;
+  mutable requests_total : int;
+  mutable responses_total : int;
+  mutable errors_total : int;
+  mutable rejected_busy : int;
+  mutable rejected_quota : int;
+  mutable max_depth : int;
+  mutable dispatches : int;
+  mutable coalesced : int;
+  mutable svc_total_ms : float;
+  mutable svc_max_ms : float;
+  mutable svc_last_ms : float;
+  (* VCO flows for the spur verb, keyed by (vtune, grid) *)
+  flows : (string, Flow.vco_flow) Hashtbl.t;
+  mutable flow_hits : int;
+  mutable flow_misses : int;
+}
+
+let create ?(config = default_config) () =
+  {
+    config;
+    cache = Plan_cache.create ~max_decks:config.max_decks ();
+    lock = Mutex.create ();
+    queue = Queue.create ();
+    per_client = Hashtbl.create 16;
+    seq = 0;
+    started = Unix.gettimeofday ();
+    verb_counts = Hashtbl.create 16;
+    verb_ms = Hashtbl.create 16;
+    requests_total = 0;
+    responses_total = 0;
+    errors_total = 0;
+    rejected_busy = 0;
+    rejected_quota = 0;
+    max_depth = 0;
+    dispatches = 0;
+    coalesced = 0;
+    svc_total_ms = 0.0;
+    svc_max_ms = 0.0;
+    svc_last_ms = 0.0;
+    flows = Hashtbl.create 4;
+    flow_hits = 0;
+    flow_misses = 0;
+  }
+
+let cache t = t.cache
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let queue_depth t = with_lock t (fun () -> Queue.length t.queue)
+
+(* ------------------------------------------------------------------ *)
+(* request-shape failures raised by handlers, mapped to wire errors by
+   [guard_result] below — a malformed request must produce a structured
+   reply, never a disconnect or a crash *)
+
+exception Bad of string
+exception Unreadable of string
+exception Lint_errors of A.Analyzer.report
+
+let embed_json s = match J.parse s with Ok j -> j | Error _ -> J.Str s
+
+let name_hint = function
+  | [] -> ""
+  | cs -> Printf.sprintf " (did you mean %s?)" (String.concat ", " cs)
+
+let guard_result ~id f =
+  match f () with
+  | v -> Ok v
+  | exception E.Diag.Error d -> Error (P.diag_error ~id d)
+  | exception Lint_errors report ->
+    Error
+      (P.error ~id
+         ~data:[ ("lint", embed_json (A.Analyzer.to_json report)) ]
+         P.Lint_refused "lint errors refused simulation")
+  | exception Bad m -> Error (P.error ~id P.Bad_request m)
+  | exception Unreadable m -> Error (P.error ~id P.Deck_unreadable m)
+  | exception C.Spice.Parse_error (line, msg) ->
+    Error
+      (P.error ~id P.Deck_unreadable
+         (Printf.sprintf "SPICE parse error at line %d: %s" line msg))
+  | exception C.Netlist.Invalid msgs ->
+    Error (P.error ~id P.Deck_unreadable (String.concat "; " msgs))
+  | exception E.Mna.Unknown_node { node; candidates } ->
+    Error
+      (P.error ~id P.Bad_request
+         (Printf.sprintf "unknown node %S%s" node (name_hint candidates)))
+  | exception E.Mna.Unknown_branch { name; candidates } ->
+    Error
+      (P.error ~id P.Bad_request
+         (Printf.sprintf "unknown branch %S%s" name (name_hint candidates)))
+  | exception Invalid_argument m -> Error (P.error ~id P.Bad_request m)
+  | exception Not_found ->
+    Error (P.error ~id P.Bad_request "unknown name in request")
+  | exception e -> Error (P.error ~id P.Internal (Printexc.to_string e))
+
+(* re-tag a shared group error with one member's id *)
+let with_id json id =
+  match json with
+  | J.Obj members ->
+    J.Obj
+      (List.map
+         (fun (k, v) -> if String.equal k "id" then (k, id) else (k, v))
+         members)
+  | other -> other
+
+(* ------------------------------------------------------------------ *)
+(* params accessors (the ["params"] object of a request) *)
+
+let params_members = function
+  | J.Null -> []
+  | J.Obj members -> members
+  | _ -> raise (Bad "\"params\" must be an object")
+
+let opt_field m k = List.assoc_opt k m
+
+let opt_float m k =
+  match opt_field m k with
+  | None -> None
+  | Some v -> (
+    match J.to_float v with
+    | Some f -> Some f
+    | None -> raise (Bad (Printf.sprintf "param %S must be a number" k)))
+
+let req_float m k =
+  match opt_float m k with
+  | Some f -> f
+  | None -> raise (Bad (Printf.sprintf "missing required param %S" k))
+
+let opt_int m k =
+  match opt_field m k with
+  | None -> None
+  | Some v -> (
+    match J.to_int v with
+    | Some i -> Some i
+    | None -> raise (Bad (Printf.sprintf "param %S must be an integer" k)))
+
+let opt_bool m k =
+  match opt_field m k with
+  | None -> None
+  | Some v -> (
+    match J.to_bool v with
+    | Some b -> Some b
+    | None -> raise (Bad (Printf.sprintf "param %S must be a boolean" k)))
+
+let opt_str m k =
+  match opt_field m k with
+  | None -> None
+  | Some v -> (
+    match J.to_str v with
+    | Some s -> Some s
+    | None -> raise (Bad (Printf.sprintf "param %S must be a string" k)))
+
+let req_str m k =
+  match opt_str m k with
+  | Some s -> s
+  | None -> raise (Bad (Printf.sprintf "missing required param %S" k))
+
+let opt_str_list m k =
+  match opt_field m k with
+  | None -> None
+  | Some v -> (
+    match J.to_list v with
+    | None -> raise (Bad (Printf.sprintf "param %S must be an array" k))
+    | Some items ->
+      Some
+        (List.map
+           (fun item ->
+             match J.to_str item with
+             | Some s -> s
+             | None ->
+               raise (Bad (Printf.sprintf "param %S must hold strings" k)))
+           items))
+
+(* ["freqs": [...]] or a generated span ["fstart"/"fstop"/"points"
+   with log (default) or lin "spacing"] *)
+let freqs_of_params m =
+  match opt_field m "freqs" with
+  | Some v -> (
+    match J.float_list v with
+    | Some (_ :: _ as l) -> Array.of_list l
+    | Some [] -> raise (Bad "\"freqs\" must not be empty")
+    | None -> raise (Bad "\"freqs\" must be an array of numbers"))
+  | None ->
+    let fstart = req_float m "fstart" and fstop = req_float m "fstop" in
+    let points = Option.value (opt_int m "points") ~default:50 in
+    if points < 1 then raise (Bad "\"points\" must be >= 1");
+    (match Option.value (opt_str m "spacing") ~default:"log" with
+    | "log" -> N.Sweep.logspace fstart fstop points
+    | "lin" -> N.Sweep.linspace fstart fstop points
+    | other ->
+      raise (Bad (Printf.sprintf "unknown spacing %S (log or lin)" other)))
+
+(* ------------------------------------------------------------------ *)
+(* deck resolution and compilation *)
+
+let source_text = function
+  | P.Inline s -> s
+  | P.Path p -> (
+    try In_channel.with_open_bin p In_channel.input_all
+    with Sys_error m -> raise (Unreadable m))
+
+let source_name = function P.Inline _ -> "<inline>" | P.Path p -> p
+
+let require_source (req : P.request) =
+  match req.P.source with
+  | Some s -> s
+  | None ->
+    raise
+      (Bad
+         (Printf.sprintf "verb %S needs a deck (\"deck\" or \"deck_path\")"
+            (P.verb_name req.P.verb)))
+
+let apply_overrides nl overrides =
+  if overrides = [] then nl
+  else begin
+    let wanted = Hashtbl.create 8 in
+    List.iter
+      (fun (k, v) -> Hashtbl.replace wanted (String.lowercase_ascii k) v)
+      overrides;
+    let used = Hashtbl.create 8 in
+    let subst e =
+      let name = String.lowercase_ascii (C.Element.name e) in
+      match Hashtbl.find_opt wanted name with
+      | None -> e
+      | Some v ->
+        Hashtbl.replace used name ();
+        (match e with
+        | C.Element.Resistor r -> C.Element.Resistor { r with ohms = v }
+        | C.Element.Capacitor c -> C.Element.Capacitor { c with farads = v }
+        | C.Element.Inductor l -> C.Element.Inductor { l with henries = v }
+        | C.Element.Vsource s ->
+          C.Element.Vsource { s with wave = C.Waveform.dc v }
+        | C.Element.Isource s ->
+          C.Element.Isource { s with wave = C.Waveform.dc v }
+        | C.Element.Vccs g -> C.Element.Vccs { g with gm = v }
+        | C.Element.Vcvs g -> C.Element.Vcvs { g with gain = v }
+        | C.Element.Mosfet _ | C.Element.Varactor _ ->
+          raise
+            (Bad
+               (Printf.sprintf
+                  "override %S: only R/C/L/V/I/G/E values can be overridden"
+                  name)))
+    in
+    let elements = List.map subst (C.Netlist.elements nl) in
+    List.iter
+      (fun (k, _) ->
+        if not (Hashtbl.mem used (String.lowercase_ascii k)) then
+          raise (Bad (Printf.sprintf "override %S names no deck element" k)))
+      overrides;
+    C.Netlist.create ~title:(C.Netlist.title nl)
+      ~pragmas:(C.Netlist.pragmas nl)
+      ~directives:(C.Netlist.directives nl)
+      ~locs:(C.Netlist.element_locs nl) elements
+  end
+
+(* parse (cached), apply overrides; the compiled result is lint-gated
+   with a wire-structured refusal and cached under the content key *)
+let netlist_of t ~src ~text ~overrides =
+  let nl =
+    Plan_cache.find_netlist t.cache ~text ~parse:(fun s ->
+        C.Spice.of_string ~file:(source_name src) s)
+  in
+  apply_overrides nl overrides
+
+let compiled_of t ~src ~text ~overrides =
+  let key = Plan_cache.deck_key ~text ~overrides in
+  Plan_cache.find_compiled t.cache ~key ~compile:(fun () ->
+      let nl = netlist_of t ~src ~text ~overrides in
+      let report = A.Analyzer.analyze nl in
+      (match A.Analyzer.errors report with
+      | [] -> ()
+      | _ -> raise (Lint_errors report));
+      Flow.compile_deck ~lint:false nl)
+
+(* ------------------------------------------------------------------ *)
+(* result rendering *)
+
+let cx_json (c : Complex.t) = J.Arr [ J.Num c.Complex.re; J.Num c.Complex.im ]
+
+let float_arr a = J.Arr (Array.to_list (Array.map (fun v -> J.Num v) a))
+
+let ac_points_json ~nodes ~freqs table =
+  J.Arr
+    (Array.to_list
+       (Array.map
+          (fun freq ->
+            let values : (string * Complex.t) list = Hashtbl.find table freq in
+            J.Obj
+              [
+                ("freq", J.Num freq);
+                ( "v",
+                  J.Obj
+                    (List.map
+                       (fun n -> (n, cx_json (List.assoc n values)))
+                       nodes) );
+              ])
+          freqs))
+
+let noise_points_json ~with_contributions ~freqs table =
+  J.Arr
+    (Array.to_list
+       (Array.map
+          (fun freq ->
+            let (p : E.Noise.point) = Hashtbl.find table freq in
+            let base =
+              [
+                ("freq", J.Num freq);
+                ("total_psd", J.Num p.E.Noise.total_psd);
+                ("spot_nv", J.Num (E.Noise.spot_nv p));
+              ]
+            in
+            let members =
+              if with_contributions then
+                base
+                @ [
+                    ( "contributions",
+                      J.Arr
+                        (List.map
+                           (fun (c : E.Noise.contribution) ->
+                             J.Obj
+                               [
+                                 ("element", J.Str c.E.Noise.element);
+                                 ("psd", J.Num c.E.Noise.psd);
+                               ])
+                           p.E.Noise.contributions) );
+                  ]
+              else base
+            in
+            J.Obj members)
+          freqs))
+
+(* ------------------------------------------------------------------ *)
+(* batching: one signature per sweep-shaped request, so [drain] can
+   coalesce same-plan same-node requests into one pool dispatch *)
+
+type sweep_sig = {
+  sg_key : string;  (* plan-cache key: deck digest + overrides *)
+  sg_src : P.source;
+  sg_text : string;
+  sg_overrides : (string * float) list;
+  sg_columns : string list;  (* AC probe nodes, or the noise output *)
+  sg_freqs : float array;
+  sg_contributions : bool;  (* noise only: render per-element PSDs *)
+}
+
+let ac_signature (req : P.request) =
+  let m = params_members req.P.params in
+  let nodes =
+    match opt_str_list m "nodes" with
+    | Some (_ :: _ as ns) -> ns
+    | Some [] -> raise (Bad "\"nodes\" must not be empty")
+    | None -> raise (Bad "missing required param \"nodes\"")
+  in
+  let src = require_source req in
+  let text = source_text src in
+  {
+    sg_key = Plan_cache.deck_key ~text ~overrides:req.P.overrides;
+    sg_src = src;
+    sg_text = text;
+    sg_overrides = req.P.overrides;
+    sg_columns = nodes;
+    sg_freqs = freqs_of_params m;
+    sg_contributions = false;
+  }
+
+let noise_signature (req : P.request) =
+  let m = params_members req.P.params in
+  let output = req_str m "output" in
+  let src = require_source req in
+  let text = source_text src in
+  {
+    sg_key = Plan_cache.deck_key ~text ~overrides:req.P.overrides;
+    sg_src = src;
+    sg_text = text;
+    sg_overrides = req.P.overrides;
+    sg_columns = [ output ];
+    sg_contributions = Option.value (opt_bool m "contributions") ~default:false;
+    sg_freqs = freqs_of_params m;
+  }
+
+let compatible a b =
+  String.equal a.sg_key b.sg_key
+  && List.length a.sg_columns = List.length b.sg_columns
+  && List.for_all2 String.equal a.sg_columns b.sg_columns
+
+let union_freqs members =
+  List.concat_map (fun (_, sg) -> Array.to_list sg.sg_freqs) members
+  |> List.sort_uniq compare
+  |> Array.of_list
+
+(* ------------------------------------------------------------------ *)
+(* per-verb handlers.  Each returns (result, plan note, bias note). *)
+
+let run_op t (req : P.request) =
+  let src = require_source req in
+  let text = source_text src in
+  let compiled, plan_note =
+    compiled_of t ~src ~text ~overrides:req.P.overrides
+  in
+  let bias_note =
+    if Flow.compiled_bias_cached compiled then P.Hit else P.Miss
+  in
+  let dc = Flow.compiled_bias compiled in
+  let m = params_members req.P.params in
+  let nodes =
+    match opt_str_list m "nodes" with
+    | Some ns -> ns
+    | None ->
+      Array.to_list (E.Mna.node_names (Flow.compiled_mna compiled))
+      |> List.sort String.compare
+  in
+  let voltages = List.map (fun n -> (n, J.Num (E.Dc.voltage dc n))) nodes in
+  (J.Obj [ ("voltages", J.Obj voltages) ], plan_note, bias_note)
+
+let run_tran t (req : P.request) =
+  let src = require_source req in
+  let text = source_text src in
+  let compiled, plan_note =
+    compiled_of t ~src ~text ~overrides:req.P.overrides
+  in
+  let m = params_members req.P.params in
+  let tstop = req_float m "tstop" and dt = req_float m "dt" in
+  if tstop <= 0.0 || dt <= 0.0 then
+    raise (Bad "\"tstop\" and \"dt\" must be > 0");
+  let n_points = int_of_float (Float.round (tstop /. dt)) + 1 in
+  if n_points > t.config.tran_max_points then
+    raise
+      (Bad
+         (Printf.sprintf
+            "%d points exceed the service limit of %d (raise \"dt\" or \
+             split the window)"
+            n_points t.config.tran_max_points));
+  let method_ =
+    match Option.value (opt_str m "method") ~default:"trapezoidal" with
+    | "trapezoidal" | "trap" -> E.Tran.Trapezoidal
+    | "backward-euler" | "be" -> E.Tran.Backward_euler
+    | other ->
+      raise
+        (Bad
+           (Printf.sprintf "unknown method %S (trapezoidal or backward-euler)"
+              other))
+  in
+  let options =
+    { E.Tran.default_options with
+      E.Tran.method_ = method_;
+      record = opt_str_list m "nodes" }
+  in
+  let ds =
+    E.Tran.simulate ~options ~tstop ~dt (Flow.compiled_netlist compiled)
+  in
+  let waves =
+    Array.to_list
+      (Array.mapi
+         (fun k name -> (name, float_arr ds.E.Tran.data.(k)))
+         ds.E.Tran.names)
+  in
+  let truncated =
+    match ds.E.Tran.truncated with
+    | None -> J.Null
+    | Some d -> embed_json (E.Diag.to_json d)
+  in
+  ( J.Obj
+      [
+        ("times", float_arr ds.E.Tran.times);
+        ("waves", J.Obj waves);
+        ("truncated", truncated);
+      ],
+    plan_note,
+    P.Not_applicable )
+
+let run_lint t (req : P.request) =
+  let src = require_source req in
+  let text = source_text src in
+  let nl = netlist_of t ~src ~text ~overrides:req.P.overrides in
+  let m = params_members req.P.params in
+  let strict = Option.value (opt_bool m "strict") ~default:false in
+  let parse_ignore s =
+    match String.index_opt s '=' with
+    | None -> (s, None)
+    | Some i ->
+      (String.sub s 0 i, Some (String.sub s (i + 1) (String.length s - i - 1)))
+  in
+  let config =
+    {
+      A.Analyzer.default with
+      A.Analyzer.disabled =
+        Option.value (opt_str_list m "disable") ~default:[];
+      ignores =
+        List.map parse_ignore
+          (Option.value (opt_str_list m "ignore") ~default:[]);
+    }
+  in
+  let report = A.Analyzer.analyze ~config nl in
+  let failing =
+    A.Analyzer.errors report <> []
+    || (strict && A.Analyzer.warnings report <> [])
+  in
+  ( J.Obj
+      [
+        ("report", embed_json (A.Analyzer.to_json report));
+        ("failing", J.Bool failing);
+      ],
+    P.Not_applicable,
+    P.Not_applicable )
+
+let run_extract t (req : P.request) =
+  let src = require_source req in
+  let text = source_text src in
+  let macro, note =
+    Plan_cache.find_macro t.cache ~text ~extract:(fun () ->
+        let layout = Sn_layout.Layout_io.of_string text in
+        Sn_substrate.Extractor.extract_from_layout ~tech:Sn_tech.Tech.imec018
+          layout)
+  in
+  let resistors =
+    List.map
+      (fun (a, b, r) -> J.Arr [ J.Str a; J.Str b; J.Num r ])
+      (Sn_substrate.Macromodel.to_resistors macro)
+  in
+  ( J.Obj
+      [
+        ( "ports",
+          J.Arr
+            (List.map (fun p -> J.Str p)
+               (Sn_substrate.Macromodel.port_names macro)) );
+        ("resistors", J.Arr resistors);
+      ],
+    note,
+    P.Not_applicable )
+
+let run_spur t (req : P.request) =
+  let m = params_members req.P.params in
+  let f_noise = req_float m "f_noise" in
+  let vtune = Option.value (opt_float m "vtune") ~default:0.45 in
+  let p_noise_dbm = Option.value (opt_float m "p_noise_dbm") ~default:(-5.0) in
+  let nx = Option.value (opt_int m "nx") ~default:48 in
+  let ny = Option.value (opt_int m "ny") ~default:48 in
+  if nx < 4 || ny < 4 then raise (Bad "\"nx\"/\"ny\" must be >= 4");
+  let key = Printf.sprintf "%.17g:%d:%d" vtune nx ny in
+  let cached =
+    with_lock t (fun () ->
+        match Hashtbl.find_opt t.flows key with
+        | Some f ->
+          t.flow_hits <- t.flow_hits + 1;
+          Some f
+        | None ->
+          t.flow_misses <- t.flow_misses + 1;
+          None)
+  in
+  let flow, note =
+    match cached with
+    | Some f -> (f, P.Hit)
+    | None ->
+      let grid =
+        { Flow.default_options.Flow.grid with
+          Sn_substrate.Grid.nx = nx;
+          ny = ny }
+      in
+      let options = { Flow.default_options with Flow.grid = grid } in
+      let f = Flow.build_vco ~options Sn_testchip.Vco_chip.default ~vtune in
+      with_lock t (fun () -> Hashtbl.replace t.flows key f);
+      (f, P.Miss)
+  in
+  let h = Flow.vco_transfers flow ~f_noise:[| f_noise |] in
+  let spur = Flow.vco_spur flow ~h ~p_noise_dbm ~f_noise in
+  let module I = Sn_rf.Impact in
+  ( J.Obj
+      [
+        ("carrier_hz", J.Num (Flow.vco_carrier_freq flow));
+        ("amplitude_v", J.Num (Flow.vco_amplitude flow));
+        ("f_noise", J.Num spur.I.f_noise);
+        ("lower_dbm", J.Num spur.I.lower_dbm);
+        ("upper_dbm", J.Num spur.I.upper_dbm);
+        ( "contributions",
+          J.Arr
+            (List.map
+               (fun (c : I.contribution) ->
+                 J.Obj
+                   [
+                     ("entry", J.Str c.I.entry_label);
+                     ("h_mag", J.Num c.I.h_mag);
+                     ("spur_dbm", J.Num c.I.spur_dbm);
+                   ])
+               spur.I.contributions) );
+      ],
+    note,
+    P.Not_applicable )
+
+(* ------------------------------------------------------------------ *)
+(* stats *)
+
+let stats_json t =
+  let cs = Plan_cache.stats t.cache in
+  let pool = Snoise.Sweep.stats () in
+  let tile = Sn_substrate.Cache.resolution () in
+  let verb_table table to_json =
+    with_lock t (fun () ->
+        Hashtbl.fold (fun k v acc -> (k, to_json v) :: acc) table []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+  in
+  let ms v = Float.round (v *. 1000.0) /. 1000.0 in
+  let num i = J.Num (float_of_int i) in
+  J.Obj
+    [
+      ("uptime_s", J.Num (Unix.gettimeofday () -. t.started));
+      ("requests", num t.requests_total);
+      ("responses", num t.responses_total);
+      ("errors", num t.errors_total);
+      ("by_verb", J.Obj (verb_table t.verb_counts num));
+      ( "queue",
+        J.Obj
+          [
+            ("capacity", num t.config.max_queue);
+            ("depth", num (queue_depth t));
+            ("max_depth", num t.max_depth);
+            ("client_quota", num t.config.client_quota);
+            ("rejected_busy", num t.rejected_busy);
+            ("rejected_quota", num t.rejected_quota);
+          ] );
+      ( "batch",
+        J.Obj
+          [
+            ("dispatches", num t.dispatches);
+            ("coalesced_requests", num t.coalesced);
+          ] );
+      ( "plan_cache",
+        J.Obj
+          [
+            ("plans", num cs.Plan_cache.plans);
+            ("plan_hits", num cs.Plan_cache.plan_hits);
+            ("plan_misses", num cs.Plan_cache.plan_misses);
+            ("parse_hits", num cs.Plan_cache.parse_hits);
+            ("parse_misses", num cs.Plan_cache.parse_misses);
+            ("macro_hits", num cs.Plan_cache.macro_hits);
+            ("macro_misses", num cs.Plan_cache.macro_misses);
+            ("evictions", num cs.Plan_cache.evictions);
+            ("flow_hits", num t.flow_hits);
+            ("flow_misses", num t.flow_misses);
+          ] );
+      ( "timings_ms",
+        J.Obj
+          (("total", J.Num (ms t.svc_total_ms))
+           :: ("last", J.Num (ms t.svc_last_ms))
+           :: ("max", J.Num (ms t.svc_max_ms))
+           :: verb_table t.verb_ms (fun v -> J.Num (ms v))) );
+      ( "pool",
+        J.Obj
+          [
+            ("jobs", num pool.E.Pool.jobs);
+            ("tasks_run", num pool.E.Pool.tasks_run);
+            ("batches", num pool.E.Pool.batches);
+            ("cpu_seconds", J.Num (E.Pool.cpu_seconds pool));
+            ("wall_seconds", J.Num pool.E.Pool.wall_seconds);
+            ("imbalance", J.Num (E.Pool.imbalance pool));
+          ] );
+      ( "tile_cache",
+        J.Obj
+          [
+            ( "origin",
+              J.Str
+                (Sn_substrate.Cache.origin_name tile.Sn_substrate.Cache.origin)
+            );
+            ( "dir",
+              match tile.Sn_substrate.Cache.dir with
+              | Some d -> J.Str d
+              | None -> J.Null );
+          ] );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* submit: parse, immediately answer control verbs and refusals, queue
+   analysis work *)
+
+let bump table k v =
+  match Hashtbl.find_opt table k with
+  | Some prev -> Hashtbl.replace table k (prev +. v)
+  | None -> Hashtbl.replace table k v
+
+let count table k =
+  match Hashtbl.find_opt table k with
+  | Some prev -> Hashtbl.replace table k (prev + 1)
+  | None -> Hashtbl.replace table k 1
+
+let note_reply t reply =
+  with_lock t (fun () ->
+      match reply with
+      | J.Obj (("type", J.Str "error") :: _) ->
+        t.errors_total <- t.errors_total + 1
+      | _ -> t.responses_total <- t.responses_total + 1);
+  reply
+
+let submit t ~client line =
+  let trimmed = String.trim line in
+  match J.parse trimmed with
+  | Error msg -> `Replied (note_reply t (P.error P.Parse_error msg))
+  | Ok json -> (
+    with_lock t (fun () -> t.requests_total <- t.requests_total + 1);
+    match P.parse_request json with
+    | Error (code, msg) ->
+      let id = Option.value (J.member "id" json) ~default:J.Null in
+      `Replied (note_reply t (P.error ~id code msg))
+    | Ok req -> (
+      with_lock t (fun () -> count t.verb_counts (P.verb_name req.P.verb));
+      let served_now =
+        { P.elapsed_ms = 0.0; plan = P.Not_applicable;
+          bias = P.Not_applicable; batched = 1 }
+      in
+      match req.P.verb with
+      | P.Ping ->
+        `Replied
+          (note_reply t
+             (P.response ~id:req.P.id ~verb:P.Ping ~served:served_now
+                (J.Obj [])))
+      | P.Stats ->
+        `Replied
+          (note_reply t
+             (P.response ~id:req.P.id ~verb:P.Stats ~served:served_now
+                (stats_json t)))
+      | P.Shutdown ->
+        `Shutdown
+          (note_reply t
+             (P.response ~id:req.P.id ~verb:P.Shutdown ~served:served_now
+                (J.Obj [ ("stopping", J.Bool true) ])))
+      | P.Op | P.Ac | P.Tran | P.Noise | P.Spur | P.Lint | P.Extract -> (
+        let verdict =
+          with_lock t (fun () ->
+              let depth = Queue.length t.queue in
+              let mine =
+                Option.value (Hashtbl.find_opt t.per_client client) ~default:0
+              in
+              if depth >= t.config.max_queue then begin
+                t.rejected_busy <- t.rejected_busy + 1;
+                `Busy
+              end
+              else if mine >= t.config.client_quota then begin
+                t.rejected_quota <- t.rejected_quota + 1;
+                `Quota
+              end
+              else begin
+                t.seq <- t.seq + 1;
+                Queue.add { seq = t.seq; client; req } t.queue;
+                Hashtbl.replace t.per_client client (mine + 1);
+                t.max_depth <- max t.max_depth (depth + 1);
+                `Accepted
+              end)
+        in
+        match verdict with
+        | `Accepted -> `Queued
+        | `Busy ->
+          `Replied
+            (note_reply t
+               (P.error ~id:req.P.id
+                  ~data:[ ("retry_after_ms", J.Num 100.0) ]
+                  P.Busy
+                  (Printf.sprintf "queue full (%d requests)"
+                     t.config.max_queue)))
+        | `Quota ->
+          `Replied
+            (note_reply t
+               (P.error ~id:req.P.id
+                  ~data:[ ("retry_after_ms", J.Num 100.0) ]
+                  P.Quota_exceeded
+                  (Printf.sprintf "client has %d requests queued (quota %d)"
+                     t.config.client_quota t.config.client_quota))))))
+
+(* ------------------------------------------------------------------ *)
+(* drain: execute everything queued, coalescing sweep-shaped work *)
+
+let finish_timing t verb t0 =
+  let elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  with_lock t (fun () ->
+      t.svc_total_ms <- t.svc_total_ms +. elapsed_ms;
+      t.svc_last_ms <- elapsed_ms;
+      if elapsed_ms > t.svc_max_ms then t.svc_max_ms <- elapsed_ms;
+      bump t.verb_ms (P.verb_name verb) elapsed_ms);
+  elapsed_ms
+
+let serve_single t (p : pending) =
+  let t0 = Unix.gettimeofday () in
+  let outcome =
+    guard_result ~id:p.req.P.id (fun () ->
+        match p.req.P.verb with
+        | P.Op -> run_op t p.req
+        | P.Tran -> run_tran t p.req
+        | P.Lint -> run_lint t p.req
+        | P.Extract -> run_extract t p.req
+        | P.Spur -> run_spur t p.req
+        | P.Ac | P.Noise | P.Stats | P.Ping | P.Shutdown -> assert false)
+  in
+  let elapsed_ms = finish_timing t p.req.P.verb t0 in
+  with_lock t (fun () -> t.dispatches <- t.dispatches + 1);
+  match outcome with
+  | Error reply -> note_reply t reply
+  | Ok (result, plan, bias) ->
+    note_reply t
+      (P.response ~id:p.req.P.id ~verb:p.req.P.verb
+         ~served:{ P.elapsed_ms; plan; bias; batched = 1 }
+         result)
+
+(* serve a compatible group of AC (or noise) requests with one pool
+   dispatch over the union of their frequencies.  Byte-identity with
+   one-by-one serving holds because the cached plan's pivot order is
+   fixed by its first (master) factorization — every dispatch refills
+   the same pattern numerically. *)
+let serve_sweep_group t ~verb (members : (pending * sweep_sig) list) emit =
+  let t0 = Unix.gettimeofday () in
+  let leader = snd (List.hd members) in
+  let n = List.length members in
+  with_lock t (fun () ->
+      t.dispatches <- t.dispatches + 1;
+      if n > 1 then t.coalesced <- t.coalesced + (n - 1));
+  let union = union_freqs members in
+  Log.debug (fun m ->
+      m "dispatch %s: %d request(s), %d union point(s)" (P.verb_name verb) n
+        (Array.length union));
+  let outcome =
+    guard_result ~id:J.Null (fun () ->
+        let compiled, plan_note =
+          compiled_of t ~src:leader.sg_src ~text:leader.sg_text
+            ~overrides:leader.sg_overrides
+        in
+        let bias_note =
+          if Flow.compiled_bias_cached compiled then P.Hit else P.Miss
+        in
+        let acp = Flow.compiled_ac_plan compiled in
+        let render =
+          match verb with
+          | P.Ac ->
+            let points =
+              E.Ac.sweep_plan acp ~freqs:union ~nodes:leader.sg_columns
+            in
+            let table = Hashtbl.create (Array.length union) in
+            Array.iter
+              (fun (pt : E.Ac.sweep_point) ->
+                Hashtbl.replace table pt.E.Ac.freq pt.E.Ac.values)
+              points;
+            fun sg ->
+              J.Obj
+                [
+                  ( "points",
+                    ac_points_json ~nodes:sg.sg_columns ~freqs:sg.sg_freqs
+                      table );
+                ]
+          | P.Noise ->
+            let dc = Flow.compiled_bias compiled in
+            let output = List.hd leader.sg_columns in
+            let points = E.Noise.analyze_plan ~dc acp ~output ~freqs:union in
+            let table = Hashtbl.create (Array.length union) in
+            List.iter
+              (fun (pt : E.Noise.point) ->
+                Hashtbl.replace table pt.E.Noise.freq pt)
+              points;
+            fun sg ->
+              let points_json =
+                noise_points_json ~with_contributions:sg.sg_contributions
+                  ~freqs:sg.sg_freqs table
+              in
+              let total_rms =
+                if Array.length sg.sg_freqs >= 2 then
+                  J.Num
+                    (E.Noise.total_rms
+                       (Array.to_list
+                          (Array.map (Hashtbl.find table) sg.sg_freqs)))
+                else J.Null
+              in
+              J.Obj [ ("points", points_json); ("total_rms", total_rms) ]
+          | _ -> assert false
+        in
+        (plan_note, bias_note, render))
+  in
+  let elapsed_ms = finish_timing t verb t0 in
+  match outcome with
+  | Error failure ->
+    (* the group failed as a unit (lint refusal, singular pivot, bad
+       deck): every member gets the error, tagged with its own id *)
+    List.iter
+      (fun ((p : pending), _) ->
+        emit p.seq p.client (note_reply t (with_id failure p.req.P.id)))
+      members
+  | Ok (plan_note, bias_note, render) ->
+    List.iteri
+      (fun i ((p : pending), sg) ->
+        (* the leader reports the real cache outcome; coalesced
+           followers ran off the (by now resident) plan *)
+        let plan = if i = 0 then plan_note else P.Hit in
+        let bias = if i = 0 then bias_note else P.Hit in
+        emit p.seq p.client
+          (note_reply t
+             (P.response ~id:p.req.P.id ~verb
+                ~served:{ P.elapsed_ms; plan; bias; batched = n }
+                (render sg))))
+      members
+
+let drain t =
+  let items =
+    with_lock t (fun () ->
+        let items = List.of_seq (Queue.to_seq t.queue) in
+        Queue.clear t.queue;
+        Hashtbl.reset t.per_client;
+        items)
+  in
+  let results = ref [] in
+  let emit seq client reply = results := (seq, (client, reply)) :: !results in
+  let taken = Hashtbl.create 16 in
+  let try_signature (p : pending) =
+    match p.req.P.verb with
+    | P.Ac -> Some (guard_result ~id:p.req.P.id (fun () -> ac_signature p.req))
+    | P.Noise ->
+      Some (guard_result ~id:p.req.P.id (fun () -> noise_signature p.req))
+    | _ -> None
+  in
+  List.iter
+    (fun (p : pending) ->
+      if not (Hashtbl.mem taken p.seq) then begin
+        Hashtbl.replace taken p.seq ();
+        match try_signature p with
+        | None -> emit p.seq p.client (serve_single t p)
+        | Some (Error reply) -> emit p.seq p.client (note_reply t reply)
+        | Some (Ok leader_sig) ->
+          let group = ref [ (p, leader_sig) ] in
+          List.iter
+            (fun (q : pending) ->
+              if (not (Hashtbl.mem taken q.seq)) && q.req.P.verb = p.req.P.verb
+              then
+                match try_signature q with
+                | Some (Ok qsig) when compatible leader_sig qsig ->
+                  Hashtbl.replace taken q.seq ();
+                  group := (q, qsig) :: !group
+                | _ -> ())
+            items;
+          serve_sweep_group t ~verb:p.req.P.verb (List.rev !group) emit
+      end)
+    items;
+  List.sort (fun (a, _) (b, _) -> compare a b) !results |> List.map snd
+
+let handle t ~client line =
+  match submit t ~client line with
+  | `Replied r | `Shutdown r -> [ r ]
+  | `Queued ->
+    drain t
+    |> List.filter_map (fun (c, reply) ->
+           if c = client then Some reply else None)

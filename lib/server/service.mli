@@ -1,0 +1,74 @@
+(** The serving core: a bounded request queue with per-client quotas,
+    a coalescing scheduler, and the verb handlers — everything
+    [snoise serve] does except the sockets.
+
+    Keeping the socket layer out makes the whole protocol unit-testable
+    in-process: {!submit} accepts one raw request line exactly as it
+    would arrive on the wire, {!drain} executes everything queued and
+    returns the reply objects in submission order, and the bench
+    drives sustained workloads through the same two calls the real
+    server uses.
+
+    {b Batching.}  {!drain} coalesces compatible queued requests —
+    same compiled plan (deck digest + overrides) and same node/output
+    set, differing only in sweep frequencies — into a single
+    pool dispatch over the union of their points, then splits the
+    results back per request.  Because a cached plan's pivot order is
+    fixed by its first factorization, batched replies are
+    byte-identical to the same requests served one by one.
+
+    {b Backpressure.}  A full queue answers [busy] (with a
+    [retry_after_ms] hint), a client exceeding its in-queue quota
+    answers [quota-exceeded]; neither disconnects, and neither is ever
+    silently dropped. *)
+
+type config = {
+  max_queue : int;  (** bounded-queue capacity (default 256) *)
+  client_quota : int;
+      (** max requests one client may have queued (default 32) *)
+  max_decks : int;  (** plan-cache LRU bound (default 128) *)
+  tran_max_points : int;
+      (** largest transient point count a request may ask for
+          (default 100_000) — a deliberate service limit so one
+          request cannot wedge the daemon *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> unit -> t
+
+val submit :
+  t -> client:int -> string ->
+  [ `Queued | `Replied of Json.t | `Shutdown of Json.t ]
+(** [submit t ~client line] accepts one raw request line.  Control
+    verbs ([ping], [stats]), malformed lines and backpressure /
+    quota refusals are answered immediately as [`Replied]; analysis
+    verbs enter the queue as [`Queued]; [shutdown] returns the final
+    reply as [`Shutdown] and the caller stops its loop.  Never
+    raises on any input. *)
+
+val drain : t -> (int * Json.t) list
+(** Execute every queued request (coalescing where possible) and
+    return [(client, reply)] pairs in submission order.  Engine
+    failures become [error] replies; {!drain} itself never raises. *)
+
+val handle : t -> client:int -> string -> Json.t list
+(** [submit] then, if the request queued, [drain] — the convenience
+    path for tests, the bench and the one-shot CLI client.  Returns
+    only this client's replies (in a single-client process that is
+    all of them). *)
+
+val queue_depth : t -> int
+(** Requests currently queued (the [stats] reply's [queue.depth]). *)
+
+val cache : t -> Plan_cache.t
+(** The service's plan cache — exposed so the bench can clear it
+    between cold and warm passes. *)
+
+val stats_json : t -> Json.t
+(** The [stats] reply payload: request / error / batching counters,
+    queue state, plan-cache and VCO-flow-cache hit rates, pool stats,
+    per-verb service timings, and the substrate tile-cache directory
+    resolution ({!Sn_substrate.Cache.resolution}). *)

@@ -87,25 +87,57 @@ let store t ~key model =
 
 (* process-wide default, the CLI / SNOISE_CACHE_DIR knob.
    Unset reads the environment on first use; Disabled (--no-cache)
-   wins over the environment. *)
-type selection = Unset | Disabled | Selected of t
+   wins over the environment.  Each resolved state remembers where it
+   came from so `snoise runtime` and the server's stats request can
+   report why a run was warm or cold. *)
+
+type origin = Flag | Env | No_cache_flag | Unset_default
+
+type resolution = { origin : origin; dir : string option }
+
+let origin_name = function
+  | Flag -> "--cache-dir"
+  | Env -> "SNOISE_CACHE_DIR"
+  | No_cache_flag -> "--no-cache"
+  | Unset_default -> "unset"
+
+type selection = Unset | Disabled of origin | Selected of t * origin
 
 let selection = Atomic.make Unset
 
 let set_default_dir = function
-  | None -> Atomic.set selection Disabled
-  | Some d -> Atomic.set selection (Selected (create ~dir:d))
+  | None -> Atomic.set selection (Disabled No_cache_flag)
+  | Some d -> Atomic.set selection (Selected (create ~dir:d, Flag))
 
 let default () =
   match Atomic.get selection with
-  | Selected c -> Some c
-  | Disabled -> None
+  | Selected (c, _) -> Some c
+  | Disabled _ -> None
   | Unset -> (
     match Sys.getenv_opt "SNOISE_CACHE_DIR" with
     | Some d when String.trim d <> "" ->
       let c = create ~dir:d in
-      Atomic.set selection (Selected c);
+      Atomic.set selection (Selected (c, Env));
       Some c
     | _ ->
-      Atomic.set selection Disabled;
+      Atomic.set selection (Disabled Unset_default);
       None)
+
+let resolution () =
+  (* force the lazy environment read so the answer matches what
+     Extractor.extract would actually consult *)
+  ignore (default ());
+  match Atomic.get selection with
+  | Selected (c, origin) -> { origin; dir = Some c.dir }
+  | Disabled origin -> { origin; dir = None }
+  | Unset -> { origin = Unset_default; dir = None }
+
+let pp_resolution fmt r =
+  match r.dir with
+  | Some d -> Format.fprintf fmt "%s (from %s)" d (origin_name r.origin)
+  | None ->
+    if r.origin = No_cache_flag then
+      Format.fprintf fmt "disabled (%s)" (origin_name r.origin)
+    else
+      Format.fprintf fmt
+        "disabled (no --cache-dir and no SNOISE_CACHE_DIR set)"

@@ -69,3 +69,30 @@ val default : unit -> t option
 (** The selected default cache: the last {!set_default_dir}, else
     [SNOISE_CACHE_DIR] from the environment, else [None] (caching
     off). *)
+
+(** Where the process-wide default came from, in precedence order:
+    the CLI flags beat the environment, and an untouched process
+    reports [Unset_default]. *)
+type origin =
+  | Flag  (** [--cache-dir DIR] (a {!set_default_dir} with a path) *)
+  | Env  (** [SNOISE_CACHE_DIR] from the environment *)
+  | No_cache_flag  (** [--no-cache] (a {!set_default_dir} with [None]) *)
+  | Unset_default  (** nothing selected: caching off *)
+
+type resolution = { origin : origin; dir : string option }
+(** The resolved default-cache state: [dir] is [None] exactly when
+    caching is off. *)
+
+val origin_name : origin -> string
+(** Stable name for reports and the server stats JSON:
+    ["--cache-dir"], ["SNOISE_CACHE_DIR"], ["--no-cache"] or
+    ["unset"]. *)
+
+val resolution : unit -> resolution
+(** How the default cache resolved for this process — what
+    [snoise runtime] and the server's [stats] reply report, so
+    warm-vs-cold extraction behaviour is diagnosable. *)
+
+val pp_resolution : Format.formatter -> resolution -> unit
+(** E.g. ["/tmp/tiles (from SNOISE_CACHE_DIR)"] or
+    ["disabled (no --cache-dir and no SNOISE_CACHE_DIR set)"]. *)

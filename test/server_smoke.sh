@@ -1,0 +1,97 @@
+#!/bin/sh
+# End-to-end smoke of the resident service: start `snoise serve` on a
+# temp socket, run a scripted client session (cold request, warm repeat
+# asserting a plan-cache hit in stats, lint-error request asserting the
+# structured-JSON error path), then shut down through the protocol and
+# check the socket file is gone.
+#
+# Run from the repo root after `dune build`:
+#   sh test/server_smoke.sh
+# The snoise binary can be overridden with $SNOISE.
+set -eu
+
+SNOISE="${SNOISE:-_build/default/bin/snoise_cli.exe}"
+SOCK="${TMPDIR:-/tmp}/snoise-smoke-$$.sock"
+OUT="${TMPDIR:-/tmp}/snoise-smoke-$$"
+mkdir -p "$OUT"
+
+cleanup() {
+  rm -rf "$OUT"
+  rm -f "$SOCK"
+  kill "$SERVER" 2> /dev/null || true
+}
+trap cleanup EXIT
+
+"$SNOISE" serve --socket "$SOCK" &
+SERVER=$!
+
+req() { "$SNOISE" request --socket "$SOCK" --wait 10 "$@"; }
+
+echo "== cold request (fresh cache must miss)"
+req '{"id": 1, "verb": "op", "deck_path": "test/decks/clean_rc.sp"}' \
+  > "$OUT/cold.json"
+python3 - "$OUT/cold.json" << 'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["type"] == "response", r
+assert r["served"]["plan"] == "miss", r["served"]
+assert r["result"]["voltages"], r
+EOF
+
+echo "== warm repeat (same deck text, same content key: hit)"
+req '{"id": 2, "verb": "op", "deck_path": "test/decks/clean_rc.sp"}' \
+  > "$OUT/warm.json"
+python3 - "$OUT/warm.json" << 'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["type"] == "response", r
+assert r["served"]["plan"] == "hit", r["served"]
+EOF
+
+echo "== stats (cache counters must show the hit)"
+req '{"id": 3, "verb": "stats"}' > "$OUT/stats.json"
+python3 - "$OUT/stats.json" << 'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["type"] == "response", r
+pc = r["result"]["plan_cache"]
+assert pc["plan_hits"] >= 1, pc
+assert pc["plan_misses"] >= 1, pc
+assert "origin" in r["result"]["tile_cache"], r["result"]
+EOF
+
+echo "== lint-refused deck answers a structured error (client exits 1)"
+set +e
+req '{"id": 4, "verb": "op", "deck_path": "test/decks/vsource_loop.sp"}' \
+  > "$OUT/err.json"
+rc=$?
+set -e
+[ "$rc" -eq 1 ] || { echo "expected client exit 1, got $rc"; exit 1; }
+python3 - "$OUT/err.json" << 'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["type"] == "error", r
+assert r["error"]["code"] == "lint-refused", r["error"]
+assert isinstance(r["error"]["lint"], dict), r["error"]
+EOF
+
+echo "== the connection survived the error: ping still answered"
+req '{"id": 5, "verb": "ping"}' > "$OUT/ping.json"
+python3 - "$OUT/ping.json" << 'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["type"] == "response", r
+EOF
+
+echo "== protocol shutdown, clean teardown"
+req '{"id": 6, "verb": "shutdown"}' > "$OUT/bye.json"
+python3 - "$OUT/bye.json" << 'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["type"] == "response", r
+assert r["result"]["stopping"] is True, r
+EOF
+wait "$SERVER"
+[ ! -e "$SOCK" ] || { echo "socket file not removed"; exit 1; }
+
+echo "server smoke: ok"

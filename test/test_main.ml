@@ -13,4 +13,5 @@ let () =
      @ Test_oscillator.suites
      @ Test_pool.suites
      @ Test_flow.suites
-     @ Test_robustness.suites)
+     @ Test_robustness.suites
+     @ Test_server.suites)

@@ -1,0 +1,414 @@
+(* The resident service: wire protocol round-trips, structured errors
+   on malformed input, plan-cache hit/miss/invalidation, coalesced
+   batching byte-identity, quota/backpressure, and a real socket
+   session against a threaded server. *)
+
+module J = Sn_server.Json
+module P = Sn_server.Protocol
+module Sv = Sn_server.Service
+module Srv = Sn_server.Server
+module Pc = Sn_server.Plan_cache
+
+let deck =
+  "* rc divider\nv1 in 0 dc 1 ac 1\nr1 in out 1k\nr2 out 0 1k\n.end\n"
+
+(* same topology, different value: a distinct content key *)
+let deck_edited =
+  "* rc divider\nv1 in 0 dc 1 ac 1\nr1 in out 1k\nr2 out 0 2k\n.end\n"
+
+let bad_lint_deck =
+  "* voltage source loop\nv1 in 0 1.0\nv2 in 0 2.0\nr1 in 0 1k\n.end\n"
+
+let member name j =
+  match J.member name j with
+  | Some v -> v
+  | None -> Alcotest.failf "reply lacks %S: %s" name (J.to_string j)
+
+let str j =
+  match J.to_str j with
+  | Some s -> s
+  | None -> Alcotest.failf "not a string: %s" (J.to_string j)
+
+let msg_type reply = str (member "type" reply)
+
+let error_code reply = str (member "code" (member "error" reply))
+
+let plan_note reply = member "plan" (member "served" reply)
+
+let result_str reply = J.to_string (member "result" reply)
+
+let handle1 svc line =
+  match Sv.handle svc ~client:1 line with
+  | [ r ] -> r
+  | rs -> Alcotest.failf "expected 1 reply, got %d" (List.length rs)
+
+let request ?(id = 1) ~verb ?deck:d ?params () =
+  let fields =
+    [ ("id", string_of_int id); ("verb", Printf.sprintf "%S" verb) ]
+    @ (match d with
+      | Some text -> [ ("deck", J.to_string (J.Str text)) ]
+      | None -> [])
+    @ match params with Some p -> [ ("params", p) ] | None -> []
+  in
+  "{"
+  ^ String.concat ", "
+      (List.map (fun (k, v) -> Printf.sprintf "%S: %s" k v) fields)
+  ^ "}"
+
+(* ------------------------------------------------------------------ *)
+(* JSON *)
+
+let test_json_roundtrip () =
+  let cases =
+    [
+      {|{"a": [1, 2.5, -0.03], "b": "x\ny\u0041\u00e9", "c": [true, false, null]}|};
+      {|[1e300, 1e-300, 0, -0, 123456789012345]|};
+      {|{"nested": {"deep": [[[{"k": "v"}]]]}}|};
+      {|"\u0068\u0065\ud83d\ude00"|};
+    ]
+  in
+  List.iter
+    (fun s ->
+      match J.parse s with
+      | Error e -> Alcotest.failf "parse %s: %s" s e
+      | Ok j -> (
+        let s2 = J.to_string j in
+        match J.parse s2 with
+        | Error e -> Alcotest.failf "reparse %s: %s" s2 e
+        | Ok j2 ->
+          Alcotest.(check string) "print is stable" s2 (J.to_string j2)))
+    cases
+
+let test_json_specials () =
+  (* non-finite floats render as strings (the Diag.to_json convention)
+     and integers render bare *)
+  Alcotest.(check string) "nan" {|"nan"|} (J.to_string (J.Num Float.nan));
+  Alcotest.(check string) "inf" {|"inf"|}
+    (J.to_string (J.Num Float.infinity));
+  Alcotest.(check string) "int" "42" (J.to_string (J.Num 42.0));
+  Alcotest.(check string)
+    "escape" {|"a\"b\\c\nd"|}
+    (J.to_string (J.Str "a\"b\\c\nd"))
+
+let test_json_errors () =
+  List.iter
+    (fun s ->
+      match J.parse s with
+      | Ok j -> Alcotest.failf "accepted %S as %s" s (J.to_string j)
+      | Error _ -> ())
+    [ ""; "{"; "[1,"; "{\"a\":}"; "tru"; "1 2"; "\"\\x\""; "{\"a\" 1}" ]
+
+(* ------------------------------------------------------------------ *)
+(* protocol *)
+
+let test_protocol_parse () =
+  let parse s =
+    match J.parse s with
+    | Ok j -> P.parse_request j
+    | Error e -> Alcotest.fail e
+  in
+  (match parse {|{"id": 7, "verb": "ac", "deck": "x", "overrides": {"r1": 2e3}}|}
+   with
+  | Ok req ->
+    Alcotest.(check string) "verb" "ac" (P.verb_name req.P.verb);
+    Alcotest.(check (list (pair string (float 0.0))))
+      "overrides" [ ("r1", 2000.0) ] req.P.overrides
+  | Error (_, m) -> Alcotest.fail m);
+  (match parse {|{"verb": "warp"}|} with
+  | Error (P.Unknown_verb, _) -> ()
+  | _ -> Alcotest.fail "unknown verb accepted");
+  (match parse {|{"verb": "op", "deck": "x", "deck_path": "y"}|} with
+  | Error (P.Bad_request, _) -> ()
+  | _ -> Alcotest.fail "deck+deck_path accepted");
+  (match parse {|{"verb": "op", "overrides": {"r1": "big"}}|} with
+  | Error (P.Bad_request, _) -> ()
+  | _ -> Alcotest.fail "non-numeric override accepted");
+  match parse {|[1, 2]|} with
+  | Error (P.Bad_request, _) -> ()
+  | _ -> Alcotest.fail "non-object accepted"
+
+let test_cache_key () =
+  let k = Pc.deck_key ~text:deck ~overrides:[] in
+  Alcotest.(check string)
+    "key is deterministic" k
+    (Pc.deck_key ~text:deck ~overrides:[]);
+  Alcotest.(check bool)
+    "text edit changes the key" false
+    (String.equal k (Pc.deck_key ~text:deck_edited ~overrides:[]));
+  Alcotest.(check bool)
+    "override changes the key" false
+    (String.equal k (Pc.deck_key ~text:deck ~overrides:[ ("r2", 2000.0) ]))
+
+(* ------------------------------------------------------------------ *)
+(* service: structured errors, never a crash *)
+
+let test_malformed_requests () =
+  let svc = Sv.create () in
+  let check_code want line =
+    let reply = handle1 svc line in
+    Alcotest.(check string) "error type" "error" (msg_type reply);
+    Alcotest.(check string) ("code for " ^ line) want (error_code reply)
+  in
+  check_code "parse-error" "this is not json";
+  check_code "unknown-verb" {|{"verb": "warp"}|};
+  check_code "bad-request" {|{"verb": "ac", "deck": "x"}|};
+  check_code "bad-request" {|{"verb": "op"}|};
+  check_code "deck-unreadable" {|{"verb": "op", "deck_path": "/nonexistent"}|};
+  check_code "deck-unreadable" {|{"verb": "op", "deck": "r1 a\n.end"}|};
+  (* unknown node in a valid deck *)
+  let reply =
+    handle1 svc
+      (request ~verb:"op" ~deck ~params:{|{"nodes": ["nothere"]}|} ())
+  in
+  Alcotest.(check string) "bad node" "bad-request" (error_code reply);
+  (* the service survives all of the above *)
+  let reply = handle1 svc {|{"id": 1, "verb": "ping"}|} in
+  Alcotest.(check string) "still alive" "response" (msg_type reply)
+
+let test_lint_refused () =
+  let svc = Sv.create () in
+  let reply = handle1 svc (request ~verb:"op" ~deck:bad_lint_deck ()) in
+  Alcotest.(check string) "refused" "error" (msg_type reply);
+  Alcotest.(check string) "code" "lint-refused" (error_code reply);
+  (* the embedded analyzer report is structured JSON, not a string *)
+  (match member "lint" (member "error" reply) with
+  | J.Obj _ -> ()
+  | other -> Alcotest.failf "lint data not an object: %s" (J.to_string other));
+  (* the lint verb reports instead of refusing *)
+  let reply = handle1 svc (request ~verb:"lint" ~deck:bad_lint_deck ()) in
+  Alcotest.(check string) "lint runs" "response" (msg_type reply);
+  match member "failing" (member "result" reply) with
+  | J.Bool true -> ()
+  | other -> Alcotest.failf "expected failing=true, got %s" (J.to_string other)
+
+let test_plan_cache_lifecycle () =
+  let svc = Sv.create () in
+  let note reply = J.to_string (plan_note reply) in
+  let op d = handle1 svc (request ~verb:"op" ~deck:d ()) in
+  Alcotest.(check string) "cold deck misses" {|"miss"|} (note (op deck));
+  Alcotest.(check string) "warm deck hits" {|"hit"|} (note (op deck));
+  let ac =
+    handle1 svc
+      (request ~verb:"ac" ~deck
+         ~params:{|{"freqs": [1e6], "nodes": ["out"]}|} ())
+  in
+  Alcotest.(check string) "ac reuses the op plan" {|"hit"|} (note ac);
+  Alcotest.(check string)
+    "bias memoized too" {|"hit"|}
+    (J.to_string (member "bias" (member "served" ac)));
+  (* invalidation: editing the deck text changes the content key *)
+  Alcotest.(check string)
+    "edited deck misses" {|"miss"|}
+    (note (op deck_edited));
+  Alcotest.(check string)
+    "original still resident" {|"hit"|} (note (op deck));
+  let stats = Pc.stats (Sv.cache svc) in
+  Alcotest.(check int) "two plans resident" 2 stats.Pc.plans;
+  Alcotest.(check bool) "hits counted" true (stats.Pc.plan_hits >= 3)
+
+(* batched sweep must be byte-identical to one-by-one serving *)
+let batch_vs_individual jobs () =
+  Snoise.Sweep.set_jobs jobs;
+  Fun.protect
+    ~finally:(fun () -> Snoise.Sweep.set_jobs 1)
+    (fun () ->
+      let freq_sets =
+        [ "[1e6, 3e6]"; "[2e6]"; "[1e6, 5e6, 9e6]"; "[3e6, 2e6]" ]
+      in
+      let req id freqs =
+        request ~id ~verb:"ac" ~deck
+          ~params:(Printf.sprintf {|{"freqs": %s, "nodes": ["out", "in"]}|} freqs)
+          ()
+      in
+      (* batched: all queued before one drain *)
+      let batched = Sv.create () in
+      List.iteri
+        (fun i freqs ->
+          match Sv.submit batched ~client:1 (req i freqs) with
+          | `Queued -> ()
+          | _ -> Alcotest.fail "expected queued")
+        freq_sets;
+      let batched_replies = List.map snd (Sv.drain batched) in
+      (* individual: a fresh service, one request at a time *)
+      let indiv = Sv.create () in
+      let indiv_replies =
+        List.mapi (fun i freqs -> handle1 indiv (req i freqs)) freq_sets
+      in
+      List.iteri
+        (fun i (b, s) ->
+          Alcotest.(check string)
+            (Printf.sprintf "request %d byte-identical (jobs %d)" i jobs)
+            (result_str s) (result_str b);
+          match member "batched" (member "served" b) with
+          | J.Num n when int_of_float n = List.length freq_sets -> ()
+          | other ->
+            Alcotest.failf "expected batched=%d, got %s"
+              (List.length freq_sets) (J.to_string other))
+        (List.combine batched_replies indiv_replies))
+
+let test_batch_errors_all_members () =
+  let svc = Sv.create () in
+  List.iter
+    (fun i ->
+      match
+        Sv.submit svc ~client:1
+          (request ~id:i ~verb:"ac" ~deck:bad_lint_deck
+             ~params:{|{"freqs": [1e6], "nodes": ["in"]}|} ())
+      with
+      | `Queued -> ()
+      | _ -> Alcotest.fail "expected queued")
+    [ 1; 2 ];
+  let replies = List.map snd (Sv.drain svc) in
+  Alcotest.(check int) "both answered" 2 (List.length replies);
+  List.iter
+    (fun r -> Alcotest.(check string) "each refused" "lint-refused" (error_code r))
+    replies;
+  (* each member keeps its own id *)
+  let ids =
+    List.map (fun r -> J.to_string (member "id" r)) replies
+    |> List.sort String.compare
+  in
+  Alcotest.(check (list string)) "distinct ids" [ "1"; "2" ] ids
+
+let test_quota_and_backpressure () =
+  let config =
+    { Sv.max_queue = 4; client_quota = 2; max_decks = 8;
+      tran_max_points = 1000 }
+  in
+  let svc = Sv.create ~config () in
+  let submit client id =
+    Sv.submit svc ~client (request ~id ~verb:"op" ~deck ())
+  in
+  (match submit 1 1 with `Queued -> () | _ -> Alcotest.fail "q1");
+  (match submit 1 2 with `Queued -> () | _ -> Alcotest.fail "q2");
+  (match submit 1 3 with
+  | `Replied r ->
+    Alcotest.(check string) "third is over quota" "quota-exceeded"
+      (error_code r)
+  | _ -> Alcotest.fail "expected quota refusal");
+  (* another client still gets in *)
+  (match submit 2 4 with `Queued -> () | _ -> Alcotest.fail "client 2");
+  (match submit 3 5 with `Queued -> () | _ -> Alcotest.fail "client 3");
+  (* queue now full (4): anyone is refused busy, with a retry hint *)
+  (match submit 4 6 with
+  | `Replied r ->
+    Alcotest.(check string) "full queue is busy" "busy" (error_code r);
+    (match member "retry_after_ms" (member "error" r) with
+    | J.Num _ -> ()
+    | other -> Alcotest.failf "retry hint: %s" (J.to_string other))
+  | _ -> Alcotest.fail "expected busy refusal");
+  (* draining frees the queue and resets the per-client counts *)
+  let replies = Sv.drain svc in
+  Alcotest.(check int) "all queued served" 4 (List.length replies);
+  match submit 1 7 with
+  | `Queued -> ()
+  | _ -> Alcotest.fail "quota resets after drain"
+
+let test_stats_shape () =
+  let svc = Sv.create () in
+  ignore (handle1 svc (request ~verb:"op" ~deck ()));
+  ignore (handle1 svc "garbage");
+  let stats = Sv.stats_json svc in
+  List.iter
+    (fun k -> ignore (member k stats))
+    [
+      "uptime_s"; "requests"; "responses"; "errors"; "by_verb"; "queue";
+      "batch"; "plan_cache"; "timings_ms"; "pool"; "tile_cache";
+    ];
+  ignore (member "origin" (member "tile_cache" stats));
+  match member "plan_misses" (member "plan_cache" stats) with
+  | J.Num n when n >= 1.0 -> ()
+  | other -> Alcotest.failf "plan_misses: %s" (J.to_string other)
+
+(* ------------------------------------------------------------------ *)
+(* a real socket session against a threaded server *)
+
+let test_socket_session () =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "snoise-test-%d.sock" (Unix.getpid ()))
+  in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let server = Srv.create ~socket:path () in
+  let th = Thread.create (fun () -> Srv.serve server) () in
+  Fun.protect
+    ~finally:(fun () ->
+      Srv.stop server;
+      Thread.join th)
+    (fun () ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      let ic = Unix.in_channel_of_descr fd in
+      let send lines =
+        let s = String.concat "\n" lines ^ "\n" in
+        ignore (Unix.write_substring fd s 0 (String.length s))
+      in
+      let recv () =
+        match In_channel.input_line ic with
+        | Some l -> (
+          match J.parse l with
+          | Ok j -> j
+          | Error e -> Alcotest.failf "bad reply %S: %s" l e)
+        | None -> Alcotest.fail "server closed early"
+      in
+      send
+        [
+          {|{"id": 1, "verb": "ping"}|};
+          "not json at all";
+          request ~id:2 ~verb:"op" ~deck ();
+        ];
+      let ping = recv () in
+      Alcotest.(check string) "ping" "response" (msg_type ping);
+      let bad = recv () in
+      Alcotest.(check string)
+        "malformed answered, not disconnected" "parse-error" (error_code bad);
+      let op = recv () in
+      Alcotest.(check string) "op served" "response" (msg_type op);
+      (* warm repeat over the same connection: plan cache hit *)
+      send [ request ~id:3 ~verb:"op" ~deck () ];
+      let warm = recv () in
+      Alcotest.(check string)
+        "warm repeat hits" {|"hit"|}
+        (J.to_string (plan_note warm));
+      (* clean shutdown via the protocol *)
+      send [ {|{"id": 4, "verb": "shutdown"}|} ];
+      let bye = recv () in
+      Alcotest.(check string) "shutdown acked" "response" (msg_type bye);
+      Unix.close fd;
+      Thread.join th;
+      Alcotest.(check bool)
+        "socket file removed" false (Sys.file_exists path))
+
+let suites =
+  [
+    ( "server-json",
+      [
+        Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+        Alcotest.test_case "special values" `Quick test_json_specials;
+        Alcotest.test_case "parse errors" `Quick test_json_errors;
+      ] );
+    ( "server-protocol",
+      [
+        Alcotest.test_case "request parsing" `Quick test_protocol_parse;
+        Alcotest.test_case "cache keys" `Quick test_cache_key;
+      ] );
+    ( "server-service",
+      [
+        Alcotest.test_case "malformed requests" `Quick test_malformed_requests;
+        Alcotest.test_case "lint refusal" `Quick test_lint_refused;
+        Alcotest.test_case "plan cache lifecycle" `Quick
+          test_plan_cache_lifecycle;
+        Alcotest.test_case "batch identity (jobs 1)" `Quick
+          (batch_vs_individual 1);
+        Alcotest.test_case "batch identity (jobs 4)" `Quick
+          (batch_vs_individual 4);
+        Alcotest.test_case "batch errors reach all members" `Quick
+          test_batch_errors_all_members;
+        Alcotest.test_case "quota and backpressure" `Quick
+          test_quota_and_backpressure;
+        Alcotest.test_case "stats shape" `Quick test_stats_shape;
+      ] );
+    ( "server-socket",
+      [ Alcotest.test_case "session" `Quick test_socket_session ] );
+  ]
