@@ -1,4 +1,4 @@
-.PHONY: all build test check lint bench bench-extract bench-serve server-smoke doc clean
+.PHONY: all build test check lint bench bench-extract bench-serve bench-cancel server-smoke server-chaos doc clean
 
 all: build
 
@@ -37,11 +37,24 @@ bench-extract:
 bench-serve:
 	dune exec bench/main.exe -- part7 $(if $(SMALL),small)
 
+# cooperative-cancellation bench only (armed-vs-disarmed AC sweep,
+# deadline-fires probe, BENCH_7.json); `make bench-cancel SMALL=1` runs
+# the reduced CI-sized ladder
+bench-cancel:
+	dune exec bench/main.exe -- part8 $(if $(SMALL),small)
+
 # end-to-end smoke of `snoise serve` over a real socket (docs/SERVER.md
 # session, scripted): cold/warm requests, stats counters, structured
-# lint error, protocol shutdown
+# lint error, health probe, protocol shutdown
 server-smoke: build
 	sh test/server_smoke.sh
+
+# wire-level chaos harness: each SNOISE_FAULT server injection point
+# (kill / delay / garble / drop), asserting a re-issued request is
+# identical to an unfaulted baseline and a supervised worker restarts
+# warm from its journal
+server-chaos: build
+	sh test/server_chaos.sh
 
 # API reference (requires odoc: `opam install odoc`);
 # output lands in _build/default/_doc/_html/

@@ -862,6 +862,118 @@ let serving_throughput () =
   Format.pp_print_flush fmt ()
 
 (* ------------------------------------------------------------------ *)
+(* Part 9: cooperative-cancellation overhead (BENCH_7.json)
+
+   The deadline machinery polls an ambient token at iteration
+   boundaries of every long-running loop.  On the serving layer's hot
+   path — a warm AC sweep over a compiled plan — that poll must be
+   noise: this part times the same sweep with no token installed
+   (disarmed, the production default) and with an unreachable-deadline
+   token armed, and fails the run when the armed/disarmed ratio
+   exceeds 1.05.  A second probe arms an already-expired deadline and
+   checks that the sweep actually stops, with partial progress
+   recorded — the other half of the contract. *)
+
+let cancellation_overhead () =
+  banner
+    "Part 9 - cooperative cancellation: check overhead on the AC hot path \
+     (BENCH_7.json)";
+  let module N = Sn_numerics in
+  let small = Array.exists (String.equal "small") Sys.argv in
+  let stages = if small then 60 else 120 in
+  let deck =
+    let module El = Sn_circuit.Element in
+    let node k = if k = 0 then "0" else Printf.sprintf "n%d" k in
+    let elements =
+      El.Vsource
+        { name = "vin"; np = "in"; nn = "0";
+          wave = Sn_circuit.Waveform.dc 1.0; ac_mag = 1.0 }
+      :: El.Resistor { name = "rin"; n1 = "in"; n2 = node 1; ohms = 50.0 }
+      :: El.Resistor
+           { name = "rload"; n1 = node stages; n2 = "0"; ohms = 1000.0 }
+      :: List.concat
+           (List.init stages (fun k ->
+                let k = k + 1 in
+                [ El.Resistor
+                    { name = Printf.sprintf "r%d" k; n1 = node k;
+                      n2 = node (k + 1); ohms = 100.0 +. float_of_int k };
+                  El.Capacitor
+                    { name = Printf.sprintf "c%d" k; n1 = node k; n2 = "0";
+                      farads = 1.0e-12 } ]))
+    in
+    Sn_circuit.Netlist.create ~title:"bench cancellation ladder" elements
+  in
+  let compiled = Flow.compile_deck ~lint:false deck in
+  let acp = Flow.compiled_ac_plan compiled in
+  let freqs =
+    Array.init (if small then 64 else 256) (fun i ->
+        1.0e6 *. (1.0 +. float_of_int i))
+  in
+  let nodes = [ Printf.sprintf "n%d" stages ] in
+  (* pin the symbolic factorization before timing anything *)
+  ignore (Sn_engine.Ac.sweep_plan acp ~freqs:[| 1.0e6 |] ~nodes);
+  let time_sweep () =
+    let t0 = Unix.gettimeofday () in
+    ignore (Sn_engine.Ac.sweep_plan acp ~freqs ~nodes);
+    Unix.gettimeofday () -. t0
+  in
+  (* min-of-N: the cleanest estimator for a fixed workload under
+     scheduler noise *)
+  let reps = if small then 5 else 9 in
+  let min_of f =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      best := Float.min !best (f ())
+    done;
+    !best
+  in
+  let disarmed = min_of time_sweep in
+  let far = N.Cancel.create ~deadline:(Unix.gettimeofday () +. 3600.0) () in
+  let armed = min_of (fun () -> N.Cancel.with_token far time_sweep) in
+  let ratio = armed /. disarmed in
+  Format.fprintf fmt
+    "%d-stage ladder, %d freqs: disarmed %.3f ms, armed %.3f ms -> ratio \
+     %.3f@."
+    stages (Array.length freqs) (disarmed *. 1.0e3) (armed *. 1.0e3) ratio;
+  if (not small) && ratio > 1.05 then
+    failwith
+      (Printf.sprintf "bench part8: cancellation overhead %.3f > 1.05" ratio);
+  (* the deadline actually fires: an expired token stops the sweep at
+     an iteration boundary with partial progress recorded *)
+  let expired = N.Cancel.create ~deadline:(Unix.gettimeofday () -. 1.0) () in
+  let fired, progress =
+    match
+      N.Cancel.with_token expired (fun () ->
+          Sn_engine.Ac.sweep_plan acp ~freqs ~nodes)
+    with
+    | _ -> (false, 0)
+    | exception N.Cancel.Cancelled tok -> (true, N.Cancel.progress tok)
+  in
+  if not fired then failwith "bench part8: expired deadline did not cancel";
+  Format.fprintf fmt
+    "expired deadline cancelled the sweep after %d iteration(s)@." progress;
+  let oc = open_out "BENCH_7.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"cancellation\": {\n\
+    \    \"deck_stages\": %d,\n\
+    \    \"freq_points\": %d,\n\
+    \    \"small_mode\": %b,\n\
+    \    \"reps\": %d,\n\
+    \    \"disarmed_ms\": %.4f,\n\
+    \    \"armed_ms\": %.4f,\n\
+    \    \"overhead_ratio\": %.4f,\n\
+    \    \"deadline_fires\": %b,\n\
+    \    \"cancelled_after_iterations\": %d\n\
+    \  }\n\
+     }\n"
+    stages (Array.length freqs) small reps (disarmed *. 1.0e3)
+    (armed *. 1.0e3) ratio fired progress;
+  close_out oc;
+  Format.fprintf fmt "wrote cancellation overhead to BENCH_7.json@.";
+  Format.pp_print_flush fmt ()
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel microbenchmarks, one per table / figure *)
 
 open Bechamel
@@ -1069,6 +1181,8 @@ let () =
     extraction_scaling ()
   else if Array.exists (String.equal "part7") Sys.argv then
     serving_throughput ()
+  else if Array.exists (String.equal "part8") Sys.argv then
+    cancellation_overhead ()
   else begin
     reproduce_all ();
     ablation_grid ();
@@ -1080,6 +1194,7 @@ let () =
     frequency_domain ();
     extraction_scaling ();
     serving_throughput ();
+    cancellation_overhead ();
     run_benchmarks ()
   end;
   Format.fprintf fmt "@.bench: done@.";

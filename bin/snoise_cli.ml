@@ -268,35 +268,90 @@ let parse_host_port s =
     ( String.sub s 0 i,
       int_of_string (String.sub s (i + 1) (String.length s - i - 1)) )
 
-let run_serve verbose socket tcp max_queue quota max_decks tran_max_points =
+(* Crash-only supervision: fork the worker, restart it on abnormal
+   exit with exponential backoff.  The worker learns its restart
+   ordinal through SNOISE_RESTARTS (surfaced in [stats]); SNOISE_FAULT
+   is scrubbed after the first crash so a single-shot injected fault
+   cannot put the pair into a crash loop. *)
+let supervise_loop run_worker =
+  let restarts = ref 0 in
+  let describe = function
+    | Unix.WEXITED c -> Printf.sprintf "exited with code %d" c
+    | Unix.WSIGNALED sg -> Printf.sprintf "killed by signal %d" sg
+    | Unix.WSTOPPED sg -> Printf.sprintf "stopped by signal %d" sg
+  in
+  let rec loop backoff =
+    let started = Unix.gettimeofday () in
+    match Unix.fork () with
+    | 0 ->
+      Unix.putenv "SNOISE_RESTARTS" (string_of_int !restarts);
+      (try run_worker () with
+      | Sn_engine.Diag.Error d ->
+        Format.eprintf "snoise: %a@." Sn_engine.Diag.pp d;
+        exit 2);
+      exit 0
+    | pid -> (
+      let _, status = Unix.waitpid [] pid in
+      match status with
+      | Unix.WEXITED 0 -> exit 0
+      | status ->
+        incr restarts;
+        Unix.putenv "SNOISE_FAULT" "";
+        let uptime = Unix.gettimeofday () -. started in
+        let backoff =
+          if uptime > 60.0 then 0.5 else Float.min 30.0 (backoff *. 2.0)
+        in
+        Format.eprintf
+          "snoise serve: worker %s; restart #%d in %.1f s@."
+          (describe status) !restarts backoff;
+        Format.pp_print_flush Format.err_formatter ();
+        Unix.sleepf backoff;
+        loop backoff)
+  in
+  loop 0.25
+
+let run_serve verbose socket tcp auth_token supervise max_queue quota
+    max_decks tran_max_points max_flows mem_watermark_mb warmup_journal =
   setup_logs verbose;
-  or_diag_exit (fun () ->
-      let tcp =
-        Option.map
-          (fun s ->
-            try parse_host_port s
-            with Failure _ ->
-              Format.eprintf "snoise serve: bad --tcp %S (HOST:PORT)@." s;
-              exit 1)
-          tcp
-      in
-      let config =
-        {
-          Sn_server.Service.max_queue;
-          client_quota = quota;
-          max_decks;
-          tran_max_points;
-        }
-      in
-      let server = Sn_server.Server.create ~config ?tcp ~socket () in
-      Sn_server.Server.serve
-        ~on_ready:(fun () ->
-          Format.printf "snoise serve: listening on %s%s@." socket
-            (match tcp with
-            | Some (h, p) -> Printf.sprintf " and tcp %s:%d" h p
-            | None -> "");
-          Format.pp_print_flush Format.std_formatter ())
-        server)
+  let tcp =
+    Option.map
+      (fun s ->
+        try parse_host_port s
+        with Failure _ ->
+          Format.eprintf "snoise serve: bad --tcp %S (HOST:PORT)@." s;
+          exit 1)
+      tcp
+  in
+  let config =
+    {
+      Sn_server.Service.max_queue;
+      client_quota = quota;
+      max_decks;
+      tran_max_points;
+      max_flows;
+      mem_watermark_mb;
+      warmup_journal;
+    }
+  in
+  let worker () =
+    let server = Sn_server.Server.create ~config ?tcp ?auth_token ~socket () in
+    (match Sn_server.Service.warm_from_journal (Sn_server.Server.service server)
+     with
+    | 0, 0 -> ()
+    | ok, failed ->
+      Format.printf "snoise serve: warmed %d plan(s) from journal%s@." ok
+        (if failed > 0 then Printf.sprintf " (%d failed)" failed else ""));
+    Sn_server.Server.serve
+      ~on_ready:(fun () ->
+        Format.printf "snoise serve: listening on %s%s@." socket
+          (match tcp with
+          | Some (h, p) -> Printf.sprintf " and tcp %s:%d" h p
+          | None -> "");
+        Format.pp_print_flush Format.std_formatter ())
+      server
+  in
+  if supervise then supervise_loop worker
+  else or_diag_exit (fun () -> worker ())
 
 (* one-shot JSONL client: send request lines (positional or stdin),
    print each reply line, exit 1 when any reply is an error *)
@@ -455,8 +510,31 @@ let cmds =
             & opt (some string) None
             & info [ "tcp" ] ~docv:"HOST:PORT"
                 ~doc:
-                  "Additionally listen on a TCP endpoint (loopback \
-                   use; the protocol has no authentication).")
+                  "Additionally listen on a TCP endpoint.  Pair it \
+                   with $(b,--auth-token) unless the interface is \
+                   loopback: without a token the TCP endpoint is \
+                   open.")
+        $ Arg.(
+            value
+            & opt (some string) None
+            & info [ "auth-token" ] ~docv:"SECRET"
+                ~doc:
+                  "Require TCP clients to present $(docv) as a \
+                   top-level $(b,auth_token) member before serving \
+                   them (constant-time comparison; unauthenticated \
+                   lines get the stable $(b,unauthorized) error).  \
+                   The Unix socket, guarded by file permissions, \
+                   never needs it.")
+        $ Arg.(
+            value & flag
+            & info [ "supervise" ]
+                ~doc:
+                  "Run the worker under a supervisor that restarts it \
+                   on abnormal exit with exponential backoff \
+                   (crash-only operation).  Pair with \
+                   $(b,--warmup-journal) so a restarted worker \
+                   re-compiles recently served plans before \
+                   accepting traffic.")
         $ Arg.(
             value
             & opt int Sn_server.Service.default_config.Sn_server.Service.max_queue
@@ -487,7 +565,37 @@ let cmds =
             & info [ "tran-max-points" ] ~docv:"N"
                 ~doc:
                   "Largest transient point count a request may ask \
-                   for."));
+                   for.")
+        $ Arg.(
+            value
+            & opt int
+                Sn_server.Service.default_config.Sn_server.Service.max_flows
+            & info [ "max-flows" ] ~docv:"N"
+                ~doc:
+                  "Bound on resident per-(vtune, grid) VCO flows \
+                   (LRU eviction beyond it).")
+        $ Arg.(
+            value
+            & opt int
+                Sn_server.Service.default_config.Sn_server.Service
+                .mem_watermark_mb
+            & info [ "mem-watermark-mb" ] ~docv:"MB"
+                ~doc:
+                  "Memory watermark: above $(docv) MB of live heap or \
+                   accounted plan bytes the service sheds \
+                   least-recently-used plans and answers $(b,busy) \
+                   with a retry hint instead of running into the OOM \
+                   killer.")
+        $ Arg.(
+            value
+            & opt (some string) None
+            & info [ "warmup-journal" ] ~docv:"PATH"
+                ~doc:
+                  "Append compiled-deck digests to $(docv) and replay \
+                   them at startup, so a restarted worker serves \
+                   recently used plans warm.  The journal is \
+                   fail-soft: corruption or a damaged tail just \
+                   shortens the replay."));
     cmd "request"
       "send JSONL request lines to a running snoise serve and print replies"
       Term.(

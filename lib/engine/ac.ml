@@ -146,6 +146,9 @@ let sweep_plan acp ~freqs ~nodes =
   if Array.length freqs > 0 then Ac_plan.ensure_master acp ~freq:freqs.(0);
   Pool.map_array (Pool.default ())
     (fun freq ->
+      (* per-point cancellation tick: a deadline-armed sweep stops at
+         the next point boundary (one refill+solve) *)
+      N.Cancel.tick ();
       let ws = Ac_plan.domain_workspace acp in
       Ac_plan.prepare_at acp ws ~freq;
       let x = Ac_plan.solve_stimulus acp ws in

@@ -156,6 +156,7 @@ let newton_loop ?source_scale ?anchor plan asm rhs ~budget ~clamp ~tolerance
               { iterations = k; residual = !last_residual;
                 worst = !last_worst }))
     else begin
+      N.Cancel.poll ();
       assemble_plan ?source_scale plan asm rhs ~gmin:gmin_eff x;
       inject_anchor ();
       let x_new =
@@ -327,6 +328,9 @@ let solve_plan ?(options = default_options) plan =
       Log.err (fun m -> m "%a" Diag.pp diag);
       raise (Diag.Error diag)
     | rung :: rest ->
+      (* cancellation boundary: a deadline-armed solve gives up between
+         rescue-ladder attempts *)
+      N.Cancel.tick ();
       if Fault.fire ~scope_index:attempt_no Dc_attempt then begin
         Log.warn (fun m ->
             m "injected fault: failing %s attempt" (Diag.rung_name rung));

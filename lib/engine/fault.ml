@@ -10,7 +10,17 @@
    deterministically even when the occurrences race across pool
    domains (exactly one domain wins the Nth slot). *)
 
-type site = Factor | Dc_attempt | Tran_solve
+type site =
+  | Factor
+  | Dc_attempt
+  | Tran_solve
+  (* server-side chaos points (PR 8): the wire layer polls these to
+     kill the worker mid-request, delay/garble a reply, or drop a
+     client connection *)
+  | Server_kill
+  | Server_delay
+  | Server_garble
+  | Server_drop
 
 type spec =
   | Nth of int
@@ -24,27 +34,47 @@ let state : armed option ref = ref None
 let factor_count = Atomic.make 0
 let dc_count = Atomic.make 0
 let tran_count = Atomic.make 0
+let kill_count = Atomic.make 0
+let delay_count = Atomic.make 0
+let garble_count = Atomic.make 0
+let drop_count = Atomic.make 0
 
 let counter = function
   | Factor -> factor_count
   | Dc_attempt -> dc_count
   | Tran_solve -> tran_count
+  | Server_kill -> kill_count
+  | Server_delay -> delay_count
+  | Server_garble -> garble_count
+  | Server_drop -> drop_count
 
 let site_name = function
   | Factor -> "factor"
   | Dc_attempt -> "dc-attempt"
   | Tran_solve -> "tran-solve"
+  | Server_kill -> "server-kill"
+  | Server_delay -> "server-delay"
+  | Server_garble -> "server-garble"
+  | Server_drop -> "server-drop"
 
 let site_of_name = function
   | "factor" -> Some Factor
   | "dc-attempt" -> Some Dc_attempt
   | "tran-solve" -> Some Tran_solve
+  | "server-kill" -> Some Server_kill
+  | "server-delay" -> Some Server_delay
+  | "server-garble" -> Some Server_garble
+  | "server-drop" -> Some Server_drop
   | _ -> None
 
 let reset_counters () =
   Atomic.set factor_count 0;
   Atomic.set dc_count 0;
-  Atomic.set tran_count 0
+  Atomic.set tran_count 0;
+  Atomic.set kill_count 0;
+  Atomic.set delay_count 0;
+  Atomic.set garble_count 0;
+  Atomic.set drop_count 0
 
 let arm site spec =
   reset_counters ();
@@ -80,6 +110,7 @@ let load_env () =
     env_loaded := true;
     match Sys.getenv_opt "SNOISE_FAULT" with
     | None -> ()
+    | Some "" -> () (* a supervisor scrubs the variable on restart *)
     | Some s ->
       (match parse s with
        | Some a -> if !state = None then state := Some a

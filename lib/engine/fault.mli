@@ -13,13 +13,22 @@
     [SNOISE_FAULT=<site>:first] fails occurrence #1 within every scope
     (e.g. the first Newton attempt of {e every} DC solve, forcing each
     solve through the rescue ladder).  Site names: [factor],
-    [dc-attempt], [tran-solve].  Programmatic {!arm} overrides the
-    environment. *)
+    [dc-attempt], [tran-solve], [server-kill], [server-delay],
+    [server-garble], [server-drop].  Programmatic {!arm} overrides
+    the environment.  An empty [SNOISE_FAULT] is treated as unset (a
+    supervisor scrubs the variable before restarting a crashed worker
+    so a single-shot injected crash cannot loop). *)
 
 type site =
   | Factor  (** a matrix factorization in {!Assembler.solve} *)
   | Dc_attempt  (** one rescue-ladder rung attempt in a DC solve *)
   | Tran_solve  (** one transient time-point solve *)
+  | Server_kill
+      (** the serving worker process exits abruptly mid-request *)
+  | Server_delay  (** a wire reply is delayed before being written *)
+  | Server_garble  (** a wire reply line is corrupted *)
+  | Server_drop
+      (** a client connection is closed instead of replied to *)
 
 type spec =
   | Nth of int  (** fail the [n]th global occurrence (1-based), once *)

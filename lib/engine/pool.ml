@@ -76,7 +76,10 @@ let drain t w =
       (* benign racy read: after a task has failed the batch's results
          are discarded anyway, so remaining tasks are skipped *)
       (if t.error == None then
-         try t.batch i
+         (* cancellation is checked at task-claim time so a cancelled
+            batch stops claiming work within one task boundary and the
+            pool slot frees for the next request *)
+         try Sn_numerics.Cancel.poll (); t.batch i
          with e ->
            Mutex.lock t.lock;
            if t.error = None then t.error <- Some e;
@@ -147,6 +150,7 @@ let shutdown t =
 let sequential_run t ~n f =
   let t0 = Unix.gettimeofday () in
   for i = 0 to n - 1 do
+    Sn_numerics.Cancel.poll ();
     f i
   done;
   let dt = Unix.gettimeofday () -. t0 in

@@ -320,6 +320,9 @@ let simulate ?(options = default_options) ~tstop ~dt netlist =
   let scope = ref 0 in
   let sp state ~h ~t x =
     incr scope;
+    (* per-step cancellation tick: a deadline-armed transient stops at
+       the next solve boundary *)
+    N.Cancel.tick ();
     solve_point ~fault_scope:!scope plan asm rhs options state ~h ~t x
   in
   (* Advance one output interval [times.(k-1), times.(k)].  The plain
@@ -441,6 +444,9 @@ let simulate_adaptive ?(options = default_options) ?dt_min ?dt_max
   let scope = ref 0 in
   let sp state ~h ~t x =
     incr scope;
+    (* per-step cancellation tick: a deadline-armed transient stops at
+       the next solve boundary *)
+    N.Cancel.tick ();
     solve_point ~fault_scope:!scope plan asm rhs options state ~h ~t x
   in
   let n_accepted = ref 1 in

@@ -45,6 +45,9 @@ let solve ?(tol = 1e-10) ?max_iter ?x0 ?precond a b =
       else if k >= max_iter then
         { solution = x; iterations = k; residual_norm = res_norm; converged = false }
       else begin
+        (* cooperative cancellation: one ambient-token poll per
+           iteration; a matvec dwarfs it *)
+        Cancel.tick ();
         let ap = Sparse.mul_vec a !p in
         let p_ap = Vec.dot !p ap in
         if p_ap <= 0.0 then

@@ -258,4 +258,6 @@ let rec v_cycle t l b =
 let apply t r =
   if Array.length r <> t.levels.(0).n then
     invalid_arg "Mg.apply: dimension mismatch";
+  (* one cancellation poll per V-cycle; the cycle itself is bounded *)
+  Cancel.poll ();
   v_cycle t 0 r

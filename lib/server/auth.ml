@@ -1,0 +1,19 @@
+(* Shared-secret check for the TCP endpoint.
+
+   The comparison is constant-time in the length of the presented
+   token: every byte is inspected and folded into an accumulator with
+   no data-dependent branch, so a remote caller cannot binary-search
+   the secret one byte at a time off the reply latency.  (The length
+   itself is not secret — a mismatched length fails via the
+   accumulator like any other mismatch.) *)
+
+let equal_const expected given =
+  let le = String.length expected and lg = String.length given in
+  let acc = ref (le lxor lg) in
+  for i = 0 to lg - 1 do
+    (* index expected cyclically so the loop bound depends only on the
+       attacker-supplied string *)
+    let e = if le = 0 then 0 else Char.code expected.[i mod le] in
+    acc := !acc lor (e lxor Char.code given.[i])
+  done;
+  !acc = 0 && le > 0

@@ -1,0 +1,8 @@
+(** Constant-time shared-secret comparison for the TCP endpoint
+    ([snoise serve --auth-token]). *)
+
+val equal_const : string -> string -> bool
+(** [equal_const expected given] is [true] iff the strings are equal,
+    in time independent of where they first differ.  An empty
+    [expected] never matches (no token configured means nothing to
+    present, not a free pass). *)

@@ -1,0 +1,107 @@
+(* Fail-soft warmup journal for the serving layer.
+
+   The journal remembers which decks the service compiled recently so
+   a supervised worker that crashed and restarted can re-compile them
+   before accepting traffic: clients see a blip, not a cold plan
+   cache.  Records are append-only and self-checking — a truncated or
+   corrupted tail (the likely artifact of dying mid-write) simply
+   ends the replay early, exactly the corruption-is-a-miss discipline
+   of [Sn_substrate.Cache].  Losing journal entries only costs warmth,
+   never correctness.
+
+   Record framing: ["SNJ1"] magic, 8 hex digits of payload length,
+   32 hex digits of payload MD5, then the marshalled payload.  The
+   digest is verified before unmarshalling so a damaged record can
+   never feed [Marshal.from_string]. *)
+
+type entry = { text : string; overrides : (string * float) list }
+
+type t = {
+  path : string;
+  lock : Mutex.t;
+  mutable recorded : int;
+}
+
+let magic = "SNJ1"
+
+let log_src = Logs.Src.create "sn.server.journal" ~doc:"warmup journal"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let frame (e : entry) =
+  let payload = Marshal.to_string (e : entry) [] in
+  Printf.sprintf "%s%08x%s%s" magic (String.length payload)
+    (Digest.to_hex (Digest.string payload))
+    payload
+
+(* Parse as many whole, digest-valid records as the bytes hold; stop
+   silently at the first damaged one. *)
+let parse_all bytes =
+  let n = String.length bytes in
+  let entries = ref [] in
+  let pos = ref 0 in
+  let ok = ref true in
+  while !ok && !pos + 44 <= n do
+    if not (String.equal (String.sub bytes !pos 4) magic) then ok := false
+    else begin
+      match int_of_string_opt ("0x" ^ String.sub bytes (!pos + 4) 8) with
+      | None -> ok := false
+      | Some len when len < 0 || !pos + 44 + len > n -> ok := false
+      | Some len ->
+        let digest = String.sub bytes (!pos + 12) 32 in
+        let payload = String.sub bytes (!pos + 44) len in
+        if not (String.equal digest (Digest.to_hex (Digest.string payload)))
+        then ok := false
+        else begin
+          (match (Marshal.from_string payload 0 : entry) with
+          | e -> entries := e :: !entries
+          | exception _ -> ok := false);
+          if !ok then pos := !pos + 44 + len
+        end
+    end
+  done;
+  List.rev !entries
+
+let replay ~path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | bytes -> parse_all bytes
+  | exception Sys_error _ -> []
+
+let open_ ~path = { path; lock = Mutex.create (); recorded = 0 }
+
+let path t = t.path
+
+let recorded t = t.recorded
+
+let append t e =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      try
+        Out_channel.with_open_gen
+          [ Open_append; Open_creat; Open_binary ]
+          0o644 t.path
+          (fun oc -> Out_channel.output_string oc (frame e));
+        t.recorded <- t.recorded + 1
+      with Sys_error m ->
+        (* fail-soft: a journal that cannot be written costs warmth on
+           the next restart, nothing else *)
+        Log.warn (fun f -> f "journal append failed: %s" m))
+
+(* Rewrite the file to the given entries (newest last) — startup
+   compaction keeps the journal from growing without bound. *)
+let rewrite t entries =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      try
+        let tmp = t.path ^ ".tmp" in
+        Out_channel.with_open_bin tmp (fun oc ->
+            List.iter
+              (fun e -> Out_channel.output_string oc (frame e))
+              entries);
+        Sys.rename tmp t.path
+      with Sys_error m ->
+        Log.warn (fun f -> f "journal rewrite failed: %s" m))

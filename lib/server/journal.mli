@@ -1,0 +1,35 @@
+(** Fail-soft append-only warmup journal.
+
+    Remembers the decks (text + overrides) the service compiled so a
+    restarted worker can rebuild its plan cache before serving —
+    after a supervised crash, [snoise request --wait] clients see a
+    blip, not a cold cache.  Records are framed with a length and an
+    MD5 digest; a truncated or corrupted tail ends the replay early
+    (corruption-is-a-miss, like [Sn_substrate.Cache]).  All I/O
+    failures degrade to "less warmth", never to an error. *)
+
+type entry = { text : string; overrides : (string * float) list }
+(** Enough to re-run the compile pipeline: deck text plus the
+    canonical override list (together they form the plan-cache key). *)
+
+type t
+
+val open_ : path:string -> t
+(** Handle on a journal file (created lazily on first append). *)
+
+val path : t -> string
+
+val recorded : t -> int
+(** Entries appended through this handle. *)
+
+val append : t -> entry -> unit
+(** Append one record.  Thread-safe; write failures are logged and
+    swallowed. *)
+
+val replay : path:string -> entry list
+(** All intact records, oldest first.  Missing file or damaged tail
+    yield a short (possibly empty) list, never an exception. *)
+
+val rewrite : t -> entry list -> unit
+(** Replace the journal's contents (startup compaction after a
+    replay, bounding file growth across restarts). *)

@@ -4,7 +4,7 @@
    eviction only runs on insertion past the bound — invisible next to
    a single Newton iteration. *)
 
-type 'a entry = { value : 'a; mutable last_use : int }
+type 'a entry = { value : 'a; mutable last_use : int; words : int }
 
 type t = {
   lock : Mutex.t;
@@ -67,8 +67,8 @@ let text_key text =
    requests), publish under the lock.  Two racing misses both compute;
    the second publish wins harmlessly — entries are pure values of
    their key. *)
-let find_generic t table ~key ~(compute : unit -> 'a) ~hit ~miss
-    ~(evict : unit -> unit) =
+let find_generic ?(weigh = fun _ -> 0) t table ~key ~(compute : unit -> 'a)
+    ~hit ~miss ~(evict : unit -> unit) =
   let cached =
     with_lock t (fun () ->
         match Hashtbl.find_opt table key with
@@ -84,15 +84,17 @@ let find_generic t table ~key ~(compute : unit -> 'a) ~hit ~miss
   | Some v -> (v, Protocol.Hit)
   | None ->
     let v = compute () in
+    let words = weigh v in
     with_lock t (fun () ->
         t.tick <- t.tick + 1;
-        Hashtbl.replace table key { value = v; last_use = t.tick };
+        Hashtbl.replace table key { value = v; last_use = t.tick; words };
         evict ());
     (v, Protocol.Miss)
 
 (* caller holds the lock *)
-let evict_lru t =
-  while Hashtbl.length t.plans > t.max_decks do
+let evict_down t ~max_plans =
+  let dropped = ref 0 in
+  while Hashtbl.length t.plans > max 0 max_plans do
     let victim = ref None in
     Hashtbl.iter
       (fun k e ->
@@ -103,7 +105,8 @@ let evict_lru t =
     match !victim with
     | Some (k, _) ->
       Hashtbl.remove t.plans k;
-      t.evictions <- t.evictions + 1
+      t.evictions <- t.evictions + 1;
+      incr dropped
     | None -> ()
   done;
   (* keep the parse layer from outliving every plan that used it *)
@@ -118,7 +121,19 @@ let evict_lru t =
     match !victim with
     | Some (k, _) -> Hashtbl.remove t.netlists k
     | None -> ()
-  done
+  done;
+  !dropped
+
+let evict_lru t = ignore (evict_down t ~max_plans:t.max_decks)
+
+(* memory-pressure shedding: drop LRU plans down to [keep], returning
+   how many went.  The freed words only leave the process after a
+   compaction — the service pairs this with [Gc.compact]. *)
+let shed t ~keep = with_lock t (fun () -> evict_down t ~max_plans:keep)
+
+let plan_words t =
+  with_lock t (fun () ->
+      Hashtbl.fold (fun _ e acc -> acc + e.words) t.plans 0)
 
 let find_netlist t ~text ~parse =
   let key = text_key text in
@@ -130,7 +145,11 @@ let find_netlist t ~text ~parse =
        ~evict:(fun () -> evict_lru t))
 
 let find_compiled t ~key ~compile =
+  (* weigh each resident plan once at insert so the service's memory
+     watermark can account for cache growth without a heap walk per
+     request *)
   find_generic t t.plans ~key ~compute:compile
+    ~weigh:(fun v -> Obj.reachable_words (Obj.repr v))
     ~hit:(fun () -> t.plan_hits <- t.plan_hits + 1)
     ~miss:(fun () -> t.plan_misses <- t.plan_misses + 1)
     ~evict:(fun () -> evict_lru t)
@@ -144,6 +163,7 @@ let find_macro t ~text ~extract =
 
 type stats = {
   plans : int;
+  plan_words : int;
   plan_hits : int;
   plan_misses : int;
   parse_hits : int;
@@ -157,6 +177,8 @@ let stats t =
   with_lock t (fun () ->
       {
         plans = Hashtbl.length t.plans;
+        plan_words =
+          Hashtbl.fold (fun _ e acc -> acc + e.words) t.plans 0;
         plan_hits = t.plan_hits;
         plan_misses = t.plan_misses;
         parse_hits = t.parse_hits;

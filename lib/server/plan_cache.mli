@@ -58,6 +58,10 @@ val find_macro :
     [stats] reply. *)
 type stats = {
   plans : int;  (** compiled plans currently resident *)
+  plan_words : int;
+      (** accounted heap words of the resident plans (weighed once at
+          insert with [Obj.reachable_words]) — the plan-size half of
+          the service's memory watermark *)
   plan_hits : int;
   plan_misses : int;
   parse_hits : int;
@@ -68,6 +72,16 @@ type stats = {
 }
 
 val stats : t -> stats
+
+val plan_words : t -> int
+(** Accounted heap words of the resident plan layer (see
+    {!stats.plan_words}). *)
+
+val shed : t -> keep:int -> int
+(** [shed t ~keep] drops least-recently-used plans until at most
+    [keep] remain, returning how many were evicted.  Called by the
+    service when the memory watermark is crossed; the freed words
+    leave the process on the next compaction. *)
 
 val clear : t -> unit
 (** Drop every entry (the bench's cold-cache mode).  Counters are

@@ -8,6 +8,7 @@ type verb =
   | Extract
   | Stats
   | Ping
+  | Health
   | Shutdown
 
 let verb_name = function
@@ -20,6 +21,7 @@ let verb_name = function
   | Extract -> "extract"
   | Stats -> "stats"
   | Ping -> "ping"
+  | Health -> "health"
   | Shutdown -> "shutdown"
 
 let verb_of_string = function
@@ -32,6 +34,7 @@ let verb_of_string = function
   | "extract" -> Some Extract
   | "stats" -> Some Stats
   | "ping" -> Some Ping
+  | "health" -> Some Health
   | "shutdown" -> Some Shutdown
   | _ -> None
 
@@ -42,6 +45,7 @@ type request = {
   verb : verb;
   source : source option;
   overrides : (string * float) list;
+  deadline_ms : float option;
   params : Json.t;
 }
 
@@ -54,6 +58,8 @@ type error_code =
   | Engine_diag
   | Busy
   | Quota_exceeded
+  | Deadline_exceeded
+  | Unauthorized
   | Internal
 
 let error_code_name = function
@@ -65,6 +71,8 @@ let error_code_name = function
   | Engine_diag -> "engine-diag"
   | Busy -> "busy"
   | Quota_exceeded -> "quota-exceeded"
+  | Deadline_exceeded -> "deadline-exceeded"
+  | Unauthorized -> "unauthorized"
   | Internal -> "internal"
 
 let parse_request json =
@@ -127,11 +135,22 @@ let parse_request json =
               | Extract -> pick_source "layout" "layout_path"
               | _ -> pick_source "deck" "deck_path"
             in
-            match source with
-            | Error _ as e -> e
-            | Ok source -> (
+            let deadline =
+              match Json.member "deadline_ms" json with
+              | None | Some Json.Null -> Ok None
+              | Some (Json.Num v) when v > 0.0 && Float.is_finite v ->
+                Ok (Some v)
+              | Some _ ->
+                Error
+                  (Bad_request, "\"deadline_ms\" must be a positive number")
+            in
+            match (source, deadline) with
+            | (Error _ as e), _ -> e
+            | _, Error (c, m) -> Error (c, m)
+            | Ok source, Ok deadline_ms -> (
               match Json.member "overrides" json with
-              | None -> Ok { id; verb; source; overrides = []; params }
+              | None ->
+                Ok { id; verb; source; overrides = []; deadline_ms; params }
               | Some (Json.Obj members) -> (
                 let rec collect acc = function
                   | [] ->
@@ -146,7 +165,8 @@ let parse_request json =
                         Printf.sprintf "override %S must be a number" k )
                 in
                 match collect [] members with
-                | Ok overrides -> Ok { id; verb; source; overrides; params }
+                | Ok overrides ->
+                  Ok { id; verb; source; overrides; deadline_ms; params }
                 | Error _ as e -> e)
               | Some _ ->
                 Error (Bad_request, "\"overrides\" must be an object")))))))

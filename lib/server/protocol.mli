@@ -14,8 +14,8 @@
 
 (** What a request asks for.  Analysis verbs ([Op] … [Extract]) may do
     real solver work and go through the service queue; control verbs
-    ([Stats], [Ping], [Shutdown]) are answered immediately and never
-    queue. *)
+    ([Stats], [Ping], [Health], [Shutdown]) are answered immediately
+    and never queue. *)
 type verb =
   | Op  (** DC operating point of a deck *)
   | Ac  (** small-signal sweep: frequencies x nodes *)
@@ -26,6 +26,9 @@ type verb =
   | Extract  (** substrate macromodel of a layout *)
   | Stats  (** server / cache / queue / pool counters *)
   | Ping  (** liveness probe *)
+  | Health
+      (** liveness + readiness: queue depth, pool width, cache and
+          memory pressure, supervisor restart count *)
   | Shutdown  (** orderly server stop (the last reply on the wire) *)
 
 val verb_name : verb -> string
@@ -48,6 +51,10 @@ type request = {
   overrides : (string * float) list;
       (** element-value overrides, sorted by element name — part of
           the plan-cache key *)
+  deadline_ms : float option;
+      (** request deadline in milliseconds, counted from admission;
+          when exceeded the service cancels the work cooperatively and
+          replies [deadline-exceeded] with partial progress counters *)
   params : Json.t;  (** the verb-specific ["params"] object;
                         [Json.Null] when absent *)
 }
@@ -63,8 +70,17 @@ type error_code =
                       full analyzer report *)
   | Engine_diag  (** solver diagnostic; carries {!Sn_engine.Diag}
                      JSON *)
-  | Busy  (** bounded queue full — backpressure, retry later *)
+  | Busy
+      (** bounded queue full or memory watermark exceeded —
+          backpressure, retry later *)
   | Quota_exceeded  (** per-client in-queue quota hit *)
+  | Deadline_exceeded
+      (** the request's [deadline_ms] elapsed; work was cancelled at
+          an iteration boundary and the error carries progress
+          counters *)
+  | Unauthorized
+      (** TCP endpoint requires [--auth-token] and the connection has
+          not presented it *)
   | Internal  (** unexpected exception (reported, not a disconnect) *)
 
 val error_code_name : error_code -> string

@@ -14,11 +14,15 @@ type client = {
   buf : Buffer.t;  (* bytes read, not yet terminated by '\n' *)
   out : Buffer.t;  (* replies waiting for the fd to be writable *)
   mutable skipping : bool;  (* discarding the rest of an oversized line *)
+  requires_auth : bool;  (* TCP client while --auth-token is set *)
+  mutable authed : bool;
 }
 
 type t = {
   service : Service.t;
   listeners : Unix.file_descr list;
+  tcp_listener : Unix.file_descr option;
+  auth_token : string option;
   socket_path : string;
   clients : (Unix.file_descr, client) Hashtbl.t;
   mutable next_client : int;
@@ -38,16 +42,16 @@ let unlink_stale path =
          path)
   | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
 
-let create ?config ?tcp ~socket () =
+let create ?config ?tcp ?auth_token ~socket () =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
   unlink_stale socket;
   let unix_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind unix_fd (Unix.ADDR_UNIX socket);
   Unix.listen unix_fd 64;
-  let listeners =
+  let listeners, tcp_listener =
     match tcp with
-    | None -> [ unix_fd ]
+    | None -> ([ unix_fd ], None)
     | Some (host, port) ->
       let addr =
         try Unix.inet_addr_of_string host
@@ -60,16 +64,27 @@ let create ?config ?tcp ~socket () =
       Unix.setsockopt tcp_fd Unix.SO_REUSEADDR true;
       Unix.bind tcp_fd (Unix.ADDR_INET (addr, port));
       Unix.listen tcp_fd 64;
-      [ unix_fd; tcp_fd ]
+      ([ unix_fd; tcp_fd ], Some tcp_fd)
   in
   {
     service = Service.create ?config ();
     listeners;
+    tcp_listener;
+    auth_token = (match auth_token with Some "" -> None | other -> other);
     socket_path = socket;
     clients = Hashtbl.create 16;
     next_client = 0;
     stop_flag = Atomic.make false;
   }
+
+(* the ephemeral port when --tcp was given port 0 (tests) *)
+let tcp_port t =
+  match t.tcp_listener with
+  | None -> None
+  | Some fd -> (
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> Some p
+    | _ -> None)
 
 let peer_name fd =
   match Unix.getpeername fd with
@@ -83,6 +98,9 @@ let accept_client t listener =
   | fd, _ ->
     Unix.set_nonblock fd;
     t.next_client <- t.next_client + 1;
+    let is_tcp =
+      match t.tcp_listener with Some l -> l == listener | None -> false
+    in
     let c =
       {
         id = t.next_client;
@@ -91,6 +109,8 @@ let accept_client t listener =
         buf = Buffer.create 256;
         out = Buffer.create 256;
         skipping = false;
+        requires_auth = is_tcp && t.auth_token <> None;
+        authed = false;
       }
     in
     Hashtbl.replace t.clients fd c;
@@ -102,22 +122,79 @@ let close_client t (c : client) =
   (try Unix.close c.fd with Unix.Unix_error _ -> ());
   Log.info (fun m -> m "client %d disconnected" c.id)
 
-let enqueue_reply c json =
-  Buffer.add_string c.out (Json.to_string json);
-  Buffer.add_char c.out '\n'
+module Fault = Sn_engine.Fault
+
+(* chaos points on the reply path: a delayed, corrupted or dropped
+   reply must leave the server consistent — the client re-issues and
+   gets byte-identical results *)
+let enqueue_reply t c json =
+  if Fault.fire Fault.Server_drop then begin
+    Log.err (fun m -> m "injected fault: dropping client %d" c.id);
+    close_client t c
+  end
+  else begin
+    if Fault.fire Fault.Server_delay then begin
+      Log.err (fun m -> m "injected fault: delaying reply to client %d" c.id);
+      Unix.sleepf 0.2
+    end;
+    let line = Json.to_string json in
+    let line =
+      if Fault.fire Fault.Server_garble then begin
+        Log.err (fun m -> m "injected fault: garbling reply to client %d" c.id);
+        String.sub line 0 (String.length line / 2) ^ "#garbled#"
+      end
+      else line
+    in
+    Buffer.add_string c.out line;
+    Buffer.add_char c.out '\n'
+  end
+
+(* A TCP client under --auth-token must present the shared secret as a
+   top-level ["auth_token"] member; the first valid token authenticates
+   the connection.  Unknown members are ignored by the request parser,
+   so authenticated lines flow through unchanged.  The Unix socket is
+   local and file-permission-guarded — it never requires a token. *)
+let check_auth t (c : client) line =
+  if (not c.requires_auth) || c.authed then `Ok
+  else begin
+    let expected = Option.value t.auth_token ~default:"" in
+    match Json.parse (String.trim line) with
+    | Ok json -> (
+      let id = Option.value (Json.member "id" json) ~default:Json.Null in
+      match Json.member "auth_token" json with
+      | Some (Json.Str given) when Auth.equal_const expected given ->
+        c.authed <- true;
+        `Ok
+      | Some _ ->
+        `Denied
+          (Protocol.error ~id Protocol.Unauthorized "invalid auth token")
+      | None ->
+        `Denied
+          (Protocol.error ~id Protocol.Unauthorized
+             "this endpoint requires \"auth_token\""))
+    | Error _ ->
+      (* not parseable: let the service answer parse-error without
+         leaking whether a token would have been accepted *)
+      `Ok
+  end
 
 (* returns [`Shutdown] when a shutdown request was accepted *)
 let feed_line t (c : client) line =
   if String.trim line = "" then `Continue
   else
-    match Service.submit t.service ~client:c.id line with
-    | `Replied reply ->
-      enqueue_reply c reply;
+    match check_auth t c line with
+    | `Denied reply ->
+      enqueue_reply t c reply;
       `Continue
-    | `Queued -> `Continue
-    | `Shutdown reply ->
-      enqueue_reply c reply;
-      `Shutdown
+    | `Ok -> (
+      match Service.submit t.service ~client:c.id line with
+      | `Replied reply ->
+        enqueue_reply t c reply;
+        `Continue
+      | `Queued -> `Continue
+      | `Shutdown reply ->
+        enqueue_reply t c reply;
+        `Shutdown)
 
 (* split [c.buf] into complete lines, respecting the oversized-line
    skip state *)
@@ -131,7 +208,7 @@ let drain_buffer t (c : client) =
       else if Buffer.length c.buf > max_line then begin
         Buffer.clear c.buf;
         c.skipping <- true;
-        enqueue_reply c
+        enqueue_reply t c
           (Protocol.error Protocol.Parse_error
              (Printf.sprintf "request line exceeds %d bytes" max_line))
       end
@@ -141,7 +218,7 @@ let drain_buffer t (c : client) =
       Buffer.add_substring c.buf s (i + 1) (String.length s - i - 1);
       if c.skipping then c.skipping <- false
       else if String.length line > max_line then
-        enqueue_reply c
+        enqueue_reply t c
           (Protocol.error Protocol.Parse_error
              (Printf.sprintf "request line exceeds %d bytes" max_line))
       else begin
@@ -193,10 +270,33 @@ let route_replies t replies =
   List.iter
     (fun (client_id, reply) ->
       match Hashtbl.find_opt by_id client_id with
-      | Some c -> enqueue_reply c reply
+      | Some c -> enqueue_reply t c reply
       | None ->
         Log.debug (fun m -> m "dropping reply for gone client %d" client_id))
     replies
+
+(* Liveness probe used by the service at dispatch time: a zero-byte
+   MSG_PEEK distinguishes a hung-up peer (EOF) from one that is merely
+   quiet, without consuming pipelined request bytes.  This runs on the
+   reactor thread between reads, so the client table is stable. *)
+let peek_buf = Bytes.create 1
+
+let client_alive t client_id =
+  let found =
+    Hashtbl.fold
+      (fun _ c acc -> if c.id = client_id then Some c else acc)
+      t.clients None
+  in
+  match found with
+  | None -> false
+  | Some c -> (
+    match Unix.recv c.fd peek_buf 0 1 [ Unix.MSG_PEEK ] with
+    | 0 -> false
+    | _ -> true
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+      true
+    | exception Unix.Unix_error _ -> false)
 
 let select_retry reads writes timeout =
   try Unix.select reads writes [] timeout
@@ -267,7 +367,8 @@ let serve ?on_ready t =
       (* everything read this round is queued; dispatch it (the
          coalescing window is exactly one read round) *)
       if Service.queue_depth t.service > 0 then
-        route_replies t (Service.drain t.service);
+        route_replies t
+          (Service.drain ~alive:(fun id -> client_alive t id) t.service);
       List.iter
         (fun fd ->
           match Hashtbl.find_opt t.clients fd with

@@ -19,14 +19,31 @@
 type t
 
 val create :
-  ?config:Service.config -> ?tcp:string * int -> socket:string -> unit -> t
+  ?config:Service.config ->
+  ?tcp:string * int ->
+  ?auth_token:string ->
+  socket:string ->
+  unit ->
+  t
 (** [create ~socket ()] binds the Unix-domain listener at path
     [socket] (unlinking a stale socket file left by a previous
     process) and, when [?tcp:(host, port)] is given, a TCP listener
     as well.  Listeners are bound and listening when [create]
     returns, so a caller that forks a {!serve} thread can connect
     immediately.  Raises [Unix.Unix_error] when binding fails
-    (e.g. the socket path's directory does not exist). *)
+    (e.g. the socket path's directory does not exist).
+
+    When [?auth_token] is a non-empty string, every TCP connection
+    must present it as a top-level ["auth_token"] member before any
+    request is served; until then the connection only ever receives
+    the stable [unauthorized] error.  The comparison is constant-time
+    ({!Auth.equal_const}).  The Unix-domain socket — guarded by file
+    permissions — never requires a token. *)
+
+val tcp_port : t -> int option
+(** The bound TCP port, when a TCP listener exists.  Useful with
+    [?tcp:(host, 0)]: the kernel picks an ephemeral port and tests
+    read it back here. *)
 
 val service : t -> Service.t
 (** The serving core behind this server — exposed so tests can reach

@@ -15,13 +15,17 @@ type config = {
   client_quota : int;
   max_decks : int;
   tran_max_points : int;
+  max_flows : int;
+  mem_watermark_mb : int;
+  warmup_journal : string option;
 }
 
 let default_config =
   { max_queue = 256; client_quota = 32; max_decks = 128;
-    tran_max_points = 100_000 }
+    tran_max_points = 100_000; max_flows = 8; mem_watermark_mb = 4096;
+    warmup_journal = None }
 
-type pending = { seq : int; client : int; req : P.request }
+type pending = { seq : int; client : int; arrived : float; req : P.request }
 
 type t = {
   config : config;
@@ -45,10 +49,24 @@ type t = {
   mutable svc_total_ms : float;
   mutable svc_max_ms : float;
   mutable svc_last_ms : float;
-  (* VCO flows for the spur verb, keyed by (vtune, grid) *)
-  flows : (string, Flow.vco_flow) Hashtbl.t;
+  (* VCO flows for the spur verb, keyed by (vtune, grid); LRU-bounded
+     because each resident flow holds a substrate macromodel plus
+     compiled tank plans *)
+  flows : Flow.vco_flow Sn_rf.Lru.t;
   mutable flow_hits : int;
   mutable flow_misses : int;
+  (* resilience layer (all under [lock] unless noted) *)
+  restarts : int;  (* set by the supervisor via SNOISE_RESTARTS *)
+  mutable deadline_exceeded : int;
+  mutable disconnected : int;
+  mutable shed_events : int;
+  mutable shed_plans : int;
+  mutable rejected_memory : int;
+  mutable last_shed : float;
+  journal : Journal.t option;
+  journaled : (string, unit) Hashtbl.t;  (* keys already appended *)
+  mutable journal_replayed : int;
+  mutable journaling : bool;  (* off while warming, to avoid echo *)
 }
 
 let create ?(config = default_config) () =
@@ -73,9 +91,23 @@ let create ?(config = default_config) () =
     svc_total_ms = 0.0;
     svc_max_ms = 0.0;
     svc_last_ms = 0.0;
-    flows = Hashtbl.create 4;
+    flows = Sn_rf.Lru.create ~capacity:(max 1 config.max_flows);
     flow_hits = 0;
     flow_misses = 0;
+    restarts =
+      (match Sys.getenv_opt "SNOISE_RESTARTS" with
+      | Some s -> ( match int_of_string_opt s with Some n -> n | None -> 0)
+      | None -> 0);
+    deadline_exceeded = 0;
+    disconnected = 0;
+    shed_events = 0;
+    shed_plans = 0;
+    rejected_memory = 0;
+    last_shed = 0.0;
+    journal = Option.map (fun path -> Journal.open_ ~path) config.warmup_journal;
+    journaled = Hashtbl.create 16;
+    journal_replayed = 0;
+    journaling = true;
   }
 
 let cache t = t.cache
@@ -129,6 +161,22 @@ let guard_result ~id f =
   | exception Invalid_argument m -> Error (P.error ~id P.Bad_request m)
   | exception Not_found ->
     Error (P.error ~id P.Bad_request "unknown name in request")
+  | exception N.Cancel.Cancelled tok ->
+    (* cooperative cancellation unwound the work at an iteration
+       boundary; report how far it got so the client can reason about
+       a retry budget *)
+    Error
+      (P.error ~id
+         ~data:
+           [
+             ( "progress",
+               J.Obj
+                 [ ("iterations", J.Num (float_of_int (N.Cancel.progress tok))) ]
+             );
+             ("reason", J.Str (N.Cancel.reason tok));
+           ]
+         P.Deadline_exceeded
+         "deadline exceeded; work cancelled at an iteration boundary")
   | exception e -> Error (P.error ~id P.Internal (Printexc.to_string e))
 
 (* re-tag a shared group error with one member's id *)
@@ -300,15 +348,35 @@ let netlist_of t ~src ~text ~overrides =
   in
   apply_overrides nl overrides
 
+let journal_compile t ~key ~text ~overrides =
+  match t.journal with
+  | None -> ()
+  | Some j ->
+    let fresh =
+      with_lock t (fun () ->
+          if t.journaling && not (Hashtbl.mem t.journaled key) then begin
+            Hashtbl.replace t.journaled key ();
+            true
+          end
+          else false)
+    in
+    if fresh then Journal.append j { Journal.text; overrides }
+
 let compiled_of t ~src ~text ~overrides =
   let key = Plan_cache.deck_key ~text ~overrides in
-  Plan_cache.find_compiled t.cache ~key ~compile:(fun () ->
-      let nl = netlist_of t ~src ~text ~overrides in
-      let report = A.Analyzer.analyze nl in
-      (match A.Analyzer.errors report with
-      | [] -> ()
-      | _ -> raise (Lint_errors report));
-      Flow.compile_deck ~lint:false nl)
+  let result =
+    Plan_cache.find_compiled t.cache ~key ~compile:(fun () ->
+        let nl = netlist_of t ~src ~text ~overrides in
+        let report = A.Analyzer.analyze nl in
+        (match A.Analyzer.errors report with
+        | [] -> ()
+        | _ -> raise (Lint_errors report));
+        Flow.compile_deck ~lint:false nl)
+  in
+  (match result with
+  | _, P.Miss -> journal_compile t ~key ~text ~overrides
+  | _ -> ());
+  result
 
 (* ------------------------------------------------------------------ *)
 (* result rendering *)
@@ -379,6 +447,7 @@ type sweep_sig = {
   sg_columns : string list;  (* AC probe nodes, or the noise output *)
   sg_freqs : float array;
   sg_contributions : bool;  (* noise only: render per-element PSDs *)
+  sg_deadline_ms : float option;  (* only equal deadlines coalesce *)
 }
 
 let ac_signature (req : P.request) =
@@ -399,6 +468,7 @@ let ac_signature (req : P.request) =
     sg_columns = nodes;
     sg_freqs = freqs_of_params m;
     sg_contributions = false;
+    sg_deadline_ms = req.P.deadline_ms;
   }
 
 let noise_signature (req : P.request) =
@@ -414,12 +484,16 @@ let noise_signature (req : P.request) =
     sg_columns = [ output ];
     sg_contributions = Option.value (opt_bool m "contributions") ~default:false;
     sg_freqs = freqs_of_params m;
+    sg_deadline_ms = req.P.deadline_ms;
   }
 
 let compatible a b =
   String.equal a.sg_key b.sg_key
   && List.length a.sg_columns = List.length b.sg_columns
   && List.for_all2 String.equal a.sg_columns b.sg_columns
+  (* a bounded and an unbounded request must not share a fate, and
+     mixed deadlines would cancel the whole group at the earliest one *)
+  && Option.equal Float.equal a.sg_deadline_ms b.sg_deadline_ms
 
 let union_freqs members =
   List.concat_map (fun (_, sg) -> Array.to_list sg.sg_freqs) members
@@ -577,7 +651,7 @@ let run_spur t (req : P.request) =
   let key = Printf.sprintf "%.17g:%d:%d" vtune nx ny in
   let cached =
     with_lock t (fun () ->
-        match Hashtbl.find_opt t.flows key with
+        match Sn_rf.Lru.find t.flows key with
         | Some f ->
           t.flow_hits <- t.flow_hits + 1;
           Some f
@@ -596,7 +670,7 @@ let run_spur t (req : P.request) =
       in
       let options = { Flow.default_options with Flow.grid = grid } in
       let f = Flow.build_vco ~options Sn_testchip.Vco_chip.default ~vtune in
-      with_lock t (fun () -> Hashtbl.replace t.flows key f);
+      with_lock t (fun () -> Sn_rf.Lru.add t.flows key f);
       (f, P.Miss)
   in
   let h = Flow.vco_transfers flow ~f_noise:[| f_noise |] in
@@ -623,6 +697,49 @@ let run_spur t (req : P.request) =
       ],
     note,
     P.Not_applicable )
+
+(* ------------------------------------------------------------------ *)
+(* memory watermark: Gc heap words plus the plan cache's own size
+   accounting, checked at admission so the service answers [busy]
+   before the OOM killer answers for us *)
+
+let words_to_mb w = float_of_int w *. float_of_int (Sys.word_size / 8) /. 1e6
+
+let heap_mb () = words_to_mb (Gc.quick_stat ()).Gc.heap_words
+
+let mem_pressure_mb t =
+  Float.max (heap_mb ()) (words_to_mb (Plan_cache.plan_words t.cache))
+
+let over_watermark t = mem_pressure_mb t > float_of_int t.config.mem_watermark_mb
+
+(* Shed LRU state and compact.  Rate-limited: if a shed five seconds
+   ago did not get us under the watermark, another one will not either
+   — go straight to backpressure instead of thrashing the compactor. *)
+let try_shed t =
+  let now = Unix.gettimeofday () in
+  let allowed =
+    with_lock t (fun () ->
+        if now -. t.last_shed < 5.0 then false
+        else begin
+          t.last_shed <- now;
+          t.shed_events <- t.shed_events + 1;
+          true
+        end)
+  in
+  if allowed then begin
+    let resident = (Plan_cache.stats t.cache).Plan_cache.plans in
+    let dropped = Plan_cache.shed t.cache ~keep:(resident / 2) in
+    let flows_dropped =
+      with_lock t (fun () ->
+          Sn_rf.Lru.trim t.flows
+            ~max_entries:(Sn_rf.Lru.length t.flows / 2))
+    in
+    with_lock t (fun () -> t.shed_plans <- t.shed_plans + dropped);
+    Log.warn (fun m ->
+        m "memory watermark: shed %d plan(s), %d flow(s), compacting"
+          dropped flows_dropped);
+    Gc.compact ()
+  end
 
 (* ------------------------------------------------------------------ *)
 (* stats *)
@@ -672,6 +789,11 @@ let stats_json t =
             ("macro_hits", num cs.Plan_cache.macro_hits);
             ("macro_misses", num cs.Plan_cache.macro_misses);
             ("evictions", num cs.Plan_cache.evictions);
+            ("plan_words", num cs.Plan_cache.plan_words);
+            ("shed_plans", num t.shed_plans);
+            ("flows", num (Sn_rf.Lru.length t.flows));
+            ("flow_capacity", num (Sn_rf.Lru.capacity t.flows));
+            ("flow_evictions", num (Sn_rf.Lru.evictions t.flows));
             ("flow_hits", num t.flow_hits);
             ("flow_misses", num t.flow_misses);
           ] );
@@ -703,6 +825,66 @@ let stats_json t =
               | Some d -> J.Str d
               | None -> J.Null );
           ] );
+      ( "memory",
+        J.Obj
+          [
+            ("watermark_mb", num t.config.mem_watermark_mb);
+            ("heap_mb", J.Num (Float.round (heap_mb () *. 100.) /. 100.));
+            ("shed_events", num t.shed_events);
+            ("rejected_memory", num t.rejected_memory);
+          ] );
+      ( "cancel",
+        J.Obj
+          [
+            ("deadline_exceeded", num t.deadline_exceeded);
+            ("disconnected", num t.disconnected);
+          ] );
+      ("restarts", num t.restarts);
+      ( "journal",
+        match t.journal with
+        | None -> J.Null
+        | Some j ->
+          J.Obj
+            [
+              ("path", J.Str (Journal.path j));
+              ("recorded", num (Journal.recorded j));
+              ("replayed", num t.journal_replayed);
+            ] );
+    ]
+
+(* liveness + readiness in one verb: cheap enough for a tight probe
+   loop, detailed enough for a load balancer to act on *)
+let health_json t =
+  let depth = queue_depth t in
+  let pool = Snoise.Sweep.stats () in
+  let cs = Plan_cache.stats t.cache in
+  let pressure = mem_pressure_mb t in
+  let watermark = float_of_int t.config.mem_watermark_mb in
+  let shedding = pressure > watermark in
+  let queue_full = depth >= t.config.max_queue in
+  let status = if shedding || queue_full then "degraded" else "ok" in
+  let num i = J.Num (float_of_int i) in
+  J.Obj
+    [
+      ("status", J.Str status);
+      ("uptime_s", J.Num (Unix.gettimeofday () -. t.started));
+      ( "queue",
+        J.Obj [ ("depth", num depth); ("capacity", num t.config.max_queue) ] );
+      ("pool", J.Obj [ ("jobs", num pool.E.Pool.jobs) ]);
+      ( "cache",
+        J.Obj
+          [
+            ("plans", num cs.Plan_cache.plans);
+            ("flows", num (Sn_rf.Lru.length t.flows));
+          ] );
+      ( "memory",
+        J.Obj
+          [
+            ("pressure_mb", J.Num (Float.round (pressure *. 100.) /. 100.));
+            ("watermark_mb", J.Num watermark);
+            ("shedding", J.Bool shedding);
+          ] );
+      ("restarts", num t.restarts);
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -754,19 +936,41 @@ let submit t ~client line =
           (note_reply t
              (P.response ~id:req.P.id ~verb:P.Stats ~served:served_now
                 (stats_json t)))
+      | P.Health ->
+        `Replied
+          (note_reply t
+             (P.response ~id:req.P.id ~verb:P.Health ~served:served_now
+                (health_json t)))
       | P.Shutdown ->
         `Shutdown
           (note_reply t
              (P.response ~id:req.P.id ~verb:P.Shutdown ~served:served_now
                 (J.Obj [ ("stopping", J.Bool true) ])))
       | P.Op | P.Ac | P.Tran | P.Noise | P.Spur | P.Lint | P.Extract -> (
+        (* graceful degradation: when the heap (or the accounted plan
+           cache) crosses the watermark, shed LRU state once, and if
+           that was not enough answer busy instead of growing toward
+           the OOM killer *)
+        let memory_ok =
+          if not (over_watermark t) then true
+          else begin
+            try_shed t;
+            not (over_watermark t)
+          end
+        in
+        let arrived = Unix.gettimeofday () in
         let verdict =
           with_lock t (fun () ->
               let depth = Queue.length t.queue in
               let mine =
                 Option.value (Hashtbl.find_opt t.per_client client) ~default:0
               in
-              if depth >= t.config.max_queue then begin
+              if not memory_ok then begin
+                t.rejected_memory <- t.rejected_memory + 1;
+                t.rejected_busy <- t.rejected_busy + 1;
+                `Memory
+              end
+              else if depth >= t.config.max_queue then begin
                 t.rejected_busy <- t.rejected_busy + 1;
                 `Busy
               end
@@ -776,7 +980,7 @@ let submit t ~client line =
               end
               else begin
                 t.seq <- t.seq + 1;
-                Queue.add { seq = t.seq; client; req } t.queue;
+                Queue.add { seq = t.seq; client; arrived; req } t.queue;
                 Hashtbl.replace t.per_client client (mine + 1);
                 t.max_depth <- max t.max_depth (depth + 1);
                 `Accepted
@@ -784,6 +988,15 @@ let submit t ~client line =
         in
         match verdict with
         | `Accepted -> `Queued
+        | `Memory ->
+          `Replied
+            (note_reply t
+               (P.error ~id:req.P.id
+                  ~data:[ ("retry_after_ms", J.Num 100.0) ]
+                  P.Busy
+                  (Printf.sprintf
+                     "memory pressure: %.0f MB exceeds the %d MB watermark"
+                     (mem_pressure_mb t) t.config.mem_watermark_mb)))
         | `Busy ->
           `Replied
             (note_reply t
@@ -813,17 +1026,46 @@ let finish_timing t verb t0 =
       bump t.verb_ms (P.verb_name verb) elapsed_ms);
   elapsed_ms
 
+(* chaos point: die abruptly mid-request, exactly as a segfault or an
+   OOM kill would — no at_exit, no cleanup.  The supervisor's job is
+   to make this invisible to the next request. *)
+let fire_kill () =
+  if E.Fault.fire E.Fault.Server_kill then begin
+    Log.err (fun m -> m "injected fault: killing worker mid-request");
+    Unix._exit 70
+  end
+
+(* Arm the cooperative-cancellation token for one dispatch.  The
+   deadline counts from admission ([arrived]), so time spent queued
+   burns budget too; a request that expired while queued is refused
+   before any engine work. *)
+let run_with_deadline t ~arrived ~deadline_ms f =
+  match deadline_ms with
+  | None -> f ()
+  | Some ms -> (
+    let tok = N.Cancel.create ~deadline:(arrived +. (ms /. 1000.0)) () in
+    try
+      N.Cancel.check tok;
+      N.Cancel.with_token tok f
+    with N.Cancel.Cancelled _ as e ->
+      with_lock t (fun () -> t.deadline_exceeded <- t.deadline_exceeded + 1);
+      raise e)
+
 let serve_single t (p : pending) =
   let t0 = Unix.gettimeofday () in
   let outcome =
     guard_result ~id:p.req.P.id (fun () ->
-        match p.req.P.verb with
-        | P.Op -> run_op t p.req
-        | P.Tran -> run_tran t p.req
-        | P.Lint -> run_lint t p.req
-        | P.Extract -> run_extract t p.req
-        | P.Spur -> run_spur t p.req
-        | P.Ac | P.Noise | P.Stats | P.Ping | P.Shutdown -> assert false)
+        fire_kill ();
+        run_with_deadline t ~arrived:p.arrived ~deadline_ms:p.req.P.deadline_ms
+          (fun () ->
+            match p.req.P.verb with
+            | P.Op -> run_op t p.req
+            | P.Tran -> run_tran t p.req
+            | P.Lint -> run_lint t p.req
+            | P.Extract -> run_extract t p.req
+            | P.Spur -> run_spur t p.req
+            | P.Ac | P.Noise | P.Stats | P.Ping | P.Health | P.Shutdown ->
+              assert false))
   in
   let elapsed_ms = finish_timing t p.req.P.verb t0 in
   with_lock t (fun () -> t.dispatches <- t.dispatches + 1);
@@ -851,8 +1093,18 @@ let serve_sweep_group t ~verb (members : (pending * sweep_sig) list) emit =
   Log.debug (fun m ->
       m "dispatch %s: %d request(s), %d union point(s)" (P.verb_name verb) n
         (Array.length union));
+  (* the earliest member's admission time bounds the whole group (all
+     members carry the same deadline_ms by [compatible]) *)
+  let arrived =
+    List.fold_left
+      (fun acc ((p : pending), _) -> Float.min acc p.arrived)
+      Float.infinity members
+  in
   let outcome =
     guard_result ~id:J.Null (fun () ->
+        fire_kill ();
+        run_with_deadline t ~arrived ~deadline_ms:leader.sg_deadline_ms
+          (fun () ->
         let compiled, plan_note =
           compiled_of t ~src:leader.sg_src ~text:leader.sg_text
             ~overrides:leader.sg_overrides
@@ -904,7 +1156,7 @@ let serve_sweep_group t ~verb (members : (pending * sweep_sig) list) emit =
               J.Obj [ ("points", points_json); ("total_rms", total_rms) ]
           | _ -> assert false
         in
-        (plan_note, bias_note, render))
+        (plan_note, bias_note, render)))
   in
   let elapsed_ms = finish_timing t verb t0 in
   match outcome with
@@ -929,13 +1181,29 @@ let serve_sweep_group t ~verb (members : (pending * sweep_sig) list) emit =
                 (render sg))))
       members
 
-let drain t =
+let drain ?(alive = fun _ -> true) t =
   let items =
     with_lock t (fun () ->
         let items = List.of_seq (Queue.to_seq t.queue) in
         Queue.clear t.queue;
         Hashtbl.reset t.per_client;
         items)
+  in
+  (* a client that hung up while queued gets no work done on its
+     behalf: the reply would be dropped anyway, so the pool slot goes
+     to a request somebody is still waiting for *)
+  let items =
+    List.filter
+      (fun (p : pending) ->
+        alive p.client
+        ||
+        begin
+          with_lock t (fun () -> t.disconnected <- t.disconnected + 1);
+          Log.info (fun m ->
+              m "dropping request from disconnected client #%d" p.client);
+          false
+        end)
+      items
   in
   let results = ref [] in
   let emit seq client reply = results := (seq, (client, reply)) :: !results in
@@ -970,6 +1238,50 @@ let drain t =
       end)
     items;
   List.sort (fun (a, _) (b, _) -> compare a b) !results |> List.map snd
+
+(* Replay the warmup journal into the plan cache (most recent
+   [max_decks] unique decks), then compact the file to exactly those
+   entries.  Failures are counted, not raised: a deck that stopped
+   compiling only costs its own warmth. *)
+let warm_from_journal t =
+  match t.journal with
+  | None -> (0, 0)
+  | Some j ->
+    let entries = Journal.replay ~path:(Journal.path j) in
+    let key_of (e : Journal.entry) =
+      Plan_cache.deck_key ~text:e.Journal.text ~overrides:e.Journal.overrides
+    in
+    let seen = Hashtbl.create 16 in
+    let unique =
+      List.rev entries
+      |> List.filter (fun e ->
+             let key = key_of e in
+             if Hashtbl.mem seen key then false
+             else begin
+               Hashtbl.replace seen key ();
+               true
+             end)
+      |> List.filteri (fun i _ -> i < t.config.max_decks)
+      |> List.rev
+    in
+    t.journaling <- false;
+    let ok = ref 0 and failed = ref 0 in
+    List.iter
+      (fun (e : Journal.entry) ->
+        match
+          compiled_of t ~src:(P.Inline e.Journal.text) ~text:e.Journal.text
+            ~overrides:e.Journal.overrides
+        with
+        | _ -> incr ok
+        | exception _ -> incr failed)
+      unique;
+    t.journaling <- true;
+    List.iter (fun e -> Hashtbl.replace t.journaled (key_of e) ()) unique;
+    with_lock t (fun () -> t.journal_replayed <- !ok);
+    if unique <> [] then Journal.rewrite j unique;
+    Log.info (fun m ->
+        m "warmup journal: %d plan(s) recompiled, %d failed" !ok !failed);
+    (!ok, !failed)
 
 let handle t ~client line =
   match submit t ~client line with

@@ -20,7 +20,16 @@
     {b Backpressure.}  A full queue answers [busy] (with a
     [retry_after_ms] hint), a client exceeding its in-queue quota
     answers [quota-exceeded]; neither disconnects, and neither is ever
-    silently dropped. *)
+    silently dropped.  Crossing the memory watermark sheds LRU cache
+    state and, if still over, answers [busy] as well.
+
+    {b Deadlines.}  A request carrying [deadline_ms] is served under a
+    cooperative-cancellation token ({!Sn_numerics.Cancel}) armed at
+    admission time; the engines poll it at iteration boundaries, so an
+    expired request unwinds within one DC rung / sweep point /
+    transient step / CG iteration and answers [deadline-exceeded] with
+    progress counters.  Only requests with {e equal} deadlines
+    coalesce. *)
 
 type config = {
   max_queue : int;  (** bounded-queue capacity (default 256) *)
@@ -31,6 +40,16 @@ type config = {
       (** largest transient point count a request may ask for
           (default 100_000) — a deliberate service limit so one
           request cannot wedge the daemon *)
+  max_flows : int;
+      (** LRU bound on the per-[(vtune, grid)] VCO flow cache
+          (default 8) *)
+  mem_watermark_mb : int;
+      (** memory watermark in MB (default 4096): above it the service
+          sheds LRU plans/flows, compacts, and answers [busy] with
+          [retry_after_ms] rather than grow toward the OOM killer *)
+  warmup_journal : string option;
+      (** path of the fail-soft warmup journal ({!Journal}); [None]
+          (the default) disables journalling *)
 }
 
 val default_config : config
@@ -49,10 +68,14 @@ val submit :
     reply as [`Shutdown] and the caller stops its loop.  Never
     raises on any input. *)
 
-val drain : t -> (int * Json.t) list
+val drain : ?alive:(int -> bool) -> t -> (int * Json.t) list
 (** Execute every queued request (coalescing where possible) and
     return [(client, reply)] pairs in submission order.  Engine
-    failures become [error] replies; {!drain} itself never raises. *)
+    failures become [error] replies; {!drain} itself never raises.
+    [alive] (default: everyone) is probed per queued request; work for
+    clients that already hung up is skipped entirely — the reply
+    would be dropped anyway, so the pool goes to somebody still
+    waiting. *)
 
 val handle : t -> client:int -> string -> Json.t list
 (** [submit] then, if the request queued, [drain] — the convenience
@@ -70,5 +93,19 @@ val cache : t -> Plan_cache.t
 val stats_json : t -> Json.t
 (** The [stats] reply payload: request / error / batching counters,
     queue state, plan-cache and VCO-flow-cache hit rates, pool stats,
-    per-verb service timings, and the substrate tile-cache directory
-    resolution ({!Sn_substrate.Cache.resolution}). *)
+    per-verb service timings, memory-watermark and cancellation
+    counters, the supervisor restart count, journal state, and the
+    substrate tile-cache directory resolution
+    ({!Sn_substrate.Cache.resolution}). *)
+
+val health_json : t -> Json.t
+(** The [health] reply payload: [status] (["ok"] / ["degraded"]),
+    queue depth vs capacity, pool width, resident cache entries,
+    memory pressure vs watermark, and the supervisor restart count. *)
+
+val warm_from_journal : t -> int * int
+(** Replay the configured warmup journal into the plan cache (most
+    recent [max_decks] unique decks) and compact the file.  Returns
+    [(recompiled, failed)]; [(0, 0)] when no journal is configured.
+    Call before accepting traffic so a supervised restart serves its
+    first repeat request from a warm cache. *)

@@ -1,0 +1,125 @@
+#!/bin/sh
+# Wire-level chaos harness for the resident service.
+#
+# For each server-side SNOISE_FAULT injection point — kill the worker
+# mid-request, delay a reply, garble a reply, drop a connection — run a
+# scripted session and prove the resilience contract: after any
+# injected fault, a re-issued request returns a result identical to an
+# unfaulted baseline run.  The kill leg runs under `snoise serve
+# --supervise` with a warmup journal and additionally asserts that the
+# supervised worker restarted (health.restarts >= 1) and came back with
+# the journaled plan already warm.
+#
+# Run from the repo root after `dune build`:
+#   sh test/server_chaos.sh
+# The snoise binary can be overridden with $SNOISE.
+set -eu
+
+SNOISE="${SNOISE:-_build/default/bin/snoise_cli.exe}"
+OUT="${TMPDIR:-/tmp}/snoise-chaos-$$"
+mkdir -p "$OUT"
+
+SERVER=""
+cleanup() {
+  rm -rf "$OUT"
+  [ -n "$SERVER" ] && kill "$SERVER" 2> /dev/null || true
+}
+trap cleanup EXIT
+
+REQ='{"id": 1, "verb": "op", "deck_path": "test/decks/clean_rc.sp"}'
+
+req() { "$SNOISE" request --socket "$SOCK" --wait 15 "$@"; }
+
+stop_server() {
+  req '{"id": 99, "verb": "shutdown"}' > /dev/null
+  wait "$SERVER"
+  SERVER=""
+}
+
+same_result() {
+  python3 - "$1" "$2" << 'EOF'
+import json, sys
+a = json.load(open(sys.argv[1]))
+b = json.load(open(sys.argv[2]))
+assert a["type"] == "response", a
+assert b["type"] == "response", b
+da = json.dumps(a["result"], sort_keys=True)
+db = json.dumps(b["result"], sort_keys=True)
+assert da == db, "results differ:\n%s\n%s" % (da, db)
+EOF
+}
+
+echo "== baseline (no fault injected)"
+SOCK="$OUT/base.sock"
+"$SNOISE" serve --socket "$SOCK" &
+SERVER=$!
+req "$REQ" > "$OUT/baseline.json"
+stop_server
+
+echo "== server-kill: supervised worker dies mid-request, restarts warm"
+SOCK="$OUT/kill.sock"
+JOURNAL="$OUT/kill.journal"
+# first request primes the cache and the journal; the second is killed
+SNOISE_FAULT=server-kill:2 \
+  "$SNOISE" serve --supervise --socket "$SOCK" --warmup-journal "$JOURNAL" &
+SERVER=$!
+req "$REQ" > "$OUT/kill-prime.json"
+same_result "$OUT/baseline.json" "$OUT/kill-prime.json"
+set +e
+req "$REQ" > "$OUT/kill-blip.json" 2> /dev/null
+rc=$?
+set -e
+[ "$rc" -eq 2 ] || { echo "expected the killed worker to close the connection (exit 2), got $rc"; exit 1; }
+# the supervisor restarts the worker; the re-issued request must be
+# byte-identical to the unfaulted baseline, served from the journaled
+# plan, on a worker that reports its restart
+req "$REQ" > "$OUT/kill-retry.json"
+same_result "$OUT/baseline.json" "$OUT/kill-retry.json"
+req '{"id": 2, "verb": "health"}' > "$OUT/kill-health.json"
+python3 - "$OUT/kill-retry.json" "$OUT/kill-health.json" << 'EOF'
+import json, sys
+retry = json.load(open(sys.argv[1]))
+health = json.load(open(sys.argv[2]))
+assert retry["served"]["plan"] == "hit", \
+    "restarted worker served cold: %s" % retry["served"]
+assert health["result"]["restarts"] >= 1, health["result"]
+EOF
+stop_server
+
+echo "== server-delay: a delayed reply is still the right reply"
+SOCK="$OUT/delay.sock"
+SNOISE_FAULT=server-delay:1 "$SNOISE" serve --socket "$SOCK" &
+SERVER=$!
+req "$REQ" > "$OUT/delay.json"
+same_result "$OUT/baseline.json" "$OUT/delay.json"
+req "$REQ" > "$OUT/delay-retry.json"
+same_result "$OUT/baseline.json" "$OUT/delay-retry.json"
+stop_server
+
+echo "== server-garble: a corrupted reply fails the client; the retry is clean"
+SOCK="$OUT/garble.sock"
+SNOISE_FAULT=server-garble:1 "$SNOISE" serve --socket "$SOCK" &
+SERVER=$!
+set +e
+req "$REQ" > "$OUT/garble-blip.json" 2> /dev/null
+rc=$?
+set -e
+[ "$rc" -eq 1 ] || { echo "expected the garbled reply to fail the client (exit 1), got $rc"; exit 1; }
+req "$REQ" > "$OUT/garble-retry.json"
+same_result "$OUT/baseline.json" "$OUT/garble-retry.json"
+stop_server
+
+echo "== server-drop: a dropped connection; the retry is clean"
+SOCK="$OUT/drop.sock"
+SNOISE_FAULT=server-drop:1 "$SNOISE" serve --socket "$SOCK" &
+SERVER=$!
+set +e
+req "$REQ" > "$OUT/drop-blip.json" 2> /dev/null
+rc=$?
+set -e
+[ "$rc" -eq 2 ] || { echo "expected the dropped connection to fail the client (exit 2), got $rc"; exit 1; }
+req "$REQ" > "$OUT/drop-retry.json"
+same_result "$OUT/baseline.json" "$OUT/drop-retry.json"
+stop_server
+
+echo "server chaos: ok"

@@ -75,12 +75,18 @@ assert r["error"]["code"] == "lint-refused", r["error"]
 assert isinstance(r["error"]["lint"], dict), r["error"]
 EOF
 
-echo "== the connection survived the error: ping still answered"
-req '{"id": 5, "verb": "ping"}' > "$OUT/ping.json"
-python3 - "$OUT/ping.json" << 'EOF'
+echo "== the connection survived the error: health still answered"
+req '{"id": 5, "verb": "health"}' > "$OUT/health.json"
+python3 - "$OUT/health.json" << 'EOF'
 import json, sys
 r = json.load(open(sys.argv[1]))
 assert r["type"] == "response", r
+h = r["result"]
+assert h["status"] == "ok", h
+assert h["queue"]["depth"] == 0, h
+assert h["cache"]["plans"] >= 1, h
+assert h["memory"]["shedding"] is False, h
+assert h["restarts"] == 0, h
 EOF
 
 echo "== protocol shutdown, clean teardown"

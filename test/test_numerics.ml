@@ -770,6 +770,58 @@ let prop_fft_parseval =
       Float.abs (energy y -. (float_of_int n *. energy x))
       < 1e-6 *. float_of_int n *. energy x)
 
+(* ------------------------------------------------------------------ *)
+(* cooperative cancellation tokens *)
+
+module Cancel = Sn_numerics.Cancel
+
+let test_cancel_expiry () =
+  let t = Cancel.create ~deadline:(Unix.gettimeofday () -. 1.0) () in
+  Alcotest.(check bool) "expired" true (Cancel.expired t);
+  (match Cancel.check t with
+  | () -> Alcotest.fail "expired token passed check"
+  | exception Cancel.Cancelled t' ->
+    Alcotest.(check string) "reason" "deadline" (Cancel.reason t'));
+  (* expiry latches the flag *)
+  Alcotest.(check bool) "latched" true (Cancel.cancelled t);
+  (* a far-future deadline neither expires nor cancels *)
+  let live = Cancel.with_deadline_ms 3.6e6 in
+  Alcotest.(check bool) "live" false (Cancel.expired live);
+  Cancel.check live
+
+let test_cancel_ambient () =
+  Alcotest.(check bool) "disarmed" false (Cancel.active ());
+  (* polls are no-ops with no token installed *)
+  Cancel.poll ();
+  Cancel.tick ();
+  let t = Cancel.create () in
+  Cancel.with_token t (fun () ->
+      Alcotest.(check bool) "armed" true (Cancel.active ());
+      Cancel.tick ();
+      Cancel.tick ());
+  Alcotest.(check int) "progress counted" 2 (Cancel.progress t);
+  Alcotest.(check bool) "restored" false (Cancel.active ());
+  (* an explicitly cancelled token unwinds at the next tick, and the
+     ambient slot is restored even on the exceptional path *)
+  let t2 = Cancel.create () in
+  Cancel.cancel ~reason:"disconnect" t2;
+  (match Cancel.with_token t2 (fun () -> Cancel.tick ()) with
+  | () -> Alcotest.fail "cancelled token ticked"
+  | exception Cancel.Cancelled t' ->
+    Alcotest.(check string) "reason kept" "disconnect" (Cancel.reason t'));
+  Alcotest.(check bool) "restored after raise" false (Cancel.active ())
+
+let test_cancel_stops_cg () =
+  (* a CG solve under an expired ambient token unwinds within one
+     iteration instead of running to convergence *)
+  let n = 64 in
+  let m = laplacian_1d n in
+  let b = Vec.init n (fun i -> Float.sin (float_of_int i)) in
+  let tok = Cancel.create ~deadline:(Unix.gettimeofday () -. 1.0) () in
+  match Cancel.with_token tok (fun () -> Cg.solve_exn ~tol:1e-12 m b) with
+  | _ -> Alcotest.fail "expired token did not stop CG"
+  | exception Cancel.Cancelled _ -> ()
+
 let qcheck t = QCheck_alcotest.to_alcotest t
 
 let suites =
@@ -861,5 +913,11 @@ let suites =
         Alcotest.test_case "bisection" `Quick test_bisect;
         Alcotest.test_case "bisection no bracket" `Quick test_bisect_no_bracket;
         Alcotest.test_case "newton" `Quick test_newton;
+      ] );
+    ( "numerics.cancel",
+      [
+        Alcotest.test_case "deadline expiry" `Quick test_cancel_expiry;
+        Alcotest.test_case "ambient token" `Quick test_cancel_ambient;
+        Alcotest.test_case "stops a CG solve" `Quick test_cancel_stops_cg;
       ] );
   ]

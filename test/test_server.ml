@@ -272,7 +272,7 @@ let test_batch_errors_all_members () =
 
 let test_quota_and_backpressure () =
   let config =
-    { Sv.max_queue = 4; client_quota = 2; max_decks = 8;
+    { Sv.default_config with max_queue = 4; client_quota = 2; max_decks = 8;
       tran_max_points = 1000 }
   in
   let svc = Sv.create ~config () in
@@ -313,12 +313,290 @@ let test_stats_shape () =
     (fun k -> ignore (member k stats))
     [
       "uptime_s"; "requests"; "responses"; "errors"; "by_verb"; "queue";
-      "batch"; "plan_cache"; "timings_ms"; "pool"; "tile_cache";
+      "batch"; "plan_cache"; "timings_ms"; "pool"; "tile_cache"; "memory";
+      "cancel"; "restarts"; "journal";
     ];
   ignore (member "origin" (member "tile_cache" stats));
+  (* the new resilience counters *)
+  List.iter
+    (fun k -> ignore (member k (member "plan_cache" stats)))
+    [ "plan_words"; "shed_plans"; "flows"; "flow_capacity"; "flow_evictions" ];
+  List.iter
+    (fun k -> ignore (member k (member "memory" stats)))
+    [ "watermark_mb"; "heap_mb"; "shed_events"; "rejected_memory" ];
+  List.iter
+    (fun k -> ignore (member k (member "cancel" stats)))
+    [ "deadline_exceeded"; "disconnected" ];
   match member "plan_misses" (member "plan_cache" stats) with
   | J.Num n when n >= 1.0 -> ()
   | other -> Alcotest.failf "plan_misses: %s" (J.to_string other)
+
+
+(* ------------------------------------------------------------------ *)
+(* fuzz: the wire parser is total *)
+
+(* Mutate valid documents (including a realistic request line) at
+   random byte positions: parse must never raise — only [Error _] or a
+   value whose rendering round-trips stably. *)
+let prop_json_fuzz =
+  let docs =
+    [|
+      {|{"id": 1, "verb": "ac", "deck": "v1 in 0 dc 1 ac 1\nr1 in out 1k\n.end\n", "params": {"freqs": [1e6, 2.5e6], "nodes": ["out"]}, "deadline_ms": 125.5}|};
+      {|{"a": [1, 2.5, -3e-7, true, false, null], "b": {"c": "d\ne\u0041"}}|};
+      {|[[[]], {}, "\u0068\ud83d\ude00", 1e300, -0.0, 123456789012345]|};
+      {|{"overrides": {"r1": 2e3}, "auth_token": "s3cret", "deck_path": "/x"}|};
+    |]
+  in
+  QCheck.Test.make ~count:1000 ~name:"Json.parse total on mutated documents"
+    QCheck.(
+      pair
+        (int_range 0 (Array.length docs - 1))
+        (small_list (pair small_nat (int_range 0 255))))
+    (fun (di, muts) ->
+      let doc = Bytes.of_string docs.(di) in
+      List.iter
+        (fun (p, c) -> Bytes.set doc (p mod Bytes.length doc) (Char.chr c))
+        muts;
+      let mutated = Bytes.to_string doc in
+      match J.parse mutated with
+      | Error _ -> true
+      | Ok j -> (
+        let printed = J.to_string j in
+        match J.parse printed with
+        | Ok j2 -> String.equal printed (J.to_string j2)
+        | Error _ -> false)
+      | exception _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* deadlines *)
+
+let deadline_line ?(id = 1) ms =
+  Printf.sprintf
+    {|{"id": %d, "verb": "ac", "deck": %s, "params": {"freqs": [1e6, 2e6], "nodes": ["out"]}, "deadline_ms": %s}|}
+    id
+    (J.to_string (J.Str deck))
+    ms
+
+let deadline_exceeded_at jobs () =
+  Snoise.Sweep.set_jobs jobs;
+  Fun.protect
+    ~finally:(fun () -> Snoise.Sweep.set_jobs 1)
+    (fun () ->
+      let svc = Sv.create () in
+      (* a deadline this small has always passed by dispatch time, so
+         the refusal is deterministic at any pool width *)
+      let reply = handle1 svc (deadline_line "1e-6") in
+      Alcotest.(check string) "refused" "error" (msg_type reply);
+      Alcotest.(check string)
+        "stable code" "deadline-exceeded" (error_code reply);
+      (match member "progress" (member "error" reply) with
+      | J.Obj _ -> ()
+      | other -> Alcotest.failf "progress: %s" (J.to_string other));
+      Alcotest.(check string)
+        "reason" {|"deadline"|}
+        (J.to_string (member "reason" (member "error" reply)));
+      (* the pool slot was freed: subsequent work still runs *)
+      let ok = handle1 svc (request ~id:2 ~verb:"op" ~deck ()) in
+      Alcotest.(check string) "service survives" "response" (msg_type ok);
+      (* a generous deadline is not a refusal *)
+      let ok2 = handle1 svc (deadline_line ~id:3 "60000") in
+      Alcotest.(check string) "generous deadline" "response" (msg_type ok2);
+      (* the counter moved *)
+      match member "deadline_exceeded" (member "cancel" (Sv.stats_json svc))
+      with
+      | J.Num n when n >= 1.0 -> ()
+      | other -> Alcotest.failf "counter: %s" (J.to_string other))
+
+let test_deadline_validation () =
+  let svc = Sv.create () in
+  List.iter
+    (fun bad ->
+      let reply = handle1 svc (deadline_line bad) in
+      Alcotest.(check string)
+        ("rejects deadline_ms " ^ bad)
+        "bad-request" (error_code reply))
+    [ "0"; "-5"; {|"soon"|}; "1e999" ];
+  (* null means no deadline *)
+  let ok = handle1 svc (deadline_line "null") in
+  Alcotest.(check string) "null accepted" "response" (msg_type ok)
+
+(* requests with different deadlines must not coalesce into one group
+   (the group would cancel at the earliest member's deadline) *)
+let test_deadline_no_coalesce () =
+  let svc = Sv.create () in
+  let submit id ms =
+    match Sv.submit svc ~client:1 (deadline_line ~id ms) with
+    | `Queued -> ()
+    | _ -> Alcotest.fail "expected queued"
+  in
+  submit 1 "60000";
+  submit 2 "120000";
+  let replies = List.map snd (Sv.drain svc) in
+  Alcotest.(check int) "both served" 2 (List.length replies);
+  List.iter
+    (fun r ->
+      Alcotest.(check string) "served" "response" (msg_type r);
+      match member "batched" (member "served" r) with
+      | J.Num 1.0 -> ()
+      | other ->
+        Alcotest.failf "mixed deadlines coalesced: %s" (J.to_string other))
+    replies
+
+(* ------------------------------------------------------------------ *)
+(* health *)
+
+let test_health_verb () =
+  let svc = Sv.create () in
+  let reply = handle1 svc {|{"id": 9, "verb": "health"}|} in
+  Alcotest.(check string) "response" "response" (msg_type reply);
+  let r = member "result" reply in
+  Alcotest.(check string) "ready" {|"ok"|} (J.to_string (member "status" r));
+  List.iter
+    (fun k -> ignore (member k r))
+    [ "status"; "uptime_s"; "queue"; "pool"; "cache"; "memory"; "restarts" ];
+  ignore (member "depth" (member "queue" r));
+  ignore (member "flows" (member "cache" r));
+  match member "shedding" (member "memory" r) with
+  | J.Bool false -> ()
+  | other -> Alcotest.failf "shedding: %s" (J.to_string other)
+
+(* ------------------------------------------------------------------ *)
+(* load shedding under memory pressure *)
+
+let test_memory_watermark () =
+  (* a 1 MB watermark is below any live OCaml heap, so every work
+     request sheds and refuses; control verbs keep answering *)
+  let config = { Sv.default_config with mem_watermark_mb = 1 } in
+  let svc = Sv.create ~config () in
+  let reply = handle1 svc (request ~verb:"op" ~deck ()) in
+  Alcotest.(check string) "busy under pressure" "busy" (error_code reply);
+  (match member "retry_after_ms" (member "error" reply) with
+  | J.Num _ -> ()
+  | other -> Alcotest.failf "retry hint: %s" (J.to_string other));
+  let stats = Sv.stats_json svc in
+  (match member "rejected_memory" (member "memory" stats) with
+  | J.Num n when n >= 1.0 -> ()
+  | other -> Alcotest.failf "rejected_memory: %s" (J.to_string other));
+  (* liveness endpoints still answer, and report the degradation *)
+  let health = handle1 svc {|{"verb": "health"}|} in
+  Alcotest.(check string) "health served" "response" (msg_type health);
+  Alcotest.(check string)
+    "degraded" {|"degraded"|}
+    (J.to_string (member "status" (member "result" health)));
+  match member "shedding" (member "memory" (member "result" health)) with
+  | J.Bool true -> ()
+  | other -> Alcotest.failf "shedding flag: %s" (J.to_string other)
+
+(* ------------------------------------------------------------------ *)
+(* constant-time auth compare *)
+
+let test_auth_equal_const () =
+  let module A = Sn_server.Auth in
+  Alcotest.(check bool) "equal" true (A.equal_const "s3cret" "s3cret");
+  Alcotest.(check bool) "case differs" false (A.equal_const "s3cret" "s3creT");
+  Alcotest.(check bool) "prefix" false (A.equal_const "s3cret" "s3c");
+  Alcotest.(check bool) "longer" false (A.equal_const "s3cret" "s3cretx");
+  Alcotest.(check bool) "empty given" false (A.equal_const "s3cret" "");
+  Alcotest.(check bool)
+    "no token configured is not a free pass" false (A.equal_const "" "")
+
+(* ------------------------------------------------------------------ *)
+(* warmup journal *)
+
+let test_journal_roundtrip () =
+  let module Jr = Sn_server.Journal in
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "snoise-journal-%d.bin" (Unix.getpid ()))
+  in
+  (try Sys.remove path with Sys_error _ -> ());
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let j = Jr.open_ ~path in
+      let e1 = { Jr.text = "deck one\n.end\n"; overrides = [ ("r1", 2.0e3) ] } in
+      let e2 = { Jr.text = "deck two\n.end\n"; overrides = [] } in
+      Jr.append j e1;
+      Jr.append j e2;
+      Alcotest.(check int) "recorded" 2 (Jr.recorded j);
+      (match Jr.replay ~path with
+      | [ a; b ] ->
+        Alcotest.(check string) "first text" e1.Jr.text a.Jr.text;
+        Alcotest.(check (list (pair string (float 0.0))))
+          "first overrides" e1.Jr.overrides a.Jr.overrides;
+        Alcotest.(check string) "second text" e2.Jr.text b.Jr.text
+      | l -> Alcotest.failf "replayed %d entries" (List.length l));
+      (* a truncated tail (death mid-append) just shortens the replay *)
+      let size = (Unix.stat path).Unix.st_size in
+      Unix.truncate path (size - 3);
+      (match Jr.replay ~path with
+      | [ a ] -> Alcotest.(check string) "first survives" e1.Jr.text a.Jr.text
+      | l -> Alcotest.failf "after truncation: %d entries" (List.length l));
+      (* a flipped byte in the first record empties the replay — the
+         digest refuses to feed Marshal damaged bytes *)
+      let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+      ignore (Unix.lseek fd 50 Unix.SEEK_SET);
+      ignore (Unix.write_substring fd "X" 0 1);
+      Unix.close fd;
+      Alcotest.(check int)
+        "corrupt record is a miss" 0
+        (List.length (Jr.replay ~path));
+      (* a missing file is an empty replay, not an error *)
+      Alcotest.(check int)
+        "missing file" 0
+        (List.length (Jr.replay ~path:(path ^ ".nope"))))
+
+let test_warm_restart () =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "snoise-warm-%d.journal" (Unix.getpid ()))
+  in
+  (try Sys.remove path with Sys_error _ -> ());
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let config = { Sv.default_config with warmup_journal = Some path } in
+      let first = Sv.create ~config () in
+      ignore (handle1 first (request ~verb:"op" ~deck ()));
+      ignore (handle1 first (request ~id:2 ~verb:"op" ~deck ()));
+      (* a "restarted" worker: fresh state, same journal *)
+      let second = Sv.create ~config () in
+      Alcotest.(check (pair int int))
+        "one plan replayed, none failed" (1, 0)
+        (Sv.warm_from_journal second);
+      let reply = handle1 second (request ~verb:"op" ~deck ()) in
+      Alcotest.(check string)
+        "first request after restart is already warm" {|"hit"|}
+        (J.to_string (plan_note reply));
+      (* the replay is visible in stats *)
+      match member "journal" (Sv.stats_json second) with
+      | J.Obj _ as j -> (
+        match member "replayed" j with
+        | J.Num 1.0 -> ()
+        | other -> Alcotest.failf "replayed: %s" (J.to_string other))
+      | other -> Alcotest.failf "journal stats: %s" (J.to_string other))
+
+(* ------------------------------------------------------------------ *)
+(* disconnect shedding at the dispatch boundary *)
+
+let test_drain_sheds_dead_clients () =
+  let svc = Sv.create () in
+  List.iter
+    (fun (client, id) ->
+      match Sv.submit svc ~client (request ~id ~verb:"op" ~deck ()) with
+      | `Queued -> ()
+      | _ -> Alcotest.fail "expected queued")
+    [ (1, 1); (2, 2) ];
+  (* client 2 hung up before dispatch: its work is dropped unrun *)
+  let replies = Sv.drain ~alive:(fun client -> client = 1) svc in
+  Alcotest.(check int) "only the live client served" 1 (List.length replies);
+  Alcotest.(check int) "addressed to client 1" 1 (fst (List.hd replies));
+  match member "disconnected" (member "cancel" (Sv.stats_json svc)) with
+  | J.Num 1.0 -> ()
+  | other -> Alcotest.failf "disconnected: %s" (J.to_string other)
+
 
 (* ------------------------------------------------------------------ *)
 (* a real socket session against a threaded server *)
@@ -380,6 +658,77 @@ let test_socket_session () =
       Alcotest.(check bool)
         "socket file removed" false (Sys.file_exists path))
 
+(* TCP endpoint with --auth-token: unauthorized until the shared
+   secret is presented; the Unix socket never needs it *)
+let test_tcp_auth_session () =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "snoise-test-auth-%d.sock" (Unix.getpid ()))
+  in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let server =
+    Srv.create ~socket:path ~tcp:("127.0.0.1", 0) ~auth_token:"hunter2" ()
+  in
+  let port =
+    match Srv.tcp_port server with
+    | Some p -> p
+    | None -> Alcotest.fail "no TCP port bound"
+  in
+  let th = Thread.create (fun () -> Srv.serve server) () in
+  Fun.protect
+    ~finally:(fun () ->
+      Srv.stop server;
+      Thread.join th)
+    (fun () ->
+      let session fd =
+        let ic = Unix.in_channel_of_descr fd in
+        let send line =
+          let s = line ^ "\n" in
+          ignore (Unix.write_substring fd s 0 (String.length s))
+        in
+        let recv () =
+          match In_channel.input_line ic with
+          | Some l -> (
+            match J.parse l with
+            | Ok j -> j
+            | Error e -> Alcotest.failf "bad reply %S: %s" l e)
+          | None -> Alcotest.fail "server closed early"
+        in
+        (send, recv)
+      in
+      let tcp = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect tcp (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let send, recv = session tcp in
+      (* no token: stable unauthorized error, connection stays up *)
+      send {|{"id": 1, "verb": "ping"}|};
+      let denied = recv () in
+      Alcotest.(check string) "unauthorized" "unauthorized" (error_code denied);
+      Alcotest.(check string) "id echoed" "1" (J.to_string (member "id" denied));
+      (* wrong token: still denied, still connected *)
+      send {|{"id": 2, "verb": "ping", "auth_token": "wrong"}|};
+      Alcotest.(check string)
+        "wrong token denied" "unauthorized"
+        (error_code (recv ()));
+      (* the shared secret authenticates the connection... *)
+      send {|{"id": 3, "verb": "ping", "auth_token": "hunter2"}|};
+      Alcotest.(check string) "token accepted" "response" (msg_type (recv ()));
+      (* ...and later lines need no token *)
+      send {|{"id": 4, "verb": "ping"}|};
+      Alcotest.(check string)
+        "connection stays authenticated" "response"
+        (msg_type (recv ()));
+      Unix.close tcp;
+      (* the Unix socket is exempt *)
+      let ux = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect ux (Unix.ADDR_UNIX path);
+      let send, recv = session ux in
+      send {|{"id": 5, "verb": "ping"}|};
+      Alcotest.(check string)
+        "unix socket needs no token" "response"
+        (msg_type (recv ()));
+      Unix.close ux)
+
 let suites =
   [
     ( "server-json",
@@ -387,6 +736,7 @@ let suites =
         Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
         Alcotest.test_case "special values" `Quick test_json_specials;
         Alcotest.test_case "parse errors" `Quick test_json_errors;
+        QCheck_alcotest.to_alcotest prop_json_fuzz;
       ] );
     ( "server-protocol",
       [
@@ -408,7 +758,28 @@ let suites =
         Alcotest.test_case "quota and backpressure" `Quick
           test_quota_and_backpressure;
         Alcotest.test_case "stats shape" `Quick test_stats_shape;
+        Alcotest.test_case "health verb" `Quick test_health_verb;
+        Alcotest.test_case "deadline exceeded (jobs 1)" `Quick
+          (deadline_exceeded_at 1);
+        Alcotest.test_case "deadline exceeded (jobs 4)" `Quick
+          (deadline_exceeded_at 4);
+        Alcotest.test_case "deadline validation" `Quick
+          test_deadline_validation;
+        Alcotest.test_case "mixed deadlines do not coalesce" `Quick
+          test_deadline_no_coalesce;
+        Alcotest.test_case "memory watermark sheds" `Quick
+          test_memory_watermark;
+        Alcotest.test_case "auth constant-time compare" `Quick
+          test_auth_equal_const;
+        Alcotest.test_case "journal round-trip" `Quick test_journal_roundtrip;
+        Alcotest.test_case "warm restart from journal" `Quick
+          test_warm_restart;
+        Alcotest.test_case "drain sheds dead clients" `Quick
+          test_drain_sheds_dead_clients;
       ] );
     ( "server-socket",
-      [ Alcotest.test_case "session" `Quick test_socket_session ] );
+      [
+        Alcotest.test_case "session" `Quick test_socket_session;
+        Alcotest.test_case "tcp auth" `Quick test_tcp_auth_session;
+      ] );
   ]
