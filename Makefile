@@ -1,4 +1,4 @@
-.PHONY: all build test check lint bench bench-extract bench-serve bench-cancel server-smoke server-chaos doc clean
+.PHONY: all build test check lint bench bench-extract bench-serve bench-cancel bench-reduce server-smoke server-chaos doc clean
 
 all: build
 
@@ -42,6 +42,12 @@ bench-serve:
 # the reduced CI-sized ladder
 bench-cancel:
 	dune exec bench/main.exe -- part8 $(if $(SMALL),small)
+
+# PRIMA model-order-reduction bench only (exact vs rank-k AC sweep,
+# matched-accuracy + jobs byte-identity gates, BENCH_8.json);
+# `make bench-reduce SMALL=1` runs the reduced CI-sized mesh
+bench-reduce:
+	dune exec bench/main.exe -- part9 $(if $(SMALL),small)
 
 # end-to-end smoke of `snoise serve` over a real socket (docs/SERVER.md
 # session, scripted): cold/warm requests, stats counters, structured

@@ -973,6 +973,180 @@ let cancellation_overhead () =
   Format.fprintf fmt "wrote cancellation overhead to BENCH_7.json@.";
   Format.pp_print_flush fmt ()
 
+(* Part 10: PRIMA model-order reduction on the AC hot path (BENCH_8.json)
+
+   The universal-macromodel claim of ISSUE 9: swapping a merged
+   model's passive pool (an RC mesh standing in for the coupled
+   interconnect bus, plus a real extracted substrate macromodel tying
+   its corners through silicon) for its rank-k PRIMA realization must
+   buy at least 5x on a warm AC sweep while tracking the exact port
+   transfer to 1e-4 over the band — and stay byte-identical at jobs=1
+   vs jobs=4, like every other parallel surface. *)
+
+let reduction_speedup () =
+  banner
+    "Part 10 - PRIMA reduction: exact vs rank-k AC sweep (BENCH_8.json)";
+  let module C = Sn_circuit in
+  let module El = C.Element in
+  let module Eng = Sn_engine in
+  let module N = Sn_numerics in
+  let module R = Snoise.Reduced_model in
+  let small = Array.exists (String.equal "small") Sys.argv in
+  let n_side = if small then 14 else 20 in
+  let name i j = Printf.sprintf "n%d_%d" i j in
+  let elems = ref [] in
+  let emit e = elems := e :: !elems in
+  (* the coupled passive pool: an RC mesh (resistive grid, ground
+     capacitance per node) *)
+  for i = 0 to n_side - 1 do
+    for j = 0 to n_side - 1 do
+      let here = name i j in
+      if i < n_side - 1 then
+        emit
+          (El.Resistor
+             { name = Printf.sprintf "rr%d_%d" i j; n1 = here;
+               n2 = name (i + 1) j; ohms = 100.0 });
+      if j < n_side - 1 then
+        emit
+          (El.Resistor
+             { name = Printf.sprintf "rd%d_%d" i j; n1 = here;
+               n2 = name i (j + 1); ohms = 130.0 });
+      emit
+        (El.Capacitor
+           { name = Printf.sprintf "cg%d_%d" i j; n1 = here; n2 = "0";
+             farads = 0.1e-12 })
+    done
+  done;
+  (* a real extracted substrate macromodel, its ports named after the
+     mesh corners so the silicon couplings join the same passive pool *)
+  let corner_port nm rect =
+    Sn_substrate.Port.v ~name:nm ~kind:Sn_substrate.Port.Resistive [ rect ]
+  in
+  let sub_die = Sn_geometry.Rect.make 0.0 0.0 60.0 60.0 in
+  let macro =
+    Sn_substrate.Extractor.extract
+      ~config:{ Sn_substrate.Grid.nx = 12; ny = 12; z_per_layer = Some [ 1; 1; 1; 1 ] }
+      ~tech:Sn_tech.Tech.imec018 ~die:sub_die
+      [ corner_port (name 0 0) (Sn_geometry.Rect.make 5.0 5.0 15.0 15.0);
+        corner_port (name 0 (n_side - 1))
+          (Sn_geometry.Rect.make 45.0 5.0 55.0 15.0);
+        corner_port (name (n_side - 1) 0)
+          (Sn_geometry.Rect.make 5.0 45.0 15.0 55.0);
+        corner_port
+          (name (n_side - 1) (n_side - 1))
+          (Sn_geometry.Rect.make 45.0 45.0 55.0 55.0) ]
+  in
+  List.iteri
+    (fun k (p1, p2, ohms) ->
+      emit
+        (El.Resistor { name = Printf.sprintf "rsub%d" k; n1 = p1; n2 = p2; ohms }))
+    (Sn_substrate.Macromodel.to_resistors macro);
+  let out = name (n_side - 1) (n_side - 1) in
+  emit
+    (El.Vsource
+       { name = "vin"; np = "emf"; nn = "0"; wave = C.Waveform.dc 0.0;
+         ac_mag = 1.0 });
+  emit (El.Resistor { name = "rsrc"; n1 = "emf"; n2 = name 0 0; ohms = 50.0 });
+  let nl = C.Netlist.create ~title:"bench reduction mesh" !elems in
+  let config =
+    { R.default_config with R.order = R.Auto 1e-6; band = (1.0e6, 1.0e9) }
+  in
+  let t_build0 = Unix.gettimeofday () in
+  let red = R.reduce_deck ~config ~keep:[ out ] nl in
+  let build_s = Unix.gettimeofday () -. t_build0 in
+  let stats =
+    match R.last_stats () with
+    | Some s -> s
+    | None -> failwith "bench part9: reduction did not run"
+  in
+  let n_exact = List.length (C.Netlist.nodes nl) in
+  let n_red = List.length (C.Netlist.nodes red) in
+  Format.fprintf fmt
+    "mesh %dx%d + 4-port substrate: %d nodes -> %d (rank %d, order %d, \
+     build %.1f ms)@."
+    n_side n_side n_exact n_red stats.R.rank stats.R.order
+    (build_s *. 1.0e3);
+  let n_pts = if small then 40 else 96 in
+  let freqs = N.Sweep.logspace 1.0e6 1.0e9 n_pts in
+  let dc_exact = Eng.Dc.solve nl and dc_red = Eng.Dc.solve red in
+  let sweep ~dc deck = Eng.Ac.sweep ~dc deck ~freqs ~nodes:[ out ] in
+  (* warm both paths before timing (symbolic factorization, plans) *)
+  ignore (sweep ~dc:dc_exact nl);
+  ignore (sweep ~dc:dc_red red);
+  let reps = if small then 5 else 9 in
+  let min_of f =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  Eng.Pool.set_default_jobs 1;
+  let t_exact = min_of (fun () -> sweep ~dc:dc_exact nl) in
+  let t_red = min_of (fun () -> sweep ~dc:dc_red red) in
+  let speedup = t_exact /. t_red in
+  (* matched accuracy: pointwise port-transfer error over the band *)
+  let pts_exact = sweep ~dc:dc_exact nl in
+  let pts_red = sweep ~dc:dc_red red in
+  let max_err = ref 0.0 in
+  Array.iteri
+    (fun k (pt : Eng.Ac.sweep_point) ->
+      let ve = List.assoc out pt.Eng.Ac.values in
+      let vr = List.assoc out pts_red.(k).Eng.Ac.values in
+      let err =
+        Complex.norm (Complex.sub ve vr)
+        /. Float.max (Complex.norm ve) 1e-300
+      in
+      max_err := Float.max !max_err err)
+    pts_exact;
+  (* parallel byte-identity on the reduced path *)
+  Eng.Pool.set_default_jobs 4;
+  let pts_par = sweep ~dc:dc_red red in
+  Eng.Pool.set_default_jobs (Eng.Pool.env_jobs ());
+  let parallel_identical = pts_red = pts_par in
+  Format.fprintf fmt
+    "%d points: exact %.3f ms, reduced %.3f ms -> %.1fx, max rel err \
+     %.2e@."
+    n_pts (t_exact *. 1.0e3) (t_red *. 1.0e3) speedup !max_err;
+  if !max_err > 1e-4 then
+    failwith
+      (Printf.sprintf "bench part9: transfer error %.2e > 1e-4" !max_err);
+  if not parallel_identical then
+    failwith "bench part9: jobs=4 reduced sweep differs from jobs=1";
+  if (not small) && speedup < 5.0 then
+    failwith
+      (Printf.sprintf "bench part9: reduced sweep only %.1fx faster" speedup);
+  let oc = open_out "BENCH_8.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"reduction\": {\n\
+    \    \"mesh_side\": %d,\n\
+    \    \"small_mode\": %b,\n\
+    \    \"deck_nodes\": %d,\n\
+    \    \"reduced_nodes\": %d,\n\
+    \    \"ports\": %d,\n\
+    \    \"internal\": %d,\n\
+    \    \"rank\": %d,\n\
+    \    \"order\": %d,\n\
+    \    \"build_ms\": %.3f,\n\
+    \    \"freq_points\": %d,\n\
+    \    \"reps\": %d,\n\
+    \    \"exact_ms\": %.4f,\n\
+    \    \"reduced_ms\": %.4f,\n\
+    \    \"speedup\": %.2f,\n\
+    \    \"max_rel_err\": %.3e,\n\
+    \    \"parallel_identical\": %b\n\
+    \  }\n\
+     }\n"
+    n_side small n_exact n_red stats.R.ports stats.R.internal stats.R.rank
+    stats.R.order (build_s *. 1.0e3) n_pts reps (t_exact *. 1.0e3)
+    (t_red *. 1.0e3) speedup !max_err parallel_identical;
+  close_out oc;
+  Format.fprintf fmt "wrote reduction speedup to BENCH_8.json@.";
+  Format.pp_print_flush fmt ()
+
 (* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel microbenchmarks, one per table / figure *)
 
@@ -1183,6 +1357,8 @@ let () =
     serving_throughput ()
   else if Array.exists (String.equal "part8") Sys.argv then
     cancellation_overhead ()
+  else if Array.exists (String.equal "part9") Sys.argv then
+    reduction_speedup ()
   else begin
     reproduce_all ();
     ablation_grid ();
@@ -1195,6 +1371,7 @@ let () =
     extraction_scaling ();
     serving_throughput ();
     cancellation_overhead ();
+    reduction_speedup ();
     run_benchmarks ()
   end;
   Format.fprintf fmt "@.bench: done@.";

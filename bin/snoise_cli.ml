@@ -6,12 +6,33 @@
 
 open Cmdliner
 
-let setup_logs (verbose, jobs, no_lint, cache_dir, no_cache) =
+let setup_logs
+    (verbose, jobs, no_lint, cache_dir, no_cache, reduce_order, reduce_tol) =
   Fmt_tty.setup_std_outputs ();
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (if verbose then Some Logs.Info else Some Logs.Warning);
   Option.iter Snoise.Sweep.set_jobs jobs;
   if no_lint then Snoise.Flow.disable_lint ();
+  (match (reduce_order, reduce_tol) with
+  | None, None -> ()
+  | Some _, Some _ ->
+    Format.eprintf
+      "snoise: --reduce-order and --reduce-tol are mutually exclusive@.";
+    exit 1
+  | Some k, None ->
+    Snoise.Flow.set_default_reduction
+      (Some
+         {
+           Snoise.Reduced_model.default_config with
+           Snoise.Reduced_model.order = Snoise.Reduced_model.Fixed k;
+         })
+  | None, Some e ->
+    Snoise.Flow.set_default_reduction
+      (Some
+         {
+           Snoise.Reduced_model.default_config with
+           Snoise.Reduced_model.order = Snoise.Reduced_model.Auto e;
+         }));
   if no_cache then Sn_substrate.Cache.set_default_dir None
   else
     Option.iter
@@ -60,12 +81,34 @@ let no_cache_flag =
           "Disable the substrate macromodel cache, overriding \
            $(b,--cache-dir) and $(b,SNOISE_CACHE_DIR).")
 
-(* every command takes -v, --jobs, --no-lint and the cache knobs *)
+let reduce_order_flag =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "reduce-order" ] ~docv:"K"
+        ~doc:
+          "Swap every merged model's passive pool (substrate resistors, \
+           well capacitors, interconnect RC) for its passivity-preserving \
+           PRIMA reduction matching $(docv) block moments before \
+           simulating.  Mutually exclusive with $(b,--reduce-tol).")
+
+let reduce_tol_flag =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "reduce-tol" ] ~docv:"TOL"
+        ~doc:
+          "Like $(b,--reduce-order), but grow the reduction order \
+           automatically until the estimated port-transfer error over the \
+           AC band drops below the relative tolerance $(docv).")
+
+(* every command takes -v, --jobs, --no-lint, the cache knobs and the
+   model-order-reduction knobs *)
 let verbose =
   Term.(
-    const (fun v j nl cd nc -> (v, j, nl, cd, nc))
+    const (fun v j nl cd nc ro rt -> (v, j, nl, cd, nc, ro, rt))
     $ verbose_flag $ jobs_flag $ no_lint_flag $ cache_dir_flag
-    $ no_cache_flag)
+    $ no_cache_flag $ reduce_order_flag $ reduce_tol_flag)
 
 let fmt = Format.std_formatter
 

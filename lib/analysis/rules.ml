@@ -306,20 +306,31 @@ let floating_bodies = floating_terminals Bulk "floating-body" "the bulk"
 (* extreme-value: unit-suffix slips in component values and device
    geometry *)
 
+let reduced_prefix = "red_"
+
 let extreme_values ctx =
   List.concat_map
     (fun e ->
       let name = E.name e in
       let out kind v lo hi unit =
+        (* R / C ranges are checked on |v|: reduced-order macromodel
+           branches (Snoise.Reduced_model, prefix "red_") legitimately
+           carry negative values, and those are exempt entirely —
+           their magnitudes are mathematical, not physical. *)
         if v < lo || v > hi then
           [ diag ?loc:(loc_of ctx name) Rule.Warning "extreme-value"
               (Rule.Element name) "%s: %s %g %s is outside [%g, %g]" name
               kind v unit lo hi ]
         else []
       in
+      let reduced =
+        String.length name >= String.length reduced_prefix
+        && String.sub name 0 (String.length reduced_prefix) = reduced_prefix
+      in
       match e with
-      | E.Resistor { ohms; _ } -> out "resistance" ohms 1e-6 1e11 "ohm"
-      | E.Capacitor { farads; _ } -> out "capacitance" farads 1e-18 1.0 "F"
+      | _ when reduced -> []
+      | E.Resistor { ohms; _ } -> out "resistance" (Float.abs ohms) 1e-6 1e11 "ohm"
+      | E.Capacitor { farads; _ } -> out "capacitance" (Float.abs farads) 1e-18 1.0 "F"
       | E.Inductor { henries; _ } -> out "inductance" henries 1e-12 1e3 "H"
       | E.Mosfet { w; l; mult; _ } ->
         out "channel width W" w 1e-8 1e-2 "m"

@@ -77,9 +77,16 @@ let is_ground n =
 
 let validate e =
   let check cond msg = if cond then Ok () else Error (name e ^ ": " ^ msg) in
+  (* R and C admit negative values: reduced-order macromodels
+     (Snoise.Reduced_model) realize as branch networks whose
+     off-diagonal couplings carry arbitrary sign.  Zero, nan and inf
+     stay invalid — they stamp a broken matrix. *)
+  let finite_nonzero v = Float.is_finite v && v <> 0.0 in
   match e with
-  | Resistor { ohms; _ } -> check (ohms > 0.0) "resistance must be > 0"
-  | Capacitor { farads; _ } -> check (farads > 0.0) "capacitance must be > 0"
+  | Resistor { ohms; _ } ->
+    check (finite_nonzero ohms) "resistance must be finite and nonzero"
+  | Capacitor { farads; _ } ->
+    check (finite_nonzero farads) "capacitance must be finite and nonzero"
   | Inductor { henries; _ } -> check (henries > 0.0) "inductance must be > 0"
   | Vsource _ | Isource _ | Vcvs _ -> Ok ()
   | Vccs { gm; _ } -> check (Float.is_nan gm = false) "gm must be a number"

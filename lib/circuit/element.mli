@@ -61,7 +61,8 @@ val is_ground : string -> bool
 (** ["0"] or ["gnd"] (case-insensitive). *)
 
 val validate : t -> (unit, string) result
-(** Positive component values, positive device geometry,
-    [mult >= 1]. *)
+(** Finite nonzero R / C values (negative allowed — reduced-order
+    macromodel branches carry arbitrary sign), positive inductance and
+    device geometry, [mult >= 1]. *)
 
 val pp : Format.formatter -> t -> unit

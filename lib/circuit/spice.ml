@@ -256,11 +256,14 @@ let logical_lines text =
   join [] (List.mapi (fun i l -> (i + 1, l)) raw)
 
 (* A [%snoise] marker line (leading [*] optional, spaces after the [*]
-   allowed).  Two verbs exist: the lint-suppression pragma
-   [*%snoise ignore <code> [<subject>]] and the tool directive
-   [*%snoise extract <key>=<value> ...].  Returns [None] for lines
-   that are no marker at all; raises on a [%snoise] line with an
-   unknown verb so typos do not silently disable nothing. *)
+   allowed).  Three verbs exist: the lint-suppression pragma
+   [*%snoise ignore <code> [<subject>]] and the tool directives
+   [*%snoise extract <key>=<value> ...] and
+   [*%snoise reduce <key>=<value> ...] (e.g. [keep=n1,n2] naming
+   observation nodes the model-order reduction must leave explicit).
+   Returns [None] for lines that are no marker at all; raises on a
+   [%snoise] line with an unknown verb so typos do not silently
+   disable nothing. *)
 let pragma_of_line ln line =
   let body =
     let s = String.trim line in
@@ -284,7 +287,7 @@ let pragma_of_line ln line =
         (`Pragma
           { Netlist.ignore_code = String.lowercase_ascii code;
             ignore_subject = subject })
-    | _ :: "extract" :: rest ->
+    | _ :: (("extract" | "reduce") as verb) :: rest ->
       let args =
         List.map
           (fun tok ->
@@ -294,14 +297,15 @@ let pragma_of_line ln line =
                 String.sub tok (i + 1) (String.length tok - i - 1) )
             | _ ->
               fail ln
-                ("%snoise extract takes key=value arguments, got: " ^ tok))
+                (Printf.sprintf
+                   "%%snoise %s takes key=value arguments, got: %s" verb tok))
           rest
       in
-      Some (`Directive { Netlist.verb = "extract"; args })
+      Some (`Directive { Netlist.verb; args })
     | _ ->
       fail ln
         "unknown %snoise marker (expected: ignore <code> [<subject>] | \
-         extract <key>=<value> ...)"
+         extract <key>=<value> ... | reduce <key>=<value> ...)"
 
 let of_string ?(file = "<string>") text =
   let models = { mos = []; var = [] } in

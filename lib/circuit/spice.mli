@@ -28,6 +28,7 @@
     {v
     *%snoise ignore <code> [<subject>]
     *%snoise extract <key>=<value> ...
+    *%snoise reduce <key>=<value> ...
     v}
     and surface as {!Netlist.pragmas} / {!Netlist.directives}; every
     parsed element also records its {!Netlist.source_loc} so analysis

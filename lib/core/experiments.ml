@@ -419,6 +419,7 @@ type runtime = {
   extractor : Sn_substrate.Extractor.stats option;
   pool : Sn_engine.Pool.stats;
   tile_cache : Sn_substrate.Cache.resolution;
+  reduction : Reduced_model.stats option;
 }
 
 let runtime ?(options = Flow.default_options) () =
@@ -446,4 +447,5 @@ let runtime ?(options = Flow.default_options) () =
     extractor = xstats;
     pool = Sweep.stats ();
     tile_cache = Sn_substrate.Cache.resolution ();
+    reduction = Reduced_model.last_stats ();
   }

@@ -173,6 +173,10 @@ type runtime = {
       (** how the substrate tile-cache directory resolved
           ([--cache-dir] / [SNOISE_CACHE_DIR] / disabled) — the knob
           that decides whether this extraction could run warm *)
+  reduction : Reduced_model.stats option;
+      (** model-order reduction counters of the flow's merged deck
+          (order, rank, build time, estimated error) when
+          [--reduce-order] / [--reduce-tol] is active *)
 }
 
 val runtime : ?options:Flow.options -> unit -> runtime

@@ -21,6 +21,10 @@ type options = {
   widen_ground : float option;
   tech : Sn_tech.Tech.t;
   lint : bool;
+  reduce : Reduced_model.config option;
+      (** swap the merged deck's passive pool for its PRIMA-reduced
+          realization before compiling; [None] follows the process-wide
+          default ({!set_default_reduction}) *)
 }
 
 let default_options =
@@ -31,7 +35,28 @@ let default_options =
     widen_ground = None;
     tech = Sn_tech.Tech.imec018;
     lint = true;
+    reduce = None;
   }
+
+(* process-wide reduction default, the --reduce-order / --reduce-tol
+   CLI knob (mirrors the disable_lint pattern: figure flows construct
+   their own options and pick the default up from here) *)
+let default_reduction : Reduced_model.config option ref = ref None
+
+let set_default_reduction c = default_reduction := c
+
+let reduction_of options =
+  match options.reduce with Some _ as c -> c | None -> !default_reduction
+
+let maybe_reduce options ~keep nl =
+  match reduction_of options with
+  | None -> nl
+  | Some config -> Reduced_model.reduce_deck ~config ~keep nl
+
+(* substrate tile-cache namespace tag: reduced and exact runs must
+   never share cached artifacts *)
+let reduction_digest options =
+  Option.map Reduced_model.config_digest (reduction_of options)
 
 (* ------------------------------------------------------------------ *)
 (* lint gate: merged models pass the Sn_analysis rule suite before the
@@ -164,7 +189,7 @@ type nmos_flow = {
   nmos_params : Tc.Nmos_structure.params;
   nmos_macro : Sub.Macromodel.t;
   nmos_itc : Itc.Rc_netlist.t;
-  nmos_lint : bool;
+  nmos_options : options;
 }
 
 let itc_options options ~substrate_node =
@@ -186,14 +211,15 @@ let build_nmos ?(options = default_options) params =
   in
   let macro =
     Sub.Extractor.extract_from_layout ~config:options.grid
-      ~tiles:options.tiles ~tech:options.tech layout
+      ~tiles:options.tiles ?reduction:(reduction_digest options)
+      ~tech:options.tech layout
   in
   Log.info (fun m ->
       m "nmos structure: %d wires, %d substrate ports"
         report.Itc.Extract.wires_extracted
         (Sub.Macromodel.port_count macro));
   { nmos_params = params; nmos_macro = macro;
-    nmos_itc = report.Itc.Extract.netlist; nmos_lint = options.lint }
+    nmos_itc = report.Itc.Extract.netlist; nmos_options = options }
 
 let nmos_macromodel f = f.nmos_macro
 
@@ -211,10 +237,13 @@ let nmos_passive_netlist f =
                      ohms = f.nmos_params.Tc.Nmos_structure.probe_resistance } ]
     @ Merge.of_macromodel f.nmos_macro
     @ Merge.of_rc_netlist f.nmos_itc)
+  (* sub_inject and the back-gate probe are passive-touched only: the
+     divider observes them, so reduction must keep them explicit *)
+  |> maybe_reduce f.nmos_options ~keep:[ "sub_inject"; "backgate:m1" ]
 
 let nmos_divider f =
   let nl = nmos_passive_netlist f in
-  lint_gate ~enabled:f.nmos_lint nl;
+  lint_gate ~enabled:f.nmos_options.lint nl;
   let s = Ac.solve nl ~freq:1.0e6 in
   Complex.norm (Ac.voltage s "backgate:m1")
   /. Complex.norm (Ac.voltage s "sub_inject")
@@ -225,6 +254,7 @@ let nmos_merged f ~vgs ~vds =
     @ noise_elements ~inject_node:"sub_inject"
     @ Merge.of_macromodel f.nmos_macro
     @ Merge.of_rc_netlist f.nmos_itc)
+  |> maybe_reduce f.nmos_options ~keep:[ "sub_inject" ]
 
 type nmos_point = {
   vgs : float;
@@ -237,7 +267,7 @@ type nmos_point = {
 
 let nmos_transfer f ~vgs ~vds ~freq =
   let nl = nmos_merged f ~vgs ~vds in
-  lint_gate ~enabled:f.nmos_lint nl;
+  lint_gate ~enabled:f.nmos_options.lint nl;
   let dc = Dc.solve nl in
   let op = Dc.mos_operating_point dc "m1" in
   let mult = float_of_int f.nmos_params.Tc.Nmos_structure.parallel_devices in
@@ -297,7 +327,8 @@ let build_vco ?(options = default_options) params ~vtune =
   in
   let macro =
     Sub.Extractor.extract_from_layout ~config:options.grid
-      ~tiles:options.tiles ~tech:options.tech layout
+      ~tiles:options.tiles ?reduction:(reduction_digest options)
+      ~tech:options.tech layout
   in
   let circuit = Tc.Vco_chip.circuit params ~vtune in
   let merged =
@@ -306,6 +337,15 @@ let build_vco ?(options = default_options) params ~vtune =
       @ frame_elements
       @ Merge.of_macromodel macro
       @ Merge.of_rc_netlist report.Itc.Extract.netlist)
+    (* every node the spur flow observes or the bias read-out touches
+       must survive reduction; most are device-touched anyway, but the
+       injection node and the inductor back-gate are passive-only *)
+    |> maybe_reduce options
+         ~keep:
+           (List.sort_uniq String.compare
+              (List.map snd Tc.Vco_chip.sensitive_nodes
+              @ [ "sub_inject"; "vtune_pad"; "vss_local"; "tank_p";
+                  "backgate:mn1"; "vdd_local" ]))
   in
   lint_gate ~enabled:options.lint merged;
   let dc = Dc.solve merged in

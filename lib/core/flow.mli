@@ -36,11 +36,31 @@ type options = {
           before simulating it (default [true]); error-severity
           diagnostics refuse to simulate by raising
           {!Sn_engine.Diag.Error} *)
+  reduce : Reduced_model.config option;
+      (** swap each merged model's passive pool (substrate resistors,
+          well capacitors, interconnect RC) for its PRIMA rank-k
+          realization ({!Reduced_model.reduce_deck}) before
+          simulating.  [None] (the default) follows the process-wide
+          default set by {!set_default_reduction} — so figure flows
+          built with {!default_options} honour the CLI's
+          [--reduce-order] / [--reduce-tol].  Observation nodes the
+          flow needs (injection node, back-gate probes, spur entry
+          nodes) are kept explicit automatically. *)
 }
 
 val default_options : options
 (** The paper's setup: 48x48 grid, extracted interconnect resistance,
-    nominal widths, the 0.18 um high-ohmic imec card, lint gate on. *)
+    nominal widths, the 0.18 um high-ohmic imec card, lint gate on,
+    no reduction. *)
+
+val set_default_reduction : Reduced_model.config option -> unit
+(** Process-wide reduction default — the CLI's [--reduce-order k] /
+    [--reduce-tol e] knob.  Applies wherever an options record leaves
+    [reduce] as [None]. *)
+
+val reduction_of : options -> Reduced_model.config option
+(** The reduction configuration in effect for [options] (its own
+    [reduce] field, else the process-wide default). *)
 
 val lint_gate : ?enabled:bool -> Sn_circuit.Netlist.t -> unit
 (** [lint_gate nl] runs {!Sn_analysis.Analyzer.analyze} (with deck

@@ -221,6 +221,16 @@ let runtime fmt (r : E.runtime) =
        (if x.X.cache_misses = 1 then "" else "es"));
   Format.fprintf fmt "tile cache: %a@," Sn_substrate.Cache.pp_resolution
     r.E.tile_cache;
+  (match r.E.reduction with
+   | None -> ()
+   | Some s ->
+     Format.fprintf fmt
+       "reduction: %d ports + %d internal -> rank %d (order %d, %.1f ms%s)@,"
+       s.Reduced_model.ports s.Reduced_model.internal s.Reduced_model.rank
+       s.Reduced_model.order
+       (1e3 *. s.Reduced_model.build_seconds)
+       (if Float.is_nan s.Reduced_model.est_error then ""
+        else Printf.sprintf ", est. error %.1e" s.Reduced_model.est_error));
   Format.fprintf fmt
     "[paper: 20 min extraction + 15 min simulation on an HP-UX L2000]@,";
   Format.fprintf fmt "%a" Sn_engine.Pool.pp_stats r.E.pool;

@@ -165,9 +165,6 @@ let sweep ?dc netlist ~freqs ~nodes =
   let dc = match dc with Some d -> d | None -> Dc.solve_mna mna in
   sweep_plan (Ac_plan.of_dc plan dc) ~freqs ~nodes
 
-let sweep_list ?dc netlist ~freqs ~nodes =
-  Array.to_list (sweep ?dc netlist ~freqs ~nodes)
-
 let transfer_db points node =
   Array.map
     (fun p -> N.Units.db_of_ratio (Complex.norm (List.assoc node p.values)))

@@ -78,14 +78,6 @@ val sweep_plan :
     plan are byte-identical however the points are grouped into
     dispatches.  Raises as {!sweep}. *)
 
-val sweep_list :
-  ?dc:Dc.solution -> Sn_circuit.Netlist.t -> freqs:float array ->
-  nodes:string list -> sweep_point list
-[@@ocaml.deprecated "use Ac.sweep, which returns an array"]
-(** [sweep_list nl ~freqs ~nodes] is
-    [Array.to_list (sweep nl ~freqs ~nodes)] — transition shim for
-    callers of the old list-returning sweep. *)
-
 val transfer_db : sweep_point array -> string -> float array
 (** [transfer_db points node] extracts [20 log10 |v(node)|] per sweep
     point. *)

@@ -51,13 +51,6 @@ val spur_sweep :
 (** [h f node] now also takes the frequency.  The result array is
     positioned by input index. *)
 
-val spur_sweep_list :
-  oscillator -> h:(float -> string -> Complex.t) -> a_noise:float ->
-  f_noise:float array -> spur list
-[@@ocaml.deprecated "use Impact.spur_sweep, which returns an array"]
-(** [spur_sweep_list] is [Array.to_list (spur_sweep ...)] — transition
-    shim for callers of the old list-returning sweep. *)
-
 val total_modulation :
   oscillator -> h:(string -> Complex.t) -> a_noise:float -> f_noise:float ->
   Complex.t * Complex.t

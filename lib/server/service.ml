@@ -296,6 +296,84 @@ let require_source (req : P.request) =
          (Printf.sprintf "verb %S needs a deck (\"deck\" or \"deck_path\")"
             (P.verb_name req.P.verb)))
 
+(* reserved override keys steering server-side model-order reduction:
+   they are configuration, not element values, so they are peeled off
+   before apply_overrides's unknown-element check.  deck_key digests
+   the raw override list, so requests differing only in reduce_*
+   settings compile into distinct plan-cache entries. *)
+let reduction_of_overrides overrides =
+  let order = ref None and tol = ref None and s0 = ref None in
+  let elements =
+    List.filter
+      (fun (k, v) ->
+        match String.lowercase_ascii k with
+        | "reduce_order" ->
+          if Float.is_integer v && v >= 1.0 && v <= 1024.0 then
+            order := Some (int_of_float v)
+          else
+            raise
+              (Bad
+                 (Printf.sprintf
+                    "override \"reduce_order\": expected an integer order >= \
+                     1, got %g"
+                    v));
+          false
+        | "reduce_tol" ->
+          if v > 0.0 && v < 1.0 then tol := Some v
+          else
+            raise
+              (Bad
+                 (Printf.sprintf
+                    "override \"reduce_tol\": expected a relative tolerance \
+                     in (0, 1), got %g"
+                    v));
+          false
+        | "reduce_s0" ->
+          if v > 0.0 then s0 := Some v
+          else
+            raise
+              (Bad
+                 (Printf.sprintf
+                    "override \"reduce_s0\": expected an expansion point in \
+                     Hz > 0, got %g"
+                    v));
+          false
+        | _ -> true)
+      overrides
+  in
+  let config =
+    match (!order, !tol) with
+    | None, None ->
+      if !s0 <> None then
+        raise
+          (Bad
+             "override \"reduce_s0\" needs \"reduce_order\" or \"reduce_tol\"")
+      else None
+    | Some _, Some _ ->
+      raise (Bad "overrides \"reduce_order\" and \"reduce_tol\" conflict")
+    | Some k, None ->
+      Some
+        {
+          Snoise.Reduced_model.default_config with
+          Snoise.Reduced_model.order = Snoise.Reduced_model.Fixed k;
+          s0_hz =
+            Option.value !s0
+              ~default:Snoise.Reduced_model.default_config
+                         .Snoise.Reduced_model.s0_hz;
+        }
+    | None, Some e ->
+      Some
+        {
+          Snoise.Reduced_model.default_config with
+          Snoise.Reduced_model.order = Snoise.Reduced_model.Auto e;
+          s0_hz =
+            Option.value !s0
+              ~default:Snoise.Reduced_model.default_config
+                         .Snoise.Reduced_model.s0_hz;
+        }
+  in
+  (elements, config)
+
 let apply_overrides nl overrides =
   if overrides = [] then nl
   else begin
@@ -346,7 +424,11 @@ let netlist_of t ~src ~text ~overrides =
     Plan_cache.find_netlist t.cache ~text ~parse:(fun s ->
         C.Spice.of_string ~file:(source_name src) s)
   in
-  apply_overrides nl overrides
+  let element_overrides, reduce = reduction_of_overrides overrides in
+  let nl = apply_overrides nl element_overrides in
+  match reduce with
+  | None -> nl
+  | Some config -> Snoise.Reduced_model.reduce_deck ~config nl
 
 let journal_compile t ~key ~text ~overrides =
   match t.journal with
@@ -825,6 +907,24 @@ let stats_json t =
               | Some d -> J.Str d
               | None -> J.Null );
           ] );
+      ( "reduction",
+        J.Obj
+          (("reductions", num (Snoise.Reduced_model.reductions ()))
+          ::
+          (match Snoise.Reduced_model.last_stats () with
+          | None -> []
+          | Some r ->
+            let module R = Snoise.Reduced_model in
+            [
+              ("last_ports", num r.R.ports);
+              ("last_internal", num r.R.internal);
+              ("last_rank", num r.R.rank);
+              ("last_order", num r.R.order);
+              ("last_build_ms", J.Num (ms (r.R.build_seconds *. 1000.0)));
+              ( "last_est_error",
+                if Float.is_nan r.R.est_error then J.Null
+                else J.Num r.R.est_error );
+            ])) );
       ( "memory",
         J.Obj
           [

@@ -13,7 +13,7 @@ let log_src = Logs.Src.create "sn.subcache" ~doc:"substrate macromodel cache"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
-let format_version = 1
+let format_version = 2
 
 type t = { dir : string }
 
@@ -21,6 +21,7 @@ type tile_model = {
   labels : string array;
   matrix : float array;
   iterations : int;
+  form : string;
 }
 
 (* payload written to disk; [version] is checked on read so a format

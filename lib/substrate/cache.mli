@@ -26,6 +26,13 @@ type tile_model = {
       (** row-major reduced conductance matrix over the retained
           nodes *)
   iterations : int;  (** CG iterations spent producing the entry *)
+  form : string;
+      (** solver/reduction configuration tag the entry was produced
+          under (["exact"], or a {!Snoise.Reduced_model.config_digest}
+          string when the flow runs with model-order reduction) —
+          verified against the extraction on a hit, so reduced and
+          exact artifacts can never collide even across format
+          versions *)
 }
 
 val create : dir:string -> t

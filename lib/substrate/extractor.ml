@@ -120,13 +120,17 @@ let zero_diag_error tl li =
        ix iy iz)
 
 (* cache key material: everything the reduced tile matrix depends on —
-   solver settings, interior box shape, retained labels and the full
-   branch list (grid spacings and technology numbers are already
-   folded into the branch conductances) *)
-let key_material ~solver ~tol ~dims:(w, h, d) ~n_i ~labels (bb : branchbuf) =
+   solver settings, the downstream reduction configuration tag, the
+   interior box shape, retained labels and the full branch list (grid
+   spacings and technology numbers are already folded into the branch
+   conductances) *)
+let key_material ~solver ~form ~tol ~dims:(w, h, d) ~n_i ~labels
+    (bb : branchbuf) =
   let buf = Buffer.create (64 + (20 * bb.blen)) in
   Buffer.add_string buf "snoise-tile/";
   Buffer.add_string buf (string_of_int Cache.format_version);
+  Buffer.add_char buf '/';
+  Buffer.add_string buf form;
   (match solver with
    | Direct -> Buffer.add_string buf "/direct"
    | Mg_cg | Jacobi_cg ->
@@ -153,9 +157,12 @@ let key_material ~solver ~tol ~dims:(w, h, d) ~n_i ~labels (bb : branchbuf) =
   Buffer.contents buf
 
 let extract ?(config = Grid.default_config) ?(grounded_backplane = false)
-    ?(solver = Mg_cg) ?(tiles = (1, 1)) ?cache ?(tol = 1e-13) ~tech ~die
-    ports =
+    ?(solver = Mg_cg) ?(tiles = (1, 1)) ?cache ?(tol = 1e-13) ?reduction
+    ~tech ~die ports =
   if ports = [] then invalid_arg "Extractor.extract: no ports";
+  (* artifact namespace tag: runs targeting a PRIMA-reduced flow must
+     never share entries with exact runs, whatever the format version *)
+  let form = match reduction with None -> "exact" | Some d -> d in
   List.iter
     (fun (p : Port.t) ->
       List.iter
@@ -344,7 +351,7 @@ let extract ?(config = Grid.default_config) ?(grounded_backplane = false)
       | Some _ ->
         Some
           (Cache.hex_key
-             (key_material ~solver ~tol
+             (key_material ~solver ~form ~tol
                 ~dims:(Tiling.interior_dims tl ~nz)
                 ~n_i ~labels:labels.(t_id) bb))
     in
@@ -367,7 +374,8 @@ let extract ?(config = Grid.default_config) ?(grounded_backplane = false)
         match Cache.lookup c ~key:k with
         | Some m
           when m.Cache.labels = labels.(t_id)
-               && Array.length m.Cache.matrix = r * r ->
+               && Array.length m.Cache.matrix = r * r
+               && String.equal m.Cache.form form ->
           Some m
         | Some _ ->
           Log.warn (fun f ->
@@ -519,7 +527,8 @@ let extract ?(config = Grid.default_config) ?(grounded_backplane = false)
         match (cache, w.key) with
         | Some c, Some k ->
           Cache.store c ~key:k
-            { Cache.labels = w.labels; matrix = w.s; iterations = w.iters }
+            { Cache.labels = w.labels; matrix = w.s; iterations = w.iters;
+              form }
         | _ -> ()
       end)
     works;
@@ -660,11 +669,11 @@ let substrate_bbox layout =
       (Sn_layout.Shape.bbox s) rest
 
 let extract_from_layout ?config ?(margin_fraction = 0.35) ?solver ?tiles
-    ?cache ?tol ~tech layout =
+    ?cache ?tol ?reduction ~tech layout =
   let bbox = substrate_bbox layout in
   let margin =
     margin_fraction *. Float.max (G.Rect.width bbox) (G.Rect.height bbox)
   in
   let die = G.Rect.expand margin bbox in
-  extract ?config ?solver ?tiles ?cache ?tol ~tech ~die
+  extract ?config ?solver ?tiles ?cache ?tol ?reduction ~tech ~die
     (Port.of_layout layout)

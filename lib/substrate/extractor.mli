@@ -63,12 +63,13 @@ val extract :
   ?tiles:int * int ->
   ?cache:Cache.t ->
   ?tol:float ->
+  ?reduction:string ->
   tech:Sn_tech.Tech.t ->
   die:Sn_geometry.Rect.t ->
   Port.t list ->
   Macromodel.t
 (** [extract ?config ?grounded_backplane ?solver ?tiles ?cache ?tol
-    ~tech ~die ports] computes the macromodel.
+    ?reduction ~tech ~die ports] computes the macromodel.
 
     With [grounded_backplane] (default [false]) the die backside is
     metallized: an extra resistive port named ["backplane"] couples to
@@ -81,6 +82,14 @@ val extract :
     (default [1e-13], relative residual per Schur column).  [cache]
     overrides the process default ({!Cache.default}); pass a handle
     explicitly to isolate benches and tests.
+
+    [reduction] tags the cached artifacts with the downstream
+    model-order-reduction configuration (a
+    [Snoise.Reduced_model.config_digest] string); omitted means the
+    exact flow.  The tag is folded into every tile cache key {e and}
+    recorded in each stored entry, so reduced and exact runs keep
+    disjoint cache namespaces — a mismatched or corrupted entry is a
+    fail-soft miss, never a wrong answer.
 
     Port columns (and tiles) are reduced in parallel on
     {!Sn_engine.Pool.default}; results are byte-identical regardless
@@ -99,14 +108,15 @@ val extract_from_layout :
   ?tiles:int * int ->
   ?cache:Cache.t ->
   ?tol:float ->
+  ?reduction:string ->
   tech:Sn_tech.Tech.t ->
   Sn_layout.Layout.t ->
   Macromodel.t
 (** [extract_from_layout ?config ?margin_fraction ?solver ?tiles
-    ?cache ?tol ~tech layout] derives the extraction window from the
+    ?cache ?tol ?reduction ~tech layout] derives the extraction window from the
     substrate-relevant shapes (contacts, wells, probes — metal routing
     and pads are excluded so they cannot blow up the cell size),
     padded on each side by [margin_fraction] (default 0.35) of the
     larger extent so bulk spreading has room, then extracts with ports
-    from {!Port.of_layout}.  The solver, tiling and cache options are
-    forwarded to {!extract}. *)
+    from {!Port.of_layout}.  The solver, tiling, cache and reduction
+    options are forwarded to {!extract}. *)

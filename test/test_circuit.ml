@@ -161,8 +161,13 @@ let test_netlist_rules () =
      Alcotest.(check bool) "ground message" true
        (List.exists (fun m -> contains_sub m "no ground") msgs)
    | _ -> Alcotest.fail "expected Invalid");
-  (* negative value rejected *)
-  match C.Netlist.create [ r "r1" "a" "0" (-1.0) ] with
+  (* negative values are legal (reduced-order macromodel branches)
+     but zero / non-finite stay rejected *)
+  (match C.Netlist.create [ r "r1" "a" "0" (-1.0) ] with
+   | exception C.Netlist.Invalid _ ->
+     Alcotest.fail "negative resistance should validate"
+   | _ -> ());
+  match C.Netlist.create [ r "r1" "a" "0" 0.0 ] with
   | exception C.Netlist.Invalid _ -> ()
   | _ -> Alcotest.fail "expected Invalid"
 

@@ -12,6 +12,7 @@ let () =
      @ Test_testchip.suites
      @ Test_oscillator.suites
      @ Test_pool.suites
+     @ Test_reduce.suites
      @ Test_flow.suites
      @ Test_robustness.suites
      @ Test_server.suites)

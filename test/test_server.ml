@@ -313,9 +313,10 @@ let test_stats_shape () =
     (fun k -> ignore (member k stats))
     [
       "uptime_s"; "requests"; "responses"; "errors"; "by_verb"; "queue";
-      "batch"; "plan_cache"; "timings_ms"; "pool"; "tile_cache"; "memory";
-      "cancel"; "restarts"; "journal";
+      "batch"; "plan_cache"; "timings_ms"; "pool"; "tile_cache"; "reduction";
+      "memory"; "cancel"; "restarts"; "journal";
     ];
+  ignore (member "reductions" (member "reduction" stats));
   ignore (member "origin" (member "tile_cache" stats));
   (* the new resilience counters *)
   List.iter
@@ -331,6 +332,91 @@ let test_stats_shape () =
   | J.Num n when n >= 1.0 -> ()
   | other -> Alcotest.failf "plan_misses: %s" (J.to_string other)
 
+
+(* ------------------------------------------------------------------ *)
+(* server-side model-order reduction via reserved override keys *)
+
+let ladder_deck =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "* reducible ladder\n*%snoise reduce keep=out\n";
+  Buffer.add_string b "vin in 0 dc 0 ac 1\nrdrv in p0 50\n";
+  for i = 0 to 23 do
+    Buffer.add_string b (Printf.sprintf "rl%d p%d p%d 100\n" i i (i + 1));
+    Buffer.add_string b (Printf.sprintf "cl%d p%d 0 1p\n" (i + 1) (i + 1))
+  done;
+  Buffer.add_string b "rout p24 out 100\nrload out 0 10k\n.end\n";
+  Buffer.contents b
+
+let ac_request ?overrides () =
+  Printf.sprintf
+    {|{"id": 1, "verb": "ac", "deck": %s, "params": {"freqs": [1e6, 1e8, 1e9], "nodes": ["out"]}%s}|}
+    (J.to_string (J.Str ladder_deck))
+    (match overrides with
+    | None -> ""
+    | Some ov -> Printf.sprintf {|, "overrides": %s|} ov)
+
+let out_values reply =
+  match J.to_list (member "points" (member "result" reply)) with
+  | None -> Alcotest.fail "points not a list"
+  | Some pts ->
+    List.map
+      (fun p ->
+        match J.to_list (member "out" (member "v" p)) with
+        | Some [ re; im ] ->
+          {
+            Complex.re = Option.get (J.to_float re);
+            im = Option.get (J.to_float im);
+          }
+        | _ -> Alcotest.fail "v.out not a [re, im] pair")
+      pts
+
+let test_reduce_overrides () =
+  let svc = Sv.create () in
+  Snoise.Reduced_model.reset_stats ();
+  let exact = handle1 svc (ac_request ()) in
+  let reduced =
+    handle1 svc (ac_request ~overrides:{|{"reduce_tol": 1e-8}|} ())
+  in
+  Alcotest.(check string) "exact deck misses" {|"miss"|}
+    (J.to_string (plan_note exact));
+  Alcotest.(check string)
+    "reduce override compiles its own plan" {|"miss"|}
+    (J.to_string (plan_note reduced));
+  Alcotest.(check bool) "a reduction ran" true
+    (Snoise.Reduced_model.reductions () >= 1);
+  let ve = out_values exact and vr = out_values reduced in
+  let vmax =
+    List.fold_left (fun a c -> Float.max a (Complex.norm c)) 0.0 ve
+  in
+  List.iter2
+    (fun e r ->
+      let err = Complex.norm (Complex.sub e r) /. vmax in
+      Alcotest.(check bool)
+        (Printf.sprintf "reduced transfer tracks exact (err %.2e)" err)
+        true (err < 1e-4))
+    ve vr;
+  (* fixed-order spelling works too and lands on the same answer *)
+  let fixed =
+    handle1 svc (ac_request ~overrides:{|{"reduce_order": 6}|} ())
+  in
+  let vf = out_values fixed in
+  List.iter2
+    (fun e f ->
+      let err = Complex.norm (Complex.sub e f) /. vmax in
+      Alcotest.(check bool)
+        (Printf.sprintf "fixed order tracks exact (err %.2e)" err)
+        true (err < 1e-4))
+    ve vf;
+  (* validation: structured refusals, not crashes *)
+  let check_bad name ov =
+    let reply = handle1 svc (ac_request ~overrides:ov ()) in
+    Alcotest.(check string) name "bad-request" (error_code reply)
+  in
+  check_bad "fractional order refused" {|{"reduce_order": 0.5}|};
+  check_bad "conflicting modes refused"
+    {|{"reduce_order": 4, "reduce_tol": 1e-6}|};
+  check_bad "dangling s0 refused" {|{"reduce_s0": 1e8}|};
+  check_bad "out-of-range tol refused" {|{"reduce_tol": 2.0}|}
 
 (* ------------------------------------------------------------------ *)
 (* fuzz: the wire parser is total *)
@@ -758,6 +844,7 @@ let suites =
         Alcotest.test_case "quota and backpressure" `Quick
           test_quota_and_backpressure;
         Alcotest.test_case "stats shape" `Quick test_stats_shape;
+        Alcotest.test_case "reduce overrides" `Quick test_reduce_overrides;
         Alcotest.test_case "health verb" `Quick test_health_verb;
         Alcotest.test_case "deadline exceeded (jobs 1)" `Quick
           (deadline_exceeded_at 1);

@@ -618,6 +618,35 @@ let test_cache_round_trip () =
   check_identical "recomputed result byte-identical"
     cold.Macromodel.conductance rebuilt.Macromodel.conductance
 
+let test_cache_reduction_namespace () =
+  (* a reduction-tagged run and an exact run must never share cache
+     entries: same geometry, disjoint keys, identical conductances *)
+  let cache = Cache.create ~dir:(fresh_cache_dir ()) in
+  let exact = extract_cached cache in
+  let digest =
+    Snoise.Reduced_model.(config_digest default_config)
+  in
+  let extract_reduced () =
+    Extractor.extract ~config:scale_cfg ~tiles:(2, 2) ~cache
+      ~reduction:digest ~tech:T.imec018 ~die:scale_die scale_ports4
+  in
+  let reduced = extract_reduced () in
+  let s = stats_exn () in
+  Alcotest.(check int) "reduced run misses the exact entries" 4
+    s.Extractor.cache_misses;
+  Alcotest.(check int) "no cross-namespace hits" 0 s.Extractor.cache_hits;
+  let entries =
+    Sys.readdir (Cache.dir cache) |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".tile")
+  in
+  Alcotest.(check int) "disjoint entries on disk" 8 (List.length entries);
+  check_identical "tile content independent of the tag"
+    exact.Macromodel.conductance reduced.Macromodel.conductance;
+  (* warm within the same namespace still hits *)
+  ignore (extract_reduced ());
+  let s_warm = stats_exn () in
+  Alcotest.(check int) "reduced namespace warm" 4 s_warm.Extractor.cache_hits
+
 let test_jobs_identity () =
   let run () =
     Extractor.extract ~config:scale_cfg ~tiles:(2, 2) ~tech:T.imec018
@@ -718,6 +747,8 @@ let suites =
         qcheck qcheck_tiled_matches_direct;
         Alcotest.test_case "solvers agree" `Quick test_solvers_agree;
         Alcotest.test_case "cache round trip" `Quick test_cache_round_trip;
+        Alcotest.test_case "reduction cache namespace" `Quick
+          test_cache_reduction_namespace;
         Alcotest.test_case "jobs identity" `Quick test_jobs_identity;
       ] );
   ]
