@@ -1,4 +1,4 @@
-.PHONY: all build test check lint bench bench-extract bench-serve bench-cancel bench-reduce server-smoke server-chaos doc clean
+.PHONY: all build test check lint bench bench-extract bench-serve bench-cancel bench-reduce bench-preflight server-smoke server-chaos doc clean
 
 all: build
 
@@ -48,6 +48,12 @@ bench-cancel:
 # `make bench-reduce SMALL=1` runs the reduced CI-sized mesh
 bench-reduce:
 	dune exec bench/main.exe -- part9 $(if $(SMALL),small)
+
+# numerical pre-flight overhead bench only (static verify vs cold
+# compile on the shipped example decks, <= 5% gate, BENCH_9.json);
+# `make bench-preflight SMALL=1` trims the repetition counts
+bench-preflight:
+	dune exec bench/main.exe -- part10 $(if $(SMALL),small)
 
 # end-to-end smoke of `snoise serve` over a real socket (docs/SERVER.md
 # session, scripted): cold/warm requests, stats counters, structured

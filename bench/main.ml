@@ -1177,6 +1177,136 @@ let tran_ladder_netlist ~stages =
   in
   Sn_circuit.Netlist.create ~title:"bench RC ladder" elements
 
+(* ------------------------------------------------------------------ *)
+(* Part 11: numerical pre-flight overhead (BENCH_9.json)
+
+   The verify gate is static analysis only — analyzer rules,
+   conditioning span, stiffness spectrum, pool passivity.  Its promise
+   is to be nearly free next to the cold work it fronts: this part
+   times [Flow.preflight] against the full cold path a served request
+   pays (stamp-plan compile + DC bias + complex AC plan) on a mid-size
+   RC ladder, and fails when pre-flight costs more than 5% of it. *)
+
+let preflight_overhead () =
+  banner
+    "Part 11 - pre-flight overhead: static verify vs cold compile \
+     (BENCH_9.json)";
+  let small = Array.exists (String.equal "small") Sys.argv in
+  let min_of reps f =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let reps_pre = if small then 9 else 25 in
+  (* the shipped example decks, plus the deck `snoise verify` defaults
+     to: the merged VCO impact model (substrate + interconnect +
+     linearized oscillator core).  The default chip intentionally
+     leaves two nwell ports unbound, so that deck carries the matching
+     suppressions.
+
+     Each deck's cold path is what a cold request actually pays before
+     a solve can be scheduled: for the example files, parse from disk
+     plus stamp-plan compile, DC bias and the complex AC plan; for the
+     merged VCO model, substrate + interconnect extraction (uncached —
+     [build_vco] takes no tile cache) and the merge, then the same
+     compile chain.  The pre-flight is the static pass the verify gate
+     inserts ahead of that. *)
+  let module A = Sn_analysis in
+  let default_cfg = A.Analyzer.default in
+  let vco_cfg =
+    {
+      default_cfg with
+      A.Analyzer.ignores =
+        [ ("unbound-port", Some "nwell:vdd_local");
+          ("unbound-port", Some "nwell:vtune_w") ];
+    }
+  in
+  let compile_chain nl =
+    let cdeck = Flow.compile_deck ~lint:false nl in
+    ignore (Flow.compiled_bias cdeck);
+    ignore (Flow.compiled_ac_plan cdeck)
+  in
+  let build_merged_vco () =
+    Flow.vco_merged (Flow.build_vco Sn_testchip.Vco_chip.default ~vtune:0.45)
+  in
+  let decks =
+    List.filter_map
+      (fun path ->
+        if Sys.file_exists path then
+          Some
+            ( Filename.basename path,
+              Sn_circuit.Spice.load path,
+              default_cfg,
+              reps_pre,
+              fun () -> compile_chain (Sn_circuit.Spice.load path) )
+        else None)
+      [ "examples/decks/clean_rc.sp"; "examples/decks/probe_divider.sp" ]
+    @ [ ( "vco_merged",
+          build_merged_vco (),
+          vco_cfg,
+          (if small then 1 else 3),
+          fun () -> compile_chain (build_merged_vco ()) ) ]
+  in
+  if List.length decks < 3 then
+    failwith "bench part10: shipped example decks not found (run from repo root)";
+  let rows =
+    List.map
+      (fun (name, nl, config, reps_cold, cold) ->
+        (* the gate itself must pass on every shipped deck *)
+        if Flow.preflight_failing (Flow.preflight ~config nl) then
+          failwith
+            (Printf.sprintf "bench part10: deck %s does not verify clean" name);
+        let t_pre = min_of reps_pre (fun () -> Flow.preflight ~config nl) in
+        let t_cold = min_of reps_cold cold in
+        Format.fprintf fmt
+          "%-16s pre-flight %8.3f ms, cold compile %8.3f ms -> %5.1f%%@."
+          name (t_pre *. 1.0e3) (t_cold *. 1.0e3)
+          (100.0 *. t_pre /. t_cold);
+        (name, t_pre, t_cold))
+      decks
+  in
+  let sum f = List.fold_left (fun a r -> a +. f r) 0.0 rows in
+  let total_pre = sum (fun (_, p, _) -> p)
+  and total_cold = sum (fun (_, _, c) -> c) in
+  let ratio = total_pre /. total_cold in
+  Format.fprintf fmt "shipped decks total: %.1f%% overhead@."
+    (100.0 *. ratio);
+  if ratio > 0.05 then
+    failwith
+      (Printf.sprintf "bench part10: pre-flight overhead %.1f%% > 5%%"
+         (100.0 *. ratio));
+  let oc = open_out "BENCH_9.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"preflight\": {\n\
+    \    \"small_mode\": %b,\n\
+    \    \"reps\": %d,\n\
+    \    \"decks\": [\n\
+     %s\n\
+    \    ],\n\
+    \    \"preflight_ms\": %.4f,\n\
+    \    \"cold_compile_ms\": %.4f,\n\
+    \    \"overhead_ratio\": %.4f\n\
+    \  }\n\
+     }\n"
+    small reps_pre
+    (String.concat ",\n"
+       (List.map
+          (fun (name, p, c) ->
+            Printf.sprintf
+              "      {\"deck\": %S, \"preflight_ms\": %.4f, \
+               \"cold_compile_ms\": %.4f}"
+              name (p *. 1.0e3) (c *. 1.0e3))
+          rows))
+    (total_pre *. 1.0e3) (total_cold *. 1.0e3) ratio;
+  close_out oc;
+  Format.fprintf fmt "wrote pre-flight overhead to BENCH_9.json@.";
+  Format.pp_print_flush fmt ()
+
 (* Fixture for direct elimination: a 48x48 surface mesh with four port
    regions — the network is rebuilt per run because elimination
    consumes it. *)
@@ -1359,6 +1489,8 @@ let () =
     cancellation_overhead ()
   else if Array.exists (String.equal "part9") Sys.argv then
     reduction_speedup ()
+  else if Array.exists (String.equal "part10") Sys.argv then
+    preflight_overhead ()
   else begin
     reproduce_all ();
     ablation_grid ();
@@ -1372,6 +1504,7 @@ let () =
     serving_throughput ();
     cancellation_overhead ();
     reduction_speedup ();
+    preflight_overhead ();
     run_benchmarks ()
   end;
   Format.fprintf fmt "@.bench: done@.";

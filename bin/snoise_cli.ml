@@ -260,6 +260,164 @@ let run_lint verbose json strict ignores disables file =
       in
       if failing then exit 1)
 
+(* snoise verify: the numerical pre-flight (deck mode) or certificate
+   verification of a tile-cache directory (--cache).  Stricter than
+   lint by design: ANY finding — warnings included — or a refused
+   reduction certificate, or a bad cache entry, exits 1.  Unreadable
+   input exits 2, like every diagnostic failure. *)
+
+module J = Sn_server.Json
+
+let embed_json s =
+  match J.parse s with Ok j -> j | Error _ -> J.Str s
+
+let preflight_json ~deck (p : Snoise.Flow.preflight) =
+  let module A = Sn_analysis in
+  let module Nu = Sn_analysis.Numeric in
+  let num i = J.Num (float_of_int i) in
+  let span_json (s : Nu.span) =
+    J.Obj
+      [
+        ("node", J.Str s.Nu.sp_node);
+        ("ratio", J.Num s.Nu.sp_ratio);
+        ( "hi",
+          J.Obj
+            [
+              ("element", J.Str (fst s.Nu.sp_hi));
+              ("siemens", J.Num (snd s.Nu.sp_hi));
+            ] );
+        ( "lo",
+          J.Obj
+            [
+              ("element", J.Str (fst s.Nu.sp_lo));
+              ("siemens", J.Num (snd s.Nu.sp_lo));
+            ] );
+        ("digits", J.Num s.Nu.sp_digits);
+      ]
+  in
+  let stiffness_json = function
+    | None -> J.Null
+    | Some (st : Nu.stiffness) ->
+      J.Obj
+        [
+          ("fast_node", J.Str st.Nu.st_fast_node);
+          ("fast_tau_s", J.Num st.Nu.st_fast_tau);
+          ("slow_node", J.Str st.Nu.st_slow_node);
+          ("slow_tau_s", J.Num st.Nu.st_slow_tau);
+          ("ratio", J.Num st.Nu.st_ratio);
+          ("suggested_dt_s", J.Num st.Nu.st_dt);
+          ("steps_to_cover", J.Num st.Nu.st_steps);
+        ]
+  in
+  let pool_defect_json (d : Nu.pool_defect) =
+    J.Obj
+      [
+        ( "pencil",
+          J.Str
+            (match d.Nu.pd_pencil with
+            | `Conductance -> "conductance"
+            | `Capacitance -> "capacitance") );
+        ("node", J.Str d.Nu.pd_node);
+        ("defect", J.Num d.Nu.pd_defect);
+        ("tolerance", J.Num d.Nu.pd_tol);
+        ("dim", num d.Nu.pd_dim);
+        ("negative_branches", num d.Nu.pd_negative);
+      ]
+  in
+  J.Obj
+    [
+      ("schema_version", num Sn_analysis.Analyzer.schema_version);
+      ("mode", J.Str "deck");
+      ("deck", J.Str deck);
+      ( "report",
+        embed_json (Sn_analysis.Analyzer.to_json p.Snoise.Flow.pf_report) );
+      ( "conditioning",
+        J.Arr (List.map span_json p.Snoise.Flow.pf_spans) );
+      ("stiffness", stiffness_json p.Snoise.Flow.pf_stiffness);
+      ("pool", J.Arr (List.map pool_defect_json p.Snoise.Flow.pf_pool));
+      ( "reduction",
+        J.Str (Snoise.Flow.reduction_verdict_name p.Snoise.Flow.pf_reduction)
+      );
+      ("failing", J.Bool (Snoise.Flow.preflight_failing p));
+    ]
+
+let cache_verification_json ~dir (v : Sn_substrate.Cache.verification) =
+  let module SC = Sn_substrate.Cache in
+  let num i = J.Num (float_of_int i) in
+  J.Obj
+    [
+      ("schema_version", num Sn_analysis.Analyzer.schema_version);
+      ("mode", J.Str "cache");
+      ("dir", J.Str dir);
+      ( "entries",
+        J.Arr
+          (List.map
+             (fun (key, status) ->
+               J.Obj
+                 (("key", J.Str key)
+                  :: ("status", J.Str (SC.status_name status))
+                  ::
+                  (match status with
+                  | SC.Bad why -> [ ("detail", J.Str why) ]
+                  | _ -> [])))
+             v.SC.vf_entries) );
+      ("certified", num v.SC.vf_certified);
+      ("recertified", num v.SC.vf_recertified);
+      ("stale", num v.SC.vf_stale);
+      ("bad", num v.SC.vf_bad);
+      ("failing", J.Bool (v.SC.vf_bad > 0));
+    ]
+
+let run_verify verbose json ignores disables cache file =
+  setup_logs verbose;
+  or_diag_exit (fun () ->
+      match (cache, file) with
+      | Some _, Some _ ->
+        Format.eprintf "snoise verify: give a deck or --cache, not both@.";
+        exit 2
+      | Some dir, None ->
+        if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+          Format.eprintf "snoise verify: %S is not a directory@." dir;
+          exit 2
+        end;
+        let module SC = Sn_substrate.Cache in
+        let v = SC.verify_dir (SC.create ~dir) in
+        if json then print_endline (J.to_string (cache_verification_json ~dir v))
+        else Snoise.Report.cache_verification fmt ~dir v;
+        finish ();
+        if v.SC.vf_bad > 0 then exit 1
+      | None, _ ->
+        let deck, netlist =
+          match file with
+          | Some path -> (
+            ( path,
+              try Sn_circuit.Spice.load path with
+              | Sn_circuit.Spice.Parse_error (line, msg) ->
+                Format.eprintf "snoise verify: %s:%d: %s@." path line msg;
+                exit 2
+              | Sn_circuit.Netlist.Invalid msg ->
+                Format.eprintf "snoise verify: %s: %s@." path
+                  (String.concat "; " msg);
+                exit 2 ))
+          | None ->
+            ( "merged VCO impact model",
+              Snoise.Flow.vco_merged
+                (Snoise.Flow.build_vco Sn_testchip.Vco_chip.default
+                   ~vtune:0.45) )
+        in
+        let config =
+          {
+            Sn_analysis.Analyzer.default with
+            Sn_analysis.Analyzer.disabled = disables;
+            ignores = List.map parse_ignore ignores;
+          }
+        in
+        let p = Snoise.Flow.preflight ~config netlist in
+        if json then print_endline (J.to_string (preflight_json ~deck p))
+        else Snoise.Report.verify fmt ~deck p;
+        finish ();
+        if Snoise.Flow.preflight_failing p then exit 1)
+
 let run_drc verbose file =
   setup_logs verbose;
   let layout =
@@ -689,6 +847,48 @@ let cmds =
             value
             & pos 0 (some file) None
             & info [] ~docv:"DECK" ~doc:"SPICE netlist file to lint."));
+    cmd "verify"
+      "numerical pre-flight of a deck, or certificate verification of a \
+       tile-cache directory"
+      Term.(
+        const run_verify $ verbose
+        $ Arg.(
+            value & flag
+            & info [ "json" ]
+                ~doc:
+                  "Emit the result as a JSON object on stdout \
+                   (carries the same $(b,schema_version) as \
+                   $(b,snoise lint --json)).")
+        $ Arg.(
+            value
+            & opt_all string []
+            & info [ "ignore" ] ~docv:"CODE[=SUBJECT]"
+                ~doc:
+                  "Suppress diagnostics of rule $(docv), as in \
+                   $(b,snoise lint).  Repeatable.")
+        $ Arg.(
+            value
+            & opt_all string []
+            & info [ "disable" ] ~docv:"CODE"
+                ~doc:"Do not run rule $(docv) at all.  Repeatable.")
+        $ Arg.(
+            value
+            & opt (some string) None
+            & info [ "cache" ] ~docv:"DIR"
+                ~doc:
+                  "Verify the tile-cache directory $(docv) instead of \
+                   a deck: every entry is re-judged from its bytes \
+                   alone (certificate hashing, or a fresh LDL^T for \
+                   uncertified entries) — no extraction, no CG \
+                   iterations.  Exit 1 when any entry is bad.")
+        $ Arg.(
+            value
+            & pos 0 (some file) None
+            & info [] ~docv:"DECK"
+                ~doc:
+                  "SPICE netlist file to pre-flight (default: the \
+                   merged VCO impact model).  Any finding — warnings \
+                   included — exits 1; unreadable input exits 2."));
   ]
 
 let () =

@@ -80,10 +80,19 @@ let pp_report fmt r =
     Format.fprintf fmt " (%d suppressed)" r.suppressed;
   Format.pp_print_newline fmt ()
 
+(* Version of the JSON report shape itself, shared by [snoise lint
+   --json] and [snoise verify --json].  Bump when fields are added,
+   renamed or change meaning, so downstream parsers can gate on it:
+   1 = the original PR 5 shape (implicit), 2 = schema_version field
+   added alongside the numerical pre-flight rules. *)
+let schema_version = 2
+
 let to_json r =
   Printf.sprintf
-    "{\"tool\": \"snoise lint\", \"version\": \"1.0.0\", \"errors\": %d, \
-     \"warnings\": %d, \"suppressed\": %d, \"diagnostics\": [%s]}"
+    "{\"tool\": \"snoise lint\", \"version\": \"1.0.0\", \
+     \"schema_version\": %d, \"errors\": %d, \"warnings\": %d, \
+     \"suppressed\": %d, \"diagnostics\": [%s]}"
+    schema_version
     (List.length (errors r))
     (List.length (warnings r))
     r.suppressed

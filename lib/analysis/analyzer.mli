@@ -42,8 +42,13 @@ val pp_report : Format.formatter -> report -> unit
     ["N errors, M warnings"] summary (plus a suppressed count when
     non-zero). *)
 
+val schema_version : int
+(** Version of the JSON report shape emitted by {!to_json} (and by
+    [snoise verify --json], which shares it).  Bumped when fields are
+    added or change meaning; see docs/LINT.md. *)
+
 val to_json : report -> string
 (** Stable JSON object:
-    [{"tool", "version", "errors", "warnings", "suppressed",
-    "diagnostics": [...]}] with each diagnostic rendered by
-    {!Rule.diagnostic_to_json}. *)
+    [{"tool", "version", "schema_version", "errors", "warnings",
+    "suppressed", "diagnostics": [...]}] with each diagnostic rendered
+    by {!Rule.diagnostic_to_json}. *)

@@ -308,6 +308,28 @@ let floating_bodies = floating_terminals Bulk "floating-body" "the bulk"
 
 let reduced_prefix = "red_"
 
+(* SPICE scale suffixes a slipped card most likely dropped *)
+let si_suffixes =
+  [ ("f", 1e-15); ("p", 1e-12); ("n", 1e-9); ("u", 1e-6); ("m", 1e-3);
+    ("k", 1e3); ("meg", 1e6); ("g", 1e9) ]
+
+(* The classic extreme-value cause is a dropped scale suffix: the
+   mantissa was right, the multiplier missing.  Suggest the suffix
+   that lands the value closest (log-wise) to the geometric center of
+   the plausible range; [None] when no suffix rescues it (then the
+   value itself, not its scale, is wrong). *)
+let suggest_suffix v lo hi =
+  let center = sqrt (lo *. hi) in
+  let score f = Float.abs (Float.log10 (v *. f /. center)) in
+  List.filter (fun (_, f) -> v *. f >= lo && v *. f <= hi) si_suffixes
+  |> function
+  | [] -> None
+  | c0 :: rest ->
+    Some
+      (List.fold_left
+         (fun best c -> if score (snd c) < score (snd best) then c else best)
+         c0 rest)
+
 let extreme_values ctx =
   List.concat_map
     (fun e ->
@@ -318,9 +340,18 @@ let extreme_values ctx =
            carry negative values, and those are exempt entirely —
            their magnitudes are mathematical, not physical. *)
         if v < lo || v > hi then
+          let hint =
+            match
+              if unit = "" then None else suggest_suffix v lo hi
+            with
+            | Some (sfx, f) ->
+              Printf.sprintf " — was the %g meant as %g%s (%g %s)?" v v sfx
+                (v *. f) unit
+            | None -> ""
+          in
           [ diag ?loc:(loc_of ctx name) Rule.Warning "extreme-value"
-              (Rule.Element name) "%s: %s %g %s is outside [%g, %g]" name
-              kind v unit lo hi ]
+              (Rule.Element name) "%s: %s %g %s is outside [%g, %g]%s" name
+              kind v unit lo hi hint ]
         else []
       in
       let reduced =
@@ -487,6 +518,11 @@ let extract_tile_degenerate ctx =
 
 let rec registry =
   [
+    { Rule.code = "conditioning-span"; severity = Rule.Warning;
+      summary =
+        "a node whose incident conductance magnitudes span enough \
+         decades to cancel the LU pivot";
+      check = Numeric.check_conditioning };
     { Rule.code = "dangling-node"; severity = Rule.Warning;
       summary = "a node connected to exactly one element terminal";
       check = dangling_nodes };
@@ -513,9 +549,19 @@ let rec registry =
     { Rule.code = "no-ground-path"; severity = Rule.Error;
       summary = "a connected component with no DC path to ground";
       check = no_ground_path };
+    { Rule.code = "non-passive-pool"; severity = Rule.Error;
+      summary =
+        "the deck's R/C pool assembles into an indefinite (non-passive) \
+         conductance or capacitance matrix";
+      check = Numeric.check_passivity };
     { Rule.code = "shorted-element"; severity = Rule.Warning;
       summary = "an element with all terminals on one node";
       check = shorted_elements };
+    { Rule.code = "stiff-transient"; severity = Rule.Warning;
+      summary =
+        "an RC time-constant spread too wide for any transient step to \
+         both resolve and cover";
+      check = Numeric.check_stiffness };
     { Rule.code = "structural-singular"; severity = Rule.Error;
       summary = "the MNA pattern admits no perfect row/column matching";
       check = Structural.check };
@@ -540,7 +586,8 @@ and unknown_pragmas ctx =
       if known p.C.Netlist.ignore_code then None
       else
         Some
-          (diag Rule.Warning "unknown-pragma" Rule.Deck
+          (diag ?loc:p.C.Netlist.ignore_loc Rule.Warning "unknown-pragma"
+             Rule.Deck
              "pragma ignores unknown rule code %S (known codes: see \
               docs/LINT.md)"
              p.C.Netlist.ignore_code))

@@ -7,6 +7,10 @@
 
 val registry : Rule.t list
 (** All built-in rules, sorted by code:
+    - ["conditioning-span"] (warning): a node whose incident
+      conductance magnitudes span enough decades that LU elimination
+      cancels its pivot — the static conditioning bound of the
+      numerical pre-flight (see {!Numeric});
     - ["dangling-node"] (warning): a node touched by exactly one
       element terminal;
     - ["duplicate-element"] (warning): two elements of the same kind,
@@ -28,8 +32,14 @@ val registry : Rule.t list
       floor keeps such decks solvable, but voltages reach [I/gmin];
     - ["no-ground-path"] (error): a connected component with no DC
       path to ground;
+    - ["non-passive-pool"] (error): the deck's R/C pool assembles into
+      an indefinite conductance or capacitance matrix — a corrupted or
+      de-passivated reduced realization (see {!Numeric});
     - ["shorted-element"] (warning): an element with all terminals on
       one node;
+    - ["stiff-transient"] (warning): the per-node RC time-constant
+      spread exceeds what any transient step size can both resolve and
+      cover (see {!Numeric});
     - ["structural-singular"] (error): the compiled MNA pattern admits
       no perfect row/column matching (see {!Structural});
     - ["unbound-port"] (warning): a substrate macromodel port that

@@ -8,10 +8,38 @@ let maximum_matching (pat : P.pattern) =
   let n = pat.P.pat_dim in
   let m_row = Array.make (max n 1) (-1) in
   let m_col = Array.make (max n 1) (-1) in
+  let size = ref 0 in
+  (* greedy seed before augmenting: match each row to its diagonal
+     when the pattern has one (an MNA row can almost always pivot for
+     its own unknown), else to any still-free column.  Augmenting from
+     a partial matching still yields a maximum one, but the seed
+     leaves the augmentation almost nothing to repair — without it,
+     chain-structured patterns (long RC ladders) drive the naive
+     row-order scan quadratic *)
+  for r = 0 to n - 1 do
+    let cols = pat.P.pat_adj.(r) in
+    if m_col.(r) = -1 && Array.exists (fun c -> c = r) cols then begin
+      m_row.(r) <- r;
+      m_col.(r) <- r;
+      incr size
+    end
+    else begin
+      let n_cols = Array.length cols in
+      let k = ref 0 in
+      while m_row.(r) = -1 && !k < n_cols do
+        let c = cols.(!k) in
+        if m_col.(c) = -1 then begin
+          m_row.(r) <- c;
+          m_col.(c) <- r;
+          incr size
+        end;
+        incr k
+      done
+    end
+  done;
   (* [visited.(c) = stamp] marks column [c] as seen during the current
      augmentation, avoiding an O(n) clear per row *)
   let visited = Array.make (max n 1) (-1) in
-  let size = ref 0 in
   let rec augment stamp r =
     let cols = pat.P.pat_adj.(r) in
     let n_cols = Array.length cols in
@@ -34,7 +62,7 @@ let maximum_matching (pat : P.pattern) =
     try_col 0
   in
   for r = 0 to n - 1 do
-    if augment r r then incr size
+    if m_row.(r) = -1 && augment r r then incr size
   done;
   { m_row; m_col; size = !size }
 

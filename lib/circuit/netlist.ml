@@ -1,6 +1,10 @@
 type source_loc = { file : string; line : int }
 
-type pragma = { ignore_code : string; ignore_subject : string option }
+type pragma = {
+  ignore_code : string;
+  ignore_subject : string option;
+  ignore_loc : source_loc option;
+}
 
 type directive = { verb : string; args : (string * string) list }
 

@@ -9,12 +9,20 @@ type source_loc = { file : string; line : int }
 (** Where an element card came from, for diagnostics that point at the
     offending SPICE line ({!Spice.of_string} fills this in). *)
 
-type pragma = { ignore_code : string; ignore_subject : string option }
+type pragma = {
+  ignore_code : string;
+  ignore_subject : string option;
+  ignore_loc : source_loc option;
+      (** the pragma's own deck line ({!Spice.of_string} fills this
+          in), so a suppression that matches nothing — e.g. a typoed
+          code — can be pointed at *)
+}
 (** A lint-suppression request carried by the netlist: ignore
     diagnostics with rule code [ignore_code], either everywhere
     ([ignore_subject = None]) or only on the named element / node /
-    port.  Written in decks as [*%snoise ignore <code> [<subject>]]
-    and interpreted by [Sn_analysis]. *)
+    port.  Written in decks as
+    [*%snoise ignore <code>[,<code>...] [<subject>]] and interpreted
+    by [Sn_analysis]. *)
 
 type directive = { verb : string; args : (string * string) list }
 (** A tool directive carried by the netlist: a verb with key=value

@@ -257,14 +257,15 @@ let logical_lines text =
 
 (* A [%snoise] marker line (leading [*] optional, spaces after the [*]
    allowed).  Three verbs exist: the lint-suppression pragma
-   [*%snoise ignore <code> [<subject>]] and the tool directives
+   [*%snoise ignore <code>[,<code>...] [<subject>]] (a comma-separated
+   code list shares the one optional subject) and the tool directives
    [*%snoise extract <key>=<value> ...] and
    [*%snoise reduce <key>=<value> ...] (e.g. [keep=n1,n2] naming
    observation nodes the model-order reduction must leave explicit).
    Returns [None] for lines that are no marker at all; raises on a
    [%snoise] line with an unknown verb so typos do not silently
    disable nothing. *)
-let pragma_of_line ln line =
+let pragma_of_line ~file ln line =
   let body =
     let s = String.trim line in
     if String.length s > 0 && s.[0] = '*' then
@@ -283,10 +284,18 @@ let pragma_of_line ln line =
         | [ s ] -> Some s
         | _ -> fail ln "%snoise ignore takes a code and at most one subject"
       in
+      let codes =
+        String.split_on_char ',' code |> List.filter (fun c -> c <> "")
+      in
+      if codes = [] then fail ln "%snoise ignore: empty code list";
       Some
-        (`Pragma
-          { Netlist.ignore_code = String.lowercase_ascii code;
-            ignore_subject = subject })
+        (`Pragmas
+          (List.map
+             (fun c ->
+               { Netlist.ignore_code = String.lowercase_ascii c;
+                 ignore_subject = subject;
+                 ignore_loc = Some { Netlist.file; line = ln } })
+             codes))
     | _ :: (("extract" | "reduce") as verb) :: rest ->
       let args =
         List.map
@@ -317,8 +326,8 @@ let of_string ?(file = "<string>") text =
   (* first pass: models, title, pragmas and directives *)
   List.iter
     (fun (ln, line) ->
-      match pragma_of_line ln line with
-      | Some (`Pragma p) -> pragmas := p :: !pragmas
+      match pragma_of_line ~file ln line with
+      | Some (`Pragmas ps) -> pragmas := List.rev_append ps !pragmas
       | Some (`Directive d) -> directives := d :: !directives
       | None ->
         if line = "" || line.[0] = '*' then ()

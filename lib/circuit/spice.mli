@@ -26,7 +26,7 @@
 
     Lint-suppression pragmas and tool directives ride in comments:
     {v
-    *%snoise ignore <code> [<subject>]
+    *%snoise ignore <code>[,<code>...] [<subject>]
     *%snoise extract <key>=<value> ...
     *%snoise reduce <key>=<value> ...
     v}

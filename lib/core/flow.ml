@@ -108,6 +108,54 @@ let lint_gate ?(enabled = true) nl =
   end
 
 (* ------------------------------------------------------------------ *)
+(* numerical pre-flight: everything the lint gate checks, plus the raw
+   conditioning / stiffness / passivity analyses behind the numeric
+   rules, plus — when a reduction is configured — a dry run of the
+   deck rewrite to confirm its pencil certifies.  One static pass over
+   the deck that predicts the gmin / step-truncation / instability
+   trouble the engine would otherwise discover mid-solve. *)
+
+type reduction_verdict = Not_reduced | Certified | Refused
+
+let reduction_verdict_name = function
+  | Not_reduced -> "not-reduced"
+  | Certified -> "certified"
+  | Refused -> "refused"
+
+type preflight = {
+  pf_report : A.Analyzer.report;
+  pf_spans : A.Numeric.span list;
+  pf_stiffness : A.Numeric.stiffness option;
+  pf_pool : A.Numeric.pool_defect list;
+  pf_reduction : reduction_verdict;
+}
+
+let preflight ?config nl =
+  let report = A.Analyzer.analyze ?config nl in
+  let ctx = A.Rule.context nl in
+  let reduction =
+    match !default_reduction with
+    | None -> Not_reduced
+    | Some rc -> (
+      match snd (Reduced_model.reduce_deck_certified ~config:rc nl) with
+      | None -> Not_reduced
+      | Some (_, Some _) -> Certified
+      | Some (_, None) -> Refused)
+  in
+  {
+    pf_report = report;
+    pf_spans = A.Numeric.conditioning ctx;
+    pf_stiffness = A.Numeric.stiffness ctx;
+    pf_pool = A.Numeric.pool_passivity ctx;
+    pf_reduction = reduction;
+  }
+
+(* verify is a gate, not a report: any finding — warnings included —
+   or an uncertifiable reduction refuses the deck *)
+let preflight_failing p =
+  p.pf_report.A.Analyzer.diagnostics <> [] || p.pf_reduction = Refused
+
+(* ------------------------------------------------------------------ *)
 (* compiled decks: the resident-service hot path.  One value holds the
    parse -> lint -> MNA -> stamp-plan chain of a deck, with the DC
    operating point and the complex AC plan memoized behind a mutex so

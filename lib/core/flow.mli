@@ -76,6 +76,52 @@ val disable_lint : unit -> unit
     the per-flow [lint] option. *)
 
 (* ------------------------------------------------------------------ *)
+(** {1 Numerical pre-flight}
+
+    Everything [snoise verify] reports about a deck: the full analyzer
+    report (structural and numeric rules), the raw analyses behind the
+    numeric rules ({!Sn_analysis.Numeric}), and — when a reduction is
+    configured process-wide — whether the deck's reduced pencil earns
+    a passivity certificate.  Purely static: no DC solve, no sweep, no
+    extraction. *)
+
+(** Did the configured model-order reduction certify? *)
+type reduction_verdict =
+  | Not_reduced
+      (** no reduction configured, or the deck has nothing to reduce *)
+  | Certified  (** the reduced (Ĝ, Ĉ) pencil carries PSD certificates *)
+  | Refused
+      (** reduction produced an indefinite pencil —
+          {!Sn_numerics.Passivity.certify} declined to sign it *)
+
+val reduction_verdict_name : reduction_verdict -> string
+(** Stable kebab-case name for JSON output: ["not-reduced"],
+    ["certified"], ["refused"]. *)
+
+type preflight = {
+  pf_report : Sn_analysis.Analyzer.report;
+  pf_spans : Sn_analysis.Numeric.span list;
+      (** conductance spans above {!Sn_analysis.Numeric.span_limit} *)
+  pf_stiffness : Sn_analysis.Numeric.stiffness option;
+      (** RC time-constant extremes, when the deck has a resistively
+          tied capacitive pair at all *)
+  pf_pool : Sn_analysis.Numeric.pool_defect list;
+      (** indefinite R/C pool components *)
+  pf_reduction : reduction_verdict;
+}
+
+val preflight :
+  ?config:Sn_analysis.Analyzer.config -> Sn_circuit.Netlist.t -> preflight
+(** Run the pre-flight over a deck.  [?config] tunes the analyzer pass
+    exactly as in {!Sn_analysis.Analyzer.analyze} (deck pragmas are
+    honoured either way). *)
+
+val preflight_failing : preflight -> bool
+(** The verify gate: [true] when any diagnostic fired (warnings
+    included — verify is stricter than the lint gate by design) or the
+    configured reduction was refused a certificate. *)
+
+(* ------------------------------------------------------------------ *)
 (** {1 Compiled decks (resident flows)}
 
     The per-invocation CLI pays parse, lint, MNA build, stamp-plan

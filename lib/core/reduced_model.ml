@@ -304,6 +304,32 @@ let to_elements ?(prefix = "red_") t =
         acc := C.Element.Capacitor { name; n1 = a; n2; farads } :: !acc);
     List.rev !acc
 
+(* Certification context: ties a pencil certificate to this model's
+   port set, so a certificate from a different reduction never
+   verifies against it. *)
+let cert_context t =
+  "reduced-pencil:" ^ String.concat "," (Array.to_list t.port_names)
+
+let certificate t =
+  match t.form with
+  | Exact -> None
+  | Reduced { result; _ } -> (
+    let context = cert_context t in
+    match
+      ( N.Passivity.certify ~context result.N.Krylov.ghat,
+        N.Passivity.certify ~context result.N.Krylov.chat )
+    with
+    | Some cg, Some cc -> Some (cg, cc)
+    | _ -> None)
+
+let verify_certificate t (cg, cc) =
+  match t.form with
+  | Exact -> false
+  | Reduced { result; _ } ->
+    let context = cert_context t in
+    N.Passivity.verify ~context result.N.Krylov.ghat cg
+    && N.Passivity.verify ~context result.N.Krylov.chat cc
+
 let directive_keeps nl =
   C.Netlist.directives nl
   |> List.concat_map (fun d ->
@@ -315,11 +341,11 @@ let directive_keeps nl =
          else [])
   |> List.filter (fun s -> s <> "")
 
-let reduce_deck ?(config = default_config) ?(keep = []) nl =
+let reduce_deck_certified ?(config = default_config) ?(keep = []) nl =
   let passive, active =
     List.partition is_passive (C.Netlist.elements nl)
   in
-  if passive = [] then nl
+  if passive = [] then (nl, None)
   else begin
     let keep = keep @ directive_keeps nl in
     let active_nodes = Hashtbl.create 64 in
@@ -338,16 +364,20 @@ let reduce_deck ?(config = default_config) ?(keep = []) nl =
       List.filter (fun n -> Hashtbl.mem active_nodes n) passive_nodes
     in
     let internal = List.length passive_nodes - List.length ports_list in
-    if internal = 0 then nl
+    if internal = 0 then (nl, None)
     else begin
       let model = reduce ~config (of_elements ~ports:ports_list passive) in
       match model.form with
-      | Exact -> nl
+      | Exact -> (nl, None)
       | Reduced _ ->
-        C.Netlist.create ~title:(C.Netlist.title nl)
-          ~pragmas:(C.Netlist.pragmas nl)
-          ~directives:(C.Netlist.directives nl)
-          ~locs:(C.Netlist.element_locs nl)
-          (active @ to_elements model)
+        ( C.Netlist.create ~title:(C.Netlist.title nl)
+            ~pragmas:(C.Netlist.pragmas nl)
+            ~directives:(C.Netlist.directives nl)
+            ~locs:(C.Netlist.element_locs nl)
+            (active @ to_elements model),
+          Some (model, certificate model) )
     end
   end
+
+let reduce_deck ?config ?keep nl =
+  fst (reduce_deck_certified ?config ?keep nl)

@@ -91,6 +91,24 @@ val to_elements : ?prefix:string -> t -> Sn_circuit.Element.t list
     ([<prefix>x<i>], elements [<prefix>g<i>] / [<prefix>c<i>], default
     prefix ["red_"]).  Branch values may be negative. *)
 
+(** {1 Passivity certificates} *)
+
+val certificate :
+  t -> (Sn_numerics.Passivity.cert * Sn_numerics.Passivity.cert) option
+(** [certificate t] certifies a {e reduced} model's (Ĝ, Ĉ) pencil:
+    signed PSD certificates bound to the model's port set.  [None] for
+    an exact form, and — by construction of
+    {!Sn_numerics.Passivity.certify} — for any pencil that fails the
+    LDLᵀ check: a de-passivated pencil never gets a certificate.
+    SPRIM congruence preserves passivity, so a healthy reduction
+    always certifies. *)
+
+val verify_certificate :
+  t -> Sn_numerics.Passivity.cert * Sn_numerics.Passivity.cert -> bool
+(** Re-verify stored certificates against the pencil bytes (hashing
+    only, no factorization).  [false] for exact forms and on any
+    mismatch. *)
+
 val port_admittance : t -> freq_hz:float -> Complex.t array array
 (** The model's port admittance matrix at [freq_hz] — the quantity
     reduction preserves, used by tests and the [Auto] error estimate.
@@ -113,6 +131,18 @@ val reduce_deck :
     itself when there is nothing to reduce, when reduction would not
     shrink the deck, or when the passive pool is irreducible
     (singular internal pencil — logged). *)
+
+val reduce_deck_certified :
+  ?config:config -> ?keep:string list -> Sn_circuit.Netlist.t ->
+  Sn_circuit.Netlist.t
+  * (t * (Sn_numerics.Passivity.cert * Sn_numerics.Passivity.cert) option)
+    option
+(** {!reduce_deck} plus the artifact the rewrite realized: [None] when
+    nothing was reduced (the returned netlist is [nl] itself),
+    otherwise the reduced model and its {!certificate} — kept by the
+    server's plan cache alongside the compiled plan, so a resident
+    plan's pencil can be re-verified by hashing alone
+    ([snoise verify], server [verify] verb). *)
 
 (** {1 Process-wide counters} *)
 

@@ -291,3 +291,94 @@ let lint fmt ~deck (r : Sn_analysis.Analyzer.report) =
   if r.A.Analyzer.suppressed > 0 then
     Format.fprintf fmt " (%d suppressed)" r.A.Analyzer.suppressed;
   Format.fprintf fmt "@,@]"
+
+let verify fmt ~deck (p : Flow.preflight) =
+  let module A = Sn_analysis in
+  let r = p.Flow.pf_report in
+  Format.fprintf fmt "@[<v>";
+  hr fmt;
+  Format.fprintf fmt "Verify - %s@," deck;
+  hr fmt;
+  List.iter
+    (fun d -> Format.fprintf fmt "%a@," A.Rule.pp_diagnostic d)
+    r.A.Analyzer.diagnostics;
+  (match p.Flow.pf_spans with
+   | [] ->
+     Format.fprintf fmt
+       "conditioning : every node row spans < %.0e@," A.Numeric.span_limit
+   | s :: _ ->
+     let hi_name, hi = s.A.Numeric.sp_hi and lo_name, lo = s.A.Numeric.sp_lo in
+     Format.fprintf fmt
+       "conditioning : worst span %.1e at node %s (%s %.3g S vs %s %.3g S, \
+        ~%.0f digits)@,"
+       s.A.Numeric.sp_ratio s.A.Numeric.sp_node hi_name hi lo_name lo
+       s.A.Numeric.sp_digits);
+  (match p.Flow.pf_stiffness with
+   | None ->
+     Format.fprintf fmt
+       "stiffness    : no resistively tied capacitive pair@,"
+   | Some st ->
+     Format.fprintf fmt
+       "stiffness    : tau %s (%s) .. %s (%s), ratio %.1e%s@,"
+       (U.eng ~unit:"s" st.A.Numeric.st_fast_tau)
+       st.A.Numeric.st_fast_node
+       (U.eng ~unit:"s" st.A.Numeric.st_slow_tau)
+       st.A.Numeric.st_slow_node st.A.Numeric.st_ratio
+       (if st.A.Numeric.st_ratio > A.Numeric.stiffness_limit then
+          Printf.sprintf "; suggest dt <= %s"
+            (U.eng ~unit:"s" st.A.Numeric.st_dt)
+        else ""));
+  (match p.Flow.pf_pool with
+   | [] -> Format.fprintf fmt "passivity    : R/C pool is passive@,"
+   | ds ->
+     List.iter
+       (fun d ->
+         Format.fprintf fmt
+           "passivity    : indefinite %s pencil (pivot %.3g at node %s, \
+            component of %d, %d negative branch%s)@,"
+           (match d.A.Numeric.pd_pencil with
+            | `Conductance -> "conductance"
+            | `Capacitance -> "capacitance")
+           d.A.Numeric.pd_defect d.A.Numeric.pd_node d.A.Numeric.pd_dim
+           d.A.Numeric.pd_negative
+           (if d.A.Numeric.pd_negative = 1 then "" else "es"))
+       ds);
+  Format.fprintf fmt "reduction    : %s@,"
+    (match p.Flow.pf_reduction with
+     | Flow.Not_reduced -> "not reduced"
+     | Flow.Certified -> "pencil certified passive"
+     | Flow.Refused -> "certificate REFUSED (indefinite reduced pencil)");
+  let ne = List.length (A.Analyzer.errors r)
+  and nw = List.length (A.Analyzer.warnings r) in
+  Format.fprintf fmt "%d error%s, %d warning%s" ne
+    (if ne = 1 then "" else "s")
+    nw
+    (if nw = 1 then "" else "s");
+  if r.A.Analyzer.suppressed > 0 then
+    Format.fprintf fmt " (%d suppressed)" r.A.Analyzer.suppressed;
+  Format.fprintf fmt " -> %s@,"
+    (if Flow.preflight_failing p then "REFUSED" else "verified");
+  Format.fprintf fmt "@]"
+
+let cache_verification fmt ~dir (v : Sn_substrate.Cache.verification) =
+  let module SC = Sn_substrate.Cache in
+  Format.fprintf fmt "@[<v>";
+  hr fmt;
+  Format.fprintf fmt "Verify - tile cache %s@," dir;
+  hr fmt;
+  if v.SC.vf_entries = [] then Format.fprintf fmt "no entries@,"
+  else
+    List.iter
+      (fun (key, status) ->
+        Format.fprintf fmt "%s  %s@," key
+          (match status with
+           | SC.Certified -> "certified"
+           | SC.Recertified -> "recertified (no stored certificate)"
+           | SC.Stale -> "stale format (treated as a miss)"
+           | SC.Bad why -> "BAD: " ^ why))
+      v.SC.vf_entries;
+  Format.fprintf fmt
+    "%d certified, %d recertified, %d stale, %d bad -> %s@,"
+    v.SC.vf_certified v.SC.vf_recertified v.SC.vf_stale v.SC.vf_bad
+    (if v.SC.vf_bad = 0 then "verified" else "REFUSED");
+  Format.fprintf fmt "@]"

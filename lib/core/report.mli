@@ -46,3 +46,16 @@ val lint :
 (** Boxed lint report for one deck: one {!Sn_analysis.Rule.pp_diagnostic}
     line per finding (or ["clean"]) and an error/warning/suppressed
     summary.  The CLI's [snoise lint] text output. *)
+
+val verify : Format.formatter -> deck:string -> Flow.preflight -> unit
+(** Boxed numerical pre-flight report for one deck: every analyzer
+    diagnostic, one line each for the conditioning / stiffness /
+    passivity / reduction analyses, and a summary ending in
+    [verified] or [REFUSED] ({!Flow.preflight_failing}).  The CLI's
+    [snoise verify DECK] text output. *)
+
+val cache_verification :
+  Format.formatter -> dir:string -> Sn_substrate.Cache.verification -> unit
+(** Boxed certificate-verification report for a tile-cache directory:
+    one judged entry per line and the certified / recertified / stale /
+    bad counts.  The CLI's [snoise verify --cache] text output. *)

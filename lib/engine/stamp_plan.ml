@@ -245,3 +245,108 @@ let structural_pattern ~with_dynamic p =
 
 let dc_pattern p = structural_pattern ~with_dynamic:false p
 let ac_pattern p = structural_pattern ~with_dynamic:true p
+
+(* ------------------------------------------------------------------ *)
+(* Magnitude-annotated pattern export, consumed by the numerical
+   pre-flight pass of Sn_analysis (conditioning span and stiffness
+   spectrum).  Where [structural_pattern] records only which positions
+   the assemblies can fill, this records *how big* the fills are, per
+   node row, with the contributing element's name attached so the
+   analyzer can point at the card that dominates a span.
+
+   Weights mirror the numeric stamps of the DC/AC assembly paths:
+
+   - a resistor adds its conductance magnitude |1/R| to both terminal
+     node rows; a VCCS adds |gm| to both output rows;
+   - a capacitor (and each expanded MOSFET device capacitance) adds
+     its capacitance magnitude — the susceptance scale of the AC path
+     and the companion-conductance scale [c/dt] of the transient path;
+   - a varactor contributes its worst-case (maximal) capacitance;
+   - voltage-defined branches (V, E, L) put unit incidence entries in
+     their terminal node rows, so they contribute weight 1.0 exactly
+     as assembled;
+   - MOSFET channel conductances are bias-dependent and carry no
+     static magnitude: they are left out, and the profile says so via
+     [prof_nonlinear] so the analyzer can soften its claims;
+   - stamps that cancel (both terminals on one node, exactly as the
+     signed-unit flush of [structural_pattern]) contribute nothing.
+
+   The gmin floor of every assembly path is exported too, so the
+   analyzer reasons about the same matrix the engine factorizes. *)
+
+type node_weight = {
+  nw_elt : string;  (** contributing element, by netlist name *)
+  nw_g : float;  (** DC conductance / unit-incidence magnitude (0 if none) *)
+  nw_c : float;  (** capacitance magnitude (0 for resistive stamps) *)
+}
+
+type numeric_profile = {
+  prof_nodes : int;  (** node-voltage unknown count *)
+  prof_names : string array;  (** node name per slot, [prof_nodes] long *)
+  prof_weights : node_weight list array;
+      (** index = node slot; every magnitude-carrying stamp that lands
+          in that node's row *)
+  prof_gmin : float;  (** the {!node_gmin} diagonal floor *)
+  prof_nonlinear : bool;
+      (** the deck has MOSFETs / varactors whose conductances the
+          static profile cannot bound *)
+}
+
+let numeric_profile p =
+  let slot = Mna.node_slot p.mna in
+  let weights = Array.make p.n_nodes [] in
+  let add s w = if s >= 0 then weights.(s) <- w :: weights.(s) in
+  let pair name a b ~g ~c =
+    (* signed-unit cancellation: a stamp with both terminals on one
+       node (or both grounded) fills nothing *)
+    if a <> b then begin
+      add a { nw_elt = name; nw_g = g; nw_c = c };
+      add b { nw_elt = name; nw_g = g; nw_c = c }
+    end
+  in
+  let nonlinear = ref false in
+  List.iter
+    (fun e ->
+      match e with
+      | C.Element.Resistor { name; n1; n2; ohms } ->
+        pair name (slot n1) (slot n2) ~g:(Float.abs (1.0 /. ohms)) ~c:0.0
+      | C.Element.Capacitor { name; n1; n2; farads } ->
+        pair name (slot n1) (slot n2) ~g:0.0 ~c:(Float.abs farads)
+      | C.Element.Varactor { name; n1; n2; model; mult } ->
+        nonlinear := true;
+        let c =
+          Float.max model.C.Varactor_model.cmin model.C.Varactor_model.cmax
+          *. float_of_int mult
+        in
+        pair name (slot n1) (slot n2) ~g:0.0 ~c
+      | C.Element.Inductor { name; n1; n2; _ } ->
+        (* DC short through a branch: unit incidence in both node rows *)
+        pair name (slot n1) (slot n2) ~g:1.0 ~c:0.0
+      | C.Element.Vsource { name; np; nn; _ }
+      | C.Element.Vcvs { name; np; nn; _ } ->
+        pair name (slot np) (slot nn) ~g:1.0 ~c:0.0
+      | C.Element.Isource _ -> ()
+      | C.Element.Vccs { name; np; nn; cp; cn; gm } ->
+        if slot cp <> slot cn then
+          pair name (slot np) (slot nn) ~g:(Float.abs gm) ~c:0.0
+      | C.Element.Mosfet { name; drain; gate; source; bulk; model; mult; _ }
+        ->
+        nonlinear := true;
+        (* channel conductances are bias-dependent — only the four
+           linear device capacitances carry a static magnitude *)
+        let fm = float_of_int mult in
+        let cap a b c =
+          pair name (slot a) (slot b) ~g:0.0 ~c:(Float.abs (c *. fm))
+        in
+        cap gate source model.C.Mos_model.cgs;
+        cap gate drain model.C.Mos_model.cgd;
+        cap drain bulk model.C.Mos_model.cdb;
+        cap source bulk model.C.Mos_model.csb)
+    (C.Netlist.elements (Mna.netlist p.mna));
+  {
+    prof_nodes = p.n_nodes;
+    prof_names = Mna.node_names p.mna;
+    prof_weights = weights;
+    prof_gmin = node_gmin;
+    prof_nonlinear = !nonlinear;
+  }

@@ -240,7 +240,7 @@ let port_admittance ~g ~c ~ports ~omega =
   end;
   y
 
-let psd_defect m =
+let psd_defect_index m =
   let n = Mat.rows m in
   if Mat.cols m <> n then invalid_arg "Krylov.psd_defect: square matrices only";
   (* LDLᵀ without pivoting on the symmetric part; for a PSD input all
@@ -257,10 +257,13 @@ let psd_defect m =
     done
   done;
   let tiny = 1e-14 *. Float.max !scale 1.0 in
-  let defect = ref 0.0 in
+  let defect = ref 0.0 and at = ref 0 in
   for kk = 0 to n - 1 do
     let d = a.(kk).(kk) in
-    if d < !defect then defect := d;
+    if d < !defect then begin
+      defect := d;
+      at := kk
+    end;
     if Float.abs d > tiny then
       for i = kk + 1 to n - 1 do
         let f = a.(i).(kk) /. d in
@@ -273,7 +276,12 @@ let psd_defect m =
       (* a (near-)zero pivot over a nonzero row means indefiniteness *)
       for i = kk + 1 to n - 1 do
         let off = Float.abs a.(i).(kk) in
-        if off > tiny && -.off < !defect then defect := -.off
+        if off > tiny && -.off < !defect then begin
+          defect := -.off;
+          at := kk
+        end
       done
   done;
-  !defect
+  (!defect, !at)
+
+let psd_defect m = fst (psd_defect_index m)

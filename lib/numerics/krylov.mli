@@ -72,3 +72,8 @@ val psd_defect : Mat.t -> float
     (0 when none is negative).  A passive reduced pencil has
     [psd_defect ghat >= -tol] and [psd_defect chat >= -tol] for a tiny
     round-off [tol]. *)
+
+val psd_defect_index : Mat.t -> float * int
+(** Like {!psd_defect} but also returns the elimination index at which
+    the worst pivot occurred — the unknown a passivity certificate or
+    diagnostic should name ([0] when the matrix is PSD). *)

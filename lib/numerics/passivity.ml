@@ -1,0 +1,61 @@
+(* Passivity certificates: LDLᵀ PSD checks plus content-bound
+   signatures so cached artifacts re-verify by hashing alone. *)
+
+type verdict = { defect : float; index : int; scale : float; tol : float }
+
+let tolerance ~scale ~dim =
+  (* round-off allowance: congruence projections and Schur complements
+     accumulate O(n · eps · scale) error in the symmetric part; a real
+     passivity violation injected anywhere above noise level clears
+     this comfortably *)
+  1e-10 *. Float.max scale 1.0 *. Float.max 1.0 (float_of_int dim)
+
+let psd m =
+  let n = Mat.rows m in
+  let scale = ref 0.0 in
+  let data = Mat.raw_data m in
+  Array.iter (fun v -> scale := Float.max !scale (Float.abs v)) data;
+  let defect, index = Krylov.psd_defect_index m in
+  { defect; index; scale = !scale; tol = tolerance ~scale:!scale ~dim:n }
+
+let passes v = v.defect >= -.v.tol
+
+type cert = { cert_dim : int; cert_defect : float; cert_sig : string }
+
+(* The signature binds, under a versioned domain tag: the caller's
+   context (typically the cache key of the artifact), the dimensions,
+   every matrix byte, and the verdict itself.  Marshal of a float
+   array is deterministic for a given layout, and the domain tag pins
+   the format so a future layout change invalidates old signatures
+   instead of colliding with them. *)
+let domain = "snoise-passivity-cert-v1"
+
+let signature ~context ~defect m =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          [
+            domain;
+            context;
+            string_of_int (Mat.rows m);
+            string_of_int (Mat.cols m);
+            Marshal.to_string (Mat.raw_data m) [];
+            Printf.sprintf "%.17g" defect;
+          ]))
+
+let certify ?(context = "") m =
+  let v = psd m in
+  if passes v then
+    Some
+      {
+        cert_dim = Mat.rows m;
+        cert_defect = v.defect;
+        cert_sig = signature ~context ~defect:v.defect m;
+      }
+  else None
+
+let verify ?(context = "") m cert =
+  Mat.rows m = cert.cert_dim
+  && String.equal
+       (signature ~context ~defect:cert.cert_defect m)
+       cert.cert_sig

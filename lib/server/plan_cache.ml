@@ -6,12 +6,24 @@
 
 type 'a entry = { value : 'a; mutable last_use : int; words : int }
 
+(* what one plans-table slot holds: the compiled plan, and — when the
+   deck went through model-order reduction on the way in — the reduced
+   pool model and its passivity certificates, stored alongside so a
+   resident plan's pencil re-verifies by hashing alone (the server's
+   verify verb), never by recompiling *)
+type certified_plan = {
+  cp_plan : Snoise.Flow.compiled;
+  cp_reduced : Snoise.Reduced_model.t option;
+  cp_cert :
+    (Sn_numerics.Passivity.cert * Sn_numerics.Passivity.cert) option;
+}
+
 type t = {
   lock : Mutex.t;
   max_decks : int;
   mutable tick : int;
   netlists : (string, Sn_circuit.Netlist.t entry) Hashtbl.t;
-  plans : (string, Snoise.Flow.compiled entry) Hashtbl.t;
+  plans : (string, certified_plan entry) Hashtbl.t;
   macros : (string, Sn_substrate.Macromodel.t entry) Hashtbl.t;
   mutable plan_hits : int;
   mutable plan_misses : int;
@@ -54,7 +66,10 @@ let deck_key ~text ~overrides =
   in
   Digest.to_hex
     (Digest.string
-       (Printf.sprintf "snoise-plan-v1\n%d:%s\n%s" (String.length text) text
+       (* v2: compiled plans carry pre-flight artifacts (reduction
+          certificates); bumping the key namespace invalidates every
+          v1 journal entry and warm key instead of mixing formats *)
+       (Printf.sprintf "snoise-plan-v2\n%d:%s\n%s" (String.length text) text
           canonical))
 
 let text_key text =
@@ -161,8 +176,48 @@ let find_macro t ~text ~extract =
     ~miss:(fun () -> t.macro_misses <- t.macro_misses + 1)
     ~evict:(fun () -> ())
 
+(* certificate re-verification of every resident plan: hash-only
+   (Reduced_model.verify_certificate), no compile, no factorization.
+   [pv_bad] > 0 means an in-memory pencil no longer matches its own
+   signature — memory corruption or a logic bug, either way the plan
+   cannot be trusted. *)
+type plan_verification = {
+  pv_plans : int;
+  pv_exact : int;  (** resident plans that never went through reduction *)
+  pv_certified : int;
+  pv_uncertified : int;
+      (** reduced at compile time but certification was refused *)
+  pv_bad : int;
+}
+
+let verify_plans t =
+  let entries =
+    with_lock t (fun () ->
+        Hashtbl.fold (fun _ e acc -> e.value :: acc) t.plans [])
+  in
+  let v =
+    {
+      pv_plans = List.length entries;
+      pv_exact = 0;
+      pv_certified = 0;
+      pv_uncertified = 0;
+      pv_bad = 0;
+    }
+  in
+  List.fold_left
+    (fun v cp ->
+      match (cp.cp_reduced, cp.cp_cert) with
+      | None, _ -> { v with pv_exact = v.pv_exact + 1 }
+      | Some _, None -> { v with pv_uncertified = v.pv_uncertified + 1 }
+      | Some m, Some cert ->
+        if Snoise.Reduced_model.verify_certificate m cert then
+          { v with pv_certified = v.pv_certified + 1 }
+        else { v with pv_bad = v.pv_bad + 1 })
+    v entries
+
 type stats = {
   plans : int;
+  certified_plans : int;
   plan_words : int;
   plan_hits : int;
   plan_misses : int;
@@ -177,6 +232,10 @@ let stats t =
   with_lock t (fun () ->
       {
         plans = Hashtbl.length t.plans;
+        certified_plans =
+          Hashtbl.fold
+            (fun _ e acc -> if e.value.cp_cert <> None then acc + 1 else acc)
+            t.plans 0;
         plan_words =
           Hashtbl.fold (fun _ e acc -> acc + e.words) t.plans 0;
         plan_hits = t.plan_hits;

@@ -39,14 +39,43 @@ val find_netlist :
     or runs [parse text] and caches it.  Parser exceptions propagate
     and cache nothing. *)
 
+(** One plan-layer entry: the compiled plan, stored alongside the
+    reduced pool model and its passivity certificates when the deck
+    went through model-order reduction on the way in ([None]/[None]
+    for an unreduced deck).  The certificates let {!verify_plans}
+    re-judge a warm plan by hashing alone. *)
+type certified_plan = {
+  cp_plan : Snoise.Flow.compiled;
+  cp_reduced : Snoise.Reduced_model.t option;
+  cp_cert :
+    (Sn_numerics.Passivity.cert * Sn_numerics.Passivity.cert) option;
+}
+
 val find_compiled :
-  t -> key:string -> compile:(unit -> Snoise.Flow.compiled) ->
-  Snoise.Flow.compiled * Protocol.cache_note
+  t -> key:string -> compile:(unit -> certified_plan) ->
+  certified_plan * Protocol.cache_note
 (** [find_compiled t ~key ~compile] returns the cached compiled deck
     for [key] (a {!deck_key}) and {!Protocol.Hit}, or runs [compile]
     and caches its result with {!Protocol.Miss}.  A [compile] that
     raises (lint refusal, bad deck) caches nothing, so a fixed deck
     re-compiles cleanly. *)
+
+(** {2 Certificate verification} — the plan-cache half of the server's
+    [verify] verb. *)
+
+type plan_verification = {
+  pv_plans : int;  (** resident plans judged *)
+  pv_exact : int;  (** never reduced: nothing to certify *)
+  pv_certified : int;  (** certificate re-verified against the pencil *)
+  pv_uncertified : int;
+      (** reduced, but certification was refused at compile time *)
+  pv_bad : int;  (** stored certificate no longer matches its pencil *)
+}
+
+val verify_plans : t -> plan_verification
+(** Re-verify every resident plan's reduction certificate
+    ({!Snoise.Reduced_model.verify_certificate}: hashing only — no
+    compile, no factorization).  A healthy cache has [pv_bad = 0]. *)
 
 val find_macro :
   t -> text:string ->
@@ -58,6 +87,8 @@ val find_macro :
     [stats] reply. *)
 type stats = {
   plans : int;  (** compiled plans currently resident *)
+  certified_plans : int;
+      (** resident plans carrying a reduction passivity certificate *)
   plan_words : int;
       (** accounted heap words of the resident plans (weighed once at
           insert with [Obj.reachable_words]) — the plan-size half of

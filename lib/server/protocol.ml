@@ -5,6 +5,7 @@ type verb =
   | Noise
   | Spur
   | Lint
+  | Verify
   | Extract
   | Stats
   | Ping
@@ -18,6 +19,7 @@ let verb_name = function
   | Noise -> "noise"
   | Spur -> "spur"
   | Lint -> "lint"
+  | Verify -> "verify"
   | Extract -> "extract"
   | Stats -> "stats"
   | Ping -> "ping"
@@ -31,6 +33,7 @@ let verb_of_string = function
   | "noise" -> Some Noise
   | "spur" -> Some Spur
   | "lint" -> Some Lint
+  | "verify" -> Some Verify
   | "extract" -> Some Extract
   | "stats" -> Some Stats
   | "ping" -> Some Ping

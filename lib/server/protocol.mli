@@ -23,6 +23,10 @@ type verb =
   | Noise  (** output-referred noise PSD (adjoint method) *)
   | Spur  (** VCO substrate-spur prediction (built-in test chip) *)
   | Lint  (** structural ERC report of a deck *)
+  | Verify
+      (** numerical pre-flight of a deck, or certificate verification
+          of a tile-cache directory ([params.cache_dir]) or of the
+          resident plan cache (no source, no [cache_dir]) *)
   | Extract  (** substrate macromodel of a layout *)
   | Stats  (** server / cache / queue / pool counters *)
   | Ping  (** liveness probe *)

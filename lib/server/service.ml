@@ -427,8 +427,8 @@ let netlist_of t ~src ~text ~overrides =
   let element_overrides, reduce = reduction_of_overrides overrides in
   let nl = apply_overrides nl element_overrides in
   match reduce with
-  | None -> nl
-  | Some config -> Snoise.Reduced_model.reduce_deck ~config nl
+  | None -> (nl, None)
+  | Some config -> Snoise.Reduced_model.reduce_deck_certified ~config nl
 
 let journal_compile t ~key ~text ~overrides =
   match t.journal with
@@ -448,17 +448,22 @@ let compiled_of t ~src ~text ~overrides =
   let key = Plan_cache.deck_key ~text ~overrides in
   let result =
     Plan_cache.find_compiled t.cache ~key ~compile:(fun () ->
-        let nl = netlist_of t ~src ~text ~overrides in
+        let nl, reduced = netlist_of t ~src ~text ~overrides in
         let report = A.Analyzer.analyze nl in
         (match A.Analyzer.errors report with
         | [] -> ()
         | _ -> raise (Lint_errors report));
-        Flow.compile_deck ~lint:false nl)
+        {
+          Plan_cache.cp_plan = Flow.compile_deck ~lint:false nl;
+          cp_reduced = Option.map fst reduced;
+          cp_cert = Option.bind reduced snd;
+        })
   in
   (match result with
   | _, P.Miss -> journal_compile t ~key ~text ~overrides
   | _ -> ());
-  result
+  let cp, note = result in
+  (cp.Plan_cache.cp_plan, note)
 
 (* ------------------------------------------------------------------ *)
 (* result rendering *)
@@ -665,7 +670,7 @@ let run_tran t (req : P.request) =
 let run_lint t (req : P.request) =
   let src = require_source req in
   let text = source_text src in
-  let nl = netlist_of t ~src ~text ~overrides:req.P.overrides in
+  let nl, _ = netlist_of t ~src ~text ~overrides:req.P.overrides in
   let m = params_members req.P.params in
   let strict = Option.value (opt_bool m "strict") ~default:false in
   let parse_ignore s =
@@ -696,6 +701,131 @@ let run_lint t (req : P.request) =
       ],
     P.Not_applicable,
     P.Not_applicable )
+
+(* the verify verb: three modes, picked by the request shape.
+   A deck source runs the full numerical pre-flight; params.cache_dir
+   re-judges an on-disk tile-cache directory from certificates alone;
+   neither re-verifies the resident plan cache.  All three are
+   hash-or-LDL^T work — never an extraction, solve or CG iteration. *)
+
+let span_json (s : A.Numeric.span) =
+  J.Obj
+    [
+      ("node", J.Str s.A.Numeric.sp_node);
+      ("ratio", J.Num s.A.Numeric.sp_ratio);
+      ( "hi",
+        J.Obj
+          [
+            ("element", J.Str (fst s.A.Numeric.sp_hi));
+            ("siemens", J.Num (snd s.A.Numeric.sp_hi));
+          ] );
+      ( "lo",
+        J.Obj
+          [
+            ("element", J.Str (fst s.A.Numeric.sp_lo));
+            ("siemens", J.Num (snd s.A.Numeric.sp_lo));
+          ] );
+      ("digits", J.Num s.A.Numeric.sp_digits);
+    ]
+
+let stiffness_json = function
+  | None -> J.Null
+  | Some (st : A.Numeric.stiffness) ->
+    J.Obj
+      [
+        ("fast_node", J.Str st.A.Numeric.st_fast_node);
+        ("fast_tau_s", J.Num st.A.Numeric.st_fast_tau);
+        ("slow_node", J.Str st.A.Numeric.st_slow_node);
+        ("slow_tau_s", J.Num st.A.Numeric.st_slow_tau);
+        ("ratio", J.Num st.A.Numeric.st_ratio);
+        ("suggested_dt_s", J.Num st.A.Numeric.st_dt);
+        ("steps_to_cover", J.Num st.A.Numeric.st_steps);
+      ]
+
+let pool_defect_json (d : A.Numeric.pool_defect) =
+  J.Obj
+    [
+      ( "pencil",
+        J.Str
+          (match d.A.Numeric.pd_pencil with
+          | `Conductance -> "conductance"
+          | `Capacitance -> "capacitance") );
+      ("node", J.Str d.A.Numeric.pd_node);
+      ("defect", J.Num d.A.Numeric.pd_defect);
+      ("tolerance", J.Num d.A.Numeric.pd_tol);
+      ("dim", J.Num (float_of_int d.A.Numeric.pd_dim));
+      ("negative_branches", J.Num (float_of_int d.A.Numeric.pd_negative));
+    ]
+
+let run_verify t (req : P.request) =
+  let m = params_members req.P.params in
+  let num i = J.Num (float_of_int i) in
+  match (opt_str m "cache_dir", req.P.source) with
+  | Some _, Some _ ->
+    raise (Bad "give a deck or \"cache_dir\", not both")
+  | Some dir, None ->
+    if not (Sys.file_exists dir && Sys.is_directory dir) then
+      raise (Bad (Printf.sprintf "cache_dir %S is not a directory" dir));
+    let module SC = Sn_substrate.Cache in
+    let v = SC.verify_dir (SC.create ~dir) in
+    ( J.Obj
+        [
+          ("schema_version", num A.Analyzer.schema_version);
+          ("mode", J.Str "cache");
+          ("dir", J.Str dir);
+          ( "entries",
+            J.Arr
+              (List.map
+                 (fun (key, status) ->
+                   J.Obj
+                     (("key", J.Str key)
+                      :: ("status", J.Str (SC.status_name status))
+                      ::
+                      (match status with
+                      | SC.Bad why -> [ ("detail", J.Str why) ]
+                      | _ -> [])))
+                 v.SC.vf_entries) );
+          ("certified", num v.SC.vf_certified);
+          ("recertified", num v.SC.vf_recertified);
+          ("stale", num v.SC.vf_stale);
+          ("bad", num v.SC.vf_bad);
+          ("failing", J.Bool (v.SC.vf_bad > 0));
+        ],
+      P.Not_applicable,
+      P.Not_applicable )
+  | None, Some src ->
+    let text = source_text src in
+    let nl, _ = netlist_of t ~src ~text ~overrides:req.P.overrides in
+    let p = Flow.preflight nl in
+    ( J.Obj
+        [
+          ("schema_version", num A.Analyzer.schema_version);
+          ("mode", J.Str "deck");
+          ("report", embed_json (A.Analyzer.to_json p.Flow.pf_report));
+          ("conditioning", J.Arr (List.map span_json p.Flow.pf_spans));
+          ("stiffness", stiffness_json p.Flow.pf_stiffness);
+          ("pool", J.Arr (List.map pool_defect_json p.Flow.pf_pool));
+          ( "reduction",
+            J.Str (Flow.reduction_verdict_name p.Flow.pf_reduction) );
+          ("failing", J.Bool (Flow.preflight_failing p));
+        ],
+      P.Not_applicable,
+      P.Not_applicable )
+  | None, None ->
+    let pv = Plan_cache.verify_plans t.cache in
+    ( J.Obj
+        [
+          ("schema_version", num A.Analyzer.schema_version);
+          ("mode", J.Str "plans");
+          ("plans", num pv.Plan_cache.pv_plans);
+          ("exact", num pv.Plan_cache.pv_exact);
+          ("certified", num pv.Plan_cache.pv_certified);
+          ("uncertified", num pv.Plan_cache.pv_uncertified);
+          ("bad", num pv.Plan_cache.pv_bad);
+          ("failing", J.Bool (pv.Plan_cache.pv_bad > 0));
+        ],
+      P.Not_applicable,
+      P.Not_applicable )
 
 let run_extract t (req : P.request) =
   let src = require_source req in
@@ -864,6 +994,7 @@ let stats_json t =
         J.Obj
           [
             ("plans", num cs.Plan_cache.plans);
+            ("certified_plans", num cs.Plan_cache.certified_plans);
             ("plan_hits", num cs.Plan_cache.plan_hits);
             ("plan_misses", num cs.Plan_cache.plan_misses);
             ("parse_hits", num cs.Plan_cache.parse_hits);
@@ -896,6 +1027,7 @@ let stats_json t =
             ("imbalance", J.Num (E.Pool.imbalance pool));
           ] );
       ( "tile_cache",
+        let tc = Sn_substrate.Cache.counters () in
         J.Obj
           [
             ( "origin",
@@ -906,6 +1038,10 @@ let stats_json t =
               match tile.Sn_substrate.Cache.dir with
               | Some d -> J.Str d
               | None -> J.Null );
+            ("lookups", num tc.Sn_substrate.Cache.lookups);
+            ("hits", num tc.Sn_substrate.Cache.hits);
+            ("rejected", num tc.Sn_substrate.Cache.rejected);
+            ("stores", num tc.Sn_substrate.Cache.stores);
           ] );
       ( "reduction",
         J.Obj
@@ -1046,7 +1182,8 @@ let submit t ~client line =
           (note_reply t
              (P.response ~id:req.P.id ~verb:P.Shutdown ~served:served_now
                 (J.Obj [ ("stopping", J.Bool true) ])))
-      | P.Op | P.Ac | P.Tran | P.Noise | P.Spur | P.Lint | P.Extract -> (
+      | P.Op | P.Ac | P.Tran | P.Noise | P.Spur | P.Lint | P.Verify
+      | P.Extract -> (
         (* graceful degradation: when the heap (or the accounted plan
            cache) crosses the watermark, shed LRU state once, and if
            that was not enough answer busy instead of growing toward
@@ -1162,6 +1299,7 @@ let serve_single t (p : pending) =
             | P.Op -> run_op t p.req
             | P.Tran -> run_tran t p.req
             | P.Lint -> run_lint t p.req
+            | P.Verify -> run_verify t p.req
             | P.Extract -> run_extract t p.req
             | P.Spur -> run_spur t p.req
             | P.Ac | P.Noise | P.Stats | P.Ping | P.Health | P.Shutdown ->

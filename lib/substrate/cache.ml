@@ -13,7 +13,14 @@ let log_src = Logs.Src.create "sn.subcache" ~doc:"substrate macromodel cache"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
-let format_version = 2
+module N = Sn_numerics
+
+(* 3: a signed passivity certificate rides alongside each entry, so a
+   warm artifact can be re-verified (psd + untampered) by hashing
+   alone — no re-extraction, no refactorization.  The version field
+   is first in [payload] and checked before any other field is
+   touched, so older entries are clean misses. *)
+let format_version = 3
 
 type t = { dir : string }
 
@@ -26,7 +33,14 @@ type tile_model = {
 
 (* payload written to disk; [version] is checked on read so a format
    bump invalidates old entries instead of misreading them *)
-type payload = { version : int; model : tile_model }
+type payload = {
+  version : int;
+  model : tile_model;
+  cert : N.Passivity.cert option;
+      (** [None] only when the matrix failed certification at store
+          time — recorded rather than refused, so the verify pass can
+          point at it *)
+}
 
 let magic = "snoise-tile-cache\n"
 
@@ -48,20 +62,60 @@ let hex_key material = Digest.to_hex (Digest.string material)
 
 let path t ~key = Filename.concat t.dir (key ^ ".tile")
 
+let model_mat model =
+  let dim = Array.length model.labels in
+  N.Mat.of_flat ~rows:dim ~cols:dim model.matrix
+
+let read_payload file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let m = really_input_string ic (String.length magic) in
+      if not (String.equal m magic) then None
+      else
+        let (p : payload) = Marshal.from_channel ic in
+        if p.version = format_version then Some p else None)
+
+(* process-wide counters, reported by [snoise runtime] and the
+   server's stats / verify verbs *)
+let n_lookups = Atomic.make 0
+let n_hits = Atomic.make 0
+let n_rejected = Atomic.make 0
+let n_stores = Atomic.make 0
+
+type counters = { lookups : int; hits : int; rejected : int; stores : int }
+
+let counters () =
+  {
+    lookups = Atomic.get n_lookups;
+    hits = Atomic.get n_hits;
+    rejected = Atomic.get n_rejected;
+    stores = Atomic.get n_stores;
+  }
+
+let reset_counters () =
+  List.iter (fun c -> Atomic.set c 0) [ n_lookups; n_hits; n_rejected; n_stores ]
+
 let lookup t ~key =
+  Atomic.incr n_lookups;
   let file = path t ~key in
-  match
-    let ic = open_in_bin file in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () ->
-        let m = really_input_string ic (String.length magic) in
-        if not (String.equal m magic) then None
-        else
-          let (p : payload) = Marshal.from_channel ic in
-          if p.version = format_version then Some p.model else None)
-  with
-  | result -> result
+  match read_payload file with
+  | Some p -> (
+    (* a certified entry must still verify against its own bytes: a
+       corrupted matrix or a certificate pasted from another artifact
+       is a miss, not a wrong answer *)
+    match p.cert with
+    | Some cert when not (N.Passivity.verify ~context:key (model_mat p.model) cert)
+      ->
+      Atomic.incr n_rejected;
+      Log.warn (fun m ->
+          m "cache entry %s fails certificate verification: recomputing" file);
+      None
+    | _ ->
+      Atomic.incr n_hits;
+      Some p.model)
+  | None -> None
   | exception _ ->
     (* missing, truncated or corrupted entry: fall back to recompute *)
     if Sys.file_exists file then
@@ -72,7 +126,12 @@ let store t ~key model =
   (* write-to-temp + rename so concurrent readers never observe a
      partial entry; failures only cost the caching, never the result *)
   try
+    Atomic.incr n_stores;
     let file = path t ~key in
+    let cert = N.Passivity.certify ~context:key (model_mat model) in
+    if cert = None then
+      Log.warn (fun m ->
+          m "tile model %s is not passive: stored without certificate" key);
     let tmp =
       Filename.temp_file ~temp_dir:t.dir "tile-"
         ("." ^ string_of_int (Unix.getpid ()))
@@ -82,9 +141,74 @@ let store t ~key model =
       ~finally:(fun () -> close_out_noerr oc)
       (fun () ->
         output_string oc magic;
-        Marshal.to_channel oc { version = format_version; model } []);
+        Marshal.to_channel oc { version = format_version; model; cert } []);
     Sys.rename tmp file
   with _ -> Log.warn (fun m -> m "cache store failed under %s" t.dir)
+
+(* ------------------------------------------------------------------ *)
+(* certificate verification of a whole cache directory: every entry is
+   re-judged from its bytes alone — signature hashing for certified
+   entries, a fresh LDL^T for uncertified ones — with no extraction
+   and no CG work, which is the point of storing certificates. *)
+
+type entry_status =
+  | Certified  (** signature verifies against the entry's own bytes *)
+  | Recertified
+      (** no stored certificate, but the matrix passes a fresh PSD
+          check now *)
+  | Stale  (** older format version: a clean miss for the extractor *)
+  | Bad of string  (** corrupt, tampered, or genuinely non-passive *)
+
+type verification = {
+  vf_entries : (string * entry_status) list;  (** key, judgement *)
+  vf_certified : int;
+  vf_recertified : int;
+  vf_stale : int;
+  vf_bad : int;
+}
+
+let verify_entry t ~key =
+  let file = path t ~key in
+  match read_payload file with
+  | Some p -> (
+    let mat = model_mat p.model in
+    match p.cert with
+    | Some cert ->
+      if N.Passivity.verify ~context:key mat cert then Certified
+      else Bad "certificate signature does not match entry bytes"
+    | None ->
+      let v = N.Passivity.psd mat in
+      if N.Passivity.passes v then Recertified
+      else
+        Bad
+          (Printf.sprintf
+             "matrix is not passive (LDL^T pivot %.3g at index %d)"
+             v.N.Passivity.defect v.N.Passivity.index))
+  | None -> Stale
+  | exception _ -> Bad "unreadable entry (truncated or corrupt)"
+
+let status_name = function
+  | Certified -> "certified"
+  | Recertified -> "recertified"
+  | Stale -> "stale"
+  | Bad _ -> "bad"
+
+let verify_dir t =
+  let keys =
+    (try Sys.readdir t.dir with Sys_error _ -> [||])
+    |> Array.to_list
+    |> List.filter_map (fun f -> Filename.chop_suffix_opt ~suffix:".tile" f)
+    |> List.sort String.compare
+  in
+  let entries = List.map (fun key -> (key, verify_entry t ~key)) keys in
+  let count p = List.length (List.filter (fun (_, s) -> p s) entries) in
+  {
+    vf_entries = entries;
+    vf_certified = count (fun s -> s = Certified);
+    vf_recertified = count (fun s -> s = Recertified);
+    vf_stale = count (fun s -> s = Stale);
+    vf_bad = count (function Bad _ -> true | _ -> false);
+  }
 
 (* process-wide default, the CLI / SNOISE_CACHE_DIR knob.
    Unset reads the environment on first use; Disabled (--no-cache)

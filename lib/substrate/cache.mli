@@ -50,16 +50,79 @@ val hex_key : string -> string
 
 val lookup : t -> key:string -> tile_model option
 (** [lookup t ~key] returns the cached model, or [None] on a miss —
-    including any unreadable or version-stale entry. *)
+    including any unreadable or version-stale entry, and any entry
+    whose passivity certificate no longer verifies against its own
+    bytes (corruption and tampering downgrade to recomputation, never
+    to a wrong answer). *)
 
 val store : t -> key:string -> tile_model -> unit
 (** [store t ~key model] persists an entry atomically (temp file +
-    rename).  Failures are logged and swallowed: caching is an
-    optimization, never a correctness dependency. *)
+    rename), together with a signed passivity certificate
+    ({!Sn_numerics.Passivity.certify} over the reduced matrix, bound
+    to [key]); a non-passive matrix — which a healthy extraction never
+    produces — is stored uncertified and flagged by {!verify_dir}.
+    Failures are logged and swallowed: caching is an optimization,
+    never a correctness dependency. *)
 
 val format_version : int
 (** Serialization format version; bumping it invalidates every
-    existing entry. *)
+    existing entry.  Version 3 added the passivity certificate. *)
+
+(** {1 Certificate verification}
+
+    [snoise verify --cache-dir DIR] and the server's [verify] verb
+    re-judge every entry from its bytes alone: signature hashing for
+    certified entries (O(dim²)), a fresh LDLᵀ for uncertified ones —
+    never an extraction, never a CG iteration. *)
+
+(** How one entry verified. *)
+type entry_status =
+  | Certified  (** stored signature verifies against the entry bytes *)
+  | Recertified
+      (** no stored certificate (pre-certificate writer or a store
+          that failed certification), but the matrix passes a fresh
+          PSD check *)
+  | Stale
+      (** older format version — harmless, the extractor treats it as
+          a miss *)
+  | Bad of string  (** corrupt, tampered or genuinely non-passive *)
+
+type verification = {
+  vf_entries : (string * entry_status) list;
+      (** (key, judgement), sorted by key *)
+  vf_certified : int;
+  vf_recertified : int;
+  vf_stale : int;
+  vf_bad : int;
+}
+
+val status_name : entry_status -> string
+(** Stable kebab-case name for JSON output: ["certified"],
+    ["recertified"], ["stale"], ["bad"]. *)
+
+val verify_entry : t -> key:string -> entry_status
+(** Judge a single entry. *)
+
+val verify_dir : t -> verification
+(** Judge every [*.tile] entry under the cache directory.  A cache
+    passes verification iff [vf_bad = 0]. *)
+
+(** {1 Process-wide counters} *)
+
+type counters = {
+  lookups : int;
+  hits : int;  (** lookups that returned a (verified) model *)
+  rejected : int;
+      (** lookups whose entry was readable but failed certificate
+          verification — corruption or tampering caught in time *)
+  stores : int;
+}
+
+val counters : unit -> counters
+(** Lifetime totals for this process ([snoise runtime], server
+    stats). *)
+
+val reset_counters : unit -> unit
 
 (** {1 Process-wide default}
 

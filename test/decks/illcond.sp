@@ -1,0 +1,8 @@
+* conditioning-span: twenty decades of conductance meet at node b,
+* so partial pivoting cancels the small branch and the solve hits a
+* singular pivot.  The current-source drive keeps the span purely
+* resistive (no vsource branch row to rescue the pivot).
+i1 0 a dc 1m
+rbig a b 1e-20
+r2 b 0 1
+.end

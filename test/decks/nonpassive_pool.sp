@@ -1,0 +1,7 @@
+* non-passive-pool: the negative resistor leaves the R/C pool's
+* conductance pencil indefinite, so no passivity certificate can be
+* issued for any reduction of this deck.
+v1 in 0 dc 1
+r1 in p 1
+rneg p 0 -0.5
+.end

@@ -378,6 +378,93 @@ let test_unknown_pragma () =
   let nl = C.Spice.of_string "*%snoise ignore no-such-rule\nr1 a 0 1k\n" in
   check_has "typo flagged" "unknown-pragma" (analyze nl)
 
+let test_pragma_multi_code () =
+  (* one marker line, a comma-separated code list, no subject: both
+     rules are suppressed by the same pragma line *)
+  let deck =
+    "*%snoise ignore dangling-node,extreme-value\n\
+     v1 in 0 1.0\n\
+     r1 in mid 1k\n\
+     r2 mid 0 1k\n\
+     rp mid probe 10k\n\
+     cx mid 0 1e-21\n"
+  in
+  let nl = C.Spice.of_string deck in
+  let ps = C.Netlist.pragmas nl in
+  Alcotest.(check int) "one line, two pragmas" 2 (List.length ps);
+  List.iter
+    (fun (p : C.Netlist.pragma) ->
+      match p.C.Netlist.ignore_loc with
+      | Some { C.Netlist.line = 1; _ } -> ()
+      | _ -> Alcotest.fail "pragma loc is not deck line 1")
+    ps;
+  let report = analyze nl in
+  Alcotest.(check int) "both findings suppressed" 0
+    (List.length report.A.Analyzer.diagnostics);
+  Alcotest.(check int) "both counted" 2 report.A.Analyzer.suppressed;
+  (* with pragmas off, both codes resurface *)
+  let config = { A.Analyzer.default with A.Analyzer.use_pragmas = false } in
+  let report = analyze ~config nl in
+  check_has "dangling-node resurfaces" "dangling-node" report;
+  check_has "extreme-value resurfaces" "extreme-value" report
+
+let test_unknown_pragma_loc () =
+  (* the diagnostic points at the pragma's own deck line, not at any
+     element *)
+  let nl =
+    C.Spice.of_string "r1 a 0 1k\nr2 a 0 1k\n*%snoise ignore no-such-rule r1\n"
+  in
+  let report = analyze nl in
+  match
+    List.find_opt
+      (fun (d : A.Rule.diagnostic) -> d.A.Rule.code = "unknown-pragma")
+      report.A.Analyzer.diagnostics
+  with
+  | None -> Alcotest.fail "unknown-pragma did not fire"
+  | Some d -> (
+    match d.A.Rule.loc with
+    | Some { C.Netlist.file = "<string>"; line = 3 } -> ()
+    | Some { C.Netlist.file; line } ->
+      Alcotest.failf "diagnostic points at %s:%d, expected <string>:3" file
+        line
+    | None -> Alcotest.fail "unknown-pragma carries no location")
+
+let test_numeric_rule_suppression () =
+  (* the numeric rules honour the same suppression machinery as the
+     structural ones *)
+  let nonpassive =
+    C.Netlist.create
+      [ v "v1" "p" "0" 1.0; r "rn" "p" "0" (-0.5); r "rq" "p" "0" 1.0 ]
+  in
+  check_has "non-passive-pool fires" "non-passive-pool" (analyze nonpassive);
+  let config =
+    { A.Analyzer.default with
+      A.Analyzer.ignores = [ ("non-passive-pool", None) ] }
+  in
+  let report = analyze ~config nonpassive in
+  Alcotest.(check bool) "non-passive-pool suppressed" false
+    (has "non-passive-pool" report.A.Analyzer.diagnostics);
+  Alcotest.(check bool) "suppression counted" true
+    (report.A.Analyzer.suppressed >= 1);
+  (* subject-scoped: conditioning-span is ignored only on its node *)
+  let illcond =
+    C.Netlist.create
+      [ i "i1" "0" "a" 1.0e-3; r "rbig" "a" "b" 1.0e-20; r "r2" "b" "0" 1.0 ]
+  in
+  check_has "conditioning-span fires" "conditioning-span" (analyze illcond);
+  let config =
+    { A.Analyzer.default with
+      A.Analyzer.ignores = [ ("conditioning-span", Some "b") ] }
+  in
+  Alcotest.(check bool) "scoped ignore suppresses" false
+    (has "conditioning-span" (analyze ~config illcond).A.Analyzer.diagnostics);
+  let config =
+    { A.Analyzer.default with
+      A.Analyzer.ignores = [ ("conditioning-span", Some "zz") ] }
+  in
+  check_has "mismatching subject keeps it" "conditioning-span"
+    (analyze ~config illcond)
+
 let test_extract_tile_degenerate () =
   (* the docs/LINT.md minimal deck: four tiles, two substrate port
      nodes (gr and backgate:m1) *)
@@ -460,9 +547,12 @@ let test_registry () =
 (* ------------------------------------------------------------------ *)
 (* deck sweep: the acceptance criterion, executable.  For every deck
    in the test and example deck directories: a deck the solver
-   rejects with a singular pivot must carry an error-severity
-   diagnostic naming that unknown; a deck that simulates must carry
-   no error at all. *)
+   rejects with a singular pivot must carry a diagnostic naming that
+   unknown — an error for structural singularities, or a
+   conditioning-span warning for numeric ones (a warning because the
+   gmin rescue ladder usually recovers those; the sweep solves
+   plain-Newton-only, so the prediction is still exercised); a deck
+   that simulates must carry no error at all. *)
 
 let deck_dirs = [ "decks"; Filename.concat ".." "examples/decks" ]
 
@@ -485,9 +575,14 @@ let test_deck_sweep () =
       let nl = C.Spice.load path in
       let report = analyze nl in
       let errs = A.Analyzer.errors report in
+      let spans =
+        List.filter
+          (fun (d : A.Rule.diagnostic) -> d.A.Rule.code = "conditioning-span")
+          report.A.Analyzer.diagnostics
+      in
       match singular_pivot_of nl with
       | Some unknown ->
-        if errs = [] then
+        if errs = [] && spans = [] then
           Alcotest.failf "%s: solver hit a singular pivot but lint is clean"
             path;
         (match unknown with
@@ -499,15 +594,19 @@ let test_deck_sweep () =
              || List.exists
                   (fun (d : A.Rule.diagnostic) ->
                     A.Rule.subject_name d.A.Rule.subject = n)
-                  errs
+                  (errs @ spans)
            in
            if not named then
-             Alcotest.failf "%s: pivot %s not named by any error" path n)
+             Alcotest.failf "%s: pivot %s not named by any diagnostic" path n)
       | None ->
+        (* non-passive-pool is the one error whose failure mode is not
+           a DC singularity: an indefinite pencil factorizes fine but
+           pumps energy in AC/transient, so the deck "simulates" here *)
         List.iter
           (fun (d : A.Rule.diagnostic) ->
-            Alcotest.failf "%s simulates but lints with an error: %s" path
-              (render d))
+            if d.A.Rule.code <> "non-passive-pool" then
+              Alcotest.failf "%s simulates but lints with an error: %s" path
+                (render d))
           errs)
     decks
 
@@ -623,6 +722,11 @@ let suites =
         Alcotest.test_case "config suppression" `Quick
           test_config_suppression;
         Alcotest.test_case "unknown pragma" `Quick test_unknown_pragma;
+        Alcotest.test_case "multi-code pragma" `Quick test_pragma_multi_code;
+        Alcotest.test_case "unknown pragma location" `Quick
+          test_unknown_pragma_loc;
+        Alcotest.test_case "numeric rule suppression" `Quick
+          test_numeric_rule_suppression;
         Alcotest.test_case "extract tile degenerate" `Quick
           test_extract_tile_degenerate;
         Alcotest.test_case "json shape" `Quick test_json_shape;

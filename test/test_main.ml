@@ -6,6 +6,7 @@ let () =
      @ Test_substrate.suites
      @ Test_circuit.suites
      @ Test_analysis.suites
+     @ Test_preflight.suites
      @ Test_engine.suites
      @ Test_interconnect.suites
      @ Test_rf.suites

@@ -419,6 +419,100 @@ let test_reduce_overrides () =
   check_bad "out-of-range tol refused" {|{"reduce_tol": 2.0}|}
 
 (* ------------------------------------------------------------------ *)
+(* the verify verb: deck pre-flight, tile-cache and plan-cache modes *)
+
+let illcond_deck_text =
+  "* conditioning span\ni1 0 a dc 1m\nrbig a b 1e-20\nr2 b 0 1\n.end\n"
+
+let check_schema_version result =
+  match member "schema_version" result with
+  | J.Num n when n = float_of_int Sn_analysis.Analyzer.schema_version -> ()
+  | other -> Alcotest.failf "schema_version: %s" (J.to_string other)
+
+let test_verify_verb () =
+  let svc = Sv.create () in
+  (* deck mode: a clean deck verifies *)
+  let clean = handle1 svc (request ~verb:"verify" ~deck ()) in
+  Alcotest.(check string) "clean is a response" "response" (msg_type clean);
+  let result = member "result" clean in
+  Alcotest.(check string) "deck mode" {|"deck"|}
+    (J.to_string (member "mode" result));
+  check_schema_version result;
+  Alcotest.(check string) "clean deck not failing" "false"
+    (J.to_string (member "failing" result));
+  Alcotest.(check string) "nothing reduced" {|"not-reduced"|}
+    (J.to_string (member "reduction" result));
+  (* deck mode: an ill-conditioned deck fails with a populated
+     conditioning analysis *)
+  let ill =
+    handle1 svc (request ~id:2 ~verb:"verify" ~deck:illcond_deck_text ())
+  in
+  let r = member "result" ill in
+  Alcotest.(check string) "ill-conditioned deck failing" "true"
+    (J.to_string (member "failing" r));
+  (match J.to_list (member "conditioning" r) with
+  | Some (_ :: _) -> ()
+  | _ -> Alcotest.fail "conditioning analysis empty");
+  (* plans mode: a reduced ac request leaves a certified resident
+     plan, and hash-only re-verification finds it healthy *)
+  let ac = handle1 svc (ac_request ~overrides:{|{"reduce_order": 4}|} ()) in
+  Alcotest.(check string) "reduced ac served" "response" (msg_type ac);
+  let plans = handle1 svc (request ~id:3 ~verb:"verify" ()) in
+  let pr = member "result" plans in
+  Alcotest.(check string) "plans mode" {|"plans"|}
+    (J.to_string (member "mode" pr));
+  check_schema_version pr;
+  let n_of field =
+    match member field pr with
+    | J.Num n -> int_of_float n
+    | other -> Alcotest.failf "%s: %s" field (J.to_string other)
+  in
+  Alcotest.(check bool) "plans resident" true (n_of "plans" >= 1);
+  Alcotest.(check bool) "a certified plan" true (n_of "certified" >= 1);
+  Alcotest.(check int) "no bad plans" 0 (n_of "bad");
+  Alcotest.(check string) "plan cache healthy" "false"
+    (J.to_string (member "failing" pr));
+  (match
+     member "certified_plans" (member "plan_cache" (Sv.stats_json svc))
+   with
+  | J.Num n when n >= 1.0 -> ()
+  | other -> Alcotest.failf "stats certified_plans: %s" (J.to_string other));
+  (* cache mode dispatches on params.cache_dir *)
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "snoise_verify_verb_%d" (Unix.getpid ()))
+  in
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let cached =
+    handle1 svc
+      (request ~id:4 ~verb:"verify"
+         ~params:(Printf.sprintf {|{"cache_dir": %s}|} (J.to_string (J.Str dir)))
+         ())
+  in
+  let cr = member "result" cached in
+  Alcotest.(check string) "cache mode" {|"cache"|}
+    (J.to_string (member "mode" cr));
+  Alcotest.(check string) "empty cache dir passes" "false"
+    (J.to_string (member "failing" cr));
+  (* structured refusals: both sources, and a missing directory *)
+  let both =
+    handle1 svc
+      (request ~id:5 ~verb:"verify" ~deck
+         ~params:(Printf.sprintf {|{"cache_dir": %s}|} (J.to_string (J.Str dir)))
+         ())
+  in
+  Alcotest.(check string) "deck+cache_dir refused" "bad-request"
+    (error_code both);
+  let missing =
+    handle1 svc
+      (request ~id:6 ~verb:"verify"
+         ~params:{|{"cache_dir": "/nonexistent/snoise"}|} ())
+  in
+  Alcotest.(check string) "missing dir refused" "bad-request"
+    (error_code missing)
+
+(* ------------------------------------------------------------------ *)
 (* fuzz: the wire parser is total *)
 
 (* Mutate valid documents (including a realistic request line) at
@@ -845,6 +939,7 @@ let suites =
           test_quota_and_backpressure;
         Alcotest.test_case "stats shape" `Quick test_stats_shape;
         Alcotest.test_case "reduce overrides" `Quick test_reduce_overrides;
+        Alcotest.test_case "verify verb" `Quick test_verify_verb;
         Alcotest.test_case "health verb" `Quick test_health_verb;
         Alcotest.test_case "deadline exceeded (jobs 1)" `Quick
           (deadline_exceeded_at 1);

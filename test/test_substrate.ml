@@ -647,6 +647,83 @@ let test_cache_reduction_namespace () =
   let s_warm = stats_exn () in
   Alcotest.(check int) "reduced namespace warm" 4 s_warm.Extractor.cache_hits
 
+let test_cache_certificates () =
+  let cache = Cache.create ~dir:(fresh_cache_dir ()) in
+  let cold = extract_cached cache in
+  (* every freshly stored entry carries a verifying certificate *)
+  let vf = Cache.verify_dir cache in
+  Alcotest.(check int) "four entries judged" 4
+    (List.length vf.Cache.vf_entries);
+  Alcotest.(check int) "all certified" 4 vf.Cache.vf_certified;
+  Alcotest.(check int) "none bad" 0 vf.Cache.vf_bad;
+  (* re-verification of a warm cache is hashing only: the warm
+     extraction that follows does zero CG work *)
+  let warm = extract_cached cache in
+  let s_warm = stats_exn () in
+  Alcotest.(check int) "warm certified cache: 0 CG iterations" 0
+    s_warm.Extractor.cg_iterations_total;
+  Alcotest.(check int) "warm certified cache: all hits" 4
+    s_warm.Extractor.cache_hits;
+  check_identical "warm result byte-identical"
+    cold.Macromodel.conductance warm.Macromodel.conductance;
+  (* tamper with the last byte (inside the stored signature): the
+     entry must be judged Bad and the lookup must reject it *)
+  let victim_file =
+    Sys.readdir (Cache.dir cache)
+    |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".tile")
+    |> List.sort String.compare |> List.hd
+  in
+  let victim_key = Filename.chop_suffix victim_file ".tile" in
+  let victim = Filename.concat (Cache.dir cache) victim_file in
+  let bytes =
+    let ic = open_in_bin victim in
+    let n = in_channel_length ic in
+    let b = really_input_string ic n in
+    close_in ic;
+    Bytes.of_string b
+  in
+  let last = Bytes.length bytes - 1 in
+  Bytes.set bytes last (Char.chr (Char.code (Bytes.get bytes last) lxor 0xFF));
+  let oc = open_out_bin victim in
+  output_bytes oc bytes;
+  close_out oc;
+  (match Cache.verify_entry cache ~key:victim_key with
+  | Cache.Bad _ -> ()
+  | s ->
+    Alcotest.failf "tampered entry judged %s, expected bad"
+      (Cache.status_name s));
+  let vf2 = Cache.verify_dir cache in
+  Alcotest.(check int) "one bad after tampering" 1 vf2.Cache.vf_bad;
+  Alcotest.(check int) "three still certified" 3 vf2.Cache.vf_certified;
+  (* tampering downgrades to recomputation, never to a wrong answer *)
+  Cache.reset_counters ();
+  let rebuilt = extract_cached cache in
+  let c = Cache.counters () in
+  Alcotest.(check bool) "rejection counted" true (c.Cache.rejected >= 1);
+  check_identical "rebuilt result byte-identical"
+    cold.Macromodel.conductance rebuilt.Macromodel.conductance;
+  Alcotest.(check int) "healthy again after recompute" 0
+    (Cache.verify_dir cache).Cache.vf_bad;
+  (* a previous-format entry is judged Stale and is a clean miss *)
+  let stale_model =
+    { Cache.labels = [| "n" |]; matrix = [| 1.0 |]; iterations = 0;
+      form = "exact" }
+  in
+  let stale = Filename.concat (Cache.dir cache) "00stale.tile" in
+  let oc = open_out_bin stale in
+  output_string oc "snoise-tile-cache\n";
+  Marshal.to_channel oc
+    (Cache.format_version - 1, stale_model, (None : unit option))
+    [];
+  close_out oc;
+  Alcotest.(check bool) "stale entry judged stale" true
+    (Cache.verify_entry cache ~key:"00stale" = Cache.Stale);
+  Alcotest.(check int) "verify_dir counts it" 1
+    (Cache.verify_dir cache).Cache.vf_stale;
+  Alcotest.(check bool) "stale lookup is a miss" true
+    (Cache.lookup cache ~key:"00stale" = None)
+
 let test_jobs_identity () =
   let run () =
     Extractor.extract ~config:scale_cfg ~tiles:(2, 2) ~tech:T.imec018
@@ -749,6 +826,8 @@ let suites =
         Alcotest.test_case "cache round trip" `Quick test_cache_round_trip;
         Alcotest.test_case "reduction cache namespace" `Quick
           test_cache_reduction_namespace;
+        Alcotest.test_case "cache certificates" `Quick
+          test_cache_certificates;
         Alcotest.test_case "jobs identity" `Quick test_jobs_identity;
       ] );
   ]
